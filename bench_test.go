@@ -1,0 +1,272 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/osu"
+	"repro/internal/simnet"
+)
+
+// benchStack builds a small-cluster stack (2x4 ranks) so benchmarks finish
+// quickly while still crossing node boundaries.
+func benchStack(impl Impl, abiMode ABIMode, ckpt CkptMode) Stack {
+	s := DefaultStack(impl, abiMode, ckpt)
+	s.Net.Nodes = 2
+	s.Net.RanksPerNode = 4
+	s.Net.JitterFrac = 0
+	return s
+}
+
+// benchLatency runs b.N iterations of one collective at one size through a
+// full stack and reports both wall-clock ns/op (the real interposition
+// cost) and virtual-time us/op (the simulated cluster latency the paper
+// plots).
+func benchLatency(b *testing.B, stack Stack, op osu.Collective, size int) {
+	b.Helper()
+	job, err := Launch(stack, "osu."+string(op), WithConfigure(func(rank int, p Program) {
+		lb := p.(*osu.LatencyBench)
+		lb.Sizes = []int{size}
+		lb.Warmup = 2
+		lb.Iters = b.N
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := job.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	_, means := job.Program(0).(*osu.LatencyBench).Results()
+	if len(means) == 1 {
+		b.ReportMetric(means[0], "virt-us/op")
+	}
+}
+
+// fourBenchStacks mirrors the paper's comparison matrix.
+func fourBenchStacks() []struct {
+	name  string
+	stack Stack
+} {
+	return []struct {
+		name  string
+		stack Stack
+	}{
+		{"MPICH", benchStack(ImplMPICH, ABINative, CkptNone)},
+		{"MPICH_Muk_MANA", benchStack(ImplMPICH, ABIMukautuva, CkptMANA)},
+		{"OpenMPI", benchStack(ImplOpenMPI, ABINative, CkptNone)},
+		{"OpenMPI_Muk_MANA", benchStack(ImplOpenMPI, ABIMukautuva, CkptMANA)},
+	}
+}
+
+// BenchmarkFig2Alltoall regenerates Figure 2's comparison at a small and a
+// large message size for each stack.
+func BenchmarkFig2Alltoall(b *testing.B) {
+	for _, sz := range []int{1, 4096} {
+		for _, sc := range fourBenchStacks() {
+			b.Run(fmt.Sprintf("%s/size=%d", sc.name, sz), func(b *testing.B) {
+				benchLatency(b, sc.stack, osu.Alltoall, sz)
+			})
+		}
+	}
+}
+
+// BenchmarkFig3Bcast regenerates Figure 3's comparison.
+func BenchmarkFig3Bcast(b *testing.B) {
+	for _, sz := range []int{1, 4096} {
+		for _, sc := range fourBenchStacks() {
+			b.Run(fmt.Sprintf("%s/size=%d", sc.name, sz), func(b *testing.B) {
+				benchLatency(b, sc.stack, osu.Bcast, sz)
+			})
+		}
+	}
+}
+
+// BenchmarkFig4Allreduce regenerates Figure 4's comparison.
+func BenchmarkFig4Allreduce(b *testing.B) {
+	for _, sz := range []int{1, 4096} {
+		for _, sc := range fourBenchStacks() {
+			b.Run(fmt.Sprintf("%s/size=%d", sc.name, sz), func(b *testing.B) {
+				benchLatency(b, sc.stack, osu.Allreduce, sz)
+			})
+		}
+	}
+}
+
+// benchApp runs one Figure 5 application with b.N steps and reports
+// virtual seconds per full run.
+func benchApp(b *testing.B, stack Stack, prog string) {
+	b.Helper()
+	job, err := Launch(stack, prog, WithConfigure(func(rank int, p Program) {
+		type scalable interface{ ScaleSteps(f float64) }
+		if s, ok := p.(scalable); ok {
+			s.ScaleSteps(0.02) // small fixed problem
+		}
+		type seedable interface{ SetSeed(s int64) }
+		if s, ok := p.(seedable); ok {
+			s.SetSeed(1)
+		}
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	var maxT float64
+	for r := 0; r < stack.Net.Size(); r++ {
+		if t := job.Clock(r).Duration().Seconds(); t > maxT {
+			maxT = t
+		}
+	}
+	b.ReportMetric(maxT*1000, "virt-ms/run")
+}
+
+// BenchmarkFig5CoMD regenerates Figure 5's CoMD bars.
+func BenchmarkFig5CoMD(b *testing.B) {
+	for _, sc := range fourBenchStacks() {
+		b.Run(sc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchApp(b, sc.stack, "app.comd")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Wave regenerates Figure 5's wave_mpi bars.
+func BenchmarkFig5Wave(b *testing.B) {
+	for _, sc := range fourBenchStacks() {
+		b.Run(sc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchApp(b, sc.stack, "app.wave")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6CrossRestart measures the full Section 5.3 cycle: launch
+// under Open MPI, checkpoint, restart under MPICH.
+func BenchmarkFig6CrossRestart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "bench-fig6-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		launch := benchStack(ImplOpenMPI, ABIMukautuva, CkptMANA)
+		job, err := Launch(launch, "osu.alltoall.ckptwindow", WithConfigure(func(rank int, p Program) {
+			lb := p.(*osu.LatencyBench)
+			lb.Sizes = []int{1, 1024}
+			lb.Warmup = 2
+			lb.Iters = 4
+			lb.SleepReal = 80 * time.Millisecond
+		}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+		if err := job.Checkpoint(dir, true); err != nil {
+			b.Fatal(err)
+		}
+		if err := job.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		restarted, err := Restart(dir, benchStack(ImplMPICH, ABIMukautuva, CkptMANA))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := restarted.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		os.RemoveAll(dir)
+	}
+}
+
+// BenchmarkAblationFSGSBase contrasts the paper's old-kernel syscall cost
+// with the 5.9+ userspace FSGSBASE path through the full MANA stack.
+func BenchmarkAblationFSGSBase(b *testing.B) {
+	for _, k := range []struct {
+		name string
+		kv   int
+	}{{"pre5.9", 0}, {"5.9plus", 1}} {
+		b.Run(k.name, func(b *testing.B) {
+			stack := benchStack(ImplMPICH, ABIMukautuva, CkptMANA)
+			if k.kv == 1 {
+				stack.Kernel = Kernel5_9Plus
+			} else {
+				stack.Kernel = KernelPre5_9
+			}
+			benchLatency(b, stack, osu.Allreduce, 8)
+		})
+	}
+}
+
+// BenchmarkAblationManaOverNative measures the paper's older "virtual id"
+// configuration (MANA directly over a native binding, no Mukautuva).
+func BenchmarkAblationManaOverNative(b *testing.B) {
+	for _, sc := range []struct {
+		name  string
+		stack Stack
+	}{
+		{"MPICH_native_MANA", benchStack(ImplMPICH, ABINative, CkptMANA)},
+		{"MPICH_Muk_MANA", benchStack(ImplMPICH, ABIMukautuva, CkptMANA)},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			benchLatency(b, sc.stack, osu.Alltoall, 64)
+		})
+	}
+}
+
+// BenchmarkCheckpointWrite isolates the checkpoint path: quiesce, drain,
+// image write.
+func BenchmarkCheckpointWrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "bench-ckpt-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		stack := benchStack(ImplMPICH, ABIMukautuva, CkptMANA)
+		job, err := Launch(stack, "osu.alltoall.ckptwindow", WithConfigure(func(rank int, p Program) {
+			lb := p.(*osu.LatencyBench)
+			lb.Sizes = []int{64}
+			lb.Warmup = 2
+			lb.Iters = 4
+			lb.SleepReal = 100 * time.Millisecond
+		}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		time.Sleep(15 * time.Millisecond)
+		start := time.Now()
+		if err := job.Checkpoint(dir, true); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(time.Since(start).Microseconds()), "ckpt-us")
+		if err := job.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		os.RemoveAll(dir)
+	}
+}
+
+// BenchmarkNativeVsShimCallPath contrasts one two-rank round trip through
+// the native binding and through the full Mukautuva+MANA stack — the
+// wall-clock cost of interposition itself.
+func BenchmarkNativeVsShimCallPath(b *testing.B) {
+	for _, sc := range []struct {
+		name  string
+		stack Stack
+	}{
+		{"native", benchStack(ImplMPICH, ABINative, CkptNone)},
+		{"muk", benchStack(ImplMPICH, ABIMukautuva, CkptNone)},
+		{"wi4mpi", benchStack(ImplMPICH, ABIWi4MPI, CkptNone)},
+		{"muk_mana", benchStack(ImplMPICH, ABIMukautuva, CkptMANA)},
+	} {
+		sc.stack.Net = simnet.SingleNode(2)
+		b.Run(sc.name, func(b *testing.B) {
+			benchLatency(b, sc.stack, osu.Allreduce, 8)
+		})
+	}
+}

@@ -1,0 +1,87 @@
+// Command crossckpt runs the paper's Section 5.3 scenario end to end:
+// launch the modified OSU alltoall under one MPI implementation through
+// the standard ABI, checkpoint it in the post-warm-up sleep window,
+// restart the images under a different implementation, and report that
+// the sweep completed with the stack swapped mid-run.
+//
+//	crossckpt -from openmpi -to mpich -dir images/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/osu"
+)
+
+func main() {
+	var (
+		from  = flag.String("from", "openmpi", "implementation to launch under")
+		to    = flag.String("to", "mpich", "implementation to restart under")
+		dir   = flag.String("dir", "crossckpt-images", "checkpoint image directory")
+		nodes = flag.Int("nodes", 4, "compute nodes")
+		rpn   = flag.Int("rpn", 12, "ranks per node")
+		maxSz = flag.Int("max-size", 1<<14, "largest message size in bytes")
+	)
+	flag.Parse()
+
+	launchStack := repro.DefaultStack(repro.Impl(*from), repro.ABIMukautuva, repro.CkptMANA)
+	launchStack.Net.Nodes = *nodes
+	launchStack.Net.RanksPerNode = *rpn
+
+	configure := repro.WithConfigure(func(rank int, p core.Program) {
+		b := p.(*osu.LatencyBench)
+		var sizes []int
+		for sz := 1; sz <= *maxSz; sz <<= 1 {
+			sizes = append(sizes, sz)
+		}
+		b.Sizes = sizes
+		b.Iters = 10
+		b.Warmup = 3
+	})
+
+	fmt.Printf("launching osu.alltoall.ckptwindow under %s ...\n", launchStack.Label())
+	job, err := repro.Launch(launchStack, "osu.alltoall.ckptwindow", configure)
+	if err != nil {
+		fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // reach the sleep window
+	fmt.Printf("checkpointing into %s ...\n", *dir)
+	if err := job.Checkpoint(*dir, true); err != nil {
+		fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("checkpoint complete; original job stopped.")
+
+	restartStack := repro.DefaultStack(repro.Impl(*to), repro.ABIMukautuva, repro.CkptMANA)
+	restartStack.Net.Nodes = *nodes
+	restartStack.Net.RanksPerNode = *rpn
+	fmt.Printf("restarting under %s ...\n", restartStack.Label())
+	restarted, err := repro.Restart(*dir, restartStack)
+	if err != nil {
+		fatal(err)
+	}
+	if err := restarted.Wait(); err != nil {
+		fatal(err)
+	}
+	b := restarted.Program(0).(*osu.LatencyBench)
+	sizes, means := b.Results()
+	fmt.Printf("sweep completed after restart under %s:\n", restartStack.Label())
+	fmt.Printf("%-12s %s\n", "# Size", "Avg Latency(us)")
+	for i, sz := range sizes {
+		fmt.Printf("%-12d %.2f\n", sz, means[i])
+	}
+	fmt.Printf("\nOK: launched under %s, checkpointed, restarted under %s — no recompilation.\n",
+		*from, *to)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crossckpt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Command manactl inspects MANA/DMTCP checkpoint image directories:
+// the image-set metadata, per-rank image sizes, and the MANA blob
+// contents (virtual-id event log, drained in-flight messages, counters).
+//
+//	manactl info images/
+//	manactl ranks images/
+//	manactl blob images/ 0
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/dmtcp"
+	"repro/internal/mana"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, dir := os.Args[1], os.Args[2]
+	switch cmd {
+	case "info":
+		info(dir)
+	case "ranks":
+		ranks(dir)
+	case "blob":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		rank, err := strconv.Atoi(os.Args[3])
+		if err != nil {
+			fatal(err)
+		}
+		blob(dir, rank)
+	default:
+		usage()
+	}
+}
+
+func info(dir string) {
+	meta, err := dmtcp.ReadMeta(dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("image set:      %s\n", dir)
+	fmt.Printf("ranks:          %d\n", meta.NumRanks)
+	fmt.Printf("implementation: %s\n", meta.Impl)
+	fmt.Printf("standard ABI:   %v\n", meta.StandardABI)
+	fmt.Printf("program:        %s\n", meta.Program)
+	fmt.Printf("step:           %d\n", meta.Step)
+	if meta.StandardABI {
+		fmt.Println("restartable:    under any standard-ABI implementation")
+	} else {
+		fmt.Printf("restartable:    only under %s (native ABI image)\n", meta.Impl)
+	}
+}
+
+func ranks(dir string) {
+	meta, err := dmtcp.ReadMeta(dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-6s %-10s %-14s %-12s %-12s\n", "rank", "step", "virtual-time", "state(B)", "blob(B)")
+	for r := 0; r < meta.NumRanks; r++ {
+		img, err := dmtcp.ReadRankImage(dir, r)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-6d %-10d %-14s %-12d %-12d\n",
+			img.Rank, img.Step, fmt.Sprintf("%.3fms", float64(img.Clock)/1e6),
+			len(img.ProgState), len(img.PluginBlob))
+	}
+}
+
+func blob(dir string, rank int) {
+	img, err := dmtcp.ReadRankImage(dir, rank)
+	if err != nil {
+		fatal(err)
+	}
+	var b mana.Blob
+	if err := gob.NewDecoder(bytes.NewReader(img.PluginBlob)).Decode(&b); err != nil {
+		fatal(fmt.Errorf("decoding MANA blob: %w", err))
+	}
+	fmt.Printf("rank %d MANA state:\n", rank)
+	fmt.Printf("  next virtual id: %#x\n", b.NextVid)
+	fmt.Printf("  event log:       %d entries\n", len(b.Log))
+	for i, ev := range b.Log {
+		fmt.Printf("    %3d: %-18s vid=%v parent=%v\n", i, ev.Op, ev.Vid, ev.Parent)
+	}
+	var sent, recvd uint64
+	for _, peers := range b.Sent {
+		for _, n := range peers {
+			sent += n
+		}
+	}
+	for _, peers := range b.Recvd {
+		for _, n := range peers {
+			recvd += n
+		}
+	}
+	fmt.Printf("  p2p sent:        %d messages\n", sent)
+	fmt.Printf("  p2p received:    %d messages\n", recvd)
+	drained := 0
+	bytesDrained := 0
+	for _, q := range b.Buffered {
+		drained += len(q)
+		for _, d := range q {
+			bytesDrained += len(d.Data)
+		}
+	}
+	fmt.Printf("  drained in-flight messages: %d (%d bytes)\n", drained, bytesDrained)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  manactl info  <image-dir>        show image-set metadata
+  manactl ranks <image-dir>        list per-rank images
+  manactl blob  <image-dir> <rank> dump one rank's MANA state`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "manactl:", err)
+	os.Exit(1)
+}

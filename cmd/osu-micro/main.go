@@ -1,0 +1,80 @@
+// Command osu-micro runs one OSU-style micro-benchmark under a chosen
+// stack, the reproduction's analog of running osu_alltoall under mpirun
+// with optional Mukautuva/MANA interposition:
+//
+//	osu-micro -bench alltoall -impl openmpi -abi mukautuva -ckpt mana
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/osu"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "alltoall", "benchmark: alltoall, bcast, allreduce")
+		impl   = flag.String("impl", "mpich", "MPI implementation: mpich, openmpi")
+		abiMod = flag.String("abi", "native", "binding: native, mukautuva")
+		ckpt   = flag.String("ckpt", "none", "checkpoint package: none, mana")
+		nodes  = flag.Int("nodes", 4, "compute nodes")
+		rpn    = flag.Int("rpn", 12, "ranks per node")
+		iters  = flag.Int("iters", 20, "measured iterations per size")
+		warmup = flag.Int("warmup", 4, "warm-up iterations")
+		maxSz  = flag.Int("max-size", 1<<18, "largest message size in bytes")
+	)
+	flag.Parse()
+
+	stack := repro.DefaultStack(repro.Impl(*impl), repro.ABIMode(*abiMod), repro.CkptMode(*ckpt))
+	stack.Net.Nodes = *nodes
+	stack.Net.RanksPerNode = *rpn
+	if err := stack.Validate(); err != nil {
+		fatal(err)
+	}
+	prog := "osu." + *bench
+	job, err := repro.Launch(stack, prog, repro.WithConfigure(func(rank int, p core.Program) {
+		b := p.(*osu.LatencyBench)
+		b.Iters = *iters
+		b.Warmup = *warmup
+		var sizes []int
+		for sz := 1; sz <= *maxSz; sz <<= 1 {
+			sizes = append(sizes, sz)
+		}
+		b.Sizes = sizes
+	}))
+	if err != nil {
+		fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		fatal(err)
+	}
+	b := job.Program(0).(*osu.LatencyBench)
+	sizes, means := b.Results()
+	fmt.Printf("# OSU Micro-Benchmark (simulated): MPI_%s\n", titleOf(*bench))
+	fmt.Printf("# Stack: %s, %d ranks (%dx%d)\n", stack.Label(), stack.Net.Size(), *nodes, *rpn)
+	fmt.Printf("%-12s %s\n", "# Size", "Avg Latency(us)")
+	for i, sz := range sizes {
+		fmt.Printf("%-12d %.2f\n", sz, means[i])
+	}
+}
+
+func titleOf(bench string) string {
+	switch bench {
+	case "alltoall":
+		return "Alltoall"
+	case "bcast":
+		return "Bcast"
+	case "allreduce":
+		return "Allreduce"
+	}
+	return bench
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "osu-micro:", err)
+	os.Exit(1)
+}

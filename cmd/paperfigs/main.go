@@ -1,0 +1,75 @@
+// Command paperfigs regenerates the paper's evaluation figures: the OSU
+// latency sweeps (Figures 2-4), the real-application completion times
+// (Figure 5), the cross-implementation checkpoint/restart experiment
+// (Figure 6), and the FSGSBASE ablation.
+//
+// Usage:
+//
+//	paperfigs [-fig 2,3,4,5,6|all|fsgsbase] [-quick] [-out results/] [-reps N]
+//
+// Full scale reproduces the paper's 4x12-rank setup with 5 repetitions and
+// takes some minutes; -quick runs a small smoke configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		figs  = flag.String("fig", "all", "comma-separated figure list: 2,3,4,5,6,fsgsbase or 'all'")
+		quick = flag.Bool("quick", false, "run the small smoke configuration instead of paper scale")
+		out   = flag.String("out", "results", "output directory for CSV files")
+		reps  = flag.Int("reps", 0, "override repetition count")
+		nodes = flag.Int("nodes", 0, "override node count")
+		rpn   = flag.Int("rpn", 0, "override ranks per node")
+	)
+	flag.Parse()
+
+	opts := harness.Full()
+	if *quick {
+		opts = harness.Quick()
+	}
+	if *reps > 0 {
+		opts.Reps = *reps
+	}
+	if *nodes > 0 {
+		opts.Nodes = *nodes
+	}
+	if *rpn > 0 {
+		opts.RanksPerNode = *rpn
+	}
+
+	names := strings.Split(*figs, ",")
+	if *figs == "all" {
+		names = []string{"2", "3", "4", "5", "6"}
+	}
+	scratch, err := os.MkdirTemp("", "paperfigs-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(scratch)
+
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		fig, err := harness.ByName(name, opts, scratch)
+		if err != nil {
+			fatal(fmt.Errorf("figure %s: %w", name, err))
+		}
+		fmt.Println(fig.Render())
+		if err := fig.WriteCSV(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s/%s.csv\n\n", *out, fig.ID)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperfigs:", err)
+	os.Exit(1)
+}

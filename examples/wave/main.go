@@ -1,0 +1,61 @@
+// Wave example: run the wave_mpi analog under all four paper stacks and
+// print the Figure 5 comparison for it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/apps/wavempi"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		steps  = flag.Int("steps", 80, "time steps")
+		points = flag.Int("points", 1<<14, "global grid points")
+		nodes  = flag.Int("nodes", 2, "compute nodes")
+		rpn    = flag.Int("rpn", 4, "ranks per node")
+	)
+	flag.Parse()
+
+	stacks := []repro.Stack{
+		repro.DefaultStack(repro.ImplMPICH, repro.ABINative, repro.CkptNone),
+		repro.DefaultStack(repro.ImplMPICH, repro.ABIMukautuva, repro.CkptMANA),
+		repro.DefaultStack(repro.ImplOpenMPI, repro.ABINative, repro.CkptNone),
+		repro.DefaultStack(repro.ImplOpenMPI, repro.ABIMukautuva, repro.CkptMANA),
+	}
+	fmt.Printf("wave_mpi: %d points, %d steps, %d ranks\n", *points, *steps, *nodes**rpn)
+	var baseline float64
+	for i, stack := range stacks {
+		stack.Net.Nodes = *nodes
+		stack.Net.RanksPerNode = *rpn
+		job, err := repro.Launch(stack, "app.wave", repro.WithConfigure(func(rank int, p core.Program) {
+			w := p.(*wavempi.Wave)
+			w.Steps = *steps
+			w.GlobalPoints = *points
+		}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := job.Wait(); err != nil {
+			log.Fatal(err)
+		}
+		var maxT float64
+		for r := 0; r < stack.Net.Size(); r++ {
+			if t := job.Clock(r).Duration().Seconds(); t > maxT {
+				maxT = t
+			}
+		}
+		w := job.Program(0).(*wavempi.Wave)
+		note := ""
+		if i%2 == 0 {
+			baseline = maxT
+		} else if baseline > 0 {
+			note = fmt.Sprintf("  (%+.1f%% vs native)", 100*(maxT-baseline)/baseline)
+		}
+		fmt.Printf("  %-30s %.4f s  checksum=%.4f%s\n", stack.Label(), maxT, w.Checked, note)
+	}
+}

@@ -1,0 +1,241 @@
+package abi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ops"
+	"repro/internal/types"
+)
+
+func TestHandleEncoding(t *testing.T) {
+	h := MakeHandle(ClassComm, 0x12345)
+	if h.HandleClass() != ClassComm {
+		t.Fatalf("class = %v, want comm", h.HandleClass())
+	}
+	if h.Payload() != 0x12345 {
+		t.Fatalf("payload = %#x, want 0x12345", h.Payload())
+	}
+	if h.Predefined() {
+		t.Fatal("0x12345 payload should not be predefined")
+	}
+	if h.IsNull() {
+		t.Fatal("non-zero payload is not null")
+	}
+}
+
+func TestHandlePredefinedValues(t *testing.T) {
+	if !CommWorld.Predefined() || CommWorld.HandleClass() != ClassComm {
+		t.Fatalf("CommWorld malformed: %v", CommWorld)
+	}
+	if !CommNull.IsNull() || !GroupNull.IsNull() || !RequestNull.IsNull() {
+		t.Fatal("null handles must have payload 0")
+	}
+	if CommWorld == CommSelf || CommWorld == CommNull {
+		t.Fatal("predefined comm handles must be distinct")
+	}
+	// Handles are class-disambiguated even with equal payloads.
+	if MakeHandle(ClassComm, 1) == MakeHandle(ClassGroup, 1) {
+		t.Fatal("class bits missing from handle value")
+	}
+}
+
+func TestHandlePayloadOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized payload did not panic")
+		}
+	}()
+	MakeHandle(ClassComm, 1<<60)
+}
+
+func TestTypeHandleEncodesKindAndSize(t *testing.T) {
+	for _, k := range types.Kinds() {
+		h := TypeHandle(k)
+		if h.HandleClass() != ClassType || !h.Predefined() {
+			t.Fatalf("TypeHandle(%v) = %v malformed", k, h)
+		}
+		back, ok := TypeKind(h)
+		if !ok || back != k {
+			t.Fatalf("TypeKind(TypeHandle(%v)) = %v,%v", k, back, ok)
+		}
+	}
+	// Distinctness across kinds.
+	seen := map[Handle]types.Kind{}
+	for _, k := range types.Kinds() {
+		h := TypeHandle(k)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("TypeHandle collision: %v and %v -> %v", prev, k, h)
+		}
+		seen[h] = k
+	}
+	if _, ok := TypeKind(CommWorld); ok {
+		t.Fatal("TypeKind accepted a comm handle")
+	}
+	if _, ok := TypeKind(TypeNull); ok {
+		t.Fatal("TypeKind accepted TypeNull")
+	}
+}
+
+func TestOpHandles(t *testing.T) {
+	for _, op := range ops.Ops() {
+		h := OpHandle(op)
+		back, ok := OpOf(h)
+		if !ok || back != op {
+			t.Fatalf("OpOf(OpHandle(%v)) = %v,%v", op, back, ok)
+		}
+	}
+	if _, ok := OpOf(OpNull); ok {
+		t.Fatal("OpOf accepted OpNull")
+	}
+	if _, ok := OpOf(TypeFloat64); ok {
+		t.Fatal("OpOf accepted a type handle")
+	}
+}
+
+func TestSymbolRoundTrip(t *testing.T) {
+	for _, k := range types.Kinds() {
+		s := SymForKind(k)
+		back, ok := KindForSym(s)
+		if !ok || back != k {
+			t.Fatalf("KindForSym(SymForKind(%v)) = %v,%v", k, back, ok)
+		}
+		if StdLookup(s) != TypeHandle(k) {
+			t.Fatalf("StdLookup(%v) != TypeHandle(%v)", s, k)
+		}
+	}
+	for _, op := range ops.Ops() {
+		s := SymForOp(op)
+		back, ok := OpForSym(s)
+		if !ok || back != op {
+			t.Fatalf("OpForSym(SymForOp(%v)) = %v,%v", op, back, ok)
+		}
+		if StdLookup(s) != OpHandle(op) {
+			t.Fatalf("StdLookup(%v) != OpHandle(%v)", s, op)
+		}
+	}
+	// Type and op symbol ranges must not overlap.
+	for _, k := range types.Kinds() {
+		if _, ok := OpForSym(SymForKind(k)); ok {
+			t.Fatalf("symbol ranges overlap at kind %v", k)
+		}
+	}
+}
+
+func TestStdLookupFixedSymbols(t *testing.T) {
+	cases := []struct {
+		s    Sym
+		want Handle
+	}{
+		{SymCommWorld, CommWorld}, {SymCommSelf, CommSelf}, {SymCommNull, CommNull},
+		{SymGroupNull, GroupNull}, {SymGroupEmpty, GroupEmpty},
+		{SymTypeNull, TypeNull}, {SymOpNull, OpNull}, {SymRequestNull, RequestNull},
+		{SymInvalid, HandleNull},
+	}
+	for _, c := range cases {
+		if got := StdLookup(c.s); got != c.want {
+			t.Errorf("StdLookup(%d) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestStdLookupInt(t *testing.T) {
+	if StdLookupInt(IntAnySource) != AnySource || StdLookupInt(IntProcNull) != ProcNull ||
+		StdLookupInt(IntTagUB) != TagUB || StdLookupInt(IntUndefined) != Undefined {
+		t.Fatal("StdLookupInt wrong")
+	}
+	if StdLookupInt(IntSym(250)) != Undefined {
+		t.Fatal("unknown IntSym should map to Undefined")
+	}
+}
+
+func TestStatusGetCount(t *testing.T) {
+	s := &Status{CountBytes: 24}
+	if got := s.GetCount(8); got != 3 {
+		t.Fatalf("GetCount(8) = %d, want 3", got)
+	}
+	if got := s.GetCount(7); got != Undefined {
+		t.Fatalf("GetCount(7) = %d, want Undefined", got)
+	}
+	if got := s.GetCount(0); got != Undefined {
+		t.Fatalf("GetCount(0) = %d, want Undefined", got)
+	}
+	if got := s.GetCountKind(types.KindFloat64); got != 3 {
+		t.Fatalf("GetCountKind = %d, want 3", got)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestErrorClassOf(t *testing.T) {
+	if ClassOf(nil) != ErrSuccess {
+		t.Fatal("nil must be MPI_SUCCESS")
+	}
+	e := Errorf(ErrComm, "mpich", "invalid communicator %d", 7)
+	if ClassOf(e) != ErrComm {
+		t.Fatalf("ClassOf = %v, want ErrComm", ClassOf(e))
+	}
+	wrapped := fmt.Errorf("outer: %w", e)
+	if ClassOf(wrapped) != ErrComm {
+		t.Fatal("ClassOf must unwrap")
+	}
+	if ClassOf(errors.New("plain")) != ErrOther {
+		t.Fatal("plain errors map to ErrOther")
+	}
+	if e.Error() == "" || ErrTruncate.String() != "MPI_ERR_TRUNCATE" {
+		t.Fatal("error rendering broken")
+	}
+}
+
+func TestConvertRoundTrips(t *testing.T) {
+	f := func(vs []float64) bool {
+		b := Float64Bytes(vs)
+		out := Float64sOf(b)
+		if len(out) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			// NaN-safe bitwise comparison via re-encoding.
+			if Float64Bytes(vs[i : i+1])[0] != Float64Bytes(out[i : i+1])[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(vs []int64) bool {
+		out := Int64sOf(Int64Bytes(vs))
+		for i := range vs {
+			if out[i] != vs[i] {
+				return false
+			}
+		}
+		return len(out) == len(vs)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	h := func(vs []int32) bool {
+		out := Int32sOf(Int32Bytes(vs))
+		for i := range vs {
+			if out[i] != vs[i] {
+				return false
+			}
+		}
+		return len(out) == len(vs)
+	}
+	if err := quick.Check(h, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleStringDiagnostics(t *testing.T) {
+	if CommWorld.String() == "" || Class(99).String() == "" {
+		t.Fatal("diagnostics broken")
+	}
+}

@@ -1,0 +1,85 @@
+package abi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClass is a standard ABI error class. Implementations have their own
+// error code spaces; translation layers map native codes into these
+// classes, as MPI_Error_class does.
+type ErrClass int32
+
+// Standard error classes (a practical subset of MPI's).
+const (
+	ErrSuccess ErrClass = iota
+	ErrBuffer
+	ErrCount
+	ErrType
+	ErrTag
+	ErrComm
+	ErrRank
+	ErrRequest
+	ErrRoot
+	ErrGroup
+	ErrOp
+	ErrArg
+	ErrTruncate
+	ErrUnsupported
+	ErrPending
+	ErrIntern
+	ErrOther
+	errClassMax
+)
+
+var errClassNames = [...]string{
+	ErrSuccess: "MPI_SUCCESS", ErrBuffer: "MPI_ERR_BUFFER", ErrCount: "MPI_ERR_COUNT",
+	ErrType: "MPI_ERR_TYPE", ErrTag: "MPI_ERR_TAG", ErrComm: "MPI_ERR_COMM",
+	ErrRank: "MPI_ERR_RANK", ErrRequest: "MPI_ERR_REQUEST", ErrRoot: "MPI_ERR_ROOT",
+	ErrGroup: "MPI_ERR_GROUP", ErrOp: "MPI_ERR_OP", ErrArg: "MPI_ERR_ARG",
+	ErrTruncate: "MPI_ERR_TRUNCATE", ErrUnsupported: "MPI_ERR_UNSUPPORTED_OPERATION",
+	ErrPending: "MPI_ERR_PENDING", ErrIntern: "MPI_ERR_INTERN", ErrOther: "MPI_ERR_OTHER",
+}
+
+// String names the error class.
+func (c ErrClass) String() string {
+	if c >= 0 && c < errClassMax {
+		return errClassNames[c]
+	}
+	return fmt.Sprintf("ErrClass(%d)", int32(c))
+}
+
+// Error is a standard ABI error value: a class plus context. Impl records
+// which library layer produced it, so cross-layer failures stay
+// attributable ("openmpi: invalid communicator" vs "mukautuva: ...").
+type Error struct {
+	Class ErrClass
+	Impl  string
+	Msg   string
+}
+
+// Errorf builds an *Error with a formatted message.
+func Errorf(class ErrClass, impl, format string, args ...any) *Error {
+	return &Error{Class: class, Impl: impl, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Impl != "" {
+		return fmt.Sprintf("%s: %s (%v)", e.Impl, e.Msg, e.Class)
+	}
+	return fmt.Sprintf("%s (%v)", e.Msg, e.Class)
+}
+
+// ClassOf extracts the standard error class from any error. Non-ABI errors
+// map to ErrOther; nil maps to ErrSuccess.
+func ClassOf(err error) ErrClass {
+	if err == nil {
+		return ErrSuccess
+	}
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae.Class
+	}
+	return ErrOther
+}

@@ -1,0 +1,203 @@
+// Package apps_test exercises the two Figure 5 applications end to end:
+// numerical sanity, stack-independence of results, and checkpoint/restart
+// mid-simulation.
+package apps_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/apps/comd"
+	"repro/internal/apps/wavempi"
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+func smallStack(impl core.Impl, abiMode core.ABIMode, ckpt core.CkptMode, n int) core.Stack {
+	s := core.DefaultStack(impl, abiMode, ckpt)
+	s.Net = simnet.SingleNode(n)
+	return s
+}
+
+func runWave(t *testing.T, stack core.Stack, steps, points int) *wavempi.Wave {
+	t.Helper()
+	job, err := core.Launch(stack, "app.wave", core.WithConfigure(func(rank int, p core.Program) {
+		w := p.(*wavempi.Wave)
+		w.Steps = steps
+		w.GlobalPoints = points
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return job.Program(0).(*wavempi.Wave)
+}
+
+func TestWaveChecksumStackIndependent(t *testing.T) {
+	// The standing wave's energy checksum must be identical regardless of
+	// implementation or interposition: MPI plumbing must not change the
+	// numerics.
+	var ref float64
+	for i, stack := range []core.Stack{
+		smallStack(core.ImplMPICH, core.ABINative, core.CkptNone, 4),
+		smallStack(core.ImplOpenMPI, core.ABINative, core.CkptNone, 4),
+		smallStack(core.ImplMPICH, core.ABIMukautuva, core.CkptMANA, 4),
+		smallStack(core.ImplOpenMPI, core.ABIMukautuva, core.CkptMANA, 4),
+	} {
+		w := runWave(t, stack, 25, 2048)
+		if i == 0 {
+			ref = w.Checked
+			if ref <= 0 {
+				t.Fatalf("degenerate checksum %v", ref)
+			}
+			continue
+		}
+		if math.Abs(w.Checked-ref) > 1e-9 {
+			t.Fatalf("stack %d checksum %v != reference %v", i, w.Checked, ref)
+		}
+	}
+}
+
+func TestWaveEnergyBounded(t *testing.T) {
+	// The explicit scheme at this CFL number must not blow up.
+	w := runWave(t, smallStack(core.ImplMPICH, core.ABINative, core.CkptNone, 4), 60, 4096)
+	if math.IsNaN(w.Checked) || w.Checked > 1e6 {
+		t.Fatalf("solution diverged: checksum %v", w.Checked)
+	}
+}
+
+func TestWaveRejectsTinyGrid(t *testing.T) {
+	job, err := core.Launch(smallStack(core.ImplMPICH, core.ABINative, core.CkptNone, 4), "app.wave",
+		core.WithConfigure(func(rank int, p core.Program) {
+			w := p.(*wavempi.Wave)
+			w.GlobalPoints = 3
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err == nil {
+		t.Fatal("3-point grid over 4 ranks accepted")
+	}
+}
+
+func runCoMD(t *testing.T, stack core.Stack, steps, atoms int) (*comd.CoMD, float64) {
+	t.Helper()
+	job, err := core.Launch(stack, "app.comd", core.WithConfigure(func(rank int, p core.Program) {
+		c := p.(*comd.CoMD)
+		c.Steps = steps
+		c.ParticlesPerRank = atoms
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	var maxT float64
+	for r := 0; r < stack.Net.Size(); r++ {
+		if ts := job.Clock(r).Duration().Seconds(); ts > maxT {
+			maxT = ts
+		}
+	}
+	return job.Program(0).(*comd.CoMD), maxT
+}
+
+func TestCoMDEnergiesFinite(t *testing.T) {
+	for _, impl := range []core.Impl{core.ImplMPICH, core.ImplOpenMPI} {
+		t.Run(string(impl), func(t *testing.T) {
+			c, elapsed := runCoMD(t, smallStack(impl, core.ABINative, core.CkptNone, 4), 10, 64)
+			if math.IsNaN(c.KineticE) || math.IsNaN(c.PotentialE) {
+				t.Fatalf("energies NaN: %v %v", c.KineticE, c.PotentialE)
+			}
+			if c.KineticE <= 0 {
+				t.Fatalf("kinetic energy %v not positive", c.KineticE)
+			}
+			if elapsed <= 0 {
+				t.Fatal("no virtual time elapsed")
+			}
+		})
+	}
+}
+
+func TestCoMDDeterministicAcrossImpls(t *testing.T) {
+	// Same seed, same particles: the energies must agree across
+	// implementations bit-for-bit deviations aside (the halo exchange is
+	// bytewise identical; reduction order may differ, so allow a tiny
+	// tolerance).
+	a, _ := runCoMD(t, smallStack(core.ImplMPICH, core.ABINative, core.CkptNone, 4), 8, 64)
+	b, _ := runCoMD(t, smallStack(core.ImplOpenMPI, core.ABIMukautuva, core.CkptMANA, 4), 8, 64)
+	if math.Abs(a.KineticE-b.KineticE) > 1e-6*math.Abs(a.KineticE)+1e-12 {
+		t.Fatalf("kinetic energies diverge: %v vs %v", a.KineticE, b.KineticE)
+	}
+	if math.Abs(a.PotentialE-b.PotentialE) > 1e-6*math.Abs(a.PotentialE)+1e-9 {
+		t.Fatalf("potential energies diverge: %v vs %v", a.PotentialE, b.PotentialE)
+	}
+}
+
+func TestAppsCheckpointRestartCrossImpl(t *testing.T) {
+	for _, app := range []string{"app.wave", "app.comd"} {
+		t.Run(app, func(t *testing.T) {
+			stack := smallStack(core.ImplOpenMPI, core.ABIMukautuva, core.CkptMANA, 4)
+			dir := filepath.Join(t.TempDir(), "img")
+			job, err := core.Launch(stack, app, core.WithConfigure(func(rank int, p core.Program) {
+				switch v := p.(type) {
+				case *wavempi.Wave:
+					v.Steps = 2000
+					v.GlobalPoints = 2048
+				case *comd.CoMD:
+					v.Steps = 2000
+					v.ParticlesPerRank = 48
+				}
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(50 * time.Millisecond)
+			if err := job.Checkpoint(dir, true); err != nil {
+				t.Fatal(err)
+			}
+			if err := job.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			// Shorten the remaining run by hacking steps? No — restart must
+			// complete the full run; keep it running under MPICH and give it
+			// a moment before verifying it progresses.
+			restarted, err := core.Restart(dir, smallStack(core.ImplMPICH, core.ABIMukautuva, core.CkptMANA, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() { done <- restarted.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(120 * time.Second):
+				t.Fatal("restarted app did not finish")
+			}
+		})
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	w := wavempi.New()
+	w.ScaleSteps(0.001)
+	if w.Steps < 3 || w.GlobalPoints < 256 {
+		t.Fatalf("wave floor violated: %d %d", w.Steps, w.GlobalPoints)
+	}
+	c := comd.New()
+	c.ScaleSteps(0.001)
+	if c.Steps < 3 || c.ParticlesPerRank < 32 {
+		t.Fatalf("comd floor violated: %d %d", c.Steps, c.ParticlesPerRank)
+	}
+	w.SetSeed(5)
+	c.SetSeed(5)
+	if w.Seed != 5 || c.Seed != 5 {
+		t.Fatal("seed setters broken")
+	}
+}

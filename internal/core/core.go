@@ -1,0 +1,481 @@
+// Package core composes the paper's three-legged stool: an application
+// compiled once against the standard ABI (leg 1), an MPI implementation
+// selected at launch (leg 2), and a transparent checkpointing package
+// selected independently (leg 3). A Stack names one choice for each leg;
+// Launch runs an SPMD Program over it; Restart resumes a checkpoint image
+// under a possibly different Stack — different MPI implementation included,
+// provided the image was taken through the standard ABI.
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/abi"
+	"repro/internal/dmtcp"
+	"repro/internal/fabric"
+	"repro/internal/mana"
+	"repro/internal/mpich"
+	"repro/internal/mukautuva"
+	"repro/internal/openmpi"
+	"repro/internal/simnet"
+	"repro/internal/wi4mpi"
+)
+
+// Impl selects the MPI implementation (leg 2).
+type Impl string
+
+// Available implementations.
+const (
+	ImplMPICH   Impl = "mpich"
+	ImplOpenMPI Impl = "openmpi"
+)
+
+// ABIMode selects how the application binds to the implementation.
+type ABIMode string
+
+// Binding modes.
+const (
+	// ABINative binds the application directly to the implementation's own
+	// ABI ("compiled with its mpi.h") — fast, but welded to it.
+	ABINative ABIMode = "native"
+	// ABIMukautuva binds through the standard-ABI shim — portable.
+	ABIMukautuva ABIMode = "mukautuva"
+	// ABIWi4MPI binds as if compiled against MPICH's mpi.h, with Wi4MPI's
+	// preload-mode translator converting calls to the stack's actual
+	// implementation on the fly (Section 4.2.2 of the paper).
+	ABIWi4MPI ABIMode = "wi4mpi"
+)
+
+// CkptMode selects the checkpointing package (leg 3).
+type CkptMode string
+
+// Checkpointing packages.
+const (
+	CkptNone CkptMode = "none"
+	CkptMANA CkptMode = "mana"
+)
+
+// Stack is one full configuration of the three-legged stool.
+type Stack struct {
+	Impl   Impl
+	ABI    ABIMode
+	Ckpt   CkptMode
+	Kernel mana.KernelVersion // FSGSBASE model for the MANA layer
+	Net    simnet.Config      // cluster shape and cost model
+
+	// Muk and Mana override layer tunables; zero values take defaults.
+	Muk  mukautuva.Config
+	Mana mana.Config
+}
+
+// Validate reports configuration errors.
+func (s Stack) Validate() error {
+	switch s.Impl {
+	case ImplMPICH, ImplOpenMPI:
+	default:
+		return fmt.Errorf("core: unknown implementation %q", s.Impl)
+	}
+	switch s.ABI {
+	case ABINative, ABIMukautuva, ABIWi4MPI:
+	default:
+		return fmt.Errorf("core: unknown ABI mode %q", s.ABI)
+	}
+	switch s.Ckpt {
+	case CkptNone, CkptMANA:
+	default:
+		return fmt.Errorf("core: unknown checkpoint mode %q", s.Ckpt)
+	}
+	return s.Net.Validate()
+}
+
+// Label renders the stack the way the paper's figure legends do.
+func (s Stack) Label() string {
+	name := map[Impl]string{ImplMPICH: "MPICH", ImplOpenMPI: "Open MPI"}[s.Impl]
+	switch {
+	case s.ABI == ABIMukautuva && s.Ckpt == CkptMANA:
+		return name + " + Mukautuva + MANA"
+	case s.ABI == ABIMukautuva:
+		return name + " + Mukautuva"
+	case s.ABI == ABIWi4MPI && s.Ckpt == CkptMANA:
+		return name + " + Wi4MPI + MANA"
+	case s.ABI == ABIWi4MPI:
+		return name + " + Wi4MPI"
+	case s.Ckpt == CkptMANA:
+		return name + " + MANA(vid)"
+	default:
+		return name
+	}
+}
+
+// DefaultStack is the paper's testbed shape for the given configuration.
+func DefaultStack(impl Impl, abiMode ABIMode, ckpt CkptMode) Stack {
+	return Stack{
+		Impl:   impl,
+		ABI:    abiMode,
+		Ckpt:   ckpt,
+		Kernel: mana.KernelPre5_9,
+		Net:    simnet.Discovery10GbE(),
+		Muk:    mukautuva.DefaultConfig(),
+		Mana:   mana.DefaultConfig(),
+	}
+}
+
+// Program is an SPMD application: one instance runs per rank. Programs are
+// oblivious to checkpointing — they never call checkpoint APIs — which is
+// the "transparent" in transparent checkpointing. The contract:
+//
+//   - Setup initializes rank-local state on a fresh launch (not on
+//     restart);
+//   - Step performs one unit of work; the runtime may checkpoint between
+//     steps. All ranks execute the same number of steps, and every
+//     nonblocking request is completed before Step returns;
+//   - the concrete type's exported fields are the rank's "upper-half
+//     memory": they are gob-serialized into checkpoint images and restored
+//     on restart (Go cannot snapshot goroutine stacks; see DESIGN.md).
+type Program interface {
+	Setup(env *abi.Env) error
+	Step(env *abi.Env) (done bool, err error)
+}
+
+// programReg maps program names to factories so images can be decoded.
+var programReg = struct {
+	sync.RWMutex
+	m map[string]func() Program
+}{m: make(map[string]func() Program)}
+
+// RegisterProgram installs a program factory under a stable name, the gob
+// analog of registering a concrete type. Call from package init.
+func RegisterProgram(name string, factory func() Program) {
+	programReg.Lock()
+	defer programReg.Unlock()
+	if _, dup := programReg.m[name]; dup {
+		panic(fmt.Sprintf("core: duplicate program %q", name))
+	}
+	programReg.m[name] = factory
+}
+
+// Programs lists registered program names.
+func Programs() []string {
+	programReg.RLock()
+	defer programReg.RUnlock()
+	out := make([]string, 0, len(programReg.m))
+	for name := range programReg.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func programFactory(name string) (func() Program, error) {
+	programReg.RLock()
+	defer programReg.RUnlock()
+	f, ok := programReg.m[name]
+	if !ok {
+		return nil, fmt.Errorf("core: program %q not registered (have %v)", name, Programs())
+	}
+	return f, nil
+}
+
+// Job is a running (or finished) launch.
+type Job struct {
+	w     *fabric.World
+	coord *dmtcp.Coordinator
+	stack Stack
+	name  string
+	rdir  string // image directory for restarted jobs
+
+	progs []Program
+	envs  []*abi.Env
+
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	errs []error
+}
+
+// buildTable assembles one rank's binding stack, returning the table the
+// application binds to and the checkpoint plugin (the MANA wrapper, or the
+// no-op plugin).
+func buildTable(stack Stack, w *fabric.World, rank int) (abi.FuncTable, dmtcp.Plugin, *mana.Wrapper, error) {
+	var table abi.FuncTable
+	switch stack.ABI {
+	case ABINative:
+		switch stack.Impl {
+		case ImplMPICH:
+			table = mpich.Bind(mpich.Init(w, rank))
+		case ImplOpenMPI:
+			table = openmpi.Bind(openmpi.Init(w, rank))
+		}
+	case ABIMukautuva:
+		shim, err := mukautuva.Load(string(stack.Impl), w, rank, stack.Muk)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		table = shim
+	case ABIWi4MPI:
+		pre, err := wi4mpi.Load(string(stack.Impl), w, rank, wi4mpi.DefaultConfig())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		table = pre
+	}
+	if stack.Ckpt != CkptMANA {
+		return table, dmtcp.NopPlugin{}, nil, nil
+	}
+	mcfg := stack.Mana
+	mcfg.Kernel = stack.Kernel
+	switch stack.ABI {
+	case ABINative:
+		// Over a native binding, in-status error codes are in the
+		// implementation's own space; give MANA the class table.
+		switch stack.Impl {
+		case ImplMPICH:
+			mcfg.ErrClass = mpich.ClassOfCode
+		case ImplOpenMPI:
+			mcfg.ErrClass = openmpi.ClassOfCode
+		}
+	case ABIWi4MPI:
+		// Wi4MPI presents MPICH's code space upward regardless of the
+		// implementation underneath.
+		mcfg.ErrClass = mpich.ClassOfCode
+	}
+	wrapper := mana.NewWrapper(table, w, rank, mcfg)
+	return wrapper, wrapper, wrapper, nil
+}
+
+// LaunchOption tweaks a launch.
+type LaunchOption func(*launchOpts)
+
+type launchOpts struct {
+	configure func(rank int, p Program)
+}
+
+// WithConfigure runs fn on each rank's fresh program instance before the
+// job starts, the launch-parameter analog of command-line flags. Restart
+// does not re-run it: parameters live in the serialized state.
+func WithConfigure(fn func(rank int, p Program)) LaunchOption {
+	return func(o *launchOpts) { o.configure = fn }
+}
+
+// Launch starts progName (a registered Program) on a fresh world under the
+// given stack. It returns immediately; use Wait, or Checkpoint while
+// running.
+func Launch(stack Stack, progName string, opts ...LaunchOption) (*Job, error) {
+	var lo launchOpts
+	for _, o := range opts {
+		o(&lo)
+	}
+	if err := stack.Validate(); err != nil {
+		return nil, err
+	}
+	factory, err := programFactory(progName)
+	if err != nil {
+		return nil, err
+	}
+	w, err := fabric.NewWorld(stack.Net)
+	if err != nil {
+		return nil, err
+	}
+	n := w.Size()
+	job := &Job{
+		w:     w,
+		stack: stack,
+		name:  progName,
+		progs: make([]Program, n),
+		envs:  make([]*abi.Env, n),
+		coord: dmtcp.NewCoordinator(w, dmtcp.Meta{
+			Impl:        string(stack.Impl),
+			StandardABI: stack.ABI != ABINative,
+			Program:     progName,
+			NetSeed:     stack.Net.Seed,
+		}),
+	}
+	for r := 0; r < n; r++ {
+		job.progs[r] = factory()
+		if lo.configure != nil {
+			lo.configure(r, job.progs[r])
+		}
+	}
+	for r := 0; r < n; r++ {
+		job.wg.Add(1)
+		go job.runRank(r, false, 0)
+	}
+	return job, nil
+}
+
+// runRank executes one rank's lifecycle: bind, setup (or resume), step
+// loop with safe points.
+func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
+	defer j.wg.Done()
+	fail := func(err error) {
+		j.mu.Lock()
+		j.errs = append(j.errs, fmt.Errorf("rank %d: %w", rank, err))
+		j.mu.Unlock()
+		j.w.Close() // release peers blocked in the fabric
+	}
+	table, plugin, wrapper, err := buildTable(j.stack, j.w, rank)
+	if err != nil {
+		fail(err)
+		return
+	}
+	agent := j.coord.NewAgent(rank)
+	prog := j.progs[rank]
+	if resumed {
+		img, err := dmtcp.ReadRankImage(j.restartDir(), rank)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if wrapper == nil {
+			fail(fmt.Errorf("core: restart requires the MANA layer in the stack"))
+			return
+		}
+		if err := wrapper.Restore(img.PluginBlob); err != nil {
+			fail(err)
+			return
+		}
+		if err := gob.NewDecoder(bytes.NewReader(img.ProgState)).Decode(prog); err != nil {
+			fail(fmt.Errorf("core: decoding program state: %w", err))
+			return
+		}
+		j.w.Endpoint(rank).Clock().Set(simnet.Time(img.Clock))
+		agent.SetStep(img.Step)
+		startStep = img.Step
+	}
+	env, err := abi.NewEnv(table, j.w.Endpoint(rank).Clock())
+	if err != nil {
+		fail(err)
+		return
+	}
+	j.envs[rank] = env
+	if !resumed {
+		if err := prog.Setup(env); err != nil {
+			fail(fmt.Errorf("setup: %w", err))
+			return
+		}
+	}
+	for {
+		done, err := prog.Step(env)
+		if err != nil {
+			fail(fmt.Errorf("step %d: %w", agent.Step(), err))
+			return
+		}
+		decision, err := agent.SafePoint(func() ([]byte, error) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(prog); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		}, plugin)
+		if err != nil {
+			fail(fmt.Errorf("safe point: %w", err))
+			return
+		}
+		if decision == dmtcp.DecisionExit || done {
+			return
+		}
+	}
+}
+
+// restartDir is set on restart jobs (see Restart).
+func (j *Job) restartDir() string { return j.rdir }
+
+// Checkpoint requests a coordinated checkpoint into dir at the job's next
+// safe point and blocks until it completes. With exit=true the job stops
+// after the images are written.
+func (j *Job) Checkpoint(dir string, exit bool) error {
+	return <-j.coord.RequestCheckpoint(dir, exit)
+}
+
+// Wait joins all ranks and returns the first failure, if any.
+func (j *Job) Wait() error {
+	j.wg.Wait()
+	j.coord.AbortPending(fmt.Errorf("core: job finished before the checkpoint request reached a safe point"))
+	j.w.Close()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.errs) > 0 {
+		return j.errs[0]
+	}
+	return nil
+}
+
+// Program returns rank r's program instance (stable after Wait).
+func (j *Job) Program(r int) Program { return j.progs[r] }
+
+// Env returns rank r's bound environment (available once the rank is
+// running; used by harnesses for clock access).
+func (j *Job) Env(r int) *abi.Env { return j.envs[r] }
+
+// Clock returns rank r's virtual clock reading.
+func (j *Job) Clock(r int) simnet.Time { return j.w.Endpoint(r).Clock().Now() }
+
+// Stack returns the job's stack.
+func (j *Job) Stack() Stack { return j.stack }
+
+// Restart resumes a checkpoint image set under a new stack. The stack may
+// name a different MPI implementation than the one the image was taken
+// under only when the image was taken through the standard ABI
+// (ABIMukautuva) — restarting a native-ABI image under another
+// implementation is exactly the incompatibility the paper's three-legged
+// stool removes, and is rejected here.
+func Restart(dir string, stack Stack) (*Job, error) {
+	if err := stack.Validate(); err != nil {
+		return nil, err
+	}
+	meta, err := dmtcp.ReadMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	if stack.Ckpt != CkptMANA {
+		return nil, fmt.Errorf("core: restart requires a checkpointing package in the stack")
+	}
+	if !meta.StandardABI {
+		if stack.ABI != ABINative || string(stack.Impl) != meta.Impl {
+			return nil, fmt.Errorf(
+				"core: image was taken under %s with a native (non-standard) ABI; "+
+					"it can only restart under the same implementation "+
+					"(requested %s/%s) — use the Mukautuva stack for cross-implementation restart",
+				meta.Impl, stack.Impl, stack.ABI)
+		}
+	} else if stack.ABI == ABINative {
+		return nil, fmt.Errorf("core: standard-ABI image requires a translation stack (Mukautuva or Wi4MPI) to restart")
+	}
+	if stack.Net.Size() != meta.NumRanks {
+		return nil, fmt.Errorf("core: stack has %d ranks, image has %d", stack.Net.Size(), meta.NumRanks)
+	}
+	factory, err := programFactory(meta.Program)
+	if err != nil {
+		return nil, err
+	}
+	w, err := fabric.NewWorld(stack.Net)
+	if err != nil {
+		return nil, err
+	}
+	n := w.Size()
+	job := &Job{
+		w:     w,
+		stack: stack,
+		name:  meta.Program,
+		rdir:  dir,
+		progs: make([]Program, n),
+		envs:  make([]*abi.Env, n),
+		coord: dmtcp.NewCoordinator(w, dmtcp.Meta{
+			Impl:        string(stack.Impl),
+			StandardABI: stack.ABI != ABINative,
+			Program:     meta.Program,
+			NetSeed:     stack.Net.Seed,
+		}),
+	}
+	for r := 0; r < n; r++ {
+		job.progs[r] = factory()
+	}
+	for r := 0; r < n; r++ {
+		job.wg.Add(1)
+		go job.runRank(r, true, 0)
+	}
+	return job, nil
+}

@@ -1,0 +1,233 @@
+// Package fabric is the physical substrate shared by every simulated MPI
+// implementation: a World of rank endpoints connected by the simnet cost
+// model, plus an out-of-band control plane used by launchers, the
+// checkpoint coordinator, and MANA's drain protocol.
+//
+// fabric deliberately knows nothing about MPI semantics. It moves opaque
+// envelopes between endpoints and stamps virtual arrival times; message
+// matching, protocols (eager/rendezvous) and collectives belong to the MPI
+// implementations built on top (internal/mpich, internal/openmpi).
+package fabric
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// Proto identifies the wire protocol step an envelope belongs to. The two
+// MPI implementations use these differently (different eager thresholds and
+// rendezvous flows), but the vocabulary is shared by the wire.
+type Proto uint8
+
+// Wire protocol steps.
+const (
+	ProtoEager Proto = iota // payload travels with the envelope
+	ProtoRTS                // rendezvous request-to-send (header only)
+	ProtoCTS                // rendezvous clear-to-send
+	ProtoData               // rendezvous payload
+	ProtoColl               // internal collective traffic
+	ProtoCtrl               // implementation-internal control
+)
+
+// Envelope is one message on the wire. Payload is owned by the receiver
+// after delivery; senders must not retain it.
+type Envelope struct {
+	Src, Dst int
+	CID      uint32 // communicator context id
+	Tag      int32
+	Proto    Proto
+	Seq      uint64 // rendezvous sequence number, assigned by sender
+	Round    int32  // collective round discriminator
+	Hdr      uint64 // protocol header word (e.g. RTS payload length)
+	Payload  []byte
+
+	Sent   simnet.Time // sender's clock at send
+	Arrive simnet.Time // computed by the network model
+}
+
+// mailbox is an unbounded FIFO of envelopes with blocking receive.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(e *Envelope) {
+	m.mu.Lock()
+	m.queue = append(m.queue, e)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// pop blocks until an envelope is available or the mailbox is closed.
+// It returns nil once closed and drained.
+func (m *mailbox) pop() *Envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return nil
+	}
+	e := m.queue[0]
+	m.queue = m.queue[1:]
+	return e
+}
+
+// tryPop returns the next envelope without blocking.
+func (m *mailbox) tryPop() (*Envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	e := m.queue[0]
+	m.queue = m.queue[1:]
+	return e, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// World is one simulated cluster run: n rank endpoints over a shared
+// network, plus the out-of-band plane.
+type World struct {
+	cfg  simnet.Config
+	net  *simnet.Network
+	eps  []*Endpoint
+	oob  *OOB
+	once sync.Once
+}
+
+// NewWorld builds a world for cfg.Size() ranks.
+func NewWorld(cfg simnet.Config) (*World, error) {
+	net, err := simnet.NewNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Size()
+	w := &World{cfg: cfg, net: net, oob: newOOB(n)}
+	w.eps = make([]*Endpoint, n)
+	for i := range w.eps {
+		w.eps[i] = &Endpoint{world: w, rank: i, in: newMailbox()}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.eps) }
+
+// Config returns the simnet configuration.
+func (w *World) Config() simnet.Config { return w.cfg }
+
+// Network exposes the cost model (used by implementations to price
+// collective phases that do not map one-to-one onto envelopes).
+func (w *World) Network() *simnet.Network { return w.net }
+
+// Endpoint returns rank r's endpoint.
+func (w *World) Endpoint(r int) *Endpoint {
+	if r < 0 || r >= len(w.eps) {
+		panic(fmt.Sprintf("fabric: endpoint rank %d out of range [0,%d)", r, len(w.eps)))
+	}
+	return w.eps[r]
+}
+
+// OOB returns the out-of-band control plane.
+func (w *World) OOB() *OOB { return w.oob }
+
+// Close shuts every mailbox down, releasing blocked receivers.
+func (w *World) Close() {
+	w.once.Do(func() {
+		for _, ep := range w.eps {
+			ep.in.close()
+		}
+		w.oob.close()
+	})
+}
+
+// Endpoint is one rank's attachment point: a virtual clock and an inbound
+// mailbox. The owning rank goroutine calls Recv/TryRecv; any rank may Send
+// to it.
+type Endpoint struct {
+	world *World
+	rank  int
+	clock simnet.Clock
+	in    *mailbox
+}
+
+// Rank returns the endpoint's rank in the world.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Clock returns the rank's virtual clock.
+func (ep *Endpoint) Clock() *simnet.Clock { return &ep.clock }
+
+// World returns the world the endpoint belongs to.
+func (ep *Endpoint) World() *World { return ep.world }
+
+// Send prices the envelope on the network and delivers it to the
+// destination mailbox. The payload is copied, mirroring MPI's buffer
+// ownership semantics, and the sender's clock is advanced by the per-message
+// send overhead. Send never blocks (mailboxes are unbounded).
+func (ep *Endpoint) Send(e *Envelope) {
+	if e.Dst < 0 || e.Dst >= ep.world.Size() {
+		panic(fmt.Sprintf("fabric: send to rank %d out of range [0,%d)", e.Dst, ep.world.Size()))
+	}
+	e.Src = ep.rank
+	ep.clock.Advance(ep.world.cfg.SendOverhead)
+	e.Sent = ep.clock.Now()
+	if e.Payload != nil {
+		p := make([]byte, len(e.Payload))
+		copy(p, e.Payload)
+		e.Payload = p
+	}
+	e.Arrive = ep.world.net.Transfer(ep.rank, e.Dst, len(e.Payload), e.Sent)
+	ep.world.eps[e.Dst].in.push(e)
+}
+
+// Recv blocks for the next inbound envelope, advances the local clock to
+// the arrival time plus receive overhead, and returns it. Returns nil when
+// the world is closed.
+func (ep *Endpoint) Recv() *Envelope {
+	e := ep.in.pop()
+	if e == nil {
+		return nil
+	}
+	ep.clock.AdvanceTo(e.Arrive)
+	ep.clock.Advance(ep.world.cfg.RecvOverhead)
+	return e
+}
+
+// TryRecv returns the next inbound envelope if one is queued.
+func (ep *Endpoint) TryRecv() (*Envelope, bool) {
+	e, ok := ep.in.tryPop()
+	if !ok {
+		return nil, false
+	}
+	ep.clock.AdvanceTo(e.Arrive)
+	ep.clock.Advance(ep.world.cfg.RecvOverhead)
+	return e, true
+}
+
+// Pending reports the number of queued inbound envelopes (used by drain
+// logic and tests).
+func (ep *Endpoint) Pending() int { return ep.in.len() }

@@ -1,0 +1,513 @@
+// Package harness drives the paper's evaluation: one entry point per
+// figure, producing the same series the paper plots, with the same
+// protocol (medians of repeated runs; Figure 5 adds standard deviations).
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mana"
+	"repro/internal/osu"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+
+	// The Figure 5 applications register themselves by name.
+	_ "repro/internal/apps/comd"
+	_ "repro/internal/apps/wavempi"
+)
+
+// Options scales an experiment. Full() reproduces the paper's setup;
+// Quick() is a minutes-scale smoke configuration for CI and tests.
+type Options struct {
+	// Nodes and RanksPerNode define the cluster (the paper: 4 x 12).
+	Nodes, RanksPerNode int
+	// Reps is the number of repetitions (the paper: 5).
+	Reps int
+	// MaxSize caps the message-size sweep (the paper: 256 KiB).
+	MaxSize int
+	// Iters/Warmup are the OSU per-size iteration counts; ItersLarge
+	// applies to sizes of 32 KiB and up (OSU's reduced large-message
+	// counts).
+	Iters, Warmup, ItersLarge int
+	// AppScale scales the Figure 5 applications' step counts (1.0 = paper
+	// scale).
+	AppScale float64
+}
+
+// Full returns the paper-scale configuration.
+func Full() Options {
+	return Options{Nodes: 4, RanksPerNode: 12, Reps: 5, MaxSize: 1 << 18, Iters: 20, Warmup: 4, ItersLarge: 4, AppScale: 1}
+}
+
+// Quick returns a small configuration for tests.
+func Quick() Options {
+	return Options{Nodes: 2, RanksPerNode: 4, Reps: 2, MaxSize: 1 << 12, Iters: 4, Warmup: 1, ItersLarge: 2, AppScale: 0.08}
+}
+
+func (o Options) ranks() int { return o.Nodes * o.RanksPerNode }
+
+func (o Options) sizes() []int {
+	var out []int
+	for sz := 1; sz <= o.MaxSize; sz <<= 1 {
+		out = append(out, sz)
+	}
+	return out
+}
+
+// net builds the cluster model for one repetition (distinct jitter seed per
+// rep, as distinct runs on a real cluster would see).
+func (o Options) net(rep int) simnet.Config {
+	cfg := simnet.Discovery10GbE()
+	cfg.Nodes = o.Nodes
+	cfg.RanksPerNode = o.RanksPerNode
+	cfg.Seed = int64(1000*rep + 17)
+	return cfg
+}
+
+// fourStacks is the paper's standard comparison matrix.
+func fourStacks() []core.Stack {
+	return []core.Stack{
+		core.DefaultStack(core.ImplMPICH, core.ABINative, core.CkptNone),
+		core.DefaultStack(core.ImplMPICH, core.ABIMukautuva, core.CkptMANA),
+		core.DefaultStack(core.ImplOpenMPI, core.ABINative, core.CkptNone),
+		core.DefaultStack(core.ImplOpenMPI, core.ABIMukautuva, core.CkptMANA),
+	}
+}
+
+// Series is one plotted line (or bar group).
+type Series struct {
+	Label string
+	X     []float64 // message sizes (bytes) or category index
+	Y     []float64 // medians
+	Err   []float64 // standard deviations (Figure 5)
+}
+
+// Figure is one reproduced table/figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// runLatency runs one OSU benchmark program under one stack and returns
+// rank 0's per-size mean latencies.
+func runLatency(stack core.Stack, prog string, o Options, rep int) ([]int, []float64, error) {
+	stack.Net = o.net(rep)
+	job, err := core.Launch(stack, prog, core.WithConfigure(func(rank int, p core.Program) {
+		b := p.(*osu.LatencyBench)
+		b.Sizes = o.sizes()
+		b.Iters = o.Iters
+		b.Warmup = o.Warmup
+		b.ItersLarge = o.ItersLarge
+		b.SleepVirtual = 0
+		b.SleepReal = 0
+	}))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := job.Wait(); err != nil {
+		return nil, nil, err
+	}
+	b := job.Program(0).(*osu.LatencyBench)
+	sizes, means := b.Results()
+	return sizes, means, nil
+}
+
+// latencyFigure sweeps one collective over the four stacks.
+func latencyFigure(id, title string, prog string, o Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "Message Size (byte)",
+		YLabel: "Average Latency (us)",
+	}
+	for _, stack := range fourStacks() {
+		perSize := make(map[int][]float64)
+		var sizes []int
+		for rep := 0; rep < o.Reps; rep++ {
+			s, means, err := runLatency(stack, prog, o, rep)
+			if err != nil {
+				return nil, fmt.Errorf("%s under %s rep %d: %w", prog, stack.Label(), rep, err)
+			}
+			sizes = s
+			for i, m := range means {
+				perSize[s[i]] = append(perSize[s[i]], m)
+			}
+		}
+		series := Series{Label: stack.Label()}
+		for _, sz := range sizes {
+			series.X = append(series.X, float64(sz))
+			series.Y = append(series.Y, stats.Median(perSize[sz]))
+			series.Err = append(series.Err, stats.StdDev(perSize[sz]))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	annotateOverheads(fig)
+	return fig, nil
+}
+
+// annotateOverheads appends the paper's in-text claims: maximum and
+// large-message overhead of the Muk+MANA stacks over their native
+// baselines.
+func annotateOverheads(fig *Figure) {
+	pairs := [][2]int{{0, 1}, {2, 3}} // (native, muk+mana) series indices
+	for _, p := range pairs {
+		nat, wrapped := fig.Series[p[0]], fig.Series[p[1]]
+		if len(nat.Y) == 0 || len(nat.Y) != len(wrapped.Y) {
+			continue
+		}
+		maxOv, maxAt := -1e18, 0.0
+		lastOv := 0.0
+		for i := range nat.Y {
+			ov := stats.OverheadPct(nat.Y[i], wrapped.Y[i])
+			if ov > maxOv {
+				maxOv, maxAt = ov, nat.X[i]
+			}
+			lastOv = ov
+		}
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"%s vs %s: max overhead %.1f%% at %d B; %.2f%% at largest size",
+			wrapped.Label, nat.Label, maxOv, int(maxAt), lastOv))
+	}
+}
+
+// Fig2 reproduces Figure 2: OSU MPI_Alltoall latency.
+func Fig2(o Options) (*Figure, error) {
+	return latencyFigure("fig2", "OSU Micro-Benchmark: MPI_Alltoall", "osu.alltoall", o)
+}
+
+// Fig3 reproduces Figure 3: OSU MPI_Bcast latency.
+func Fig3(o Options) (*Figure, error) {
+	return latencyFigure("fig3", "OSU Micro-Benchmark: MPI_Bcast", "osu.bcast", o)
+}
+
+// Fig4 reproduces Figure 4: OSU MPI_Allreduce latency.
+func Fig4(o Options) (*Figure, error) {
+	return latencyFigure("fig4", "OSU Micro-Benchmark: MPI_Allreduce", "osu.allreduce", o)
+}
+
+// runApp runs one Figure 5 application to completion and returns the
+// completion time in seconds (virtual, max over ranks).
+func runApp(stack core.Stack, prog string, o Options, rep int) (float64, error) {
+	stack.Net = o.net(rep)
+	job, err := core.Launch(stack, prog, core.WithConfigure(func(rank int, p core.Program) {
+		scaleApp(p, o.AppScale)
+		seedApp(p, stack.Net.Seed)
+	}))
+	if err != nil {
+		return 0, err
+	}
+	if err := job.Wait(); err != nil {
+		return 0, err
+	}
+	var maxT float64
+	for r := 0; r < stack.Net.Size(); r++ {
+		if t := job.Clock(r).Duration().Seconds(); t > maxT {
+			maxT = t
+		}
+	}
+	return maxT, nil
+}
+
+// seedApp plants the repetition's noise seed into programs that model OS
+// noise.
+func seedApp(p core.Program, seed int64) {
+	type seedable interface{ SetSeed(s int64) }
+	if s, ok := p.(seedable); ok {
+		s.SetSeed(seed)
+	}
+}
+
+// scaleApp shrinks application step counts for quick runs.
+func scaleApp(p core.Program, scale float64) {
+	if scale == 1 || scale <= 0 {
+		return
+	}
+	type scalable interface{ ScaleSteps(f float64) }
+	if s, ok := p.(scalable); ok {
+		s.ScaleSteps(scale)
+	}
+}
+
+// Fig5 reproduces Figure 5: completion times of CoMD and wave_mpi under
+// the four stacks (median and standard deviation of Reps runs).
+func Fig5(o Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig5",
+		Title:  "Runtime performance of real-world MPI applications",
+		XLabel: "Application (0=CoMD, 1=wave_mpi)",
+		YLabel: "Time (secs)",
+	}
+	apps := []string{"app.comd", "app.wave"}
+	for _, stack := range fourStacks() {
+		series := Series{Label: stack.Label()}
+		for ai, app := range apps {
+			var times []float64
+			for rep := 0; rep < o.Reps; rep++ {
+				t, err := runApp(stack, app, o, rep)
+				if err != nil {
+					return nil, fmt.Errorf("%s under %s rep %d: %w", app, stack.Label(), rep, err)
+				}
+				times = append(times, t)
+			}
+			series.X = append(series.X, float64(ai))
+			series.Y = append(series.Y, stats.Median(times))
+			series.Err = append(series.Err, stats.StdDev(times))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	// In-text claims: per-app overhead of the wrapped stacks.
+	for _, p := range [][2]int{{0, 1}, {2, 3}} {
+		nat, wrapped := fig.Series[p[0]], fig.Series[p[1]]
+		for ai, app := range apps {
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s: %s vs %s overhead %.1f%%",
+				app, wrapped.Label, nat.Label,
+				stats.OverheadPct(nat.Y[ai], wrapped.Y[ai])))
+		}
+	}
+	return fig, nil
+}
+
+// Fig6 reproduces the Section 5.3 experiment: launch the modified alltoall
+// under Open MPI (+Muk+MANA), checkpoint during the post-warm-up sleep
+// window, restart under MPICH, and compare all three latency curves.
+func Fig6(o Options, scratch string) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig6",
+		Title:  "Performance After Restart with Different MPI Implementation",
+		XLabel: "Message Size (byte)",
+		YLabel: "Average Latency (us)",
+	}
+	configure := func(rank int, p core.Program) {
+		b := p.(*osu.LatencyBench)
+		b.Sizes = o.sizes()
+		b.Iters = o.Iters
+		b.Warmup = o.Warmup
+		b.ItersLarge = o.ItersLarge
+	}
+	ompi := core.DefaultStack(core.ImplOpenMPI, core.ABIMukautuva, core.CkptMANA)
+	mpich := core.DefaultStack(core.ImplMPICH, core.ABIMukautuva, core.CkptMANA)
+
+	// Series 1: launch with Open MPI, checkpoint in the window, let the
+	// original run to completion (its curve is the "Launch with Open MPI"
+	// line).
+	ompi.Net = o.net(0)
+	dir := filepath.Join(scratch, "fig6-images")
+	job, err := core.Launch(ompi, "osu.alltoall.ckptwindow", core.WithConfigure(configure))
+	if err != nil {
+		return nil, err
+	}
+	time.Sleep(40 * time.Millisecond) // into the sleep window
+	if err := job.Checkpoint(dir, false); err != nil {
+		return nil, fmt.Errorf("fig6 checkpoint: %w", err)
+	}
+	if err := job.Wait(); err != nil {
+		return nil, fmt.Errorf("fig6 original run: %w", err)
+	}
+	sizes, means := job.Program(0).(*osu.LatencyBench).Results()
+	fig.Series = append(fig.Series, seriesFrom("Launch with Open MPI", sizes, means))
+
+	// Series 2: plain MPICH launch for comparison.
+	s, m, err := runLatency(mpich, "osu.alltoall", o, 0)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, seriesFrom("Launch with MPICH", s, m))
+
+	// Series 3: restart the Open MPI images under MPICH.
+	mpichRestart := mpich
+	mpichRestart.Net = o.net(0)
+	restarted, err := core.Restart(dir, mpichRestart)
+	if err != nil {
+		return nil, fmt.Errorf("fig6 restart: %w", err)
+	}
+	if err := restarted.Wait(); err != nil {
+		return nil, fmt.Errorf("fig6 restarted run: %w", err)
+	}
+	rs, rm := restarted.Program(0).(*osu.LatencyBench).Results()
+	fig.Series = append(fig.Series, seriesFrom("Launch with Open MPI, restart with MPICH", rs, rm))
+
+	// The paper's claim: the restarted curve tracks the MPICH launch curve.
+	if len(m) == len(rm) && len(m) > 0 {
+		var devs []float64
+		for i := range m {
+			devs = append(devs, stats.OverheadPct(m[i], rm[i]))
+		}
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"restart-vs-MPICH-launch deviation: median %.1f%%, max %.1f%%",
+			stats.Median(devs), stats.Max(devs)))
+	}
+	return fig, nil
+}
+
+func seriesFrom(label string, sizes []int, means []float64) Series {
+	s := Series{Label: label}
+	for i, sz := range sizes {
+		s.X = append(s.X, float64(sz))
+		s.Y = append(s.Y, means[i])
+	}
+	return s
+}
+
+// FSGSBase is the ablation the paper's overhead analysis implies: the same
+// Muk+MANA alltoall sweep under the old-kernel (syscall) and new-kernel
+// (userspace FSGSBASE) cost models.
+func FSGSBase(o Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fsgsbase",
+		Title:  "Ablation: FSGSBASE kernel support vs MANA overhead",
+		XLabel: "Message Size (byte)",
+		YLabel: "Average Latency (us)",
+	}
+	base := core.DefaultStack(core.ImplMPICH, core.ABINative, core.CkptNone)
+	old := core.DefaultStack(core.ImplMPICH, core.ABIMukautuva, core.CkptMANA)
+	newk := old
+	newk.Kernel = mana.Kernel5_9Plus
+	stacks := []struct {
+		label string
+		stack core.Stack
+	}{
+		{"MPICH native", base},
+		{"MPICH + Muk + MANA (kernel < 5.9)", old},
+		{"MPICH + Muk + MANA (kernel >= 5.9)", newk},
+	}
+	for _, sc := range stacks {
+		s, m, err := runLatency(sc.stack, "osu.alltoall", o, 0)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, seriesFrom(sc.label, s, m))
+	}
+	n, o1, o2 := fig.Series[0], fig.Series[1], fig.Series[2]
+	if len(n.Y) > 0 {
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"1B overhead: old kernel %.1f%%, new kernel %.1f%%",
+			stats.OverheadPct(n.Y[0], o1.Y[0]), stats.OverheadPct(n.Y[0], o2.Y[0])))
+	}
+	return fig, nil
+}
+
+// Render formats the figure as an aligned text table.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %26s", s.Label)
+	}
+	b.WriteString("\n")
+	// Collect the x values of the longest series.
+	var xs []float64
+	for _, s := range f.Series {
+		if len(s.X) > len(xs) {
+			xs = s.X
+		}
+	}
+	for i := range xs {
+		fmt.Fprintf(&b, "%-14.0f", xs[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				if len(s.Err) == len(s.Y) && s.Err[i] > 0 {
+					fmt.Fprintf(&b, "  %17.2f ±%7.2f", s.Y[i], s.Err[i])
+				} else {
+					fmt.Fprintf(&b, "  %26.2f", s.Y[i])
+				}
+			} else {
+				fmt.Fprintf(&b, "  %26s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, note := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the figure's data as <id>.csv in dir.
+func (f *Figure) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%q,%q", s.Label, s.Label+" stddev")
+	}
+	b.WriteString("\n")
+	var xs []float64
+	for _, s := range f.Series {
+		if len(s.X) > len(xs) {
+			xs = s.X
+		}
+	}
+	for i := range xs {
+		fmt.Fprintf(&b, "%g", xs[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				e := 0.0
+				if i < len(s.Err) {
+					e = s.Err[i]
+				}
+				fmt.Fprintf(&b, ",%g,%g", s.Y[i], e)
+			} else {
+				b.WriteString(",,")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return os.WriteFile(filepath.Join(dir, f.ID+".csv"), []byte(b.String()), 0o644)
+}
+
+// All runs every figure at the given scale, returning them in paper order.
+func All(o Options, scratch string) ([]*Figure, error) {
+	var figs []*Figure
+	steps := []func() (*Figure, error){
+		func() (*Figure, error) { return Fig2(o) },
+		func() (*Figure, error) { return Fig3(o) },
+		func() (*Figure, error) { return Fig4(o) },
+		func() (*Figure, error) { return Fig5(o) },
+		func() (*Figure, error) { return Fig6(o, scratch) },
+	}
+	for _, step := range steps {
+		fig, err := step()
+		if err != nil {
+			return figs, err
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// names for figure selection in cmd/paperfigs.
+var byName = map[string]func(Options, string) (*Figure, error){
+	"2":        func(o Options, _ string) (*Figure, error) { return Fig2(o) },
+	"3":        func(o Options, _ string) (*Figure, error) { return Fig3(o) },
+	"4":        func(o Options, _ string) (*Figure, error) { return Fig4(o) },
+	"5":        func(o Options, _ string) (*Figure, error) { return Fig5(o) },
+	"6":        Fig6,
+	"fsgsbase": func(o Options, _ string) (*Figure, error) { return FSGSBase(o) },
+}
+
+// ByName runs one figure by its paper number ("2".."6") or ablation name.
+func ByName(name string, o Options, scratch string) (*Figure, error) {
+	fn, ok := byName[name]
+	if !ok {
+		var names []string
+		for k := range byName {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("harness: unknown figure %q (have %v)", name, names)
+	}
+	return fn(o, scratch)
+}

@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tiny returns a minutes-not-hours configuration for CI.
+func tiny() Options {
+	return Options{Nodes: 2, RanksPerNode: 2, Reps: 1, MaxSize: 256, Iters: 2, Warmup: 1, AppScale: 0.02}
+}
+
+func TestLatencyFigureShape(t *testing.T) {
+	fig, err := Fig2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig2" || len(fig.Series) != 4 {
+		t.Fatalf("fig = %s with %d series", fig.ID, len(fig.Series))
+	}
+	wantLabels := []string{
+		"MPICH", "MPICH + Mukautuva + MANA", "Open MPI", "Open MPI + Mukautuva + MANA",
+	}
+	for i, s := range fig.Series {
+		if s.Label != wantLabels[i] {
+			t.Fatalf("series %d label %q, want %q", i, s.Label, wantLabels[i])
+		}
+		if len(s.X) != 9 { // 1..256 in powers of two
+			t.Fatalf("series %q has %d points, want 9", s.Label, len(s.X))
+		}
+		for j, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("series %q point %d latency %v", s.Label, j, y)
+			}
+		}
+	}
+	if len(fig.Notes) == 0 {
+		t.Fatal("no overhead notes")
+	}
+	if fig.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	fig, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("%d series", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 2 { // CoMD + wave
+			t.Fatalf("series %q has %d apps", s.Label, len(s.Y))
+		}
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("series %q has non-positive time", s.Label)
+			}
+		}
+	}
+}
+
+func TestFig6CrossRestartSeries(t *testing.T) {
+	fig, err := Fig6(tiny(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("%d series, want 3", len(fig.Series))
+	}
+	if !strings.Contains(fig.Series[2].Label, "restart") {
+		t.Fatalf("third series label %q", fig.Series[2].Label)
+	}
+	// The restarted sweep covers the full size axis.
+	if len(fig.Series[2].Y) != len(fig.Series[1].Y) {
+		t.Fatalf("restart series has %d points, MPICH launch %d",
+			len(fig.Series[2].Y), len(fig.Series[1].Y))
+	}
+}
+
+func TestFSGSBaseAblation(t *testing.T) {
+	fig, err := FSGSBase(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("%d series", len(fig.Series))
+	}
+	// New-kernel overhead must be below old-kernel overhead at 1 B.
+	native, old, modern := fig.Series[0].Y[0], fig.Series[1].Y[0], fig.Series[2].Y[0]
+	if !(old > native) {
+		t.Fatalf("old-kernel stack (%v) not slower than native (%v)", old, native)
+	}
+	if modern >= old {
+		t.Fatalf("5.9+ kernel (%v) not faster than pre-5.9 (%v)", modern, old)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("17", tiny(), t.TempDir()); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	fig, err := ByName("4", tiny(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig4" {
+		t.Fatalf("ID = %s", fig.ID)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	fig := &Figure{
+		ID:     "test",
+		Series: []Series{{Label: "a", X: []float64{1, 2}, Y: []float64{3, 4}, Err: []float64{0.1, 0.2}}},
+	}
+	dir := t.TempDir()
+	if err := fig.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "test.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(raw)
+	if !strings.Contains(got, `"a"`) || !strings.Contains(got, "1,3,0.1") {
+		t.Fatalf("csv content:\n%s", got)
+	}
+}
+
+func TestOptionsHelpers(t *testing.T) {
+	full := Full()
+	if full.Nodes*full.RanksPerNode != 48 || full.Reps != 5 || full.MaxSize != 1<<18 {
+		t.Fatalf("Full() changed: %+v", full)
+	}
+	if got := len(full.sizes()); got != 19 {
+		t.Fatalf("full sweep %d sizes, want 19", got)
+	}
+	q := Quick()
+	if q.ranks() >= full.ranks() {
+		t.Fatal("Quick not smaller than Full")
+	}
+	n0, n1 := q.net(0), q.net(1)
+	if n0.Seed == n1.Seed {
+		t.Fatal("repetitions share a jitter seed")
+	}
+}

@@ -1,0 +1,56 @@
+package mana
+
+import "time"
+
+// KernelVersion models the one kernel feature the paper blames for MANA's
+// small-message overhead: userspace access to the FSGSBASE register.
+//
+// MANA's split-process design loads the application (upper half) and the
+// MPI library (lower half) as two independently-linked programs in one
+// address space. Every call from the upper half into the lower half must
+// switch the thread-pointer register (fs) to the lower half's TLS and back
+// again on return. On kernels before 5.9 the only way to write fs is the
+// arch_prctl system call; from 5.9 on, the FSGSBASE instructions do it in
+// a few cycles. The paper's testbed (CentOS 7, kernel 3.10) pays the
+// syscall price, which is why Figures 2-4 show up-to-17% overhead at small
+// message sizes.
+type KernelVersion int
+
+// Kernel feature levels.
+const (
+	// KernelPre5_9 forces fs switches through arch_prctl (the paper's
+	// CentOS 7 testbed).
+	KernelPre5_9 KernelVersion = iota
+	// Kernel5_9Plus writes FSGSBASE directly in userspace.
+	Kernel5_9Plus
+)
+
+// String names the kernel level.
+func (k KernelVersion) String() string {
+	if k == Kernel5_9Plus {
+		return "linux>=5.9 (userspace FSGSBASE)"
+	}
+	return "linux<5.9 (arch_prctl syscall)"
+}
+
+// switchCost is the cost of one fs-register switch.
+func (k KernelVersion) switchCost() time.Duration {
+	if k == Kernel5_9Plus {
+		return 35 * time.Nanosecond // wrfsbase + pipeline effects
+	}
+	return 850 * time.Nanosecond // arch_prctl round trip on the paper's kernel
+}
+
+// lowerCrossings is the number of upper->lower round trips one wrapped MPI
+// call makes: the call itself plus the helper queries MANA's wrappers
+// issue against the lower half (communicator lookups, status conversion,
+// timing). Calibrated so the pre-5.9 per-call cost (~10 us) reproduces the
+// paper's measured small-message overheads (10.9% on alltoall, up to
+// 17.2% on bcast/allreduce at 48 ranks).
+const lowerCrossings = 5
+
+// CallCost is the split-process context cost of one MPI call: each
+// crossing switches fs on entry to the lower half and back on return.
+func (k KernelVersion) CallCost() time.Duration {
+	return 2 * lowerCrossings * k.switchCost()
+}

@@ -1,0 +1,560 @@
+package mana
+
+import (
+	"repro/internal/abi"
+)
+
+// ImplName reports the full stack identity.
+func (w *Wrapper) ImplName() string { return "mana+" + w.inner.ImplName() }
+
+// Lookup resolves constants to standard values: the application above MANA
+// sees only the standard ABI, so handles in its state (and in checkpoint
+// images) stay meaningful across restarts.
+func (w *Wrapper) Lookup(sym abi.Sym) abi.Handle { return abi.StdLookup(sym) }
+
+// LookupInt resolves integer constants to standard values.
+func (w *Wrapper) LookupInt(sym abi.IntSym) int { return abi.StdLookupInt(sym) }
+
+// matchBuffered finds the oldest drained message matching (source, tag)
+// with standard wildcards; remove=false implements probing.
+func (w *Wrapper) matchBuffered(comm abi.Handle, source, tag int, remove bool) (Drained, bool) {
+	q := w.buffered[comm]
+	for i, d := range q {
+		if source != abi.AnySource && d.Source != source {
+			continue
+		}
+		if tag != abi.AnyTag && d.Tag != int32(tag) {
+			continue
+		}
+		if remove {
+			w.buffered[comm] = append(q[:i:i], q[i+1:]...)
+		}
+		return d, true
+	}
+	return Drained{}, false
+}
+
+// deliverBuffered hands a drained message to the application through the
+// lower half's own unpack machinery: the wrapper re-injects the packed
+// bytes as a self-send on the same communicator and immediately receives
+// them with the application's datatype. The status is then rewritten with
+// the original envelope facts.
+func (w *Wrapper) deliverBuffered(d Drained, buf []byte, count int, dtype, comm abi.Handle, st *abi.Status) error {
+	ic := w.in(comm)
+	info := w.comms[comm]
+	if info == nil {
+		return abi.Errorf(abi.ErrComm, "mana", "buffered delivery on unknown communicator %v", comm)
+	}
+	if err := w.inner.Send(d.Data, len(d.Data), w.iByteType, info.myRank, int(d.Tag), ic); err != nil {
+		return w.err(err)
+	}
+	var tmp abi.Status
+	err := w.inner.Recv(buf, count, w.in(dtype), info.myRank, int(d.Tag), ic, &tmp)
+	w.statusBack(&tmp)
+	tmp.Source = int32(d.Source)
+	tmp.Tag = d.Tag
+	if st != nil {
+		*st = tmp
+	}
+	return w.err(err)
+}
+
+func (w *Wrapper) Send(buf []byte, count int, dtype abi.Handle, dest, tag int, comm abi.Handle) error {
+	w.charge()
+	err := w.inner.Send(buf, count, w.in(dtype), w.peerIn(dest), tag, w.in(comm))
+	if err == nil && dest != abi.ProcNull {
+		bump(w.sent, comm, dest)
+	}
+	return w.err(err)
+}
+
+func (w *Wrapper) Recv(buf []byte, count int, dtype abi.Handle, source, tag int, comm abi.Handle, st *abi.Status) error {
+	w.charge()
+	if d, ok := w.matchBuffered(comm, source, tag, true); ok {
+		return w.deliverBuffered(d, buf, count, dtype, comm, st)
+	}
+	var tmp abi.Status
+	err := w.inner.Recv(buf, count, w.in(dtype), w.peerIn(source), w.tagIn(tag), w.in(comm), &tmp)
+	w.statusBack(&tmp)
+	if err == nil && tmp.Source >= 0 {
+		bump(w.recvd, comm, int(tmp.Source))
+	}
+	if st != nil {
+		*st = tmp
+	}
+	return w.err(err)
+}
+
+func (w *Wrapper) Isend(buf []byte, count int, dtype abi.Handle, dest, tag int, comm abi.Handle) (abi.Handle, error) {
+	w.charge()
+	r, err := w.inner.Isend(buf, count, w.in(dtype), w.peerIn(dest), tag, w.in(comm))
+	if err != nil {
+		return abi.RequestNull, w.err(err)
+	}
+	if dest != abi.ProcNull {
+		bump(w.sent, comm, dest)
+	}
+	w.nextReq++
+	rv := abi.MakeHandle(abi.ClassRequest, w.nextReq)
+	w.fwd[rv] = r
+	w.reqs[rv] = &reqInfo{isRecv: false, comm: comm}
+	return rv, nil
+}
+
+func (w *Wrapper) Irecv(buf []byte, count int, dtype abi.Handle, source, tag int, comm abi.Handle) (abi.Handle, error) {
+	w.charge()
+	w.nextReq++
+	rv := abi.MakeHandle(abi.ClassRequest, w.nextReq)
+	if d, ok := w.matchBuffered(comm, source, tag, true); ok {
+		var st abi.Status
+		err := w.deliverBuffered(d, buf, count, dtype, comm, &st)
+		w.reqs[rv] = &reqInfo{isRecv: true, comm: comm, pseudo: true, status: st, code: err}
+		return rv, nil
+	}
+	r, err := w.inner.Irecv(buf, count, w.in(dtype), w.peerIn(source), w.tagIn(tag), w.in(comm))
+	if err != nil {
+		return abi.RequestNull, w.err(err)
+	}
+	w.fwd[rv] = r
+	w.reqs[rv] = &reqInfo{isRecv: true, comm: comm}
+	return rv, nil
+}
+
+func (w *Wrapper) Wait(req abi.Handle, st *abi.Status) error {
+	w.charge()
+	info, ok := w.reqs[req]
+	if !ok {
+		return abi.Errorf(abi.ErrRequest, "mana", "unknown request %v", req)
+	}
+	if info.pseudo {
+		delete(w.reqs, req)
+		if st != nil {
+			*st = info.status
+		}
+		return info.code
+	}
+	var tmp abi.Status
+	err := w.inner.Wait(w.in(req), &tmp)
+	w.statusBack(&tmp)
+	if err == nil && info.isRecv && tmp.Source >= 0 {
+		bump(w.recvd, info.comm, int(tmp.Source))
+	}
+	delete(w.reqs, req)
+	delete(w.fwd, req)
+	if st != nil {
+		*st = tmp
+	}
+	return w.err(err)
+}
+
+func (w *Wrapper) Test(req abi.Handle, st *abi.Status) (bool, error) {
+	w.charge()
+	info, ok := w.reqs[req]
+	if !ok {
+		return false, abi.Errorf(abi.ErrRequest, "mana", "unknown request %v", req)
+	}
+	if info.pseudo {
+		delete(w.reqs, req)
+		if st != nil {
+			*st = info.status
+		}
+		return true, info.code
+	}
+	var tmp abi.Status
+	done, err := w.inner.Test(w.in(req), &tmp)
+	if !done {
+		return false, w.err(err)
+	}
+	w.statusBack(&tmp)
+	if err == nil && info.isRecv && tmp.Source >= 0 {
+		bump(w.recvd, info.comm, int(tmp.Source))
+	}
+	delete(w.reqs, req)
+	delete(w.fwd, req)
+	if st != nil {
+		*st = tmp
+	}
+	return true, w.err(err)
+}
+
+func (w *Wrapper) Waitall(reqs []abi.Handle, sts []abi.Status) error {
+	if sts != nil && len(sts) != len(reqs) {
+		return abi.Errorf(abi.ErrArg, "mana", "waitall status slice length mismatch")
+	}
+	var firstErr error
+	for i, r := range reqs {
+		var st abi.Status
+		if err := w.Wait(r, &st); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if sts != nil {
+			sts[i] = st
+		}
+	}
+	return firstErr
+}
+
+func (w *Wrapper) Sendrecv(sendbuf []byte, scount int, stype abi.Handle, dest, stag int,
+	recvbuf []byte, rcount int, rtype abi.Handle, source, rtag int,
+	comm abi.Handle, st *abi.Status) error {
+	rr, err := w.Irecv(recvbuf, rcount, rtype, source, rtag, comm)
+	if err != nil {
+		return err
+	}
+	if err := w.Send(sendbuf, scount, stype, dest, stag, comm); err != nil {
+		return err
+	}
+	return w.Wait(rr, st)
+}
+
+func (w *Wrapper) Probe(source, tag int, comm abi.Handle, st *abi.Status) error {
+	w.charge()
+	if d, ok := w.matchBuffered(comm, source, tag, false); ok {
+		if st != nil {
+			st.Source = int32(d.Source)
+			st.Tag = d.Tag
+			st.Error = 0
+			st.CountBytes = uint64(len(d.Data))
+		}
+		return nil
+	}
+	err := w.inner.Probe(w.peerIn(source), w.tagIn(tag), w.in(comm), st)
+	w.statusBack(st)
+	return w.err(err)
+}
+
+func (w *Wrapper) Iprobe(source, tag int, comm abi.Handle, st *abi.Status) (bool, error) {
+	w.charge()
+	if d, ok := w.matchBuffered(comm, source, tag, false); ok {
+		if st != nil {
+			st.Source = int32(d.Source)
+			st.Tag = d.Tag
+			st.Error = 0
+			st.CountBytes = uint64(len(d.Data))
+		}
+		return true, nil
+	}
+	found, err := w.inner.Iprobe(w.peerIn(source), w.tagIn(tag), w.in(comm), st)
+	if found {
+		w.statusBack(st)
+	}
+	return found, w.err(err)
+}
+
+func (w *Wrapper) Barrier(comm abi.Handle) error {
+	w.charge()
+	return w.err(w.inner.Barrier(w.in(comm)))
+}
+
+func (w *Wrapper) Bcast(buf []byte, count int, dtype abi.Handle, root int, comm abi.Handle) error {
+	w.charge()
+	return w.err(w.inner.Bcast(buf, count, w.in(dtype), root, w.in(comm)))
+}
+
+func (w *Wrapper) Reduce(sendbuf, recvbuf []byte, count int, dtype, op abi.Handle, root int, comm abi.Handle) error {
+	w.charge()
+	return w.err(w.inner.Reduce(sendbuf, recvbuf, count, w.in(dtype), w.in(op), root, w.in(comm)))
+}
+
+func (w *Wrapper) Allreduce(sendbuf, recvbuf []byte, count int, dtype, op abi.Handle, comm abi.Handle) error {
+	w.charge()
+	return w.err(w.inner.Allreduce(sendbuf, recvbuf, count, w.in(dtype), w.in(op), w.in(comm)))
+}
+
+func (w *Wrapper) Gather(sendbuf []byte, scount int, stype abi.Handle,
+	recvbuf []byte, rcount int, rtype abi.Handle, root int, comm abi.Handle) error {
+	w.charge()
+	return w.err(w.inner.Gather(sendbuf, scount, w.in(stype), recvbuf, rcount, w.in(rtype), root, w.in(comm)))
+}
+
+func (w *Wrapper) Allgather(sendbuf []byte, scount int, stype abi.Handle,
+	recvbuf []byte, rcount int, rtype abi.Handle, comm abi.Handle) error {
+	w.charge()
+	return w.err(w.inner.Allgather(sendbuf, scount, w.in(stype), recvbuf, rcount, w.in(rtype), w.in(comm)))
+}
+
+func (w *Wrapper) Scatter(sendbuf []byte, scount int, stype abi.Handle,
+	recvbuf []byte, rcount int, rtype abi.Handle, root int, comm abi.Handle) error {
+	w.charge()
+	return w.err(w.inner.Scatter(sendbuf, scount, w.in(stype), recvbuf, rcount, w.in(rtype), root, w.in(comm)))
+}
+
+func (w *Wrapper) Alltoall(sendbuf []byte, scount int, stype abi.Handle,
+	recvbuf []byte, rcount int, rtype abi.Handle, comm abi.Handle) error {
+	w.charge()
+	return w.err(w.inner.Alltoall(sendbuf, scount, w.in(stype), recvbuf, rcount, w.in(rtype), w.in(comm)))
+}
+
+func (w *Wrapper) CommSize(comm abi.Handle) (int, error) {
+	w.charge()
+	n, err := w.inner.CommSize(w.in(comm))
+	return n, w.err(err)
+}
+
+func (w *Wrapper) CommRank(comm abi.Handle) (int, error) {
+	w.charge()
+	r, err := w.inner.CommRank(w.in(comm))
+	return r, w.err(err)
+}
+
+// newCommVid allocates a vid + commInfo for a freshly created inner
+// communicator and records the creation event.
+func (w *Wrapper) newCommVid(op EvOp, parent, aux abi.Handle, native abi.Handle, ints []int) (abi.Handle, error) {
+	parentInfo := w.comms[parent]
+	if parentInfo == nil {
+		return abi.CommNull, abi.Errorf(abi.ErrComm, "mana", "unknown parent communicator %v", parent)
+	}
+	ord := parentInfo.nextOrd
+	parentInfo.nextOrd++
+	color := 0
+	if op == EvCommSplit {
+		color = ints[0]
+	}
+	gid := commGID(parentInfo.gid, op, ord, color)
+	ev := Event{Op: op, Parent: parent, Aux: aux, Ints: ints, GID: gid, Vid: abi.CommNull}
+	if native == w.iCommNull {
+		// Collective participation without membership (UNDEFINED color).
+		w.record(ev)
+		return abi.CommNull, nil
+	}
+	v := w.vid(abi.ClassComm, native)
+	ev.Vid = v
+	w.record(ev)
+	myRank, err := w.inner.CommRank(native)
+	if err != nil {
+		return abi.CommNull, w.err(err)
+	}
+	size, err := w.inner.CommSize(native)
+	if err != nil {
+		return abi.CommNull, w.err(err)
+	}
+	w.comms[v] = &commInfo{gid: gid, myRank: myRank, size: size}
+	return v, nil
+}
+
+func (w *Wrapper) CommDup(comm abi.Handle) (abi.Handle, error) {
+	w.charge()
+	n, err := w.inner.CommDup(w.in(comm))
+	if err != nil {
+		return abi.CommNull, w.err(err)
+	}
+	return w.newCommVid(EvCommDup, comm, abi.HandleNull, n, nil)
+}
+
+func (w *Wrapper) CommSplit(comm abi.Handle, color, key int) (abi.Handle, error) {
+	w.charge()
+	n, err := w.inner.CommSplit(w.in(comm), w.splitColorIn(color), key)
+	if err != nil {
+		return abi.CommNull, w.err(err)
+	}
+	return w.newCommVid(EvCommSplit, comm, abi.HandleNull, n, []int{color, key})
+}
+
+func (w *Wrapper) CommCreate(comm, group abi.Handle) (abi.Handle, error) {
+	w.charge()
+	n, err := w.inner.CommCreate(w.in(comm), w.in(group))
+	if err != nil {
+		return abi.CommNull, w.err(err)
+	}
+	return w.newCommVid(EvCommCreate, comm, group, n, nil)
+}
+
+func (w *Wrapper) CommGroup(comm abi.Handle) (abi.Handle, error) {
+	w.charge()
+	n, err := w.inner.CommGroup(w.in(comm))
+	if err != nil {
+		return abi.GroupNull, w.err(err)
+	}
+	v := w.vid(abi.ClassGroup, n)
+	w.record(Event{Op: EvCommGroup, Vid: v, Parent: comm})
+	return v, nil
+}
+
+func (w *Wrapper) CommFree(comm abi.Handle) error {
+	w.charge()
+	err := w.inner.CommFree(w.in(comm))
+	if err != nil {
+		return w.err(err)
+	}
+	w.record(Event{Op: EvCommFree, Vid: comm})
+	delete(w.fwd, comm)
+	delete(w.comms, comm)
+	delete(w.sent, comm)
+	delete(w.recvd, comm)
+	delete(w.buffered, comm)
+	return nil
+}
+
+func (w *Wrapper) GroupSize(group abi.Handle) (int, error) {
+	w.charge()
+	n, err := w.inner.GroupSize(w.in(group))
+	return n, w.err(err)
+}
+
+func (w *Wrapper) GroupRank(group abi.Handle) (int, error) {
+	w.charge()
+	r, err := w.inner.GroupRank(w.in(group))
+	if r == w.iUndefined {
+		r = abi.Undefined
+	}
+	return r, w.err(err)
+}
+
+func (w *Wrapper) GroupIncl(group abi.Handle, ranks []int) (abi.Handle, error) {
+	w.charge()
+	n, err := w.inner.GroupIncl(w.in(group), ranks)
+	if err != nil {
+		return abi.GroupNull, w.err(err)
+	}
+	v := w.vid(abi.ClassGroup, n)
+	w.record(Event{Op: EvGroupIncl, Vid: v, Parent: group, Ints: append([]int(nil), ranks...)})
+	return v, nil
+}
+
+func (w *Wrapper) GroupExcl(group abi.Handle, ranks []int) (abi.Handle, error) {
+	w.charge()
+	n, err := w.inner.GroupExcl(w.in(group), ranks)
+	if err != nil {
+		return abi.GroupNull, w.err(err)
+	}
+	v := w.vid(abi.ClassGroup, n)
+	w.record(Event{Op: EvGroupExcl, Vid: v, Parent: group, Ints: append([]int(nil), ranks...)})
+	return v, nil
+}
+
+func (w *Wrapper) GroupTranslateRanks(g1 abi.Handle, ranks []int, g2 abi.Handle) ([]int, error) {
+	w.charge()
+	out, err := w.inner.GroupTranslateRanks(w.in(g1), ranks, w.in(g2))
+	for i := range out {
+		if out[i] == w.iUndefined {
+			out[i] = abi.Undefined
+		}
+	}
+	return out, w.err(err)
+}
+
+func (w *Wrapper) GroupFree(group abi.Handle) error {
+	w.charge()
+	err := w.inner.GroupFree(w.in(group))
+	if err != nil {
+		return w.err(err)
+	}
+	w.record(Event{Op: EvGroupFree, Vid: group})
+	delete(w.fwd, group)
+	return nil
+}
+
+func (w *Wrapper) TypeContiguous(count int, inner abi.Handle) (abi.Handle, error) {
+	w.charge()
+	n, err := w.inner.TypeContiguous(count, w.in(inner))
+	if err != nil {
+		return abi.TypeNull, w.err(err)
+	}
+	v := w.vid(abi.ClassType, n)
+	w.record(Event{Op: EvTypeContig, Vid: v, Parent: inner, Ints: []int{count}})
+	return v, nil
+}
+
+func (w *Wrapper) TypeVector(count, blocklen, stride int, inner abi.Handle) (abi.Handle, error) {
+	w.charge()
+	n, err := w.inner.TypeVector(count, blocklen, stride, w.in(inner))
+	if err != nil {
+		return abi.TypeNull, w.err(err)
+	}
+	v := w.vid(abi.ClassType, n)
+	w.record(Event{Op: EvTypeVector, Vid: v, Parent: inner, Ints: []int{count, blocklen, stride}})
+	return v, nil
+}
+
+func (w *Wrapper) TypeIndexed(blocklens, displs []int, inner abi.Handle) (abi.Handle, error) {
+	w.charge()
+	n, err := w.inner.TypeIndexed(blocklens, displs, w.in(inner))
+	if err != nil {
+		return abi.TypeNull, w.err(err)
+	}
+	v := w.vid(abi.ClassType, n)
+	ints := append(append([]int(nil), blocklens...), displs...)
+	w.record(Event{Op: EvTypeIndexed, Vid: v, Parent: inner, Ints: ints})
+	return v, nil
+}
+
+func (w *Wrapper) TypeCreateStruct(blocklens, displs []int, typs []abi.Handle) (abi.Handle, error) {
+	w.charge()
+	innerTyps := make([]abi.Handle, len(typs))
+	for i, t := range typs {
+		innerTyps[i] = w.in(t)
+	}
+	n, err := w.inner.TypeCreateStruct(blocklens, displs, innerTyps)
+	if err != nil {
+		return abi.TypeNull, w.err(err)
+	}
+	v := w.vid(abi.ClassType, n)
+	ints := append(append([]int(nil), blocklens...), displs...)
+	w.record(Event{Op: EvTypeStruct, Vid: v, Ints: ints, Handles: append([]abi.Handle(nil), typs...)})
+	return v, nil
+}
+
+func (w *Wrapper) TypeCommit(dtype abi.Handle) error {
+	w.charge()
+	if err := w.inner.TypeCommit(w.in(dtype)); err != nil {
+		return w.err(err)
+	}
+	w.record(Event{Op: EvTypeCommit, Vid: dtype})
+	return nil
+}
+
+func (w *Wrapper) TypeFree(dtype abi.Handle) error {
+	w.charge()
+	if err := w.inner.TypeFree(w.in(dtype)); err != nil {
+		return w.err(err)
+	}
+	w.record(Event{Op: EvTypeFree, Vid: dtype})
+	delete(w.fwd, dtype)
+	return nil
+}
+
+func (w *Wrapper) TypeSize(dtype abi.Handle) (int, error) {
+	w.charge()
+	n, err := w.inner.TypeSize(w.in(dtype))
+	return n, w.err(err)
+}
+
+func (w *Wrapper) TypeExtent(dtype abi.Handle) (int, error) {
+	w.charge()
+	n, err := w.inner.TypeExtent(w.in(dtype))
+	return n, w.err(err)
+}
+
+func (w *Wrapper) GetCount(st *abi.Status, dtype abi.Handle) (int, error) {
+	w.charge()
+	n, err := w.inner.GetCount(st, w.in(dtype))
+	if n == w.iUndefined {
+		n = abi.Undefined
+	}
+	return n, w.err(err)
+}
+
+func (w *Wrapper) OpCreate(name string, commute bool) (abi.Handle, error) {
+	w.charge()
+	n, err := w.inner.OpCreate(name, commute)
+	if err != nil {
+		return abi.OpNull, w.err(err)
+	}
+	v := w.vid(abi.ClassOp, n)
+	w.record(Event{Op: EvOpCreate, Vid: v, Name: name, Flag: commute})
+	return v, nil
+}
+
+func (w *Wrapper) OpFree(op abi.Handle) error {
+	w.charge()
+	if err := w.inner.OpFree(w.in(op)); err != nil {
+		return w.err(err)
+	}
+	w.record(Event{Op: EvOpFree, Vid: op})
+	delete(w.fwd, op)
+	return nil
+}
+
+func (w *Wrapper) Abort(comm abi.Handle, code int) error {
+	return w.err(w.inner.Abort(w.in(comm), code))
+}

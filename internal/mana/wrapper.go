@@ -1,0 +1,270 @@
+// Package mana reproduces the MANA transparent checkpointing package for
+// MPI (MPI-Agnostic Network-Agnostic checkpointing, built as a DMTCP
+// plugin), revised as in the paper to speak the standard MPI ABI:
+//
+//   - the Wrapper interposes on every MPI call (libmana.so's LD_PRELOAD
+//     wrappers), presenting the standard ABI to the application;
+//   - application-visible handles are virtual ids that stay constant
+//     across checkpoint/restart, while the lower-half handles they map to
+//     are rebound at restart by replaying recorded construction recipes;
+//   - on checkpoint, in-flight point-to-point messages are drained into
+//     upper-half buffers using send/receive counter exchange, MANA's
+//     actual algorithm;
+//   - each call pays the split-process FSGSBASE context-switch cost (see
+//     fsgsbase.go), reproducing the paper's overhead explanation.
+//
+// Stacked over the Mukautuva shim (internal/mukautuva), the wrapper's
+// serialized state is implementation-independent, which is what lets a
+// job checkpoint under Open MPI and restart under MPICH (Figure 6). The
+// wrapper also runs directly over a native binding — the paper's older
+// "virtual id" configuration — in which case restart is only legal under
+// the same implementation.
+package mana
+
+import (
+	"time"
+
+	"repro/internal/abi"
+	"repro/internal/fabric"
+	"repro/internal/ops"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// Config tunes the wrapper.
+type Config struct {
+	// Kernel selects the FSGSBASE cost model (the paper's testbed is
+	// KernelPre5_9).
+	Kernel KernelVersion
+	// VidCost is the bookkeeping cost of one wrapper call (virtual id
+	// lookup and counter updates).
+	VidCost time.Duration
+	// ErrClass maps in-status error codes from the inner table's space to
+	// standard classes. Leave nil when the inner table is the Mukautuva
+	// shim (already standard).
+	ErrClass func(code int) abi.ErrClass
+}
+
+// DefaultConfig matches the paper's testbed: old kernel, syscall-priced
+// context switches.
+func DefaultConfig() Config {
+	return Config{Kernel: KernelPre5_9, VidCost: 60 * time.Nanosecond}
+}
+
+// vidBase is the first payload for virtual-id handles. It sits far above
+// the standard ABI's predefined payloads, so predefined constants pass
+// through unvirtualized — exactly the property that keeps them stable in
+// checkpoint images.
+const vidBase = 0x00f00000
+
+// reqBase is the payload range for request virtual ids (not logged; they
+// never survive a checkpoint because safe points require quiescence).
+const reqBase = 0x00400000
+
+// commInfo tracks the drain-relevant facts of a communicator vid.
+type commInfo struct {
+	gid     uint64 // globally consistent communicator identity
+	myRank  int    // my rank within the communicator
+	size    int
+	nextOrd uint32 // per-parent child ordinal (gid derivation)
+}
+
+// Drained is one in-flight message pulled into the upper half at
+// checkpoint time: packed bytes plus the matching envelope facts.
+type Drained struct {
+	Source int // communicator rank of the sender
+	Tag    int32
+	Data   []byte
+}
+
+// reqInfo is the upper half's view of an outstanding request.
+type reqInfo struct {
+	isRecv bool
+	comm   abi.Handle // comm vid for receive counting
+	pseudo bool       // satisfied from the drained-message buffer
+	status abi.Status // pseudo completion status
+	code   error
+}
+
+// Wrapper is libmana.so: an abi.FuncTable interposed above the lower half.
+type Wrapper struct {
+	inner abi.FuncTable
+	cfg   Config
+	clock *simnet.Clock
+	oob   *fabric.OOB
+	rank  int // world rank
+
+	fwd     map[abi.Handle]abi.Handle // vid/predefined -> inner handle
+	nextVid uint64
+	log     []Event
+
+	comms map[abi.Handle]*commInfo
+
+	reqs    map[abi.Handle]*reqInfo
+	nextReq uint64
+
+	sent     map[abi.Handle]map[int]uint64 // comm vid -> dest comm rank -> msgs
+	recvd    map[abi.Handle]map[int]uint64 // comm vid -> src comm rank -> msgs
+	buffered map[abi.Handle][]Drained
+
+	// Inner constants captured at bind time.
+	iAnySource, iAnyTag, iProcNull, iRoot, iUndefined int
+	iCommNull, iGroupNull, iTypeNull, iOpNull         abi.Handle
+	iReqNull                                          abi.Handle
+	iByteType                                         abi.Handle
+}
+
+var _ abi.FuncTable = (*Wrapper)(nil)
+
+// NewWrapper interposes MANA above an inner function table for one rank.
+// The world provides the out-of-band plane used by the drain protocol.
+func NewWrapper(inner abi.FuncTable, w *fabric.World, rank int, cfg Config) *Wrapper {
+	if cfg.ErrClass == nil {
+		cfg.ErrClass = func(code int) abi.ErrClass { return abi.ErrClass(code) }
+	}
+	mw := &Wrapper{
+		inner:    inner,
+		cfg:      cfg,
+		clock:    w.Endpoint(rank).Clock(),
+		oob:      w.OOB(),
+		rank:     rank,
+		fwd:      make(map[abi.Handle]abi.Handle),
+		nextVid:  vidBase,
+		comms:    make(map[abi.Handle]*commInfo),
+		reqs:     make(map[abi.Handle]*reqInfo),
+		nextReq:  reqBase,
+		sent:     make(map[abi.Handle]map[int]uint64),
+		recvd:    make(map[abi.Handle]map[int]uint64),
+		buffered: make(map[abi.Handle][]Drained),
+	}
+	syms := []abi.Sym{
+		abi.SymCommWorld, abi.SymCommSelf, abi.SymCommNull,
+		abi.SymGroupNull, abi.SymGroupEmpty, abi.SymTypeNull,
+		abi.SymOpNull, abi.SymRequestNull,
+	}
+	for _, k := range types.Kinds() {
+		syms = append(syms, abi.SymForKind(k))
+	}
+	for _, op := range ops.Ops() {
+		syms = append(syms, abi.SymForOp(op))
+	}
+	for _, sym := range syms {
+		mw.fwd[abi.StdLookup(sym)] = inner.Lookup(sym)
+	}
+	mw.iCommNull = inner.Lookup(abi.SymCommNull)
+	mw.iGroupNull = inner.Lookup(abi.SymGroupNull)
+	mw.iTypeNull = inner.Lookup(abi.SymTypeNull)
+	mw.iOpNull = inner.Lookup(abi.SymOpNull)
+	mw.iReqNull = inner.Lookup(abi.SymRequestNull)
+	mw.iByteType = inner.Lookup(abi.SymForKind(types.KindByte))
+	mw.iAnySource = inner.LookupInt(abi.IntAnySource)
+	mw.iAnyTag = inner.LookupInt(abi.IntAnyTag)
+	mw.iProcNull = inner.LookupInt(abi.IntProcNull)
+	mw.iRoot = inner.LookupInt(abi.IntRoot)
+	mw.iUndefined = inner.LookupInt(abi.IntUndefined)
+
+	// Predefined communicators are live from the start.
+	size, _ := inner.CommSize(inner.Lookup(abi.SymCommWorld))
+	mw.comms[abi.CommWorld] = &commInfo{gid: 1, myRank: rank, size: size}
+	mw.comms[abi.CommSelf] = &commInfo{gid: selfGID(rank), myRank: 0, size: 1}
+	return mw
+}
+
+// selfGID keeps each rank's MPI_COMM_SELF distinct in the drain exchange.
+func selfGID(rank int) uint64 { return 0x5e1f_0000_0000_0000 | uint64(rank) }
+
+// Inner exposes the lower-half table (used by the restart driver).
+func (w *Wrapper) Inner() abi.FuncTable { return w.inner }
+
+// Outstanding reports open requests; checkpoints require zero.
+func (w *Wrapper) Outstanding() int { return len(w.reqs) }
+
+// charge bills one wrapper call: virtual-id bookkeeping plus the
+// split-process fs-register round trip.
+func (w *Wrapper) charge() {
+	w.clock.Advance(w.cfg.VidCost + w.cfg.Kernel.CallCost())
+}
+
+// in translates an application handle (predefined or vid) to the inner
+// handle.
+func (w *Wrapper) in(h abi.Handle) abi.Handle {
+	if n, ok := w.fwd[h]; ok {
+		return n
+	}
+	switch h.HandleClass() {
+	case abi.ClassComm:
+		return w.iCommNull
+	case abi.ClassGroup:
+		return w.iGroupNull
+	case abi.ClassType:
+		return w.iTypeNull
+	case abi.ClassOp:
+		return w.iOpNull
+	case abi.ClassRequest:
+		return w.iReqNull
+	}
+	return w.iTypeNull
+}
+
+// vid mints a fresh virtual id of a class and binds it to an inner handle.
+func (w *Wrapper) vid(class abi.Class, native abi.Handle) abi.Handle {
+	w.nextVid++
+	v := abi.MakeHandle(class, w.nextVid)
+	w.fwd[v] = native
+	return v
+}
+
+// peerIn and tagIn translate standard sentinels to inner values.
+func (w *Wrapper) peerIn(v int) int {
+	switch v {
+	case abi.AnySource:
+		return w.iAnySource
+	case abi.ProcNull:
+		return w.iProcNull
+	case abi.Root:
+		return w.iRoot
+	default:
+		return v
+	}
+}
+
+func (w *Wrapper) tagIn(v int) int {
+	if v == abi.AnyTag {
+		return w.iAnyTag
+	}
+	return v
+}
+
+// statusBack rewrites inner sentinels and error codes into standard form.
+func (w *Wrapper) statusBack(st *abi.Status) {
+	if st == nil {
+		return
+	}
+	if int(st.Source) == w.iProcNull {
+		st.Source = int32(abi.ProcNull)
+	}
+	if int(st.Tag) == w.iAnyTag {
+		st.Tag = int32(abi.AnyTag)
+	}
+	if st.Error != 0 {
+		st.Error = int32(w.cfg.ErrClass(int(st.Error)))
+	}
+}
+
+// err re-attributes an error, preserving its class.
+func (w *Wrapper) err(e error) error {
+	if e == nil {
+		return nil
+	}
+	return abi.Errorf(abi.ClassOf(e), "mana", "%v", e)
+}
+
+// bump increments a nested counter map.
+func bump(m map[abi.Handle]map[int]uint64, comm abi.Handle, peer int) {
+	inner, ok := m[comm]
+	if !ok {
+		inner = make(map[int]uint64)
+		m[comm] = inner
+	}
+	inner[peer]++
+}

@@ -1,0 +1,880 @@
+package mpich
+
+import (
+	"repro/internal/ops"
+	"repro/internal/types"
+)
+
+// MPICH-style collective algorithm selection thresholds (bytes).
+const (
+	bcastShortMax       = 12288 // binomial below, scatter+ring-allgather above
+	allreduceShortMax   = 2048  // recursive doubling below, Rabenseifner above
+	alltoallBruckMax    = 256   // Bruck below, nonblocking overlap between
+	alltoallPairwiseMin = 32768 // pairwise exchange above (long messages)
+	allgatherRDMax      = 32768 // recursive doubling (pow2) below, ring above
+)
+
+// nextCollTag reserves a tag block for one collective call on c. Each call
+// gets 64 tag values (rounds 0..63); successive collectives on the same
+// communicator never share tags.
+func (p *Proc) nextCollTag(c *commObj) int32 {
+	c.collSeq++
+	return int32((c.collSeq & 0x00ffffff) << 6)
+}
+
+// collSend sends packed bytes to a communicator rank on the collective
+// context, blocking until the payload is handed to the fabric.
+func (p *Proc) collSend(c *commObj, peer int, tag int32, data []byte) int {
+	r := p.sendInternal(data, c.ranks[peer], tag, c.cid|collCIDBit)
+	for r != nil && !r.done {
+		if code := p.progress(true); code != Success {
+			return code
+		}
+	}
+	if r != nil {
+		return r.code
+	}
+	return Success
+}
+
+// collRecv blocks for a packed message from a communicator rank on the
+// collective context.
+func (p *Proc) collRecv(c *commObj, peer int, tag int32) ([]byte, int) {
+	r := &request{
+		kind: reqRecv, comm: c, raw: true,
+		srcWorld: c.ranks[peer], tag: int(tag), cid: c.cid | collCIDBit,
+	}
+	p.postRecv(r)
+	for !r.done {
+		if code := p.progress(true); code != Success {
+			return nil, code
+		}
+	}
+	return r.rawOut, r.code
+}
+
+// collExchange posts the receive before sending, making symmetric
+// pairwise exchanges deadlock-free even on the rendezvous path.
+func (p *Proc) collExchange(c *commObj, sendTo, recvFrom int, tag int32, data []byte) ([]byte, int) {
+	r := &request{
+		kind: reqRecv, comm: c, raw: true,
+		srcWorld: c.ranks[recvFrom], tag: int(tag), cid: c.cid | collCIDBit,
+	}
+	p.postRecv(r)
+	if code := p.collSend(c, sendTo, tag, data); code != Success {
+		return nil, code
+	}
+	for !r.done {
+		if code := p.progress(true); code != Success {
+			return nil, code
+		}
+	}
+	return r.rawOut, r.code
+}
+
+// Barrier uses MPICH's dissemination algorithm: ceil(log2 n) rounds of
+// token exchanges at power-of-two distances.
+func (p *Proc) Barrier(comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	n, me := c.size(), c.myPos
+	if n == 1 {
+		return Success
+	}
+	base := p.nextCollTag(c)
+	round := int32(0)
+	for mask := 1; mask < n; mask <<= 1 {
+		to := (me + mask) % n
+		from := (me - mask + n) % n
+		if _, code := p.collExchange(c, to, from, base+round, nil); code != Success {
+			return code
+		}
+		round++
+	}
+	return Success
+}
+
+// Bcast uses binomial trees for short messages and a scatter plus ring
+// allgather for long ones, MPICH's classic selection.
+func (p *Proc) Bcast(buf []byte, count int, dtype Handle, root int, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return code
+	}
+	if root < 0 || root >= c.size() {
+		return ErrRoot
+	}
+	if count < 0 {
+		return ErrCount
+	}
+	n, me := c.size(), c.myPos
+	nbytes := count * dt.t.Size()
+	if n == 1 || nbytes == 0 {
+		return Success
+	}
+	tag := p.nextCollTag(c)
+
+	var packed []byte
+	if me == root {
+		var code int
+		packed, code = packElems(dt, buf, count)
+		if code != Success {
+			return code
+		}
+	} else {
+		packed = make([]byte, nbytes)
+	}
+
+	if nbytes <= bcastShortMax {
+		code = p.bcastBinomial(c, packed, root, tag)
+	} else {
+		code = p.bcastScatterRing(c, packed, root, tag)
+	}
+	if code != Success {
+		return code
+	}
+	if me != root {
+		if _, err := dt.t.Unpack(packed, count, buf); err != nil {
+			return ErrBuffer
+		}
+	}
+	return Success
+}
+
+// bcastBinomial is the binomial-tree broadcast over relative ranks.
+func (p *Proc) bcastBinomial(c *commObj, packed []byte, root int, tag int32) int {
+	n, me := c.size(), c.myPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			data, code := p.collRecv(c, abs(rel-mask), tag)
+			if code != Success {
+				return code
+			}
+			copy(packed, data)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < n {
+			if code := p.collSend(c, abs(rel+mask), tag, packed); code != Success {
+				return code
+			}
+		}
+	}
+	return Success
+}
+
+// chunkBounds splits nbytes into n nearly-equal chunks; chunk i spans
+// [off[i], off[i+1]).
+func chunkBounds(nbytes, n int) []int {
+	off := make([]int, n+1)
+	base, rem := nbytes/n, nbytes%n
+	for i := 0; i < n; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		off[i+1] = off[i] + sz
+	}
+	return off
+}
+
+// bcastScatterRing scatters the buffer binomially over relative ranks and
+// reassembles with a ring allgather, MPICH's long-message broadcast.
+func (p *Proc) bcastScatterRing(c *commObj, packed []byte, root int, tag int32) int {
+	n, me := c.size(), c.myPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	off := chunkBounds(len(packed), n)
+
+	// Binomial scatter: the holder of relative range [rel, rel+mask) hands
+	// the upper half to its child.
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			data, code := p.collRecv(c, abs(rel-mask), tag)
+			if code != Success {
+				return code
+			}
+			copy(packed[off[rel]:], data)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < n {
+			hi := rel + 2*mask
+			if hi > n {
+				hi = n
+			}
+			child := rel + mask
+			if code := p.collSend(c, abs(child), tag, packed[off[child]:off[hi]]); code != Success {
+				return code
+			}
+		}
+	}
+
+	// Ring allgather of the n chunks over relative ranks.
+	for s := 0; s < n-1; s++ {
+		sendChunk := (rel - s + n) % n
+		recvChunk := (rel - s - 1 + n) % n
+		data, code := p.collExchange(c, abs((rel+1)%n), abs((rel-1+n)%n),
+			tag+1, packed[off[sendChunk]:off[sendChunk+1]])
+		if code != Success {
+			return code
+		}
+		copy(packed[off[recvChunk]:off[recvChunk+1]], data)
+	}
+	return Success
+}
+
+// reduceKind extracts the uniform primitive kind needed for a reduction.
+func reduceKind(dt *typeObj) (types.Kind, int) {
+	k, ok := dt.t.PrimKind()
+	if !ok {
+		return types.KindInvalid, ErrType
+	}
+	return k, Success
+}
+
+// applyOp folds in into acc (packed buffers of the same uniform kind).
+func applyOp(o *opObj, k types.Kind, acc, in []byte) int {
+	count := len(acc) / k.Size()
+	if o.user != "" {
+		fn, _, err := ops.LookupUser(o.user)
+		if err != nil {
+			return ErrOp
+		}
+		fn(acc, in, k, count)
+		return Success
+	}
+	if err := ops.Apply(o.op, k, acc, in, count); err != nil {
+		return ErrOp
+	}
+	return Success
+}
+
+// Reduce uses a binomial tree (commutative operators).
+func (p *Proc) Reduce(sendbuf, recvbuf []byte, count int, dtype, op Handle, root int, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return code
+	}
+	o, code := p.lookupOp(op)
+	if code != Success {
+		return code
+	}
+	if root < 0 || root >= c.size() {
+		return ErrRoot
+	}
+	k, code := reduceKind(dt)
+	if code != Success {
+		return code
+	}
+	if !opDefined(o, k) {
+		return ErrOp
+	}
+	n, me := c.size(), c.myPos
+	acc, code := packElems(dt, sendbuf, count)
+	if code != Success {
+		return code
+	}
+	tag := p.nextCollTag(c)
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask == 0 {
+			childRel := rel | mask
+			if childRel < n {
+				data, code := p.collRecv(c, abs(childRel), tag)
+				if code != Success {
+					return code
+				}
+				if code := applyOp(o, k, acc, data); code != Success {
+					return code
+				}
+			}
+		} else {
+			if code := p.collSend(c, abs(rel-mask), tag, acc); code != Success {
+				return code
+			}
+			break
+		}
+	}
+	if me == root && count > 0 {
+		if _, err := dt.t.Unpack(acc, count, recvbuf); err != nil {
+			return ErrBuffer
+		}
+	}
+	return Success
+}
+
+// opDefined checks operator/kind compatibility including user ops (which
+// accept any uniform kind).
+func opDefined(o *opObj, k types.Kind) bool {
+	if o.user != "" {
+		return true
+	}
+	return ops.Compatible(o.op, k)
+}
+
+// Allreduce selects recursive doubling for short messages and
+// Rabenseifner's reduce-scatter/allgather for long power-of-two cases,
+// like MPICH.
+func (p *Proc) Allreduce(sendbuf, recvbuf []byte, count int, dtype, op Handle, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return code
+	}
+	o, code := p.lookupOp(op)
+	if code != Success {
+		return code
+	}
+	k, code := reduceKind(dt)
+	if code != Success {
+		return code
+	}
+	if !opDefined(o, k) {
+		return ErrOp
+	}
+	if count < 0 {
+		return ErrCount
+	}
+	acc, code := packElems(dt, sendbuf, count)
+	if code != Success {
+		return code
+	}
+	n := c.size()
+	tag := p.nextCollTag(c)
+	nbytes := len(acc)
+	elems := nbytes / k.Size()
+	isPow2 := n&(n-1) == 0
+	if n > 1 && nbytes > 0 {
+		if nbytes > allreduceShortMax && isPow2 && elems >= n {
+			code = p.allreduceRabenseifner(c, acc, o, k, tag)
+		} else {
+			code = p.allreduceRecDoubling(c, acc, o, k, tag)
+		}
+		if code != Success {
+			return code
+		}
+	}
+	if count > 0 {
+		if _, err := dt.t.Unpack(acc, count, recvbuf); err != nil {
+			return ErrBuffer
+		}
+	}
+	return Success
+}
+
+// allreduceRecDoubling handles any communicator size by folding the
+// non-power-of-two remainder into the nearest power of two first.
+func (p *Proc) allreduceRecDoubling(c *commObj, acc []byte, o *opObj, k types.Kind, tag int32) int {
+	n, me := c.size(), c.myPos
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	newrank := -1
+	round := int32(0)
+	switch {
+	case me < 2*rem && me%2 == 0:
+		if code := p.collSend(c, me+1, tag+round, acc); code != Success {
+			return code
+		}
+	case me < 2*rem: // odd rank in the folded region
+		data, code := p.collRecv(c, me-1, tag+round)
+		if code != Success {
+			return code
+		}
+		if code := applyOp(o, k, acc, data); code != Success {
+			return code
+		}
+		newrank = me / 2
+	default:
+		newrank = me - rem
+	}
+	round++
+	if newrank != -1 {
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partnerNew := newrank ^ mask
+			partner := partnerNew + rem
+			if partnerNew < rem {
+				partner = partnerNew*2 + 1
+			}
+			data, code := p.collExchange(c, partner, partner, tag+round, acc)
+			if code != Success {
+				return code
+			}
+			if code := applyOp(o, k, acc, data); code != Success {
+				return code
+			}
+			round++
+		}
+	}
+	// Unfold: odd folded ranks return results to their even partners.
+	if me < 2*rem {
+		if me%2 != 0 {
+			return p.collSend(c, me-1, tag+62, acc)
+		}
+		data, code := p.collRecv(c, me+1, tag+62)
+		if code != Success {
+			return code
+		}
+		copy(acc, data)
+	}
+	return Success
+}
+
+// allreduceRabenseifner is the long-message reduce-scatter plus allgather
+// algorithm for power-of-two communicators.
+func (p *Proc) allreduceRabenseifner(c *commObj, acc []byte, o *opObj, k types.Kind, tag int32) int {
+	n, me := c.size(), c.myPos
+	es := k.Size()
+	elems := len(acc) / es
+	type span struct{ lo, hi int }
+	var stack []span
+	cur := span{0, elems}
+	round := int32(0)
+	// Reduce-scatter by recursive halving.
+	for dist := n / 2; dist >= 1; dist /= 2 {
+		partner := me ^ dist
+		mid := (cur.lo + cur.hi) / 2
+		var keep, give span
+		if me < partner {
+			keep, give = span{cur.lo, mid}, span{mid, cur.hi}
+		} else {
+			keep, give = span{mid, cur.hi}, span{cur.lo, mid}
+		}
+		data, code := p.collExchange(c, partner, partner, tag+round, acc[give.lo*es:give.hi*es])
+		if code != Success {
+			return code
+		}
+		if code := applyOp(o, k, acc[keep.lo*es:keep.hi*es], data); code != Success {
+			return code
+		}
+		stack = append(stack, cur)
+		cur = keep
+		round++
+	}
+	// Allgather by recursive doubling, unwinding the halving stack.
+	for dist := 1; dist < n; dist *= 2 {
+		partner := me ^ dist
+		parent := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		data, code := p.collExchange(c, partner, partner, tag+round, acc[cur.lo*es:cur.hi*es])
+		if code != Success {
+			return code
+		}
+		// Partner owned the complementary half of the parent span.
+		if cur.lo == parent.lo {
+			copy(acc[cur.hi*es:parent.hi*es], data)
+		} else {
+			copy(acc[parent.lo*es:cur.lo*es], data)
+		}
+		cur = parent
+		round++
+	}
+	return Success
+}
+
+// Gather uses MPICH's binomial tree: each subtree root forwards its
+// aggregated relative-rank block range to its parent.
+func (p *Proc) Gather(sendbuf []byte, scount int, stype Handle,
+	recvbuf []byte, rcount int, rtype Handle, root int, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	st, code := p.lookupType(stype)
+	if code != Success {
+		return code
+	}
+	if root < 0 || root >= c.size() {
+		return ErrRoot
+	}
+	n, me := c.size(), c.myPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	blockSz := scount * st.t.Size()
+	region := make([]byte, n*blockSz)
+	if _, err := st.t.Pack(sendbuf, scount, region[:blockSz]); err != nil && scount > 0 {
+		return ErrBuffer
+	}
+	tag := p.nextCollTag(c)
+	span := 1
+	mask := 1
+	for mask < n {
+		if rel&mask == 0 {
+			childRel := rel + mask
+			if childRel < n {
+				data, code := p.collRecv(c, abs(childRel), tag)
+				if code != Success {
+					return code
+				}
+				copy(region[span*blockSz:], data)
+				childSpan := mask
+				if childRel+childSpan > n {
+					childSpan = n - childRel
+				}
+				span += childSpan
+			}
+		} else {
+			if code := p.collSend(c, abs(rel-mask), tag, region[:span*blockSz]); code != Success {
+				return code
+			}
+			return Success
+		}
+		mask <<= 1
+	}
+	// Only the root reaches here. Unscramble relative order into recvbuf.
+	rt, code := p.lookupType(rtype)
+	if code != Success {
+		return code
+	}
+	if rcount*rt.t.Size() != blockSz {
+		return ErrTruncate
+	}
+	for r := 0; r < n; r++ {
+		relPos := (r - root + n) % n
+		if _, err := rt.t.Unpack(region[relPos*blockSz:(relPos+1)*blockSz], rcount,
+			recvbuf[r*rcount*rt.t.Extent():]); err != nil {
+			return ErrBuffer
+		}
+	}
+	return Success
+}
+
+// Scatter is the binomial mirror of Gather.
+func (p *Proc) Scatter(sendbuf []byte, scount int, stype Handle,
+	recvbuf []byte, rcount int, rtype Handle, root int, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	rt, code := p.lookupType(rtype)
+	if code != Success {
+		return code
+	}
+	n, me := c.size(), c.myPos
+	if root < 0 || root >= n {
+		return ErrRoot
+	}
+	blockSz := rcount * rt.t.Size()
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	tag := p.nextCollTag(c)
+	region := make([]byte, n*blockSz)
+	if me == root {
+		st, code := p.lookupType(stype)
+		if code != Success {
+			return code
+		}
+		if scount*st.t.Size() != blockSz {
+			return ErrTruncate
+		}
+		// Rotate into relative order while packing.
+		for r := 0; r < n; r++ {
+			relPos := (r - root + n) % n
+			if _, err := st.t.Pack(sendbuf[r*scount*st.t.Extent():], scount,
+				region[relPos*blockSz:(relPos+1)*blockSz]); err != nil {
+				return ErrBuffer
+			}
+		}
+	}
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			mySpan := mask
+			if rel+mySpan > n {
+				mySpan = n - rel
+			}
+			data, code := p.collRecv(c, abs(rel-mask), tag)
+			if code != Success {
+				return code
+			}
+			copy(region[rel*blockSz:(rel+mySpan)*blockSz], data)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask >= 1; mask >>= 1 {
+		if rel+mask < n {
+			child := rel + mask
+			hi := rel + 2*mask
+			if hi > n {
+				hi = n
+			}
+			if code := p.collSend(c, abs(child), tag, region[child*blockSz:hi*blockSz]); code != Success {
+				return code
+			}
+		}
+	}
+	if _, err := rt.t.Unpack(region[rel*blockSz:(rel+1)*blockSz], rcount, recvbuf); err != nil {
+		return ErrBuffer
+	}
+	return Success
+}
+
+// Allgather uses recursive doubling on power-of-two communicators for
+// short messages and a ring otherwise, MPICH's selection.
+func (p *Proc) Allgather(sendbuf []byte, scount int, stype Handle,
+	recvbuf []byte, rcount int, rtype Handle, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	st, code := p.lookupType(stype)
+	if code != Success {
+		return code
+	}
+	rt, code := p.lookupType(rtype)
+	if code != Success {
+		return code
+	}
+	n, me := c.size(), c.myPos
+	blockSz := scount * st.t.Size()
+	if rcount*rt.t.Size() != blockSz {
+		return ErrTruncate
+	}
+	region := make([]byte, n*blockSz)
+	if _, err := st.t.Pack(sendbuf, scount, region[me*blockSz:(me+1)*blockSz]); err != nil && scount > 0 {
+		return ErrBuffer
+	}
+	tag := p.nextCollTag(c)
+	isPow2 := n&(n-1) == 0
+	if n > 1 && blockSz > 0 {
+		if isPow2 && n*blockSz <= allgatherRDMax {
+			code = p.allgatherRecDoubling(c, region, blockSz, tag)
+		} else {
+			code = p.allgatherRing(c, region, blockSz, tag)
+		}
+		if code != Success {
+			return code
+		}
+	}
+	for r := 0; r < n; r++ {
+		if _, err := rt.t.Unpack(region[r*blockSz:(r+1)*blockSz], rcount,
+			recvbuf[r*rcount*rt.t.Extent():]); err != nil {
+			return ErrBuffer
+		}
+	}
+	return Success
+}
+
+func (p *Proc) allgatherRecDoubling(c *commObj, region []byte, blockSz int, tag int32) int {
+	n, me := c.size(), c.myPos
+	round := int32(0)
+	for dist := 1; dist < n; dist *= 2 {
+		partner := me ^ dist
+		base := me &^ (2*dist - 1)
+		myLo := me &^ (dist - 1)
+		partnerLo := partner &^ (dist - 1)
+		data, code := p.collExchange(c, partner, partner, tag+round,
+			region[myLo*blockSz:(myLo+dist)*blockSz])
+		if code != Success {
+			return code
+		}
+		copy(region[partnerLo*blockSz:], data)
+		_ = base
+		round++
+	}
+	return Success
+}
+
+func (p *Proc) allgatherRing(c *commObj, region []byte, blockSz int, tag int32) int {
+	n, me := c.size(), c.myPos
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		sendBlock := (me - s + n) % n
+		recvBlock := (me - s - 1 + n) % n
+		data, code := p.collExchange(c, right, left, tag,
+			region[sendBlock*blockSz:(sendBlock+1)*blockSz])
+		if code != Success {
+			return code
+		}
+		copy(region[recvBlock*blockSz:(recvBlock+1)*blockSz], data)
+	}
+	return Success
+}
+
+// Alltoall uses the Bruck algorithm for short blocks and pairwise
+// exchanges for long ones, MPICH's selection.
+func (p *Proc) Alltoall(sendbuf []byte, scount int, stype Handle,
+	recvbuf []byte, rcount int, rtype Handle, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	st, code := p.lookupType(stype)
+	if code != Success {
+		return code
+	}
+	rt, code := p.lookupType(rtype)
+	if code != Success {
+		return code
+	}
+	n, me := c.size(), c.myPos
+	blockSz := scount * st.t.Size()
+	if rcount*rt.t.Size() != blockSz {
+		return ErrTruncate
+	}
+	// Pack per-destination blocks.
+	out := make([]byte, n*blockSz)
+	for d := 0; d < n; d++ {
+		if _, err := st.t.Pack(sendbuf[d*scount*st.t.Extent():], scount,
+			out[d*blockSz:(d+1)*blockSz]); err != nil && scount > 0 {
+			return ErrBuffer
+		}
+	}
+	in := make([]byte, n*blockSz)
+	tag := p.nextCollTag(c)
+	switch {
+	case n == 1 || blockSz == 0:
+		copy(in, out)
+	case blockSz <= alltoallBruckMax:
+		if code := p.alltoallBruck(c, out, in, blockSz, tag); code != Success {
+			return code
+		}
+	case blockSz < alltoallPairwiseMin:
+		if code := p.alltoallOverlap(c, out, in, blockSz, tag); code != Success {
+			return code
+		}
+	default:
+		if code := p.alltoallPairwise(c, out, in, blockSz, tag); code != Success {
+			return code
+		}
+	}
+	_ = me
+	for r := 0; r < n; r++ {
+		if _, err := rt.t.Unpack(in[r*blockSz:(r+1)*blockSz], rcount,
+			recvbuf[r*rcount*rt.t.Extent():]); err != nil {
+			return ErrBuffer
+		}
+	}
+	return Success
+}
+
+// alltoallBruck runs in ceil(log2 n) rounds, each moving all blocks whose
+// (rotated) index has the round's bit set.
+func (p *Proc) alltoallBruck(c *commObj, out, in []byte, blockSz int, tag int32) int {
+	n, me := c.size(), c.myPos
+	// Phase 1: local rotation; tmp[i] = block destined to (me+i) mod n.
+	tmp := make([]byte, n*blockSz)
+	for i := 0; i < n; i++ {
+		d := (me + i) % n
+		copy(tmp[i*blockSz:(i+1)*blockSz], out[d*blockSz:(d+1)*blockSz])
+	}
+	round := int32(0)
+	scratch := make([]byte, n*blockSz)
+	for pow := 1; pow < n; pow <<= 1 {
+		var idxs []int
+		for i := 0; i < n; i++ {
+			if i&pow != 0 {
+				idxs = append(idxs, i)
+			}
+		}
+		sendbuf := scratch[:0]
+		for _, i := range idxs {
+			sendbuf = append(sendbuf, tmp[i*blockSz:(i+1)*blockSz]...)
+		}
+		to := (me + pow) % n
+		from := (me - pow + n) % n
+		data, code := p.collExchange(c, to, from, tag+round, sendbuf)
+		if code != Success {
+			return code
+		}
+		for j, i := range idxs {
+			copy(tmp[i*blockSz:(i+1)*blockSz], data[j*blockSz:(j+1)*blockSz])
+		}
+		round++
+	}
+	// Phase 3: block from source s sits at index (me-s+n) mod n.
+	for s := 0; s < n; s++ {
+		i := (me - s + n) % n
+		copy(in[s*blockSz:(s+1)*blockSz], tmp[i*blockSz:(i+1)*blockSz])
+	}
+	return Success
+}
+
+// alltoallOverlap is MPICH's medium-message algorithm: post every receive,
+// start every send nonblocking, then drain — maximal overlap across peers.
+func (p *Proc) alltoallOverlap(c *commObj, out, in []byte, blockSz int, tag int32) int {
+	n, me := c.size(), c.myPos
+	copy(in[me*blockSz:(me+1)*blockSz], out[me*blockSz:(me+1)*blockSz])
+	recvs := make([]*request, 0, n-1)
+	for i := 1; i < n; i++ {
+		from := (me - i + n) % n
+		r := &request{
+			kind: reqRecv, comm: c, raw: true,
+			srcWorld: c.ranks[from], tag: int(tag), cid: c.cid | collCIDBit,
+		}
+		p.postRecv(r)
+		recvs = append(recvs, r)
+	}
+	sends := make([]*request, 0, n-1)
+	for i := 1; i < n; i++ {
+		to := (me + i) % n
+		if s := p.sendInternal(out[to*blockSz:(to+1)*blockSz], c.ranks[to], tag, c.cid|collCIDBit); s != nil {
+			sends = append(sends, s)
+		}
+	}
+	for i, r := range recvs {
+		for !r.done {
+			if code := p.progress(true); code != Success {
+				return code
+			}
+		}
+		if r.code != Success {
+			return r.code
+		}
+		from := (me - i - 1 + n) % n
+		copy(in[from*blockSz:(from+1)*blockSz], r.rawOut)
+	}
+	for _, s := range sends {
+		for !s.done {
+			if code := p.progress(true); code != Success {
+				return code
+			}
+		}
+	}
+	return Success
+}
+
+// alltoallPairwise exchanges with peers at increasing offsets; step k
+// pairs rank r with r+k (send) and r-k (recv).
+func (p *Proc) alltoallPairwise(c *commObj, out, in []byte, blockSz int, tag int32) int {
+	n, me := c.size(), c.myPos
+	copy(in[me*blockSz:(me+1)*blockSz], out[me*blockSz:(me+1)*blockSz])
+	for k := 1; k < n; k++ {
+		to := (me + k) % n
+		from := (me - k + n) % n
+		data, code := p.collExchange(c, to, from, tag,
+			out[to*blockSz:(to+1)*blockSz])
+		if code != Success {
+			return code
+		}
+		copy(in[from*blockSz:(from+1)*blockSz], data)
+	}
+	return Success
+}

@@ -1,0 +1,471 @@
+package mpich
+
+import (
+	"sort"
+
+	"repro/internal/abi"
+	"repro/internal/ops"
+	"repro/internal/types"
+)
+
+// CommSize mirrors MPI_Comm_size.
+func (p *Proc) CommSize(comm Handle) (int, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return 0, code
+	}
+	return c.size(), Success
+}
+
+// CommRank mirrors MPI_Comm_rank.
+func (p *Proc) CommRank(comm Handle) (int, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return 0, code
+	}
+	return c.myPos, Success
+}
+
+// CommDup duplicates a communicator into a fresh context id. Like the real
+// call it is collective; the barrier models the agreement round-trip and
+// enforces that every member participates.
+func (p *Proc) CommDup(comm Handle) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return CommNull, code
+	}
+	if code := p.Barrier(comm); code != Success {
+		return CommNull, code
+	}
+	c.chldSeq++
+	nc := &commObj{
+		handle: p.newCommHandle(),
+		cid:    deriveCID(c.cid, c.chldSeq),
+		ranks:  append([]int(nil), c.ranks...),
+		myPos:  c.myPos,
+	}
+	p.installComm(nc)
+	return nc.handle, Success
+}
+
+// CommSplit partitions a communicator by color, ordering members by (key,
+// parent rank). Color Undefined yields CommNull. The membership exchange
+// runs as an allgather on the parent, like MPICH's implementation.
+func (p *Proc) CommSplit(comm Handle, color, key int) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return CommNull, code
+	}
+	n := c.size()
+	// Allgather (color, key) pairs over the parent communicator.
+	mine := abi.Int64Bytes([]int64{int64(color), int64(key)})
+	all := make([]byte, n*16)
+	if code := p.Allgather(mine, 16, TypeHandle(types.KindByte),
+		all, 16, TypeHandle(types.KindByte), comm); code != Success {
+		return CommNull, code
+	}
+	c.chldSeq++
+	ordinal := c.chldSeq
+	if color == Undefined {
+		return CommNull, Success
+	}
+	type member struct{ key, parentRank int }
+	var members []member
+	for r := 0; r < n; r++ {
+		vals := abi.Int64sOf(all[r*16 : (r+1)*16])
+		if int(vals[0]) == color {
+			members = append(members, member{key: int(vals[1]), parentRank: r})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].parentRank < members[j].parentRank
+	})
+	ranks := make([]int, len(members))
+	myPos := -1
+	for i, m := range members {
+		ranks[i] = c.ranks[m.parentRank]
+		if m.parentRank == c.myPos {
+			myPos = i
+		}
+	}
+	nc := &commObj{
+		handle: p.newCommHandle(),
+		cid:    deriveCID(c.cid, ordinal<<8|uint32(color&0xff)),
+		ranks:  ranks,
+		myPos:  myPos,
+	}
+	p.installComm(nc)
+	return nc.handle, Success
+}
+
+// CommCreate builds a communicator from a subgroup; callers outside the
+// group receive CommNull. Collective over the parent.
+func (p *Proc) CommCreate(comm, group Handle) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return CommNull, code
+	}
+	g, ok := p.groups[group]
+	if !ok || group.isNull() {
+		return CommNull, ErrGroup
+	}
+	if code := p.Barrier(comm); code != Success {
+		return CommNull, code
+	}
+	c.chldSeq++
+	myPos := -1
+	for i, w := range g.ranks {
+		if w == p.rank {
+			myPos = i
+		}
+	}
+	if myPos == -1 {
+		return CommNull, Success
+	}
+	nc := &commObj{
+		handle: p.newCommHandle(),
+		cid:    deriveCID(c.cid, c.chldSeq|0x40000000),
+		ranks:  append([]int(nil), g.ranks...),
+		myPos:  myPos,
+	}
+	p.installComm(nc)
+	return nc.handle, Success
+}
+
+// CommGroup extracts a communicator's group.
+func (p *Proc) CommGroup(comm Handle) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return GroupNull, code
+	}
+	g := &groupObj{
+		handle: p.newGroupHandle(),
+		ranks:  append([]int(nil), c.ranks...),
+		myPos:  c.myPos,
+	}
+	p.groups[g.handle] = g
+	return g.handle, Success
+}
+
+// CommFree releases a dynamic communicator. Predefined communicators are
+// rejected, as in MPI.
+func (p *Proc) CommFree(comm Handle) int {
+	if comm == CommWorld || comm == CommSelf {
+		return ErrComm
+	}
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	delete(p.comms, comm)
+	delete(p.cidIndex, c.cid)
+	return Success
+}
+
+// GroupSize mirrors MPI_Group_size.
+func (p *Proc) GroupSize(group Handle) (int, int) {
+	g, ok := p.groups[group]
+	if group == GroupEmpty {
+		return 0, Success
+	}
+	if !ok || group.isNull() {
+		return 0, ErrGroup
+	}
+	return len(g.ranks), Success
+}
+
+// GroupRank mirrors MPI_Group_rank (Undefined when not a member).
+func (p *Proc) GroupRank(group Handle) (int, int) {
+	if group == GroupEmpty {
+		return Undefined, Success
+	}
+	g, ok := p.groups[group]
+	if !ok || group.isNull() {
+		return 0, ErrGroup
+	}
+	if g.myPos < 0 {
+		return Undefined, Success
+	}
+	return g.myPos, Success
+}
+
+func (p *Proc) lookupGroup(group Handle) (*groupObj, int) {
+	if group == GroupEmpty {
+		return &groupObj{handle: GroupEmpty, myPos: -1}, Success
+	}
+	g, ok := p.groups[group]
+	if !ok || group.isNull() {
+		return nil, ErrGroup
+	}
+	return g, Success
+}
+
+// GroupIncl selects the listed ranks into a new group, in order.
+func (p *Proc) GroupIncl(group Handle, ranksIn []int) (Handle, int) {
+	g, code := p.lookupGroup(group)
+	if code != Success {
+		return GroupNull, code
+	}
+	if len(ranksIn) == 0 {
+		return GroupEmpty, Success
+	}
+	worlds := make([]int, len(ranksIn))
+	myPos := -1
+	for i, r := range ranksIn {
+		if r < 0 || r >= len(g.ranks) {
+			return GroupNull, ErrRank
+		}
+		worlds[i] = g.ranks[r]
+		if worlds[i] == p.rank {
+			myPos = i
+		}
+	}
+	ng := &groupObj{handle: p.newGroupHandle(), ranks: worlds, myPos: myPos}
+	p.groups[ng.handle] = ng
+	return ng.handle, Success
+}
+
+// GroupExcl removes the listed ranks from a group, preserving order.
+func (p *Proc) GroupExcl(group Handle, ranksOut []int) (Handle, int) {
+	g, code := p.lookupGroup(group)
+	if code != Success {
+		return GroupNull, code
+	}
+	excl := make(map[int]bool, len(ranksOut))
+	for _, r := range ranksOut {
+		if r < 0 || r >= len(g.ranks) {
+			return GroupNull, ErrRank
+		}
+		excl[r] = true
+	}
+	var worlds []int
+	myPos := -1
+	for i, w := range g.ranks {
+		if excl[i] {
+			continue
+		}
+		if w == p.rank {
+			myPos = len(worlds)
+		}
+		worlds = append(worlds, w)
+	}
+	if len(worlds) == 0 {
+		return GroupEmpty, Success
+	}
+	ng := &groupObj{handle: p.newGroupHandle(), ranks: worlds, myPos: myPos}
+	p.groups[ng.handle] = ng
+	return ng.handle, Success
+}
+
+// GroupTranslateRanks maps ranks in g1 to their ranks in g2 (Undefined when
+// absent), mirroring MPI_Group_translate_ranks.
+func (p *Proc) GroupTranslateRanks(g1 Handle, ranks []int, g2 Handle) ([]int, int) {
+	a, code := p.lookupGroup(g1)
+	if code != Success {
+		return nil, code
+	}
+	b, code := p.lookupGroup(g2)
+	if code != Success {
+		return nil, code
+	}
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= len(a.ranks) {
+			return nil, ErrRank
+		}
+		out[i] = Undefined
+		for j, w := range b.ranks {
+			if w == a.ranks[r] {
+				out[i] = j
+				break
+			}
+		}
+	}
+	return out, Success
+}
+
+// GroupFree releases a dynamic group.
+func (p *Proc) GroupFree(group Handle) int {
+	if group == GroupEmpty {
+		return Success
+	}
+	if _, ok := p.groups[group]; !ok || group.isNull() {
+		return ErrGroup
+	}
+	delete(p.groups, group)
+	return Success
+}
+
+// lookupTypeAny permits uncommitted datatypes (constructor inputs).
+func (p *Proc) lookupTypeAny(h Handle) (*typeObj, int) {
+	t, ok := p.dtypes[h]
+	if !ok || h.isNull() {
+		return nil, ErrType
+	}
+	return t, Success
+}
+
+// TypeContiguous mirrors MPI_Type_contiguous.
+func (p *Proc) TypeContiguous(count int, inner Handle) (Handle, int) {
+	it, code := p.lookupTypeAny(inner)
+	if code != Success {
+		return DatatypeNull, code
+	}
+	t, err := types.Contiguous(count, it.t)
+	if err != nil {
+		return DatatypeNull, ErrArg
+	}
+	h := p.newTypeHandle()
+	p.dtypes[h] = &typeObj{handle: h, t: t}
+	return h, Success
+}
+
+// TypeVector mirrors MPI_Type_vector.
+func (p *Proc) TypeVector(count, blocklen, stride int, inner Handle) (Handle, int) {
+	it, code := p.lookupTypeAny(inner)
+	if code != Success {
+		return DatatypeNull, code
+	}
+	t, err := types.Vector(count, blocklen, stride, it.t)
+	if err != nil {
+		return DatatypeNull, ErrArg
+	}
+	h := p.newTypeHandle()
+	p.dtypes[h] = &typeObj{handle: h, t: t}
+	return h, Success
+}
+
+// TypeIndexed mirrors MPI_Type_indexed.
+func (p *Proc) TypeIndexed(blocklens, displs []int, inner Handle) (Handle, int) {
+	it, code := p.lookupTypeAny(inner)
+	if code != Success {
+		return DatatypeNull, code
+	}
+	t, err := types.Indexed(blocklens, displs, it.t)
+	if err != nil {
+		return DatatypeNull, ErrArg
+	}
+	h := p.newTypeHandle()
+	p.dtypes[h] = &typeObj{handle: h, t: t}
+	return h, Success
+}
+
+// TypeCreateStruct mirrors MPI_Type_create_struct. Member types must be
+// committed first (our engine's flattening requirement).
+func (p *Proc) TypeCreateStruct(blocklens, displs []int, typs []Handle) (Handle, int) {
+	members := make([]*types.Type, len(typs))
+	for i, th := range typs {
+		tt, code := p.lookupTypeAny(th)
+		if code != Success {
+			return DatatypeNull, code
+		}
+		if err := tt.t.Commit(); err != nil {
+			return DatatypeNull, ErrType
+		}
+		members[i] = tt.t
+	}
+	t, err := types.Struct(blocklens, displs, members)
+	if err != nil {
+		return DatatypeNull, ErrArg
+	}
+	h := p.newTypeHandle()
+	p.dtypes[h] = &typeObj{handle: h, t: t}
+	return h, Success
+}
+
+// TypeCommit mirrors MPI_Type_commit.
+func (p *Proc) TypeCommit(dtype Handle) int {
+	t, code := p.lookupTypeAny(dtype)
+	if code != Success {
+		return code
+	}
+	if err := t.t.Commit(); err != nil {
+		return ErrType
+	}
+	return Success
+}
+
+// TypeFree releases a dynamic datatype; predefined types are rejected.
+func (p *Proc) TypeFree(dtype Handle) int {
+	t, code := p.lookupTypeAny(dtype)
+	if code != Success {
+		return code
+	}
+	if t.prim.Valid() {
+		return ErrType
+	}
+	delete(p.dtypes, dtype)
+	return Success
+}
+
+// TypeSize mirrors MPI_Type_size (committing lazily for queries).
+func (p *Proc) TypeSize(dtype Handle) (int, int) {
+	t, code := p.lookupTypeAny(dtype)
+	if code != Success {
+		return 0, code
+	}
+	if err := t.t.Commit(); err != nil {
+		return 0, ErrType
+	}
+	return t.t.Size(), Success
+}
+
+// TypeExtent mirrors MPI_Type_get_extent.
+func (p *Proc) TypeExtent(dtype Handle) (int, int) {
+	t, code := p.lookupTypeAny(dtype)
+	if code != Success {
+		return 0, code
+	}
+	if err := t.t.Commit(); err != nil {
+		return 0, ErrType
+	}
+	return t.t.Extent(), Success
+}
+
+// GetCount mirrors MPI_Get_count.
+func (p *Proc) GetCount(st *Status, dtype Handle) (int, int) {
+	t, code := p.lookupTypeAny(dtype)
+	if code != Success {
+		return 0, code
+	}
+	if err := t.t.Commit(); err != nil {
+		return 0, ErrType
+	}
+	sz := t.t.Size()
+	if sz == 0 {
+		return 0, ErrType
+	}
+	bytes := st.CountBytes()
+	if bytes%uint64(sz) != 0 {
+		return Undefined, Success
+	}
+	return int(bytes / uint64(sz)), Success
+}
+
+// OpCreate registers a user reduction operator by registry name (see
+// ops.RegisterUser); named registration is what lets user ops survive a
+// checkpoint/restart.
+func (p *Proc) OpCreate(name string, commute bool) (Handle, int) {
+	if _, _, err := ops.LookupUser(name); err != nil {
+		return OpNull, ErrOp
+	}
+	h := p.newOpHandle()
+	p.userOps[h] = &opObj{handle: h, user: name, commute: commute}
+	return h, Success
+}
+
+// OpFree releases a user operator; predefined operators are rejected.
+func (p *Proc) OpFree(op Handle) int {
+	o, code := p.lookupOp(op)
+	if code != Success {
+		return code
+	}
+	if o.user == "" {
+		return ErrOp
+	}
+	delete(p.userOps, op)
+	return Success
+}

@@ -1,0 +1,59 @@
+package mpich
+
+// MPICH-style error codes: plain ints with MPI_SUCCESS == 0. The values
+// follow real MPICH's mpi.h, which differs from the simulated Open MPI's
+// table — translating these spaces is part of the ABI shim's job.
+const (
+	Success      = 0
+	ErrBuffer    = 1
+	ErrCount     = 2
+	ErrType      = 3
+	ErrTag       = 4
+	ErrComm      = 5
+	ErrRank      = 6
+	ErrRoot      = 7
+	ErrGroup     = 8
+	ErrOp        = 9
+	ErrTopology  = 10
+	ErrDims      = 11
+	ErrArg       = 12
+	ErrUnknown   = 13
+	ErrTruncate  = 14
+	ErrOther     = 15
+	ErrIntern    = 16
+	ErrInStatus  = 17
+	ErrPending   = 18
+	ErrRequest   = 19
+	errCodeCount = 20
+)
+
+var errStrings = [errCodeCount]string{
+	Success:     "No MPI error",
+	ErrBuffer:   "Invalid buffer pointer",
+	ErrCount:    "Invalid count argument",
+	ErrType:     "Invalid datatype argument",
+	ErrTag:      "Invalid tag argument",
+	ErrComm:     "Invalid communicator",
+	ErrRank:     "Invalid rank",
+	ErrRoot:     "Invalid root",
+	ErrGroup:    "Invalid group",
+	ErrOp:       "Invalid MPI_Op",
+	ErrTopology: "Invalid topology",
+	ErrDims:     "Invalid dimension argument",
+	ErrArg:      "Invalid argument",
+	ErrUnknown:  "Unknown error",
+	ErrTruncate: "Message truncated",
+	ErrOther:    "Other MPI error",
+	ErrIntern:   "Internal MPI error",
+	ErrInStatus: "Error code is in status",
+	ErrPending:  "Pending request",
+	ErrRequest:  "Invalid MPI_Request",
+}
+
+// ErrorString mirrors MPI_Error_string.
+func ErrorString(code int) string {
+	if code >= 0 && code < errCodeCount {
+		return errStrings[code]
+	}
+	return "Unknown error code"
+}

@@ -1,0 +1,117 @@
+// Package mpich is the first of the two simulated MPI implementations. Its
+// public surface deliberately reproduces the MPICH family's ABI style:
+//
+//   - handles are 32-bit integers whose top bits encode the object class,
+//     e.g. MPI_COMM_WORLD = 0x44000000, predefined datatypes 0x4c00xxyy
+//     with the size embedded in bits 8..15;
+//   - functions return C-style int error codes (MPI_SUCCESS == 0) from
+//     MPICH's code table;
+//   - the status object is laid out MPICH-style: count first, then
+//     MPI_SOURCE, MPI_TAG, MPI_ERROR;
+//   - wildcard/sentinel constants use MPICH's values (MPI_ANY_SOURCE=-2,
+//     MPI_PROC_NULL=-1).
+//
+// Collective algorithms follow MPICH's classic selections: binomial
+// broadcast (scatter+allgather for large messages), recursive-doubling and
+// Rabenseifner allreduce, Bruck and pairwise alltoall, dissemination
+// barrier.
+//
+// None of this package's types appear in the standard ABI; the Mukautuva
+// wrap adapter (internal/mukautuva) translates between the two worlds, and
+// Bind provides the "compiled against MPICH's mpi.h" native binding.
+package mpich
+
+import "fmt"
+
+// Handle is an MPICH-style object handle: a 32-bit integer with the object
+// class in the top byte.
+type Handle int32
+
+// Handle class prefixes (top byte), matching MPICH's HANDLE_KIND encoding
+// closely enough to feel native.
+const (
+	handleClassMask Handle = 0x7c000000
+	classComm       Handle = 0x44000000
+	classGroup      Handle = 0x48000000
+	classDatatype   Handle = 0x4c000000
+	classOp         Handle = 0x58000000
+	classRequest    Handle = 0x2c000000
+	classNullBit    Handle = 0x00800000 // set on null handles
+)
+
+// Predefined handles.
+const (
+	CommNull  Handle = classComm | classNullBit
+	CommWorld Handle = classComm | 0x0
+	CommSelf  Handle = classComm | 0x1
+
+	GroupNull  Handle = classGroup | classNullBit
+	GroupEmpty Handle = classGroup | 0x0
+
+	DatatypeNull Handle = classDatatype | classNullBit
+
+	OpNull Handle = classOp | classNullBit
+
+	RequestNull Handle = classRequest | classNullBit
+)
+
+// Integer constants, MPICH values.
+const (
+	AnySource = -2
+	ProcNull  = -1
+	AnyTag    = -1
+	Root      = -3
+	Undefined = -32766
+	TagUB     = 0x3fffffff
+)
+
+// dynBase is the first payload used for runtime-allocated handles; smaller
+// payloads are predefined.
+const dynBase = 0x00010000
+
+// class extracts the class bits of a handle.
+func (h Handle) class() Handle { return h & handleClassMask }
+
+// isNull reports whether the handle is its class's null handle.
+func (h Handle) isNull() bool { return h&classNullBit != 0 }
+
+// payload extracts the index bits.
+func (h Handle) payload() int32 { return int32(h) & 0x003fffff }
+
+// String renders a handle for diagnostics.
+func (h Handle) String() string { return fmt.Sprintf("mpich:%#x", int32(h)) }
+
+// Status is MPICH's status layout: the count words come first, then the
+// public fields. (Real MPICH: int count_lo; int count_hi_and_cancelled;
+// int MPI_SOURCE; int MPI_TAG; int MPI_ERROR.)
+type Status struct {
+	CountLo             int32
+	CountHiAndCancelled int32 // bit 31: cancelled flag; bits 0..30: count high bits
+	Source              int32 // MPI_SOURCE
+	Tag                 int32 // MPI_TAG
+	Error               int32 // MPI_ERROR
+}
+
+// setCount stores a byte count into the split count words.
+func (s *Status) setCount(n uint64) {
+	s.CountLo = int32(n & 0xffffffff)
+	hi := int32((n >> 32) & 0x7fffffff)
+	s.CountHiAndCancelled = s.CountHiAndCancelled&^0x7fffffff | hi
+}
+
+// CountBytes reassembles the received byte count.
+func (s *Status) CountBytes() uint64 {
+	return uint64(uint32(s.CountLo)) | uint64(s.CountHiAndCancelled&0x7fffffff)<<32
+}
+
+// SetCancelled sets the cancelled flag bit.
+func (s *Status) SetCancelled(c bool) {
+	if c {
+		s.CountHiAndCancelled |= -1 << 31
+	} else {
+		s.CountHiAndCancelled &^= -1 << 31
+	}
+}
+
+// IsCancelled reads the cancelled flag bit.
+func (s *Status) IsCancelled() bool { return s.CountHiAndCancelled&(-1<<31) != 0 }

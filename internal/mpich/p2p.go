@@ -1,0 +1,450 @@
+package mpich
+
+import (
+	"repro/internal/fabric"
+)
+
+// progress pulls one envelope from the fabric and dispatches it. With
+// block=true it waits for traffic; otherwise it returns immediately when
+// the mailbox is empty. MPICH-style progress is driven only from inside MPI
+// calls, which this reproduces: the engine runs inside Send/Recv/Wait/etc.
+func (p *Proc) progress(block bool) int {
+	var e *fabric.Envelope
+	if block {
+		e = p.ep.Recv()
+		if e == nil {
+			return ErrOther // world closed under us
+		}
+	} else {
+		var ok bool
+		e, ok = p.ep.TryRecv()
+		if !ok {
+			return Success
+		}
+	}
+	p.dispatch(e)
+	return Success
+}
+
+// dispatch routes one arrived envelope.
+func (p *Proc) dispatch(e *fabric.Envelope) {
+	switch e.Proto {
+	case fabric.ProtoEager:
+		if r := p.matchPosted(e); r != nil {
+			p.deliverPayload(r, e.Src, e.Tag, e.Payload)
+		} else {
+			p.unexpected = append(p.unexpected, e)
+		}
+	case fabric.ProtoRTS:
+		if r := p.matchPosted(e); r != nil {
+			p.acceptRTS(e, r)
+		} else {
+			p.unexpected = append(p.unexpected, e)
+		}
+	case fabric.ProtoCTS:
+		if s, ok := p.pendingSend[e.Seq]; ok {
+			delete(p.pendingSend, e.Seq)
+			p.ep.Send(&fabric.Envelope{
+				Dst: e.Src, CID: s.cid, Proto: fabric.ProtoData,
+				Seq: e.Seq, Payload: s.payload,
+			})
+			s.payload = nil
+			s.done = true
+			s.code = Success
+		}
+	case fabric.ProtoData:
+		key := seqKey{peer: e.Src, seq: e.Seq}
+		if r, ok := p.awaitingData[key]; ok {
+			delete(p.awaitingData, key)
+			p.deliverPayload(r, e.Src, r.status.Tag, e.Payload)
+		}
+	}
+}
+
+// envMatches reports whether an arrived envelope satisfies a posted recv.
+func envMatches(r *request, e *fabric.Envelope) bool {
+	if e.CID != r.cid {
+		return false
+	}
+	if r.srcWorld != AnySource && e.Src != r.srcWorld {
+		return false
+	}
+	if r.tag != AnyTag && e.Tag != int32(r.tag) {
+		return false
+	}
+	return true
+}
+
+// matchPosted finds and removes the oldest posted recv matching e.
+func (p *Proc) matchPosted(e *fabric.Envelope) *request {
+	for i, r := range p.posted {
+		if envMatches(r, e) {
+			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// matchUnexpected finds and removes the oldest unexpected envelope
+// matching a fresh recv.
+func (p *Proc) matchUnexpected(r *request) *fabric.Envelope {
+	for i, e := range p.unexpected {
+		if envMatches(r, e) {
+			p.unexpected = append(p.unexpected[:i], p.unexpected[i+1:]...)
+			return e
+		}
+	}
+	return nil
+}
+
+// deliverPayload completes a receive with the given packed payload.
+func (p *Proc) deliverPayload(r *request, srcWorld int, tag int32, payload []byte) {
+	r.status.Source = int32(srcWorld) // world rank; converted to comm rank below
+	if r.comm != nil {
+		r.status.Source = int32(r.comm.posOf(srcWorld))
+	}
+	r.status.Tag = tag
+	r.done = true
+	if r.raw {
+		r.rawOut = payload
+		r.status.setCount(uint64(len(payload)))
+		r.code = Success
+		r.status.Error = Success
+		return
+	}
+	capacity := r.count * r.dt.t.Size()
+	n := len(payload)
+	if n > capacity {
+		n = capacity
+		r.code = ErrTruncate
+	} else {
+		r.code = Success
+	}
+	if _, err := r.dt.t.UnpackPartial(payload[:n], r.buf); err != nil {
+		r.code = ErrIntern
+	}
+	r.status.setCount(uint64(n))
+	r.status.Error = int32(r.code)
+}
+
+// acceptRTS answers a rendezvous request-to-send for a matched recv.
+func (p *Proc) acceptRTS(e *fabric.Envelope, r *request) {
+	// Remember the tag now; the data envelope only carries the seq.
+	r.status.Tag = e.Tag
+	p.awaitingData[seqKey{peer: e.Src, seq: e.Seq}] = r
+	p.ep.Send(&fabric.Envelope{
+		Dst: e.Src, CID: e.CID, Proto: fabric.ProtoCTS, Seq: e.Seq,
+	})
+}
+
+// postRecv registers a receive request, matching the unexpected queue
+// first. srcComm/tag may be wildcards (MPICH values).
+func (p *Proc) postRecv(r *request) {
+	if e := p.matchUnexpected(r); e != nil {
+		switch e.Proto {
+		case fabric.ProtoEager:
+			p.deliverPayload(r, e.Src, e.Tag, e.Payload)
+		case fabric.ProtoRTS:
+			p.acceptRTS(e, r)
+		}
+		return
+	}
+	p.posted = append(p.posted, r)
+}
+
+// sendInternal implements blocking and nonblocking sends on an arbitrary
+// context id. Returns the request for rendezvous progress, or nil if the
+// send completed immediately (eager path).
+func (p *Proc) sendInternal(packed []byte, destWorld int, tag int32, cid uint32) *request {
+	if len(packed) <= eagerMax || destWorld == p.rank {
+		p.ep.Send(&fabric.Envelope{
+			Dst: destWorld, CID: cid, Tag: tag,
+			Proto: fabric.ProtoEager, Payload: packed,
+		})
+		return nil
+	}
+	p.nextRdvSeq++
+	seq := p.nextRdvSeq
+	r := &request{kind: reqSend, payload: packed, dest: destWorld, seq: seq, cid: cid}
+	p.pendingSend[seq] = r
+	p.ep.Send(&fabric.Envelope{
+		Dst: destWorld, CID: cid, Tag: tag,
+		Proto: fabric.ProtoRTS, Seq: seq, Hdr: uint64(len(packed)),
+	})
+	return r
+}
+
+// validateRankTag checks peer and tag arguments against a communicator.
+func validateRankTag(c *commObj, peer, tag int, sending bool) int {
+	if peer == ProcNull {
+		return Success
+	}
+	if sending {
+		if tag < 0 || tag > TagUB {
+			return ErrTag
+		}
+	} else if tag != AnyTag && (tag < 0 || tag > TagUB) {
+		return ErrTag
+	}
+	if !sending && peer == AnySource {
+		return Success
+	}
+	if peer < 0 || peer >= c.size() {
+		return ErrRank
+	}
+	return Success
+}
+
+// Send is blocking standard-mode MPI_Send.
+func (p *Proc) Send(buf []byte, count int, dtype Handle, dest, tag int, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return code
+	}
+	if code := validateRankTag(c, dest, tag, true); code != Success {
+		return code
+	}
+	if count < 0 {
+		return ErrCount
+	}
+	if dest == ProcNull {
+		return Success
+	}
+	packed, code := packElems(dt, buf, count)
+	if code != Success {
+		return code
+	}
+	r := p.sendInternal(packed, c.ranks[dest], int32(tag), c.cid)
+	for r != nil && !r.done {
+		if code := p.progress(true); code != Success {
+			return code
+		}
+	}
+	if r != nil {
+		return r.code
+	}
+	return Success
+}
+
+// Recv is blocking MPI_Recv.
+func (p *Proc) Recv(buf []byte, count int, dtype Handle, source, tag int, comm Handle, st *Status) int {
+	r, code := p.buildRecv(buf, count, dtype, source, tag, comm)
+	if code != Success {
+		return code
+	}
+	if r == nil { // PROC_NULL
+		fillProcNullStatus(st)
+		return Success
+	}
+	p.postRecv(r)
+	for !r.done {
+		if code := p.progress(true); code != Success {
+			return code
+		}
+	}
+	if st != nil {
+		*st = r.status
+	}
+	return r.code
+}
+
+// buildRecv validates arguments and constructs a recv request (nil for
+// PROC_NULL sources).
+func (p *Proc) buildRecv(buf []byte, count int, dtype Handle, source, tag int, comm Handle) (*request, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return nil, code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return nil, code
+	}
+	if code := validateRankTag(c, source, tag, false); code != Success {
+		return nil, code
+	}
+	if count < 0 {
+		return nil, ErrCount
+	}
+	if source == ProcNull {
+		return nil, Success
+	}
+	srcWorld := AnySource
+	if source != AnySource {
+		srcWorld = c.ranks[source]
+	}
+	return &request{
+		kind: reqRecv, comm: c, buf: buf, count: count, dt: dt,
+		srcWorld: srcWorld, tag: tag, cid: c.cid,
+	}, Success
+}
+
+func fillProcNullStatus(st *Status) {
+	if st == nil {
+		return
+	}
+	st.Source = ProcNull
+	st.Tag = AnyTag
+	st.Error = Success
+	st.setCount(0)
+}
+
+// Isend is nonblocking MPI_Isend. The returned request must be completed
+// with Wait/Test/Waitall.
+func (p *Proc) Isend(buf []byte, count int, dtype Handle, dest, tag int, comm Handle) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return RequestNull, code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return RequestNull, code
+	}
+	if code := validateRankTag(c, dest, tag, true); code != Success {
+		return RequestNull, code
+	}
+	if count < 0 {
+		return RequestNull, ErrCount
+	}
+	h := p.newReqHandle()
+	if dest == ProcNull {
+		p.reqs[h] = &request{handle: h, kind: reqSend, done: true, code: Success}
+		return h, Success
+	}
+	packed, code := packElems(dt, buf, count)
+	if code != Success {
+		return RequestNull, code
+	}
+	r := p.sendInternal(packed, c.ranks[dest], int32(tag), c.cid)
+	if r == nil {
+		r = &request{kind: reqSend, done: true, code: Success}
+	}
+	r.handle = h
+	p.reqs[h] = r
+	return h, Success
+}
+
+// Irecv is nonblocking MPI_Irecv.
+func (p *Proc) Irecv(buf []byte, count int, dtype Handle, source, tag int, comm Handle) (Handle, int) {
+	r, code := p.buildRecv(buf, count, dtype, source, tag, comm)
+	if code != Success {
+		return RequestNull, code
+	}
+	h := p.newReqHandle()
+	if r == nil { // PROC_NULL: complete immediately
+		pn := &request{handle: h, kind: reqRecv, done: true, code: Success}
+		fillProcNullStatusReq(pn)
+		p.reqs[h] = pn
+		return h, Success
+	}
+	r.handle = h
+	p.reqs[h] = r
+	p.postRecv(r)
+	return h, Success
+}
+
+func fillProcNullStatusReq(r *request) {
+	r.status.Source = ProcNull
+	r.status.Tag = AnyTag
+	r.status.Error = Success
+	r.status.setCount(0)
+}
+
+// Wait completes one request, freeing it.
+func (p *Proc) Wait(req Handle, st *Status) int {
+	if req == RequestNull {
+		fillProcNullStatus(st)
+		return Success
+	}
+	r, ok := p.reqs[req]
+	if !ok {
+		return ErrRequest
+	}
+	for !r.done {
+		if code := p.progress(true); code != Success {
+			return code
+		}
+	}
+	delete(p.reqs, req)
+	if st != nil {
+		*st = r.status
+	}
+	return r.code
+}
+
+// Test polls one request; outcome=(completed, code). A completed request
+// is freed.
+func (p *Proc) Test(req Handle, st *Status) (bool, int) {
+	if req == RequestNull {
+		fillProcNullStatus(st)
+		return true, Success
+	}
+	r, ok := p.reqs[req]
+	if !ok {
+		return false, ErrRequest
+	}
+	if !r.done {
+		if code := p.progress(false); code != Success {
+			return false, code
+		}
+	}
+	if !r.done {
+		return false, Success
+	}
+	delete(p.reqs, req)
+	if st != nil {
+		*st = r.status
+	}
+	return true, r.code
+}
+
+// Waitall completes a set of requests. statuses may be nil or match
+// len(reqs).
+func (p *Proc) Waitall(reqs []Handle, statuses []Status) int {
+	if statuses != nil && len(statuses) != len(reqs) {
+		return ErrArg
+	}
+	rc := Success
+	for i, h := range reqs {
+		var st Status
+		code := p.Wait(h, &st)
+		if code != Success {
+			rc = code
+		}
+		if statuses != nil {
+			statuses[i] = st
+		}
+	}
+	return rc
+}
+
+// Sendrecv posts the receive, runs the send, then completes the receive —
+// the deadlock-free composite MPI_Sendrecv.
+func (p *Proc) Sendrecv(sendbuf []byte, scount int, stype Handle, dest, stag int,
+	recvbuf []byte, rcount int, rtype Handle, source, rtag int,
+	comm Handle, st *Status) int {
+	rreq, code := p.Irecv(recvbuf, rcount, rtype, source, rtag, comm)
+	if code != Success {
+		return code
+	}
+	if code := p.Send(sendbuf, scount, stype, dest, stag, comm); code != Success {
+		return code
+	}
+	return p.Wait(rreq, st)
+}
+
+// packElems packs count elements of dt from buf into a fresh wire buffer.
+func packElems(dt *typeObj, buf []byte, count int) ([]byte, int) {
+	if count == 0 {
+		return nil, Success
+	}
+	out := make([]byte, count*dt.t.Size())
+	if _, err := dt.t.Pack(buf, count, out); err != nil {
+		return nil, ErrBuffer
+	}
+	return out, Success
+}

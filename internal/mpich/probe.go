@@ -1,0 +1,88 @@
+package mpich
+
+import "repro/internal/fabric"
+
+// probeScan looks for the oldest unexpected envelope matching the probe
+// parameters without consuming it, filling st on a hit. Eager envelopes
+// report their payload size; rendezvous announcements report the size
+// carried in the RTS header.
+func (p *Proc) probeScan(c *commObj, srcWorld, tag int, cid uint32, st *Status) bool {
+	probe := &request{comm: c, srcWorld: srcWorld, tag: tag, cid: cid}
+	for _, e := range p.unexpected {
+		if e.Proto != fabric.ProtoEager && e.Proto != fabric.ProtoRTS {
+			continue
+		}
+		if !envMatches(probe, e) {
+			continue
+		}
+		if st != nil {
+			st.Source = int32(c.posOf(e.Src))
+			st.Tag = e.Tag
+			st.Error = Success
+			if e.Proto == fabric.ProtoRTS {
+				st.setCount(e.Hdr)
+			} else {
+				st.setCount(uint64(len(e.Payload)))
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// probeArgs validates and resolves probe arguments; the boolean result is
+// false for PROC_NULL (which "matches" immediately with an empty status).
+func (p *Proc) probeArgs(source, tag int, comm Handle) (*commObj, int, bool, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return nil, 0, false, code
+	}
+	if code := validateRankTag(c, source, tag, false); code != Success {
+		return nil, 0, false, code
+	}
+	if source == ProcNull {
+		return c, 0, false, Success
+	}
+	srcWorld := AnySource
+	if source != AnySource {
+		srcWorld = c.ranks[source]
+	}
+	return c, srcWorld, true, Success
+}
+
+// Probe mirrors MPI_Probe: block until a matching message is pending.
+func (p *Proc) Probe(source, tag int, comm Handle, st *Status) int {
+	c, srcWorld, real, code := p.probeArgs(source, tag, comm)
+	if code != Success {
+		return code
+	}
+	if !real {
+		fillProcNullStatus(st)
+		return Success
+	}
+	for !p.probeScan(c, srcWorld, tag, c.cid, st) {
+		if code := p.progress(true); code != Success {
+			return code
+		}
+	}
+	return Success
+}
+
+// Iprobe mirrors MPI_Iprobe: poll for a matching pending message.
+func (p *Proc) Iprobe(source, tag int, comm Handle, st *Status) (bool, int) {
+	c, srcWorld, real, code := p.probeArgs(source, tag, comm)
+	if code != Success {
+		return false, code
+	}
+	if !real {
+		fillProcNullStatus(st)
+		return true, Success
+	}
+	if p.probeScan(c, srcWorld, tag, c.cid, st) {
+		return true, Success
+	}
+	if code := p.progress(false); code != Success {
+		return false, code
+	}
+	return p.probeScan(c, srcWorld, tag, c.cid, st), Success
+}

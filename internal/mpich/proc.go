@@ -1,0 +1,304 @@
+package mpich
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/fabric"
+	"repro/internal/ops"
+	"repro/internal/types"
+)
+
+// Version identifies the simulated library, mirroring the paper's testbed.
+const Version = "MPICH 3.3.2 (simulated)"
+
+// collCIDBit marks collective-internal traffic so it can never match
+// application point-to-point receives on the same communicator.
+const collCIDBit uint32 = 1 << 31
+
+// eagerMax is MPICH's eager/rendezvous switchover in bytes.
+const eagerMax = 16 * 1024
+
+type commObj struct {
+	handle  Handle
+	cid     uint32
+	ranks   []int // communicator rank -> world rank
+	myPos   int   // my rank within the communicator
+	collSeq uint32
+	chldSeq uint32 // per-parent child communicator counter (cid derivation)
+}
+
+func (c *commObj) size() int { return len(c.ranks) }
+
+// posOf translates a world rank into a communicator rank, or -1.
+func (c *commObj) posOf(world int) int {
+	for i, r := range c.ranks {
+		if r == world {
+			return i
+		}
+	}
+	return -1
+}
+
+type groupObj struct {
+	handle Handle
+	ranks  []int // group rank -> world rank
+	myPos  int   // my position, or Undefined
+}
+
+type typeObj struct {
+	handle Handle
+	t      *types.Type
+	prim   types.Kind // valid for predefined types
+}
+
+type opObj struct {
+	handle  Handle
+	op      ops.Op // predefined, or OpNull for user ops
+	user    string // user op registry name
+	commute bool
+}
+
+type reqKind uint8
+
+const (
+	reqRecv reqKind = iota
+	reqSend
+)
+
+// request is an in-flight operation. Blocking calls allocate one on the
+// stack side; nonblocking calls register it in the request table.
+type request struct {
+	handle Handle
+	kind   reqKind
+	done   bool
+	code   int // completion error code
+
+	// Receive bookkeeping.
+	comm     *commObj
+	buf      []byte
+	count    int
+	dt       *typeObj
+	srcWorld int // matched source world rank, or AnySource sentinel
+	tag      int
+	cid      uint32
+	raw      bool   // collective-internal: deliver packed payload directly
+	rawOut   []byte // raw delivery target
+	status   Status
+
+	// Rendezvous send bookkeeping.
+	payload []byte
+	dest    int // destination world rank
+	seq     uint64
+}
+
+type seqKey struct {
+	peer int
+	seq  uint64
+}
+
+// Proc is one rank's MPICH library instance (the paper's "lower half").
+type Proc struct {
+	ep    *fabric.Endpoint
+	world *fabric.World
+	rank  int
+	size  int
+
+	comms     map[Handle]*commObj
+	cidIndex  map[uint32]*commObj
+	groups    map[Handle]*groupObj
+	dtypes    map[Handle]*typeObj
+	userOps   map[Handle]*opObj
+	reqs      map[Handle]*request
+	nextComm  int32
+	nextGroup int32
+	nextType  int32
+	nextOp    int32
+	nextReq   int32
+
+	posted       []*request
+	unexpected   []*fabric.Envelope
+	pendingSend  map[uint64]*request // my rendezvous sends by seq
+	awaitingData map[seqKey]*request // matched rendezvous recvs by (src,seq)
+	nextRdvSeq   uint64
+
+	finalized bool
+}
+
+// Init attaches a fresh MPICH instance to the given world endpoint, the
+// analog of MPI_Init for one rank.
+func Init(w *fabric.World, rank int) *Proc {
+	p := &Proc{
+		ep:           w.Endpoint(rank),
+		world:        w,
+		rank:         rank,
+		size:         w.Size(),
+		comms:        make(map[Handle]*commObj),
+		cidIndex:     make(map[uint32]*commObj),
+		groups:       make(map[Handle]*groupObj),
+		dtypes:       make(map[Handle]*typeObj),
+		userOps:      make(map[Handle]*opObj),
+		reqs:         make(map[Handle]*request),
+		pendingSend:  make(map[uint64]*request),
+		awaitingData: make(map[seqKey]*request),
+	}
+	worldRanks := make([]int, p.size)
+	for i := range worldRanks {
+		worldRanks[i] = i
+	}
+	p.installComm(&commObj{handle: CommWorld, cid: 1, ranks: worldRanks, myPos: rank})
+	p.installComm(&commObj{handle: CommSelf, cid: 2, ranks: []int{rank}, myPos: 0})
+	for _, k := range types.Kinds() {
+		h := TypeHandle(k)
+		p.dtypes[h] = &typeObj{handle: h, t: types.Predefined(k), prim: k}
+	}
+	for _, op := range ops.Ops() {
+		h := OpHandle(op)
+		p.userOps[h] = &opObj{handle: h, op: op, commute: op.Commutative()}
+	}
+	return p
+}
+
+func (p *Proc) installComm(c *commObj) {
+	p.comms[c.handle] = c
+	p.cidIndex[c.cid] = c
+}
+
+// TypeHandle returns the MPICH handle of a predefined datatype. Real MPICH
+// encodes the type's size in bits 8..15 of the handle; we reproduce that.
+func TypeHandle(k types.Kind) Handle {
+	return classDatatype | Handle(k.Size())<<8 | Handle(k)
+}
+
+// KindOfPredefined recovers the primitive kind of a predefined datatype
+// handle (used by the wrap adapter).
+func KindOfPredefined(h Handle) (types.Kind, bool) {
+	if h.class() != classDatatype || h.isNull() || h.payload() >= dynBase {
+		return types.KindInvalid, false
+	}
+	k := types.Kind(h & 0xff)
+	return k, k.Valid()
+}
+
+// OpHandle returns the MPICH handle of a predefined reduction operator.
+// Real MPICH numbers these 0x58000001.. in mpi.h order.
+func OpHandle(op ops.Op) Handle { return classOp | Handle(op) }
+
+// OpOfPredefined recovers the predefined operator (wrap adapter use).
+func OpOfPredefined(h Handle) (ops.Op, bool) {
+	if h.class() != classOp || h.isNull() || h.payload() >= dynBase {
+		return ops.OpNull, false
+	}
+	op := ops.Op(h & 0xff)
+	return op, op.Valid()
+}
+
+// Rank returns this process's world rank. Size returns the world size.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks in the world.
+func (p *Proc) Size() int { return p.size }
+
+// World exposes the fabric world (used by the launcher and tests).
+func (p *Proc) World() *fabric.World { return p.world }
+
+// Finalize releases the instance. Outstanding requests are abandoned.
+func (p *Proc) Finalize() int {
+	p.finalized = true
+	return Success
+}
+
+// Finalized reports whether Finalize has run.
+func (p *Proc) Finalized() bool { return p.finalized }
+
+// lookupComm validates a communicator handle.
+func (p *Proc) lookupComm(h Handle) (*commObj, int) {
+	c, ok := p.comms[h]
+	if !ok || h.isNull() {
+		return nil, ErrComm
+	}
+	return c, Success
+}
+
+// lookupType validates a datatype handle and requires it committed.
+func (p *Proc) lookupType(h Handle) (*typeObj, int) {
+	t, ok := p.dtypes[h]
+	if !ok || h.isNull() {
+		return nil, ErrType
+	}
+	if !t.t.Committed() {
+		return nil, ErrType
+	}
+	return t, Success
+}
+
+// lookupOp validates an operator handle.
+func (p *Proc) lookupOp(h Handle) (*opObj, int) {
+	o, ok := p.userOps[h]
+	if !ok || h.isNull() {
+		return nil, ErrOp
+	}
+	return o, Success
+}
+
+// deriveCID computes a child communicator's context id deterministically:
+// all members observe the same (parent cid, creation ordinal) pair, so all
+// compute the same cid without extra communication. Real MPICH runs a
+// collective agreement protocol; the hash keeps the simulation cheap while
+// preserving the invariant that distinct communicators get distinct ids.
+func deriveCID(parent uint32, ordinal uint32) uint32 {
+	h := fnv.New32a()
+	var b [8]byte
+	b[0] = byte(parent)
+	b[1] = byte(parent >> 8)
+	b[2] = byte(parent >> 16)
+	b[3] = byte(parent >> 24)
+	b[4] = byte(ordinal)
+	b[5] = byte(ordinal >> 8)
+	b[6] = byte(ordinal >> 16)
+	b[7] = byte(ordinal >> 24)
+	h.Write(b[:])
+	cid := h.Sum32() &^ collCIDBit
+	if cid <= 2 { // avoid the predefined cids
+		cid += 3
+	}
+	return cid
+}
+
+// newCommHandle allocates a dynamic communicator handle.
+func (p *Proc) newCommHandle() Handle {
+	p.nextComm++
+	return classComm | Handle(dynBase+p.nextComm)
+}
+
+func (p *Proc) newGroupHandle() Handle {
+	p.nextGroup++
+	return classGroup | Handle(dynBase+p.nextGroup)
+}
+
+func (p *Proc) newTypeHandle() Handle {
+	p.nextType++
+	return classDatatype | Handle(dynBase+p.nextType)
+}
+
+func (p *Proc) newOpHandle() Handle {
+	p.nextOp++
+	return classOp | Handle(dynBase+p.nextOp)
+}
+
+func (p *Proc) newReqHandle() Handle {
+	p.nextReq++
+	return classRequest | Handle(dynBase+p.nextReq)
+}
+
+// Abort mirrors MPI_Abort: it tears the whole world down.
+func (p *Proc) Abort(code int) int {
+	p.world.Close()
+	return ErrOther
+}
+
+// debugString summarizes internal state for tests and fault diagnosis.
+func (p *Proc) debugString() string {
+	return fmt.Sprintf("mpich rank %d: posted=%d unexpected=%d pendingSend=%d awaiting=%d reqs=%d",
+		p.rank, len(p.posted), len(p.unexpected), len(p.pendingSend), len(p.awaitingData), len(p.reqs))
+}

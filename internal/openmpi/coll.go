@@ -1,0 +1,818 @@
+package openmpi
+
+import (
+	"repro/internal/ops"
+	"repro/internal/types"
+)
+
+// Open MPI "tuned"-style algorithm selection thresholds (bytes).
+const (
+	bcastBinaryMax    = 32768    // binary tree below, pipelined chain above
+	bcastSegSize      = 8 * 1024 // chain pipeline segment size
+	allreduceRDMax    = 32768    // recursive doubling below, ring above
+	allgatherBruckMax = 1024     // Bruck below (per block), ring above
+)
+
+// nextTag reserves a tag block for one collective on c.
+func (p *Proc) nextTag(c *Comm) int32 {
+	c.collSeq++
+	return int32((c.collSeq & 0x00ffffff) << 6)
+}
+
+// csend sends packed bytes to a comm rank on the collective context,
+// blocking until handed to the fabric.
+func (p *Proc) csend(c *Comm, peer int, tag int32, data []byte) int {
+	r := p.startSend(data, c.ranks[peer], tag, c.cid|collCIDBit)
+	for r != nil && !r.done {
+		if code := p.progress(true); code != Success {
+			return code
+		}
+	}
+	if r != nil {
+		return r.code
+	}
+	return Success
+}
+
+// crecvPost posts a raw receive on the collective context without waiting.
+func (p *Proc) crecvPost(c *Comm, peer int, tag int32) *Request {
+	r := &Request{
+		isRecv: true, comm: c, raw: true,
+		srcWorld: c.ranks[peer], tag: int(tag), cid: c.cid | collCIDBit,
+	}
+	p.post(r)
+	return r
+}
+
+// crecv blocks for a raw message from a comm rank on the collective
+// context.
+func (p *Proc) crecv(c *Comm, peer int, tag int32) ([]byte, int) {
+	r := p.crecvPost(c, peer, tag)
+	for !r.done {
+		if code := p.progress(true); code != Success {
+			return nil, code
+		}
+	}
+	return r.rawOut, r.code
+}
+
+// cswap posts the receive first, then sends — the deadlock-free pairwise
+// exchange.
+func (p *Proc) cswap(c *Comm, sendTo, recvFrom int, tag int32, data []byte) ([]byte, int) {
+	r := p.crecvPost(c, recvFrom, tag)
+	if code := p.csend(c, sendTo, tag, data); code != Success {
+		return nil, code
+	}
+	for !r.done {
+		if code := p.progress(true); code != Success {
+			return nil, code
+		}
+	}
+	return r.rawOut, r.code
+}
+
+// Barrier uses recursive doubling with a fold for non-power-of-two sizes
+// (Open MPI's tuned default for mid-size communicators).
+func (p *Proc) Barrier(c *Comm) int {
+	if c == nil {
+		return ErrComm
+	}
+	n, me := c.Size(), c.myPos
+	if n == 1 {
+		return Success
+	}
+	tag := p.nextTag(c)
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	newrank := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		if code := p.csend(c, me+1, tag, nil); code != Success {
+			return code
+		}
+	case me < 2*rem:
+		if _, code := p.crecv(c, me-1, tag); code != Success {
+			return code
+		}
+		newrank = me / 2
+	default:
+		newrank = me - rem
+	}
+	if newrank != -1 {
+		round := int32(1)
+		for mask := 1; mask < pof2; mask <<= 1 {
+			pn := newrank ^ mask
+			partner := pn + rem
+			if pn < rem {
+				partner = pn*2 + 1
+			}
+			if _, code := p.cswap(c, partner, partner, tag+round, nil); code != Success {
+				return code
+			}
+			round++
+		}
+	}
+	if me < 2*rem {
+		if me%2 != 0 {
+			return p.csend(c, me-1, tag+63, nil)
+		}
+		if _, code := p.crecv(c, me+1, tag+63); code != Success {
+			return code
+		}
+	}
+	return Success
+}
+
+// Bcast uses a binary tree for short messages and a pipelined chain for
+// long ones.
+func (p *Proc) Bcast(buf []byte, count int, dt *Datatype, root int, c *Comm) int {
+	if c == nil {
+		return ErrComm
+	}
+	if dt == nil || !dt.t.Committed() {
+		return ErrType
+	}
+	if root < 0 || root >= c.Size() {
+		return ErrRoot
+	}
+	if count < 0 {
+		return ErrCount
+	}
+	n, me := c.Size(), c.myPos
+	nbytes := count * dt.t.Size()
+	if n == 1 || nbytes == 0 {
+		return Success
+	}
+	tag := p.nextTag(c)
+	var packed []byte
+	if me == root {
+		var code int
+		if packed, code = pack(dt, buf, count); code != Success {
+			return code
+		}
+	} else {
+		packed = make([]byte, nbytes)
+	}
+	var code int
+	if nbytes <= bcastBinaryMax {
+		code = p.bcastBinaryTree(c, packed, root, tag)
+	} else {
+		code = p.bcastChain(c, packed, root, tag)
+	}
+	if code != Success {
+		return code
+	}
+	if me != root {
+		if _, err := dt.t.Unpack(packed, count, buf); err != nil {
+			return ErrBuffer
+		}
+	}
+	return Success
+}
+
+// bcastBinaryTree broadcasts down an in-order binary tree over relative
+// ranks: children of relative node r are 2r+1 and 2r+2.
+func (p *Proc) bcastBinaryTree(c *Comm, packed []byte, root int, tag int32) int {
+	n, me := c.Size(), c.myPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	if rel != 0 {
+		parent := (rel - 1) / 2
+		data, code := p.crecv(c, abs(parent), tag)
+		if code != Success {
+			return code
+		}
+		copy(packed, data)
+	}
+	for _, child := range []int{2*rel + 1, 2*rel + 2} {
+		if child < n {
+			if code := p.csend(c, abs(child), tag, packed); code != Success {
+				return code
+			}
+		}
+	}
+	return Success
+}
+
+// bcastChain pipelines fixed-size segments down the rank chain
+// root -> root+1 -> ... -> root+n-1 (relative order).
+func (p *Proc) bcastChain(c *Comm, packed []byte, root int, tag int32) int {
+	n, me := c.Size(), c.myPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	nseg := (len(packed) + bcastSegSize - 1) / bcastSegSize
+	for s := 0; s < nseg; s++ {
+		lo := s * bcastSegSize
+		hi := lo + bcastSegSize
+		if hi > len(packed) {
+			hi = len(packed)
+		}
+		if rel != 0 {
+			data, code := p.crecv(c, abs(rel-1), tag)
+			if code != Success {
+				return code
+			}
+			copy(packed[lo:hi], data)
+		}
+		if rel != n-1 {
+			if code := p.csend(c, abs(rel+1), tag, packed[lo:hi]); code != Success {
+				return code
+			}
+		}
+	}
+	return Success
+}
+
+func reduceKind(dt *Datatype) (types.Kind, int) {
+	k, ok := dt.t.PrimKind()
+	if !ok {
+		return types.KindInvalid, ErrType
+	}
+	return k, Success
+}
+
+func fold(o *Op, k types.Kind, acc, in []byte) int {
+	count := len(acc) / k.Size()
+	if o.user != "" {
+		fn, _, err := ops.LookupUser(o.user)
+		if err != nil {
+			return ErrOp
+		}
+		fn(acc, in, k, count)
+		return Success
+	}
+	if err := ops.Apply(o.op, k, acc, in, count); err != nil {
+		return ErrOp
+	}
+	return Success
+}
+
+func opOK(o *Op, k types.Kind) bool {
+	if o.user != "" {
+		return true
+	}
+	return ops.Compatible(o.op, k)
+}
+
+// Reduce folds up an in-order binary tree over relative ranks.
+func (p *Proc) Reduce(sendbuf, recvbuf []byte, count int, dt *Datatype, o *Op, root int, c *Comm) int {
+	if c == nil {
+		return ErrComm
+	}
+	if dt == nil || !dt.t.Committed() {
+		return ErrType
+	}
+	if o == nil {
+		return ErrOp
+	}
+	if root < 0 || root >= c.Size() {
+		return ErrRoot
+	}
+	k, code := reduceKind(dt)
+	if code != Success {
+		return code
+	}
+	if !opOK(o, k) {
+		return ErrOp
+	}
+	n, me := c.Size(), c.myPos
+	acc, code := pack(dt, sendbuf, count)
+	if code != Success {
+		return code
+	}
+	tag := p.nextTag(c)
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	for _, child := range []int{2*rel + 1, 2*rel + 2} {
+		if child < n {
+			data, code := p.crecv(c, abs(child), tag)
+			if code != Success {
+				return code
+			}
+			if code := fold(o, k, acc, data); code != Success {
+				return code
+			}
+		}
+	}
+	if rel != 0 {
+		parent := (rel - 1) / 2
+		if code := p.csend(c, abs(parent), tag, acc); code != Success {
+			return code
+		}
+	} else if count > 0 {
+		if _, err := dt.t.Unpack(acc, count, recvbuf); err != nil {
+			return ErrBuffer
+		}
+	}
+	return Success
+}
+
+// Allreduce uses recursive doubling for short messages and the classic
+// ring (reduce-scatter + allgather) for long ones.
+func (p *Proc) Allreduce(sendbuf, recvbuf []byte, count int, dt *Datatype, o *Op, c *Comm) int {
+	if c == nil {
+		return ErrComm
+	}
+	if dt == nil || !dt.t.Committed() {
+		return ErrType
+	}
+	if o == nil {
+		return ErrOp
+	}
+	if count < 0 {
+		return ErrCount
+	}
+	k, code := reduceKind(dt)
+	if code != Success {
+		return code
+	}
+	if !opOK(o, k) {
+		return ErrOp
+	}
+	acc, code := pack(dt, sendbuf, count)
+	if code != Success {
+		return code
+	}
+	n := c.Size()
+	elems := len(acc) / k.Size()
+	tag := p.nextTag(c)
+	if n > 1 && len(acc) > 0 {
+		if len(acc) > allreduceRDMax && elems >= n {
+			code = p.allreduceRing(c, acc, o, k, tag)
+		} else {
+			code = p.allreduceRD(c, acc, o, k, tag)
+		}
+		if code != Success {
+			return code
+		}
+	}
+	if count > 0 {
+		if _, err := dt.t.Unpack(acc, count, recvbuf); err != nil {
+			return ErrBuffer
+		}
+	}
+	return Success
+}
+
+// allreduceRD is recursive doubling with a non-power-of-two fold.
+func (p *Proc) allreduceRD(c *Comm, acc []byte, o *Op, k types.Kind, tag int32) int {
+	n, me := c.Size(), c.myPos
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	newrank := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		if code := p.csend(c, me+1, tag, acc); code != Success {
+			return code
+		}
+	case me < 2*rem:
+		data, code := p.crecv(c, me-1, tag)
+		if code != Success {
+			return code
+		}
+		if code := fold(o, k, acc, data); code != Success {
+			return code
+		}
+		newrank = me / 2
+	default:
+		newrank = me - rem
+	}
+	if newrank != -1 {
+		round := int32(1)
+		for mask := 1; mask < pof2; mask <<= 1 {
+			pn := newrank ^ mask
+			partner := pn + rem
+			if pn < rem {
+				partner = pn*2 + 1
+			}
+			data, code := p.cswap(c, partner, partner, tag+round, acc)
+			if code != Success {
+				return code
+			}
+			if code := fold(o, k, acc, data); code != Success {
+				return code
+			}
+			round++
+		}
+	}
+	if me < 2*rem {
+		if me%2 != 0 {
+			return p.csend(c, me-1, tag+63, acc)
+		}
+		data, code := p.crecv(c, me+1, tag+63)
+		if code != Success {
+			return code
+		}
+		copy(acc, data)
+	}
+	return Success
+}
+
+// allreduceRing is the bandwidth-optimal ring: n-1 reduce-scatter steps
+// followed by n-1 allgather steps over element chunks.
+func (p *Proc) allreduceRing(c *Comm, acc []byte, o *Op, k types.Kind, tag int32) int {
+	n, me := c.Size(), c.myPos
+	es := k.Size()
+	elems := len(acc) / es
+	off := chunkOffsets(elems, n)
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	chunk := func(i int) []byte { return acc[off[i]*es : off[i+1]*es] }
+	// Reduce-scatter ring.
+	for s := 0; s < n-1; s++ {
+		sendIdx := (me - s + n) % n
+		recvIdx := (me - s - 1 + n) % n
+		data, code := p.cswap(c, right, left, tag, chunk(sendIdx))
+		if code != Success {
+			return code
+		}
+		if code := fold(o, k, chunk(recvIdx), data); code != Success {
+			return code
+		}
+	}
+	// Allgather ring.
+	for s := 0; s < n-1; s++ {
+		sendIdx := (me + 1 - s + n) % n
+		recvIdx := (me - s + n) % n
+		data, code := p.cswap(c, right, left, tag+1, chunk(sendIdx))
+		if code != Success {
+			return code
+		}
+		copy(chunk(recvIdx), data)
+	}
+	return Success
+}
+
+// chunkOffsets splits elems into n nearly-equal chunks.
+func chunkOffsets(elems, n int) []int {
+	off := make([]int, n+1)
+	base, rem := elems/n, elems%n
+	for i := 0; i < n; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		off[i+1] = off[i] + sz
+	}
+	return off
+}
+
+// Gather is Open MPI's basic linear algorithm: everyone sends to the root.
+func (p *Proc) Gather(sendbuf []byte, scount int, stype *Datatype,
+	recvbuf []byte, rcount int, rtype *Datatype, root int, c *Comm) int {
+	if c == nil {
+		return ErrComm
+	}
+	if stype == nil || !stype.t.Committed() {
+		return ErrType
+	}
+	if root < 0 || root >= c.Size() {
+		return ErrRoot
+	}
+	n, me := c.Size(), c.myPos
+	tag := p.nextTag(c)
+	blockSz := scount * stype.t.Size()
+	if me != root {
+		packed, code := pack(stype, sendbuf, scount)
+		if code != Success {
+			return code
+		}
+		return p.csend(c, root, tag, packed)
+	}
+	if rtype == nil || !rtype.t.Committed() {
+		return ErrType
+	}
+	if rcount*rtype.t.Size() != blockSz {
+		return ErrTruncate
+	}
+	// Post all receives, then drain (nonblocking overlap).
+	reqs := make([]*Request, n)
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		reqs[r] = p.crecvPost(c, r, tag)
+	}
+	own, code := pack(stype, sendbuf, scount)
+	if code != Success {
+		return code
+	}
+	for r := 0; r < n; r++ {
+		var data []byte
+		if r == me {
+			data = own
+		} else {
+			for !reqs[r].done {
+				if code := p.progress(true); code != Success {
+					return code
+				}
+			}
+			if reqs[r].code != Success {
+				return reqs[r].code
+			}
+			data = reqs[r].rawOut
+		}
+		if blockSz == 0 {
+			continue
+		}
+		if _, err := rtype.t.Unpack(data, rcount, recvbuf[r*rcount*rtype.t.Extent():]); err != nil {
+			return ErrBuffer
+		}
+	}
+	return Success
+}
+
+// Scatter is the basic linear algorithm: the root sends each block.
+func (p *Proc) Scatter(sendbuf []byte, scount int, stype *Datatype,
+	recvbuf []byte, rcount int, rtype *Datatype, root int, c *Comm) int {
+	if c == nil {
+		return ErrComm
+	}
+	if rtype == nil || !rtype.t.Committed() {
+		return ErrType
+	}
+	if root < 0 || root >= c.Size() {
+		return ErrRoot
+	}
+	n, me := c.Size(), c.myPos
+	tag := p.nextTag(c)
+	blockSz := rcount * rtype.t.Size()
+	if me == root {
+		if stype == nil || !stype.t.Committed() {
+			return ErrType
+		}
+		if scount*stype.t.Size() != blockSz {
+			return ErrTruncate
+		}
+		var own []byte
+		for r := 0; r < n; r++ {
+			packed, code := pack(stype, sendbuf[r*scount*stype.t.Extent():], scount)
+			if code != Success {
+				return code
+			}
+			if r == me {
+				own = packed
+				continue
+			}
+			if code := p.csend(c, r, tag, packed); code != Success {
+				return code
+			}
+		}
+		if blockSz == 0 {
+			return Success
+		}
+		if _, err := rtype.t.Unpack(own, rcount, recvbuf); err != nil {
+			return ErrBuffer
+		}
+		return Success
+	}
+	data, code := p.crecv(c, root, tag)
+	if code != Success {
+		return code
+	}
+	if blockSz == 0 {
+		return Success
+	}
+	if _, err := rtype.t.Unpack(data, rcount, recvbuf); err != nil {
+		return ErrBuffer
+	}
+	return Success
+}
+
+// Allgather uses the Bruck algorithm for small blocks and a ring for
+// large ones.
+func (p *Proc) Allgather(sendbuf []byte, scount int, stype *Datatype,
+	recvbuf []byte, rcount int, rtype *Datatype, c *Comm) int {
+	if c == nil {
+		return ErrComm
+	}
+	if stype == nil || !stype.t.Committed() || rtype == nil || !rtype.t.Committed() {
+		return ErrType
+	}
+	n, me := c.Size(), c.myPos
+	blockSz := scount * stype.t.Size()
+	if rcount*rtype.t.Size() != blockSz {
+		return ErrTruncate
+	}
+	region := make([]byte, n*blockSz)
+	if blockSz > 0 {
+		if _, err := stype.t.Pack(sendbuf, scount, region[me*blockSz:(me+1)*blockSz]); err != nil {
+			return ErrBuffer
+		}
+	}
+	tag := p.nextTag(c)
+	if n > 1 && blockSz > 0 {
+		var code int
+		if blockSz <= allgatherBruckMax {
+			code = p.allgatherBruck(c, region, blockSz, tag)
+		} else {
+			code = p.allgatherRing(c, region, blockSz, tag)
+		}
+		if code != Success {
+			return code
+		}
+	}
+	for r := 0; r < n; r++ {
+		if blockSz == 0 {
+			break
+		}
+		if _, err := rtype.t.Unpack(region[r*blockSz:(r+1)*blockSz], rcount,
+			recvbuf[r*rcount*rtype.t.Extent():]); err != nil {
+			return ErrBuffer
+		}
+	}
+	return Success
+}
+
+// allgatherBruck doubles the known prefix each round; block j of the
+// working buffer holds rank (me+j)'s contribution until the final rotate.
+func (p *Proc) allgatherBruck(c *Comm, region []byte, blockSz int, tag int32) int {
+	n, me := c.Size(), c.myPos
+	tmp := make([]byte, n*blockSz)
+	copy(tmp[:blockSz], region[me*blockSz:(me+1)*blockSz])
+	cnt := 1
+	round := int32(0)
+	for cnt < n {
+		transfer := cnt
+		if n-cnt < transfer {
+			transfer = n - cnt
+		}
+		to := (me - cnt + n) % n
+		from := (me + cnt) % n
+		data, code := p.cswap(c, to, from, tag+round, tmp[:transfer*blockSz])
+		if code != Success {
+			return code
+		}
+		copy(tmp[cnt*blockSz:(cnt+transfer)*blockSz], data)
+		cnt += transfer
+		round++
+	}
+	for j := 0; j < n; j++ {
+		src := (me + j) % n
+		copy(region[src*blockSz:(src+1)*blockSz], tmp[j*blockSz:(j+1)*blockSz])
+	}
+	return Success
+}
+
+func (p *Proc) allgatherRing(c *Comm, region []byte, blockSz int, tag int32) int {
+	n, me := c.Size(), c.myPos
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		sendBlock := (me - s + n) % n
+		recvBlock := (me - s - 1 + n) % n
+		data, code := p.cswap(c, right, left, tag,
+			region[sendBlock*blockSz:(sendBlock+1)*blockSz])
+		if code != Success {
+			return code
+		}
+		copy(region[recvBlock*blockSz:(recvBlock+1)*blockSz], data)
+	}
+	return Success
+}
+
+// alltoallBruckMax selects Bruck below (the tuned module's small-message
+// choice) and basic linear with nonblocking overlap above. The thresholds
+// and the linear algorithm differ from MPICH's Bruck/pairwise selection,
+// giving the two implementations visibly different alltoall curves at
+// medium sizes.
+const alltoallBruckMax = 200
+
+// Alltoall dispatches between the Bruck and basic-linear algorithms.
+func (p *Proc) Alltoall(sendbuf []byte, scount int, stype *Datatype,
+	recvbuf []byte, rcount int, rtype *Datatype, c *Comm) int {
+	if c == nil {
+		return ErrComm
+	}
+	if stype == nil || !stype.t.Committed() || rtype == nil || !rtype.t.Committed() {
+		return ErrType
+	}
+	blockSz := scount * stype.t.Size()
+	if rcount*rtype.t.Size() != blockSz {
+		return ErrTruncate
+	}
+	if blockSz > 0 && blockSz <= alltoallBruckMax && c.Size() > 2 {
+		return p.alltoallBruck(sendbuf, scount, stype, recvbuf, rcount, rtype, c)
+	}
+	return p.alltoallLinear(sendbuf, scount, stype, recvbuf, rcount, rtype, c)
+}
+
+// alltoallBruck is the log-round algorithm (see the mpich twin for the
+// derivation); blocks rotate locally, move at power-of-two distances, and
+// land at index (me-src+n)%n.
+func (p *Proc) alltoallBruck(sendbuf []byte, scount int, stype *Datatype,
+	recvbuf []byte, rcount int, rtype *Datatype, c *Comm) int {
+	n, me := c.Size(), c.myPos
+	blockSz := scount * stype.t.Size()
+	tag := p.nextTag(c)
+	tmp := make([]byte, n*blockSz)
+	for i := 0; i < n; i++ {
+		d := (me + i) % n
+		if _, err := stype.t.Pack(sendbuf[d*scount*stype.t.Extent():], scount,
+			tmp[i*blockSz:(i+1)*blockSz]); err != nil {
+			return ErrBuffer
+		}
+	}
+	round := int32(0)
+	for pow := 1; pow < n; pow <<= 1 {
+		var idxs []int
+		for i := 0; i < n; i++ {
+			if i&pow != 0 {
+				idxs = append(idxs, i)
+			}
+		}
+		send := make([]byte, 0, len(idxs)*blockSz)
+		for _, i := range idxs {
+			send = append(send, tmp[i*blockSz:(i+1)*blockSz]...)
+		}
+		to := (me + pow) % n
+		from := (me - pow + n) % n
+		data, code := p.cswap(c, to, from, tag+round, send)
+		if code != Success {
+			return code
+		}
+		for j, i := range idxs {
+			copy(tmp[i*blockSz:(i+1)*blockSz], data[j*blockSz:(j+1)*blockSz])
+		}
+		round++
+	}
+	for s := 0; s < n; s++ {
+		i := (me - s + n) % n
+		if _, err := rtype.t.Unpack(tmp[i*blockSz:(i+1)*blockSz], rcount,
+			recvbuf[s*rcount*rtype.t.Extent():]); err != nil {
+			return ErrBuffer
+		}
+	}
+	return Success
+}
+
+// alltoallLinear is the basic linear algorithm with nonblocking overlap:
+// post every receive, start every send, then drain.
+func (p *Proc) alltoallLinear(sendbuf []byte, scount int, stype *Datatype,
+	recvbuf []byte, rcount int, rtype *Datatype, c *Comm) int {
+	n, me := c.Size(), c.myPos
+	blockSz := scount * stype.t.Size()
+	tag := p.nextTag(c)
+	reqs := make([]*Request, n)
+	sends := make([]*Request, 0, n)
+	for i := 1; i < n; i++ {
+		from := (me - i + n) % n
+		reqs[from] = p.crecvPost(c, from, tag)
+	}
+	ownPacked, code := pack(stype, sendbuf[me*scount*stype.t.Extent():], scount)
+	if code != Success {
+		return code
+	}
+	for i := 1; i < n; i++ {
+		to := (me + i) % n
+		packed, code := pack(stype, sendbuf[to*scount*stype.t.Extent():], scount)
+		if code != Success {
+			return code
+		}
+		if r := p.startSend(packed, c.ranks[to], tag, c.cid|collCIDBit); r != nil {
+			sends = append(sends, r)
+		}
+	}
+	unblock := func(r int, data []byte) int {
+		if blockSz == 0 {
+			return Success
+		}
+		if _, err := rtype.t.Unpack(data, rcount, recvbuf[r*rcount*rtype.t.Extent():]); err != nil {
+			return ErrBuffer
+		}
+		return Success
+	}
+	if code := unblock(me, ownPacked); code != Success {
+		return code
+	}
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		for !reqs[r].done {
+			if code := p.progress(true); code != Success {
+				return code
+			}
+		}
+		if reqs[r].code != Success {
+			return reqs[r].code
+		}
+		if code := unblock(r, reqs[r].rawOut); code != Success {
+			return code
+		}
+	}
+	for _, s := range sends {
+		for !s.done {
+			if code := p.progress(true); code != Success {
+				return code
+			}
+		}
+	}
+	return Success
+}

@@ -1,0 +1,374 @@
+package openmpi
+
+import (
+	"sort"
+
+	"repro/internal/abi"
+	"repro/internal/ops"
+	"repro/internal/types"
+)
+
+// CommSize mirrors MPI_Comm_size.
+func (p *Proc) CommSize(c *Comm) (int, int) {
+	if c == nil {
+		return 0, ErrComm
+	}
+	return c.Size(), Success
+}
+
+// CommRank mirrors MPI_Comm_rank.
+func (p *Proc) CommRank(c *Comm) (int, int) {
+	if c == nil {
+		return 0, ErrComm
+	}
+	return c.myPos, Success
+}
+
+// CommDup duplicates a communicator (collective).
+func (p *Proc) CommDup(c *Comm) (*Comm, int) {
+	if c == nil {
+		return nil, ErrComm
+	}
+	if code := p.Barrier(c); code != Success {
+		return nil, code
+	}
+	c.chldSeq++
+	nc := &Comm{
+		cid:   deriveCID(c.cid, c.chldSeq),
+		ranks: append([]int(nil), c.ranks...),
+		myPos: c.myPos,
+		name:  c.name + "_dup",
+	}
+	p.cidIndex[nc.cid] = nc
+	return nc, Success
+}
+
+// CommSplit partitions a communicator by color/key (collective).
+func (p *Proc) CommSplit(c *Comm, color, key int) (*Comm, int) {
+	if c == nil {
+		return nil, ErrComm
+	}
+	n := c.Size()
+	mine := abi.Int64Bytes([]int64{int64(color), int64(key)})
+	all := make([]byte, n*16)
+	bt := p.Type(types.KindByte)
+	if code := p.Allgather(mine, 16, bt, all, 16, bt, c); code != Success {
+		return nil, code
+	}
+	c.chldSeq++
+	ordinal := c.chldSeq
+	if color == Undefined {
+		return nil, Success // MPI_COMM_NULL
+	}
+	type member struct{ key, parentRank int }
+	var members []member
+	for r := 0; r < n; r++ {
+		vals := abi.Int64sOf(all[r*16 : (r+1)*16])
+		if int(vals[0]) == color {
+			members = append(members, member{key: int(vals[1]), parentRank: r})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].parentRank < members[j].parentRank
+	})
+	ranks := make([]int, len(members))
+	myPos := -1
+	for i, m := range members {
+		ranks[i] = c.ranks[m.parentRank]
+		if m.parentRank == c.myPos {
+			myPos = i
+		}
+	}
+	nc := &Comm{
+		cid:   deriveCID(c.cid, ordinal<<8|uint32(color&0xff)),
+		ranks: ranks,
+		myPos: myPos,
+		name:  c.name + "_split",
+	}
+	p.cidIndex[nc.cid] = nc
+	return nc, Success
+}
+
+// CommCreate builds a communicator from a subgroup (collective over the
+// parent); non-members receive nil.
+func (p *Proc) CommCreate(c *Comm, g *Group) (*Comm, int) {
+	if c == nil {
+		return nil, ErrComm
+	}
+	if g == nil {
+		return nil, ErrGroup
+	}
+	if code := p.Barrier(c); code != Success {
+		return nil, code
+	}
+	c.chldSeq++
+	myPos := -1
+	for i, w := range g.ranks {
+		if w == p.rank {
+			myPos = i
+		}
+	}
+	if myPos == -1 {
+		return nil, Success
+	}
+	nc := &Comm{
+		cid:   deriveCID(c.cid, c.chldSeq|0x40000000),
+		ranks: append([]int(nil), g.ranks...),
+		myPos: myPos,
+		name:  c.name + "_create",
+	}
+	p.cidIndex[nc.cid] = nc
+	return nc, Success
+}
+
+// CommGroup extracts a communicator's group.
+func (p *Proc) CommGroup(c *Comm) (*Group, int) {
+	if c == nil {
+		return nil, ErrComm
+	}
+	return &Group{ranks: append([]int(nil), c.ranks...), myPos: c.myPos}, Success
+}
+
+// CommFree releases a communicator. Predefined communicators are
+// protected.
+func (p *Proc) CommFree(c *Comm) int {
+	if c == nil {
+		return ErrComm
+	}
+	if c == p.CommWorld || c == p.CommSelf {
+		return ErrComm
+	}
+	delete(p.cidIndex, c.cid)
+	return Success
+}
+
+// GroupSize mirrors MPI_Group_size.
+func (p *Proc) GroupSize(g *Group) (int, int) {
+	if g == nil {
+		return 0, ErrGroup
+	}
+	return len(g.ranks), Success
+}
+
+// GroupRank mirrors MPI_Group_rank.
+func (p *Proc) GroupRank(g *Group) (int, int) {
+	if g == nil {
+		return 0, ErrGroup
+	}
+	if g.myPos < 0 {
+		return Undefined, Success
+	}
+	return g.myPos, Success
+}
+
+// GroupIncl selects listed ranks into a new group.
+func (p *Proc) GroupIncl(g *Group, ranksIn []int) (*Group, int) {
+	if g == nil {
+		return nil, ErrGroup
+	}
+	worlds := make([]int, len(ranksIn))
+	myPos := -1
+	for i, r := range ranksIn {
+		if r < 0 || r >= len(g.ranks) {
+			return nil, ErrRank
+		}
+		worlds[i] = g.ranks[r]
+		if worlds[i] == p.rank {
+			myPos = i
+		}
+	}
+	return &Group{ranks: worlds, myPos: myPos}, Success
+}
+
+// GroupExcl removes listed ranks from a group.
+func (p *Proc) GroupExcl(g *Group, ranksOut []int) (*Group, int) {
+	if g == nil {
+		return nil, ErrGroup
+	}
+	excl := make(map[int]bool, len(ranksOut))
+	for _, r := range ranksOut {
+		if r < 0 || r >= len(g.ranks) {
+			return nil, ErrRank
+		}
+		excl[r] = true
+	}
+	out := &Group{myPos: -1}
+	for i, w := range g.ranks {
+		if excl[i] {
+			continue
+		}
+		if w == p.rank {
+			out.myPos = len(out.ranks)
+		}
+		out.ranks = append(out.ranks, w)
+	}
+	return out, Success
+}
+
+// GroupTranslateRanks maps ranks between groups.
+func (p *Proc) GroupTranslateRanks(a *Group, ranks []int, b *Group) ([]int, int) {
+	if a == nil || b == nil {
+		return nil, ErrGroup
+	}
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= len(a.ranks) {
+			return nil, ErrRank
+		}
+		out[i] = Undefined
+		for j, w := range b.ranks {
+			if w == a.ranks[r] {
+				out[i] = j
+				break
+			}
+		}
+	}
+	return out, Success
+}
+
+// GroupFree releases a group (no-op for the GC, kept for API fidelity).
+func (p *Proc) GroupFree(g *Group) int {
+	if g == nil {
+		return ErrGroup
+	}
+	return Success
+}
+
+// TypeContiguous mirrors MPI_Type_contiguous.
+func (p *Proc) TypeContiguous(count int, inner *Datatype) (*Datatype, int) {
+	if inner == nil {
+		return nil, ErrType
+	}
+	t, err := types.Contiguous(count, inner.t)
+	if err != nil {
+		return nil, ErrArg
+	}
+	return &Datatype{t: t}, Success
+}
+
+// TypeVector mirrors MPI_Type_vector.
+func (p *Proc) TypeVector(count, blocklen, stride int, inner *Datatype) (*Datatype, int) {
+	if inner == nil {
+		return nil, ErrType
+	}
+	t, err := types.Vector(count, blocklen, stride, inner.t)
+	if err != nil {
+		return nil, ErrArg
+	}
+	return &Datatype{t: t}, Success
+}
+
+// TypeIndexed mirrors MPI_Type_indexed.
+func (p *Proc) TypeIndexed(blocklens, displs []int, inner *Datatype) (*Datatype, int) {
+	if inner == nil {
+		return nil, ErrType
+	}
+	t, err := types.Indexed(blocklens, displs, inner.t)
+	if err != nil {
+		return nil, ErrArg
+	}
+	return &Datatype{t: t}, Success
+}
+
+// TypeCreateStruct mirrors MPI_Type_create_struct.
+func (p *Proc) TypeCreateStruct(blocklens, displs []int, typs []*Datatype) (*Datatype, int) {
+	members := make([]*types.Type, len(typs))
+	for i, dt := range typs {
+		if dt == nil {
+			return nil, ErrType
+		}
+		if err := dt.t.Commit(); err != nil {
+			return nil, ErrType
+		}
+		members[i] = dt.t
+	}
+	t, err := types.Struct(blocklens, displs, members)
+	if err != nil {
+		return nil, ErrArg
+	}
+	return &Datatype{t: t}, Success
+}
+
+// TypeCommit mirrors MPI_Type_commit.
+func (p *Proc) TypeCommit(dt *Datatype) int {
+	if dt == nil {
+		return ErrType
+	}
+	if err := dt.t.Commit(); err != nil {
+		return ErrType
+	}
+	return Success
+}
+
+// TypeFree releases a datatype; predefined types are protected.
+func (p *Proc) TypeFree(dt *Datatype) int {
+	if dt == nil {
+		return ErrType
+	}
+	if dt.prim.Valid() {
+		return ErrType
+	}
+	return Success
+}
+
+// TypeSize mirrors MPI_Type_size.
+func (p *Proc) TypeSize(dt *Datatype) (int, int) {
+	if dt == nil {
+		return 0, ErrType
+	}
+	if err := dt.t.Commit(); err != nil {
+		return 0, ErrType
+	}
+	return dt.t.Size(), Success
+}
+
+// TypeExtent mirrors MPI_Type_get_extent.
+func (p *Proc) TypeExtent(dt *Datatype) (int, int) {
+	if dt == nil {
+		return 0, ErrType
+	}
+	if err := dt.t.Commit(); err != nil {
+		return 0, ErrType
+	}
+	return dt.t.Extent(), Success
+}
+
+// GetCount mirrors MPI_Get_count.
+func (p *Proc) GetCount(st *Status, dt *Datatype) (int, int) {
+	if dt == nil {
+		return 0, ErrType
+	}
+	if err := dt.t.Commit(); err != nil {
+		return 0, ErrType
+	}
+	sz := dt.t.Size()
+	if sz == 0 {
+		return 0, ErrType
+	}
+	if st.UCount%uint64(sz) != 0 {
+		return Undefined, Success
+	}
+	return int(st.UCount / uint64(sz)), Success
+}
+
+// OpCreate registers a user reduction operator by registry name.
+func (p *Proc) OpCreate(name string, commute bool) (*Op, int) {
+	if _, _, err := ops.LookupUser(name); err != nil {
+		return nil, ErrOp
+	}
+	return &Op{user: name, commute: commute}, Success
+}
+
+// OpFree releases a user operator; predefined operators are protected.
+func (p *Proc) OpFree(o *Op) int {
+	if o == nil {
+		return ErrOp
+	}
+	if o.user == "" {
+		return ErrOp
+	}
+	return Success
+}

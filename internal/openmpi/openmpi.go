@@ -1,0 +1,286 @@
+// Package openmpi is the second simulated MPI implementation. Where
+// internal/mpich reproduces the MPICH family's ABI, this package
+// reproduces Open MPI's:
+//
+//   - handles are pointers to live objects (the real &ompi_mpi_comm_world
+//     style), not encoded integers;
+//   - the status object is laid out Open-MPI-style: MPI_SOURCE, MPI_TAG,
+//     MPI_ERROR first, then the private count/cancelled words;
+//   - wildcard/sentinel constants use different values from MPICH
+//     (MPI_ANY_SOURCE=-1, MPI_PROC_NULL=-3 here);
+//   - error codes follow Open MPI's table (MPI_ERR_REQUEST=7,
+//     MPI_ERR_ROOT=8, ... differing from MPICH's numbering).
+//
+// The collective suite follows Open MPI's "tuned" module flavor: binary
+// tree and pipelined-chain broadcast, ring allreduce for long messages,
+// linear gather/scatter, Bruck allgather, linear alltoall with nonblocking
+// overlap, and a recursive-doubling barrier.
+//
+// The deliberate ABI mismatch with internal/mpich is the point: the
+// Mukautuva shim (internal/mukautuva) has to translate every handle,
+// constant, status record and error code that crosses the boundary.
+package openmpi
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/fabric"
+	"repro/internal/ops"
+	"repro/internal/types"
+)
+
+// Version identifies the simulated library, mirroring the paper's testbed.
+const Version = "Open MPI 3.1.2 (simulated)"
+
+// Integer constants, Open MPI values (deliberately different from MPICH).
+const (
+	AnySource = -1
+	AnyTag    = -1
+	ProcNull  = -3
+	Root      = -4
+	Undefined = -32766
+	TagUB     = 0x7fffffff
+)
+
+// Open MPI's error code table (values differ from MPICH's).
+const (
+	Success     = 0
+	ErrBuffer   = 1
+	ErrCount    = 2
+	ErrType     = 3
+	ErrTag      = 4
+	ErrComm     = 5
+	ErrRank     = 6
+	ErrRequest  = 7
+	ErrRoot     = 8
+	ErrGroup    = 9
+	ErrOp       = 10
+	ErrTopology = 11
+	ErrDims     = 12
+	ErrArg      = 13
+	ErrUnknown  = 14
+	ErrTruncate = 15
+	ErrOther    = 16
+	ErrIntern   = 17
+	errCount    = 18
+)
+
+var errStrings = [errCount]string{
+	Success:     "MPI_SUCCESS: no errors",
+	ErrBuffer:   "MPI_ERR_BUFFER: invalid buffer pointer",
+	ErrCount:    "MPI_ERR_COUNT: invalid count argument",
+	ErrType:     "MPI_ERR_TYPE: invalid datatype",
+	ErrTag:      "MPI_ERR_TAG: invalid tag",
+	ErrComm:     "MPI_ERR_COMM: invalid communicator",
+	ErrRank:     "MPI_ERR_RANK: invalid rank",
+	ErrRequest:  "MPI_ERR_REQUEST: invalid request",
+	ErrRoot:     "MPI_ERR_ROOT: invalid root",
+	ErrGroup:    "MPI_ERR_GROUP: invalid group",
+	ErrOp:       "MPI_ERR_OP: invalid reduce operation",
+	ErrTopology: "MPI_ERR_TOPOLOGY: invalid communicator topology",
+	ErrDims:     "MPI_ERR_DIMS: invalid dimension argument",
+	ErrArg:      "MPI_ERR_ARG: invalid argument of some other kind",
+	ErrUnknown:  "MPI_ERR_UNKNOWN: unknown error",
+	ErrTruncate: "MPI_ERR_TRUNCATE: message truncated",
+	ErrOther:    "MPI_ERR_OTHER: known error not in this list",
+	ErrIntern:   "MPI_ERR_INTERN: internal error",
+}
+
+// ErrorString mirrors MPI_Error_string.
+func ErrorString(code int) string {
+	if code >= 0 && code < errCount {
+		return errStrings[code]
+	}
+	return "MPI_ERR_UNKNOWN: unknown error code"
+}
+
+// Status is Open MPI's layout: public fields first, private words after —
+// the opposite order from MPICH's, which is exactly the kind of ABI
+// difference Mukautuva exists to paper over.
+type Status struct {
+	Source    int32 // MPI_SOURCE
+	Tag       int32 // MPI_TAG
+	Error     int32 // MPI_ERROR
+	UCount    uint64
+	Cancelled bool
+}
+
+// Comm is a communicator object; the handle is the pointer itself.
+type Comm struct {
+	cid     uint32
+	ranks   []int // comm rank -> world rank
+	myPos   int
+	collSeq uint32
+	chldSeq uint32
+	name    string
+}
+
+// Size returns the communicator's size.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// posOf translates a world rank to a comm rank, or -1.
+func (c *Comm) posOf(world int) int {
+	for i, r := range c.ranks {
+		if r == world {
+			return i
+		}
+	}
+	return -1
+}
+
+// Group is a process group object.
+type Group struct {
+	ranks []int
+	myPos int // -1 when not a member
+}
+
+// Datatype is a datatype object wrapping the shared type engine.
+type Datatype struct {
+	t    *types.Type
+	prim types.Kind
+}
+
+// Op is a reduction operator object.
+type Op struct {
+	op      ops.Op
+	user    string
+	commute bool
+}
+
+// Request is an in-flight operation object; the handle is the pointer.
+type Request struct {
+	isRecv bool
+	done   bool
+	code   int
+
+	comm     *Comm
+	buf      []byte
+	count    int
+	dt       *Datatype
+	srcWorld int
+	tag      int
+	cid      uint32
+	raw      bool
+	rawOut   []byte
+	status   Status
+
+	payload []byte
+	seq     uint64
+}
+
+type seqKey struct {
+	peer int
+	seq  uint64
+}
+
+// collCIDBit separates collective-internal traffic from application
+// point-to-point traffic on the same communicator.
+const collCIDBit uint32 = 1 << 31
+
+// eagerLimit is Open MPI's (BTL tcp flavored) eager/rendezvous switchover,
+// intentionally lower than MPICH's.
+const eagerLimit = 4 * 1024
+
+// Proc is one rank's Open MPI library instance.
+type Proc struct {
+	ep    *fabric.Endpoint
+	world *fabric.World
+	rank  int
+	size  int
+
+	// Predefined objects, exposed as pointers like &ompi_mpi_comm_world.
+	CommWorld *Comm
+	CommSelf  *Comm
+
+	predefTypes map[types.Kind]*Datatype
+	predefOps   map[ops.Op]*Op
+
+	cidIndex map[uint32]*Comm
+
+	posted       []*Request
+	unexpected   []*fabric.Envelope
+	pendingSend  map[uint64]*Request
+	awaitingData map[seqKey]*Request
+	nextSeq      uint64
+
+	finalized bool
+}
+
+// Init attaches a fresh Open MPI instance to a world endpoint.
+func Init(w *fabric.World, rank int) *Proc {
+	p := &Proc{
+		ep:           w.Endpoint(rank),
+		world:        w,
+		rank:         rank,
+		size:         w.Size(),
+		predefTypes:  make(map[types.Kind]*Datatype),
+		predefOps:    make(map[ops.Op]*Op),
+		cidIndex:     make(map[uint32]*Comm),
+		pendingSend:  make(map[uint64]*Request),
+		awaitingData: make(map[seqKey]*Request),
+	}
+	worldRanks := make([]int, p.size)
+	for i := range worldRanks {
+		worldRanks[i] = i
+	}
+	p.CommWorld = &Comm{cid: 1, ranks: worldRanks, myPos: rank, name: "MPI_COMM_WORLD"}
+	p.CommSelf = &Comm{cid: 2, ranks: []int{rank}, myPos: 0, name: "MPI_COMM_SELF"}
+	p.cidIndex[1] = p.CommWorld
+	p.cidIndex[2] = p.CommSelf
+	for _, k := range types.Kinds() {
+		p.predefTypes[k] = &Datatype{t: types.Predefined(k), prim: k}
+	}
+	for _, op := range ops.Ops() {
+		p.predefOps[op] = &Op{op: op, commute: true}
+	}
+	return p
+}
+
+// Type returns the predefined datatype object for a primitive kind.
+func (p *Proc) Type(k types.Kind) *Datatype { return p.predefTypes[k] }
+
+// PredefOp returns the predefined operator object.
+func (p *Proc) PredefOp(op ops.Op) *Op { return p.predefOps[op] }
+
+// Rank returns the world rank; Size the world size.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks in the world.
+func (p *Proc) Size() int { return p.size }
+
+// World exposes the fabric world.
+func (p *Proc) World() *fabric.World { return p.world }
+
+// Finalize releases the instance.
+func (p *Proc) Finalize() int {
+	p.finalized = true
+	return Success
+}
+
+// Abort tears the world down, like MPI_Abort.
+func (p *Proc) Abort(code int) int {
+	p.world.Close()
+	return ErrOther
+}
+
+// deriveCID allocates a child context id deterministically from the
+// parent's id and creation ordinal (see the mpich twin for rationale).
+func deriveCID(parent, ordinal uint32) uint32 {
+	h := fnv.New32()
+	var b [9]byte
+	b[0] = 0x4f // 'O': keep openmpi's cid stream distinct from mpich's
+	b[1], b[2], b[3], b[4] = byte(parent), byte(parent>>8), byte(parent>>16), byte(parent>>24)
+	b[5], b[6], b[7], b[8] = byte(ordinal), byte(ordinal>>8), byte(ordinal>>16), byte(ordinal>>24)
+	h.Write(b[:])
+	cid := h.Sum32() &^ collCIDBit
+	if cid <= 2 {
+		cid += 3
+	}
+	return cid
+}
+
+func (p *Proc) String() string {
+	return fmt.Sprintf("openmpi rank %d/%d: posted=%d unexpected=%d",
+		p.rank, p.size, len(p.posted), len(p.unexpected))
+}

@@ -1,0 +1,397 @@
+package openmpi
+
+import (
+	"repro/internal/fabric"
+)
+
+// progress pulls and dispatches one envelope (Open MPI's opal_progress
+// analog). Progress only runs inside MPI calls.
+func (p *Proc) progress(block bool) int {
+	var e *fabric.Envelope
+	if block {
+		if e = p.ep.Recv(); e == nil {
+			return ErrOther
+		}
+	} else {
+		var ok bool
+		if e, ok = p.ep.TryRecv(); !ok {
+			return Success
+		}
+	}
+	switch e.Proto {
+	case fabric.ProtoEager:
+		if r := p.takeMatch(e); r != nil {
+			p.complete(r, e.Src, e.Tag, e.Payload)
+		} else {
+			p.unexpected = append(p.unexpected, e)
+		}
+	case fabric.ProtoRTS:
+		if r := p.takeMatch(e); r != nil {
+			p.answerRTS(e, r)
+		} else {
+			p.unexpected = append(p.unexpected, e)
+		}
+	case fabric.ProtoCTS:
+		if s, ok := p.pendingSend[e.Seq]; ok {
+			delete(p.pendingSend, e.Seq)
+			p.ep.Send(&fabric.Envelope{
+				Dst: e.Src, CID: s.cid, Proto: fabric.ProtoData,
+				Seq: e.Seq, Payload: s.payload,
+			})
+			s.payload = nil
+			s.done = true
+			s.code = Success
+		}
+	case fabric.ProtoData:
+		key := seqKey{peer: e.Src, seq: e.Seq}
+		if r, ok := p.awaitingData[key]; ok {
+			delete(p.awaitingData, key)
+			p.complete(r, e.Src, r.status.Tag, e.Payload)
+		}
+	}
+	return Success
+}
+
+// matches applies Open MPI's matching rule (wildcards use this package's
+// constant values).
+func matches(r *Request, e *fabric.Envelope) bool {
+	if e.CID != r.cid {
+		return false
+	}
+	if r.srcWorld != AnySource && e.Src != r.srcWorld {
+		return false
+	}
+	if r.tag != AnyTag && e.Tag != int32(r.tag) {
+		return false
+	}
+	return true
+}
+
+// takeMatch removes and returns the oldest posted request matching e.
+func (p *Proc) takeMatch(e *fabric.Envelope) *Request {
+	for i, r := range p.posted {
+		if matches(r, e) {
+			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// takeUnexpected removes and returns the oldest unexpected envelope
+// matching r.
+func (p *Proc) takeUnexpected(r *Request) *fabric.Envelope {
+	for i, e := range p.unexpected {
+		if matches(r, e) {
+			p.unexpected = append(p.unexpected[:i], p.unexpected[i+1:]...)
+			return e
+		}
+	}
+	return nil
+}
+
+// complete finishes a receive with the packed payload.
+func (p *Proc) complete(r *Request, srcWorld int, tag int32, payload []byte) {
+	r.status.Source = int32(srcWorld)
+	if r.comm != nil {
+		r.status.Source = int32(r.comm.posOf(srcWorld))
+	}
+	r.status.Tag = tag
+	r.done = true
+	if r.raw {
+		r.rawOut = payload
+		r.status.UCount = uint64(len(payload))
+		r.code = Success
+		r.status.Error = Success
+		return
+	}
+	capacity := r.count * r.dt.t.Size()
+	n := len(payload)
+	if n > capacity {
+		n = capacity
+		r.code = ErrTruncate
+	} else {
+		r.code = Success
+	}
+	if _, err := r.dt.t.UnpackPartial(payload[:n], r.buf); err != nil {
+		r.code = ErrIntern
+	}
+	r.status.UCount = uint64(n)
+	r.status.Error = int32(r.code)
+}
+
+// answerRTS matches a rendezvous announcement with a posted receive.
+func (p *Proc) answerRTS(e *fabric.Envelope, r *Request) {
+	r.status.Tag = e.Tag
+	p.awaitingData[seqKey{peer: e.Src, seq: e.Seq}] = r
+	p.ep.Send(&fabric.Envelope{Dst: e.Src, CID: e.CID, Proto: fabric.ProtoCTS, Seq: e.Seq})
+}
+
+// post registers a receive, searching the unexpected queue first.
+func (p *Proc) post(r *Request) {
+	if e := p.takeUnexpected(r); e != nil {
+		if e.Proto == fabric.ProtoRTS {
+			p.answerRTS(e, r)
+		} else {
+			p.complete(r, e.Src, e.Tag, e.Payload)
+		}
+		return
+	}
+	p.posted = append(p.posted, r)
+}
+
+// startSend launches a send on an arbitrary context, returning a pending
+// request on the rendezvous path or nil when the eager path completed.
+func (p *Proc) startSend(packed []byte, destWorld int, tag int32, cid uint32) *Request {
+	if len(packed) <= eagerLimit || destWorld == p.rank {
+		p.ep.Send(&fabric.Envelope{
+			Dst: destWorld, CID: cid, Tag: tag,
+			Proto: fabric.ProtoEager, Payload: packed,
+		})
+		return nil
+	}
+	p.nextSeq++
+	r := &Request{payload: packed, seq: p.nextSeq, cid: cid}
+	p.pendingSend[p.nextSeq] = r
+	p.ep.Send(&fabric.Envelope{
+		Dst: destWorld, CID: cid, Tag: tag,
+		Proto: fabric.ProtoRTS, Seq: p.nextSeq, Hdr: uint64(len(packed)),
+	})
+	return r
+}
+
+// checkPeerTag validates peer/tag arguments.
+func checkPeerTag(c *Comm, peer, tag int, sending bool) int {
+	if peer == ProcNull {
+		return Success
+	}
+	if sending && (tag < 0 || tag > TagUB) {
+		return ErrTag
+	}
+	if !sending && tag != AnyTag && (tag < 0 || tag > TagUB) {
+		return ErrTag
+	}
+	if !sending && peer == AnySource {
+		return Success
+	}
+	if peer < 0 || peer >= c.Size() {
+		return ErrRank
+	}
+	return Success
+}
+
+func pack(dt *Datatype, buf []byte, count int) ([]byte, int) {
+	if count == 0 {
+		return nil, Success
+	}
+	out := make([]byte, count*dt.t.Size())
+	if _, err := dt.t.Pack(buf, count, out); err != nil {
+		return nil, ErrBuffer
+	}
+	return out, Success
+}
+
+// Send is blocking standard-mode MPI_Send.
+func (p *Proc) Send(buf []byte, count int, dt *Datatype, dest, tag int, c *Comm) int {
+	if c == nil {
+		return ErrComm
+	}
+	if dt == nil || !dt.t.Committed() {
+		return ErrType
+	}
+	if count < 0 {
+		return ErrCount
+	}
+	if code := checkPeerTag(c, dest, tag, true); code != Success {
+		return code
+	}
+	if dest == ProcNull {
+		return Success
+	}
+	packed, code := pack(dt, buf, count)
+	if code != Success {
+		return code
+	}
+	r := p.startSend(packed, c.ranks[dest], int32(tag), c.cid)
+	for r != nil && !r.done {
+		if code := p.progress(true); code != Success {
+			return code
+		}
+	}
+	if r != nil {
+		return r.code
+	}
+	return Success
+}
+
+// newRecv validates and builds a receive request (nil for PROC_NULL).
+func (p *Proc) newRecv(buf []byte, count int, dt *Datatype, source, tag int, c *Comm) (*Request, int) {
+	if c == nil {
+		return nil, ErrComm
+	}
+	if dt == nil || !dt.t.Committed() {
+		return nil, ErrType
+	}
+	if count < 0 {
+		return nil, ErrCount
+	}
+	if code := checkPeerTag(c, source, tag, false); code != Success {
+		return nil, code
+	}
+	if source == ProcNull {
+		return nil, Success
+	}
+	srcWorld := AnySource
+	if source != AnySource {
+		srcWorld = c.ranks[source]
+	}
+	return &Request{
+		isRecv: true, comm: c, buf: buf, count: count, dt: dt,
+		srcWorld: srcWorld, tag: tag, cid: c.cid,
+	}, Success
+}
+
+func procNullStatus(st *Status) {
+	if st == nil {
+		return
+	}
+	st.Source = ProcNull
+	st.Tag = AnyTag
+	st.Error = Success
+	st.UCount = 0
+}
+
+// Recv is blocking MPI_Recv.
+func (p *Proc) Recv(buf []byte, count int, dt *Datatype, source, tag int, c *Comm, st *Status) int {
+	r, code := p.newRecv(buf, count, dt, source, tag, c)
+	if code != Success {
+		return code
+	}
+	if r == nil {
+		procNullStatus(st)
+		return Success
+	}
+	p.post(r)
+	for !r.done {
+		if code := p.progress(true); code != Success {
+			return code
+		}
+	}
+	if st != nil {
+		*st = r.status
+	}
+	return r.code
+}
+
+// Isend is nonblocking MPI_Isend.
+func (p *Proc) Isend(buf []byte, count int, dt *Datatype, dest, tag int, c *Comm) (*Request, int) {
+	if c == nil {
+		return nil, ErrComm
+	}
+	if dt == nil || !dt.t.Committed() {
+		return nil, ErrType
+	}
+	if count < 0 {
+		return nil, ErrCount
+	}
+	if code := checkPeerTag(c, dest, tag, true); code != Success {
+		return nil, code
+	}
+	if dest == ProcNull {
+		return &Request{done: true, code: Success}, Success
+	}
+	packed, code := pack(dt, buf, count)
+	if code != Success {
+		return nil, code
+	}
+	r := p.startSend(packed, c.ranks[dest], int32(tag), c.cid)
+	if r == nil {
+		r = &Request{done: true, code: Success}
+	}
+	return r, Success
+}
+
+// Irecv is nonblocking MPI_Irecv.
+func (p *Proc) Irecv(buf []byte, count int, dt *Datatype, source, tag int, c *Comm) (*Request, int) {
+	r, code := p.newRecv(buf, count, dt, source, tag, c)
+	if code != Success {
+		return nil, code
+	}
+	if r == nil {
+		pn := &Request{isRecv: true, done: true, code: Success}
+		procNullStatus(&pn.status)
+		return pn, Success
+	}
+	p.post(r)
+	return r, Success
+}
+
+// Wait completes one request.
+func (p *Proc) Wait(r *Request, st *Status) int {
+	if r == nil {
+		procNullStatus(st)
+		return Success
+	}
+	for !r.done {
+		if code := p.progress(true); code != Success {
+			return code
+		}
+	}
+	if st != nil {
+		*st = r.status
+	}
+	return r.code
+}
+
+// Test polls one request.
+func (p *Proc) Test(r *Request, st *Status) (bool, int) {
+	if r == nil {
+		procNullStatus(st)
+		return true, Success
+	}
+	if !r.done {
+		if code := p.progress(false); code != Success {
+			return false, code
+		}
+	}
+	if !r.done {
+		return false, Success
+	}
+	if st != nil {
+		*st = r.status
+	}
+	return true, r.code
+}
+
+// Waitall completes a batch of requests.
+func (p *Proc) Waitall(reqs []*Request, sts []Status) int {
+	if sts != nil && len(sts) != len(reqs) {
+		return ErrArg
+	}
+	rc := Success
+	for i, r := range reqs {
+		var st Status
+		if code := p.Wait(r, &st); code != Success {
+			rc = code
+		}
+		if sts != nil {
+			sts[i] = st
+		}
+	}
+	return rc
+}
+
+// Sendrecv posts the receive before sending, avoiding the exchange
+// deadlock.
+func (p *Proc) Sendrecv(sendbuf []byte, scount int, stype *Datatype, dest, stag int,
+	recvbuf []byte, rcount int, rtype *Datatype, source, rtag int,
+	c *Comm, st *Status) int {
+	rr, code := p.Irecv(recvbuf, rcount, rtype, source, rtag, c)
+	if code != Success {
+		return code
+	}
+	if code := p.Send(sendbuf, scount, stype, dest, stag, c); code != Success {
+		return code
+	}
+	return p.Wait(rr, st)
+}

@@ -1,0 +1,83 @@
+package openmpi
+
+import "repro/internal/fabric"
+
+// scanPending looks for the oldest unexpected envelope matching the probe
+// without consuming it.
+func (p *Proc) scanPending(c *Comm, srcWorld, tag int, st *Status) bool {
+	probe := &Request{comm: c, srcWorld: srcWorld, tag: tag, cid: c.cid}
+	for _, e := range p.unexpected {
+		if e.Proto != fabric.ProtoEager && e.Proto != fabric.ProtoRTS {
+			continue
+		}
+		if !matches(probe, e) {
+			continue
+		}
+		if st != nil {
+			st.Source = int32(c.posOf(e.Src))
+			st.Tag = e.Tag
+			st.Error = Success
+			if e.Proto == fabric.ProtoRTS {
+				st.UCount = e.Hdr
+			} else {
+				st.UCount = uint64(len(e.Payload))
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (p *Proc) probeArgs(source, tag int, c *Comm) (int, bool, int) {
+	if c == nil {
+		return 0, false, ErrComm
+	}
+	if code := checkPeerTag(c, source, tag, false); code != Success {
+		return 0, false, code
+	}
+	if source == ProcNull {
+		return 0, false, Success
+	}
+	srcWorld := AnySource
+	if source != AnySource {
+		srcWorld = c.ranks[source]
+	}
+	return srcWorld, true, Success
+}
+
+// Probe mirrors MPI_Probe.
+func (p *Proc) Probe(source, tag int, c *Comm, st *Status) int {
+	srcWorld, real, code := p.probeArgs(source, tag, c)
+	if code != Success {
+		return code
+	}
+	if !real {
+		procNullStatus(st)
+		return Success
+	}
+	for !p.scanPending(c, srcWorld, tag, st) {
+		if code := p.progress(true); code != Success {
+			return code
+		}
+	}
+	return Success
+}
+
+// Iprobe mirrors MPI_Iprobe.
+func (p *Proc) Iprobe(source, tag int, c *Comm, st *Status) (bool, int) {
+	srcWorld, real, code := p.probeArgs(source, tag, c)
+	if code != Success {
+		return false, code
+	}
+	if !real {
+		procNullStatus(st)
+		return true, Success
+	}
+	if p.scanPending(c, srcWorld, tag, st) {
+		return true, Success
+	}
+	if code := p.progress(false); code != Success {
+		return false, code
+	}
+	return p.scanPending(c, srcWorld, tag, st), Success
+}

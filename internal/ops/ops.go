@@ -1,0 +1,369 @@
+// Package ops implements MPI reduction operators over raw buffers. Both
+// simulated MPI implementations delegate the arithmetic here while keeping
+// their own operator handle representations, exactly as both MPICH and
+// Open MPI implement the same MPI_SUM semantics behind different handles.
+package ops
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Op identifies a predefined reduction operator.
+type Op uint8
+
+// Predefined operators.
+const (
+	OpNull Op = iota
+	OpSum
+	OpProd
+	OpMax
+	OpMin
+	OpLAnd
+	OpLOr
+	OpLXor
+	OpBAnd
+	OpBOr
+	OpBXor
+	OpMaxLoc
+	OpMinLoc
+	opMax // sentinel
+)
+
+var opNames = [...]string{
+	OpNull: "NULL", OpSum: "SUM", OpProd: "PROD", OpMax: "MAX", OpMin: "MIN",
+	OpLAnd: "LAND", OpLOr: "LOR", OpLXor: "LXOR", OpBAnd: "BAND", OpBOr: "BOR",
+	OpBXor: "BXOR", OpMaxLoc: "MAXLOC", OpMinLoc: "MINLOC",
+}
+
+// Valid reports whether op names a real predefined operator.
+func (op Op) Valid() bool { return op > OpNull && op < opMax }
+
+// String returns the operator's MPI-style name.
+func (op Op) String() string {
+	if op >= opMax {
+		return fmt.Sprintf("Op(%d)", uint8(op))
+	}
+	return opNames[op]
+}
+
+// Commutative reports whether the operator is commutative. All predefined
+// MPI operators are; user-defined operators declare it at registration.
+func (op Op) Commutative() bool { return op.Valid() }
+
+// Ops returns every valid predefined operator, for exhaustive tests.
+func Ops() []Op {
+	out := make([]Op, 0, int(opMax)-1)
+	for op := OpNull + 1; op < opMax; op++ {
+		out = append(out, op)
+	}
+	return out
+}
+
+type kindClass uint8
+
+const (
+	classInt kindClass = iota
+	classUint
+	classFloat
+	classComplex
+	classPair
+	classBool
+)
+
+func classOf(k types.Kind) kindClass {
+	switch k {
+	case types.KindInt8, types.KindInt16, types.KindInt32, types.KindInt64:
+		return classInt
+	case types.KindByte, types.KindUint8, types.KindUint16, types.KindUint32, types.KindUint64:
+		return classUint
+	case types.KindFloat32, types.KindFloat64:
+		return classFloat
+	case types.KindComplex64, types.KindComplex128:
+		return classComplex
+	case types.KindFloat32Int32, types.KindFloat64Int32, types.KindInt32Int32:
+		return classPair
+	case types.KindBool:
+		return classBool
+	}
+	return classBool
+}
+
+// Compatible reports whether op is defined on primitive kind k, mirroring
+// the MPI standard's operator/type compatibility table.
+func Compatible(op Op, k types.Kind) bool {
+	if !op.Valid() || !k.Valid() {
+		return false
+	}
+	switch classOf(k) {
+	case classInt, classUint:
+		switch op {
+		case OpSum, OpProd, OpMax, OpMin, OpLAnd, OpLOr, OpLXor, OpBAnd, OpBOr, OpBXor:
+			return true
+		}
+	case classFloat:
+		switch op {
+		case OpSum, OpProd, OpMax, OpMin:
+			return true
+		}
+	case classComplex:
+		switch op {
+		case OpSum, OpProd:
+			return true
+		}
+	case classPair:
+		return op == OpMaxLoc || op == OpMinLoc
+	case classBool:
+		switch op {
+		case OpLAnd, OpLOr, OpLXor, OpBAnd, OpBOr, OpBXor, OpMax, OpMin, OpSum, OpProd:
+			return k == types.KindBool && (op == OpLAnd || op == OpLOr || op == OpLXor)
+		}
+	}
+	return false
+}
+
+// Apply folds in into acc elementwise: acc[i] = acc[i] OP in[i]. Both
+// buffers must hold count elements of kind k, packed contiguously.
+func Apply(op Op, k types.Kind, acc, in []byte, count int) error {
+	if !Compatible(op, k) {
+		return fmt.Errorf("ops: operator %v undefined on %v", op, k)
+	}
+	sz := k.Size()
+	if len(acc) < count*sz || len(in) < count*sz {
+		return fmt.Errorf("ops: buffers too short for %d x %v (acc=%d in=%d)",
+			count, k, len(acc), len(in))
+	}
+	for i := 0; i < count; i++ {
+		a := acc[i*sz : (i+1)*sz]
+		b := in[i*sz : (i+1)*sz]
+		applyOne(op, k, a, b)
+	}
+	return nil
+}
+
+func applyOne(op Op, k types.Kind, a, b []byte) {
+	switch k {
+	case types.KindInt8:
+		put8i(a, foldInt(op, int64(int8(a[0])), int64(int8(b[0]))))
+	case types.KindInt16:
+		v := foldInt(op, int64(int16(le.Uint16(a))), int64(int16(le.Uint16(b))))
+		le.PutUint16(a, uint16(v))
+	case types.KindInt32:
+		v := foldInt(op, int64(int32(le.Uint32(a))), int64(int32(le.Uint32(b))))
+		le.PutUint32(a, uint32(v))
+	case types.KindInt64:
+		v := foldInt(op, int64(le.Uint64(a)), int64(le.Uint64(b)))
+		le.PutUint64(a, uint64(v))
+	case types.KindByte, types.KindUint8:
+		a[0] = byte(foldUint(op, uint64(a[0]), uint64(b[0])))
+	case types.KindUint16:
+		le.PutUint16(a, uint16(foldUint(op, uint64(le.Uint16(a)), uint64(le.Uint16(b)))))
+	case types.KindUint32:
+		le.PutUint32(a, uint32(foldUint(op, uint64(le.Uint32(a)), uint64(le.Uint32(b)))))
+	case types.KindUint64:
+		le.PutUint64(a, foldUint(op, le.Uint64(a), le.Uint64(b)))
+	case types.KindFloat32:
+		le.PutUint32(a, math.Float32bits(float32(foldFloat(op,
+			float64(math.Float32frombits(le.Uint32(a))), float64(math.Float32frombits(le.Uint32(b)))))))
+	case types.KindFloat64:
+		le.PutUint64(a, math.Float64bits(foldFloat(op,
+			math.Float64frombits(le.Uint64(a)), math.Float64frombits(le.Uint64(b)))))
+	case types.KindComplex64:
+		ar, ai := math.Float32frombits(le.Uint32(a)), math.Float32frombits(le.Uint32(a[4:]))
+		br, bi := math.Float32frombits(le.Uint32(b)), math.Float32frombits(le.Uint32(b[4:]))
+		cr, ci := foldComplex(op, complex(float64(ar), float64(ai)), complex(float64(br), float64(bi)))
+		le.PutUint32(a, math.Float32bits(float32(cr)))
+		le.PutUint32(a[4:], math.Float32bits(float32(ci)))
+	case types.KindComplex128:
+		ar, ai := math.Float64frombits(le.Uint64(a)), math.Float64frombits(le.Uint64(a[8:]))
+		br, bi := math.Float64frombits(le.Uint64(b)), math.Float64frombits(le.Uint64(b[8:]))
+		cr, ci := foldComplex(op, complex(ar, ai), complex(br, bi))
+		le.PutUint64(a, math.Float64bits(cr))
+		le.PutUint64(a[8:], math.Float64bits(ci))
+	case types.KindBool:
+		av, bv := a[0] != 0, b[0] != 0
+		var r bool
+		switch op {
+		case OpLAnd:
+			r = av && bv
+		case OpLOr:
+			r = av || bv
+		case OpLXor:
+			r = av != bv
+		}
+		a[0] = 0
+		if r {
+			a[0] = 1
+		}
+	case types.KindFloat32Int32:
+		av := float64(math.Float32frombits(le.Uint32(a)))
+		bv := float64(math.Float32frombits(le.Uint32(b)))
+		if pairTakeB(op, av, bv, int32(le.Uint32(a[4:])), int32(le.Uint32(b[4:]))) {
+			copy(a, b)
+		}
+	case types.KindFloat64Int32:
+		av := math.Float64frombits(le.Uint64(a))
+		bv := math.Float64frombits(le.Uint64(b))
+		if pairTakeB(op, av, bv, int32(le.Uint32(a[8:])), int32(le.Uint32(b[8:]))) {
+			copy(a, b)
+		}
+	case types.KindInt32Int32:
+		av := float64(int32(le.Uint32(a)))
+		bv := float64(int32(le.Uint32(b)))
+		if pairTakeB(op, av, bv, int32(le.Uint32(a[4:])), int32(le.Uint32(b[4:]))) {
+			copy(a, b)
+		}
+	}
+}
+
+var le = binary.LittleEndian
+
+func put8i(a []byte, v int64) { a[0] = byte(int8(v)) }
+
+func foldInt(op Op, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		return max(a, b)
+	case OpMin:
+		return min(a, b)
+	case OpLAnd:
+		return b2i(a != 0 && b != 0)
+	case OpLOr:
+		return b2i(a != 0 || b != 0)
+	case OpLXor:
+		return b2i((a != 0) != (b != 0))
+	case OpBAnd:
+		return a & b
+	case OpBOr:
+		return a | b
+	case OpBXor:
+		return a ^ b
+	}
+	return a
+}
+
+func foldUint(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		return max(a, b)
+	case OpMin:
+		return min(a, b)
+	case OpLAnd:
+		return uint64(b2i(a != 0 && b != 0))
+	case OpLOr:
+		return uint64(b2i(a != 0 || b != 0))
+	case OpLXor:
+		return uint64(b2i((a != 0) != (b != 0)))
+	case OpBAnd:
+		return a & b
+	case OpBOr:
+		return a | b
+	case OpBXor:
+		return a ^ b
+	}
+	return a
+}
+
+func foldFloat(op Op, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	}
+	return a
+}
+
+func foldComplex(op Op, a, b complex128) (float64, float64) {
+	var c complex128
+	switch op {
+	case OpSum:
+		c = a + b
+	case OpProd:
+		c = a * b
+	default:
+		c = a
+	}
+	return real(c), imag(c)
+}
+
+// pairTakeB decides whether the (value, index) pair b replaces a under
+// MAXLOC/MINLOC: ties are broken by the smaller index, per the standard.
+func pairTakeB(op Op, av, bv float64, ai, bi int32) bool {
+	switch op {
+	case OpMaxLoc:
+		if bv > av {
+			return true
+		}
+		return bv == av && bi < ai
+	case OpMinLoc:
+		if bv < av {
+			return true
+		}
+		return bv == av && bi < ai
+	}
+	return false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// UserFn is a user-defined reduction function: fold in into acc, both
+// holding count contiguous elements of kind k.
+type UserFn func(acc, in []byte, k types.Kind, count int)
+
+// userReg is the global registry of user-defined operators. Registration by
+// name makes user ops survive checkpoint/restart: the image records the
+// name, restart looks the function up again (function values themselves
+// cannot be serialized).
+var userReg = struct {
+	sync.RWMutex
+	m map[string]userOp
+}{m: make(map[string]userOp)}
+
+type userOp struct {
+	fn      UserFn
+	commute bool
+}
+
+// RegisterUser registers (or replaces) a named user-defined operator.
+func RegisterUser(name string, commute bool, fn UserFn) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("ops: user op needs a name and a function")
+	}
+	userReg.Lock()
+	defer userReg.Unlock()
+	userReg.m[name] = userOp{fn: fn, commute: commute}
+	return nil
+}
+
+// LookupUser returns the registered user operator.
+func LookupUser(name string) (UserFn, bool, error) {
+	userReg.RLock()
+	defer userReg.RUnlock()
+	u, ok := userReg.m[name]
+	if !ok {
+		return nil, false, fmt.Errorf("ops: user op %q not registered", name)
+	}
+	return u.fn, u.commute, nil
+}

@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes the simulated cluster: its shape (nodes x ranks-per-node)
+// and the parameters of the alpha-beta cost model.
+//
+// The defaults in Discovery10GbE mirror the paper's testbed: four compute
+// nodes with 12 ranks each (48 MPI processes) connected by 10 GbE, with
+// shared-memory communication inside a node.
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// RanksPerNode is the number of MPI processes placed on each node.
+	// Ranks are block-distributed: rank r lives on node r/RanksPerNode.
+	RanksPerNode int
+
+	// InterLatency is the one-way wire latency between two nodes (alpha).
+	InterLatency time.Duration
+	// IntraLatency is the latency of a shared-memory transfer inside a node.
+	IntraLatency time.Duration
+
+	// InterBandwidth is the per-byte cost channel between nodes, in bytes
+	// per second (beta = 1/InterBandwidth).
+	InterBandwidth float64
+	// IntraBandwidth is the shared-memory copy bandwidth in bytes per second.
+	IntraBandwidth float64
+
+	// NICBandwidth is the serialization rate of a node's network interface in
+	// bytes per second. All inter-node messages leaving (or entering) a node
+	// share its NIC, which is how the model produces contention: 12 ranks
+	// doing an alltoall saturate their node's NIC.
+	NICBandwidth float64
+
+	// SendOverhead is the sender-side per-message CPU cost (the "o" of LogP);
+	// it is charged to the sender's clock by the MPI implementation.
+	SendOverhead time.Duration
+	// RecvOverhead is the receiver-side per-message CPU cost.
+	RecvOverhead time.Duration
+
+	// JitterFrac adds a uniform random perturbation of up to this fraction to
+	// each message's wire latency. It models OS noise so that repeated runs
+	// have the run-to-run variance the paper reports (Figure 5 error bars).
+	// Zero disables jitter and makes contention-free traffic deterministic.
+	JitterFrac float64
+
+	// Seed seeds the deterministic jitter stream.
+	Seed int64
+}
+
+// Discovery10GbE returns the paper's testbed: 4 nodes x 12 ranks, 10 GbE
+// interconnect, CentOS-7-era shared memory path.
+func Discovery10GbE() Config {
+	return Config{
+		Nodes:          4,
+		RanksPerNode:   12,
+		InterLatency:   25 * time.Microsecond, // TCP-over-10GbE small-message latency (CentOS 7)
+		IntraLatency:   8 * time.Microsecond,  // TCP-loopback-era intra-node path
+		InterBandwidth: 1.15e9,                // ~10 Gb/s payload rate
+		IntraBandwidth: 2.5e9,
+		NICBandwidth:   1.15e9,
+		SendOverhead:   450 * time.Nanosecond,
+		RecvOverhead:   350 * time.Nanosecond,
+		JitterFrac:     0.02,
+		Seed:           1,
+	}
+}
+
+// SingleNode returns a one-node shared-memory-only configuration with n
+// ranks, convenient for unit tests.
+func SingleNode(n int) Config {
+	c := Discovery10GbE()
+	c.Nodes = 1
+	c.RanksPerNode = n
+	c.JitterFrac = 0
+	return c
+}
+
+// Size returns the total number of ranks described by the configuration.
+func (c Config) Size() int { return c.Nodes * c.RanksPerNode }
+
+// NodeOf returns the node hosting the given rank.
+func (c Config) NodeOf(rank int) int { return rank / c.RanksPerNode }
+
+// Validate reports a descriptive error for nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("simnet: Nodes must be positive, got %d", c.Nodes)
+	case c.RanksPerNode <= 0:
+		return fmt.Errorf("simnet: RanksPerNode must be positive, got %d", c.RanksPerNode)
+	case c.InterBandwidth <= 0 || c.IntraBandwidth <= 0 || c.NICBandwidth <= 0:
+		return fmt.Errorf("simnet: bandwidths must be positive")
+	case c.InterLatency < 0 || c.IntraLatency < 0:
+		return fmt.Errorf("simnet: latencies must be non-negative")
+	case c.JitterFrac < 0 || c.JitterFrac > 1:
+		return fmt.Errorf("simnet: JitterFrac must be in [0,1], got %g", c.JitterFrac)
+	}
+	return nil
+}

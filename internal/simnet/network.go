@@ -1,0 +1,146 @@
+package simnet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// congestionBucketNs quantizes virtual time for NIC congestion accounting.
+const congestionBucketNs = 50_000 // 50us
+
+// linkClock models the serialization of one NIC direction with bucketed
+// byte accounting: a transfer departing at virtual time t is delayed by the
+// serialization time of the bytes already booked in t's bucket. This is
+// order-insensitive across virtual time — a rank running ahead can never
+// push an earlier-virtual-time transfer into its own future (a ratcheting
+// "next free" clock would, because reservation order is goroutine
+// scheduling order, and the feedback inflates clock skew without bound).
+type linkClock struct {
+	mu      sync.Mutex
+	buckets map[int64]int64 // bucket index -> bytes booked
+}
+
+// reserve books nbytes departing at the given time and returns the queueing
+// delay behind bytes already booked in the same window.
+func (l *linkClock) reserve(at Time, nbytes int, bw float64) time.Duration {
+	if nbytes <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.buckets == nil {
+		l.buckets = make(map[int64]int64)
+	}
+	idx := int64(at) / congestionBucketNs
+	queued := l.buckets[idx]
+	l.buckets[idx] += int64(nbytes)
+	// Opportunistic cleanup keeps long simulations from accumulating
+	// dead buckets.
+	if len(l.buckets) > 4096 {
+		for k := range l.buckets {
+			if k < idx-64 {
+				delete(l.buckets, k)
+			}
+		}
+	}
+	return bytesTime(int(queued), bw)
+}
+
+// reset clears the reservation state (used between experiment repetitions).
+func (l *linkClock) reset() {
+	l.mu.Lock()
+	l.buckets = nil
+	l.mu.Unlock()
+}
+
+// Network computes virtual arrival times for messages on the simulated
+// cluster. It is safe for concurrent use by all rank goroutines.
+type Network struct {
+	cfg     Config
+	egress  []linkClock // one per node
+	ingress []linkClock // one per node
+
+	jmu sync.Mutex
+	rng *rand.Rand
+}
+
+// NewNetwork builds a Network for the given configuration. The configuration
+// must Validate.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		cfg:     cfg,
+		egress:  make([]linkClock, cfg.Nodes),
+		ingress: make([]linkClock, cfg.Nodes),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Config returns the configuration the network was built with.
+func (n *Network) Config() Config { return n.cfg }
+
+// Transfer returns the virtual time at which a message of nbytes sent from
+// src to dst at the given departure time is fully available at the receiver.
+//
+// Intra-node transfers use the shared-memory path: latency plus copy cost,
+// with no NIC involvement. Inter-node transfers serialize on the source
+// node's egress NIC, cross the wire (alpha + jitter), and serialize on the
+// destination node's ingress NIC using cut-through timing, so an
+// uncontended transfer costs alpha + nbytes/beta exactly once.
+func (n *Network) Transfer(src, dst int, nbytes int, depart Time) Time {
+	if nbytes < 0 {
+		nbytes = 0
+	}
+	srcNode, dstNode := n.cfg.NodeOf(src), n.cfg.NodeOf(dst)
+	if src == dst {
+		// Self-send: a memcpy.
+		return depart.Add(bytesTime(nbytes, n.cfg.IntraBandwidth))
+	}
+	if srcNode == dstNode {
+		return depart.Add(n.cfg.IntraLatency + bytesTime(nbytes, n.cfg.IntraBandwidth))
+	}
+	tx := bytesTime(nbytes, n.cfg.NICBandwidth)
+	eDelay := n.egress[srcNode].reserve(depart, nbytes, n.cfg.NICBandwidth)
+	wire := n.cfg.InterLatency + n.jitter(n.cfg.InterLatency)
+	afterWire := depart.Add(eDelay + tx + wire)
+	iDelay := n.ingress[dstNode].reserve(afterWire, nbytes, n.cfg.NICBandwidth)
+	return afterWire.Add(iDelay + bytesExtra(nbytes, n.cfg.NICBandwidth, n.cfg.InterBandwidth))
+}
+
+// Reset clears NIC reservation state so a fresh repetition starts from an
+// idle network.
+func (n *Network) Reset() {
+	for i := range n.egress {
+		n.egress[i].reset()
+		n.ingress[i].reset()
+	}
+}
+
+// jitter returns a random perturbation of up to JitterFrac*base.
+func (n *Network) jitter(base time.Duration) time.Duration {
+	if n.cfg.JitterFrac == 0 || base <= 0 {
+		return 0
+	}
+	n.jmu.Lock()
+	f := n.rng.Float64()
+	n.jmu.Unlock()
+	return time.Duration(f * n.cfg.JitterFrac * float64(base))
+}
+
+// bytesTime is the serialization time of nbytes at bw bytes/second.
+func bytesTime(nbytes int, bw float64) time.Duration {
+	return time.Duration(float64(nbytes) / bw * float64(time.Second))
+}
+
+// bytesExtra is the additional per-byte cost when the end-to-end bandwidth
+// (bw2) is lower than the NIC serialization rate (bw1). With equal rates it
+// is zero, keeping the uncontended cost alpha + n/beta.
+func bytesExtra(nbytes int, bw1, bw2 float64) time.Duration {
+	if bw2 >= bw1 {
+		return 0
+	}
+	return bytesTime(nbytes, bw2) - bytesTime(nbytes, bw1)
+}

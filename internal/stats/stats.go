@@ -1,0 +1,136 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: the paper reports medians of 5 repetitions with standard
+// deviations (Figure 5's error bars).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (the mean of the middle pair for even
+// lengths). It panics on empty input, which is always a harness bug.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: median of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	lo, hi := s[mid-1], s[mid]
+	return lo + (hi-lo)/2 // midpoint form avoids overflow on huge values
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: mean of empty sample")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0
+// for samples smaller than 2.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min and Max return the extrema.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: min of empty sample")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: max of empty sample")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) by linear interpolation.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// OverheadPct returns the relative overhead of measured vs baseline in
+// percent: 100*(measured-baseline)/baseline.
+func OverheadPct(baseline, measured float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (measured - baseline) / baseline
+}
+
+// Summary aggregates a repeated measurement.
+type Summary struct {
+	Median, Mean, StdDev, Min, Max float64
+	N                              int
+}
+
+// Summarize computes all the summary statistics at once.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		Median: Median(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		N:      len(xs),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("median=%.3f mean=%.3f sd=%.3f n=%d", s.Median, s.Mean, s.StdDev, s.N)
+}

@@ -1,0 +1,141 @@
+// Package repro is a Go reproduction of "The Case for ABI Interoperability
+// in a Fault Tolerant MPI" (Xu, Nansamba, Skjellum, Cooperman; IPPS 2025):
+// a standard-ABI MPI ecosystem with two simulated MPI implementations
+// (MPICH-flavored and Open-MPI-flavored, each with its own native ABI), the
+// Mukautuva compatibility shim, and the MANA transparent checkpointing
+// package — the paper's "three-legged stool".
+//
+// The public API re-exports the composition layer: pick a Stack (one MPI
+// implementation, one ABI binding mode, one checkpointing package), Launch
+// a registered Program over it, Checkpoint it mid-run, and Restart the
+// image — under a different MPI implementation when the stack went through
+// the standard ABI:
+//
+//	stack := repro.DefaultStack(repro.ImplOpenMPI, repro.ABIMukautuva, repro.CkptMANA)
+//	job, _ := repro.Launch(stack, "osu.alltoall.ckptwindow")
+//	job.Checkpoint("images/", false)
+//	job.Wait()
+//	restarted, _ := repro.Restart("images/", repro.DefaultStack(
+//		repro.ImplMPICH, repro.ABIMukautuva, repro.CkptMANA))
+//	restarted.Wait()
+//
+// Applications are SPMD Programs written against the standard ABI
+// function table (see the abi types re-exported here); registered
+// workloads include the OSU micro-benchmark kernels ("osu.alltoall",
+// "osu.bcast", "osu.allreduce", "osu.alltoall.ckptwindow") and the
+// Figure 5 applications ("app.comd", "app.wave").
+package repro
+
+import (
+	"repro/internal/abi"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mana"
+	"repro/internal/simnet"
+
+	// Register the built-in workloads.
+	_ "repro/internal/apps/comd"
+	_ "repro/internal/apps/wavempi"
+	_ "repro/internal/osu"
+)
+
+// Stack composition (see internal/core).
+type (
+	// Stack names one choice for each leg of the three-legged stool.
+	Stack = core.Stack
+	// Impl selects the MPI implementation.
+	Impl = core.Impl
+	// ABIMode selects the binding: native or standard-ABI via Mukautuva.
+	ABIMode = core.ABIMode
+	// CkptMode selects the checkpointing package.
+	CkptMode = core.CkptMode
+	// Job is a running or finished launch.
+	Job = core.Job
+	// Program is an SPMD application; see core.Program for the contract.
+	Program = core.Program
+	// LaunchOption tweaks a launch.
+	LaunchOption = core.LaunchOption
+)
+
+// Stack building blocks.
+const (
+	ImplMPICH    = core.ImplMPICH
+	ImplOpenMPI  = core.ImplOpenMPI
+	ABINative    = core.ABINative
+	ABIMukautuva = core.ABIMukautuva
+	ABIWi4MPI    = core.ABIWi4MPI
+	CkptNone     = core.CkptNone
+	CkptMANA     = core.CkptMANA
+)
+
+// Application-facing MPI types (the standard ABI).
+type (
+	// Env is a rank's bound MPI environment.
+	Env = abi.Env
+	// Handle is an opaque MPI object handle.
+	Handle = abi.Handle
+	// Status is the standard receive status record.
+	Status = abi.Status
+)
+
+// Kernel feature levels for the MANA FSGSBASE cost model.
+const (
+	KernelPre5_9  = mana.KernelPre5_9
+	Kernel5_9Plus = mana.Kernel5_9Plus
+)
+
+// DefaultStack returns the paper's testbed configuration (4 nodes x 12
+// ranks over 10 GbE, pre-5.9 kernel) for the given legs.
+func DefaultStack(impl Impl, abiMode ABIMode, ckpt CkptMode) Stack {
+	return core.DefaultStack(impl, abiMode, ckpt)
+}
+
+// ClusterConfig returns the simulated cluster configuration used by
+// DefaultStack, for callers who want to tweak shape or cost model.
+func ClusterConfig() simnet.Config { return simnet.Discovery10GbE() }
+
+// Launch runs a registered program under a stack. See core.Launch.
+func Launch(stack Stack, program string, opts ...LaunchOption) (*Job, error) {
+	return core.Launch(stack, program, opts...)
+}
+
+// WithConfigure sets launch parameters on each rank's program instance.
+func WithConfigure(fn func(rank int, p Program)) LaunchOption {
+	return core.WithConfigure(fn)
+}
+
+// Restart resumes a checkpoint image set under a new stack. Images taken
+// through the standard ABI may restart under a different MPI
+// implementation; native-ABI images may not. See core.Restart.
+func Restart(dir string, stack Stack) (*Job, error) {
+	return core.Restart(dir, stack)
+}
+
+// RegisterProgram installs an application under a stable name so it can be
+// launched and its checkpoints decoded.
+func RegisterProgram(name string, factory func() Program) {
+	core.RegisterProgram(name, factory)
+}
+
+// Programs lists the registered application names.
+func Programs() []string { return core.Programs() }
+
+// Experiment harness re-exports: regenerate the paper's figures.
+type (
+	// Figure is one reproduced figure's data.
+	Figure = harness.Figure
+	// ExperimentOptions scales a figure run.
+	ExperimentOptions = harness.Options
+)
+
+// PaperScale returns the full 4x12-rank, 5-repetition configuration.
+func PaperScale() ExperimentOptions { return harness.Full() }
+
+// QuickScale returns a small smoke configuration.
+func QuickScale() ExperimentOptions { return harness.Quick() }
+
+// ReproduceFigure regenerates one of the paper's figures ("2".."6", or
+// "fsgsbase" for the ablation); scratch is used for checkpoint images.
+func ReproduceFigure(name string, o ExperimentOptions, scratch string) (*Figure, error) {
+	return harness.ByName(name, o, scratch)
+}
