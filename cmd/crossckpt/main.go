@@ -1,10 +1,26 @@
-// Command crossckpt runs the paper's Section 5.3 scenario end to end:
-// launch the modified OSU alltoall under one MPI implementation through
-// the standard ABI, checkpoint it in the post-warm-up sleep window,
-// restart the images under a different implementation, and report that
-// the sweep completed with the stack swapped mid-run.
+// Command crossckpt runs the paper's Section 5.3 scenario across the
+// whole matrix of restart pairings: for every checkpointed stack of the
+// chosen program, launch it, checkpoint at the first safe point, let the
+// original complete, restart the images under every implementation the
+// image is valid for, and report each pairing's outcome. The pairings
+// come from the scenario matrix — cross-implementation restarts (the
+// paper's headline) exist exactly where MANA checkpoints through the
+// standard ABI; plain DMTCP pairings restart only under their own stack.
 //
-//	crossckpt -from openmpi -to mpich -dir images/
+// Usage:
+//
+//	crossckpt [-program osu.alltoall] [-from openmpi] [-to mpich] [-cross-only]
+//	          [-nodes 4] [-rpn 12] [-max-size 16384] [-parallel N]
+//	          [-dir images/] [-out report.json]
+//
+// Images live in a throwaway temp directory unless -dir is given; pass
+// -dir to keep them for inspection with manactl (the report's lineage
+// paths are relative to it).
+//
+// With -from/-to the pairing list is filtered to matching launch/restart
+// implementations: `crossckpt -from openmpi -to mpich` runs the paper's
+// Section 5.3 direction over both standard-ABI bindings (one MANA
+// pairing through Mukautuva, one through Wi4MPI).
 package main
 
 import (
@@ -13,72 +29,91 @@ import (
 	"os"
 	"time"
 
-	"repro"
 	"repro/internal/core"
-	"repro/internal/osu"
+	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		from  = flag.String("from", "openmpi", "implementation to launch under")
-		to    = flag.String("to", "mpich", "implementation to restart under")
-		dir   = flag.String("dir", "crossckpt-images", "checkpoint image directory")
-		nodes = flag.Int("nodes", 4, "compute nodes")
-		rpn   = flag.Int("rpn", 12, "ranks per node")
-		maxSz = flag.Int("max-size", 1<<14, "largest message size in bytes")
+		program   = flag.String("program", "osu.alltoall", "registered program to run under every pairing")
+		from      = flag.String("from", "", "only pairings launched under this implementation")
+		to        = flag.String("to", "", "only pairings restarted under this implementation")
+		crossOnly = flag.Bool("cross-only", false, "only cross-implementation pairings")
+		nodes     = flag.Int("nodes", 4, "compute nodes")
+		rpn       = flag.Int("rpn", 12, "ranks per node")
+		maxSz     = flag.Int("max-size", 1<<14, "largest message size in bytes")
+		reps      = flag.Int("reps", 1, "repetitions per pairing")
+		parallel  = flag.Int("parallel", 0, "bound on concurrently running pairings (0 = one per CPU)")
+		dir       = flag.String("dir", "", "keep checkpoint images under this directory (default: deleted temp dir; report lineage paths are relative to it)")
+		out       = flag.String("out", "", "optional path for the JSON report")
 	)
 	flag.Parse()
 
-	launchStack := repro.DefaultStack(repro.Impl(*from), repro.ABIMukautuva, repro.CkptMANA)
-	launchStack.Net.Nodes = *nodes
-	launchStack.Net.RanksPerNode = *rpn
-
-	configure := repro.WithConfigure(func(rank int, p core.Program) {
-		b := p.(*osu.LatencyBench)
-		var sizes []int
-		for sz := 1; sz <= *maxSz; sz <<= 1 {
-			sizes = append(sizes, sz)
+	m := scenario.DefaultMatrix()
+	m.Programs = []string{*program}
+	var specs []scenario.Spec
+	for _, s := range m.Enumerate() {
+		if !s.HasRestart() {
+			continue
 		}
-		b.Sizes = sizes
-		b.Iters = 10
-		b.Warmup = 3
-	})
+		if *from != "" && s.Impl != core.Impl(*from) {
+			continue
+		}
+		if *to != "" && s.RestartImpl != core.Impl(*to) {
+			continue
+		}
+		if *crossOnly && s.RestartImpl == s.Impl {
+			continue
+		}
+		specs = append(specs, s)
+	}
+	if len(specs) == 0 {
+		fatal(fmt.Errorf("no valid restart pairings for program=%s from=%q to=%q", *program, *from, *to))
+	}
 
-	fmt.Printf("launching osu.alltoall.ckptwindow under %s ...\n", launchStack.Label())
-	job, err := repro.Launch(launchStack, "osu.alltoall.ckptwindow", configure)
-	if err != nil {
-		fatal(err)
-	}
-	time.Sleep(50 * time.Millisecond) // reach the sleep window
-	fmt.Printf("checkpointing into %s ...\n", *dir)
-	if err := job.Checkpoint(*dir, true); err != nil {
-		fatal(err)
-	}
-	if err := job.Wait(); err != nil {
-		fatal(err)
-	}
-	fmt.Println("checkpoint complete; original job stopped.")
+	o := scenario.Quick()
+	o.Nodes = *nodes
+	o.RanksPerNode = *rpn
+	o.MaxSize = *maxSz
+	o.Reps = *reps
+	o.Parallel = *parallel
+	o.Timeout = 10 * time.Minute
+	o.Scratch = *dir
 
-	restartStack := repro.DefaultStack(repro.Impl(*to), repro.ABIMukautuva, repro.CkptMANA)
-	restartStack.Net.Nodes = *nodes
-	restartStack.Net.RanksPerNode = *rpn
-	fmt.Printf("restarting under %s ...\n", restartStack.Label())
-	restarted, err := repro.Restart(*dir, restartStack)
-	if err != nil {
-		fatal(err)
+	fmt.Printf("running %d restart pairings of %s over %dx%d ranks ...\n\n",
+		len(specs), *program, *nodes, *rpn)
+	rep := scenario.Run(specs, o)
+
+	for _, res := range rep.Results {
+		kind := "same-impl"
+		if res.Cross() {
+			kind = "CROSS-IMPL"
+		}
+		switch res.Status {
+		case scenario.StatusPass:
+			fmt.Printf("OK   %-10s %-70s ckpt step %d\n", kind, res.ID, res.Lineage[0].Step)
+		default:
+			fmt.Printf("FAIL %-10s %-70s %s\n", kind, res.ID, res.Error)
+		}
 	}
-	if err := restarted.Wait(); err != nil {
-		fatal(err)
+	var cross int
+	for _, res := range rep.Results {
+		if res.Cross() && res.Status == scenario.StatusPass {
+			cross++
+		}
 	}
-	b := restarted.Program(0).(*osu.LatencyBench)
-	sizes, means := b.Results()
-	fmt.Printf("sweep completed after restart under %s:\n", restartStack.Label())
-	fmt.Printf("%-12s %s\n", "# Size", "Avg Latency(us)")
-	for i, sz := range sizes {
-		fmt.Printf("%-12d %.2f\n", sz, means[i])
+	fmt.Printf("\n%d/%d pairings passed (%d cross-implementation restarts, no recompilation).\n",
+		rep.Passed, rep.Scenarios, cross)
+
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (schema v%d)\n", *out, scenario.SchemaVersion)
 	}
-	fmt.Printf("\nOK: launched under %s, checkpointed, restarted under %s — no recompilation.\n",
-		*from, *to)
+	if rep.Failed > 0 {
+		fatal(fmt.Errorf("%d pairings failed", rep.Failed))
+	}
 }
 
 func fatal(err error) {

@@ -1,14 +1,21 @@
-// Command paperfigs regenerates the paper's evaluation figures: the OSU
+// Command paperfigs regenerates the paper's evaluation figures — the OSU
 // latency sweeps (Figures 2-4), the real-application completion times
 // (Figure 5), the cross-implementation checkpoint/restart experiment
-// (Figure 6), and the FSGSBASE ablation.
+// (Figure 6), the FSGSBASE ablation — and, with -matrix, runs the full
+// scenario matrix: every valid app x MPI implementation x checkpointer
+// combination, cross-restart pairings included, concurrently over a
+// bounded worker pool, persisted as versioned JSON.
 //
 // Usage:
 //
-//	paperfigs [-fig 2,3,4,5,6|all|fsgsbase] [-quick] [-out results/] [-reps N]
+//	paperfigs [-fig 2,3,4,5,6|all|fsgsbase] [-quick] [-out results/] [-reps N] [-parallel N]
+//	paperfigs -matrix [-full] [-parallel N] [-out results.json] [-apps app.comd,app.wave]
 //
-// Full scale reproduces the paper's 4x12-rank setup with 5 repetitions and
-// takes some minutes; -quick runs a small smoke configuration.
+// Figure mode writes one CSV per figure into -out (a directory). Matrix
+// mode writes one JSON report to -out (a file; ".json" is appended to the
+// default). Figures run at paper scale (4x12 ranks, 5 repetitions) unless
+// -quick; the matrix runs at the quick smoke scale unless -full, because
+// it covers the whole combination space rather than one figure.
 package main
 
 import (
@@ -18,18 +25,36 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		figs  = flag.String("fig", "all", "comma-separated figure list: 2,3,4,5,6,fsgsbase or 'all'")
-		quick = flag.Bool("quick", false, "run the small smoke configuration instead of paper scale")
-		out   = flag.String("out", "results", "output directory for CSV files")
-		reps  = flag.Int("reps", 0, "override repetition count")
-		nodes = flag.Int("nodes", 0, "override node count")
-		rpn   = flag.Int("rpn", 0, "override ranks per node")
+		figs     = flag.String("fig", "all", "comma-separated figure list: 2,3,4,5,6,fsgsbase or 'all'")
+		quick    = flag.Bool("quick", false, "run figures at the small smoke configuration instead of paper scale")
+		out      = flag.String("out", "results", "output directory for CSV files; JSON file path in -matrix mode")
+		reps     = flag.Int("reps", 0, "override repetition count")
+		nodes    = flag.Int("nodes", 0, "override node count")
+		rpn      = flag.Int("rpn", 0, "override ranks per node")
+		parallel = flag.Int("parallel", 0, "bound on concurrently running scenarios (0 = one per CPU)")
+		matrix   = flag.Bool("matrix", false, "run the full scenario matrix instead of figures")
+		full     = flag.Bool("full", false, "run the matrix at paper scale (default: quick smoke scale)")
+		apps     = flag.String("apps", "", "override the matrix program axis (comma-separated registered programs; -matrix only)")
+		seed     = flag.Int64("seed", 0, "base seed perturbing every scenario's deterministic jitter seeds")
+		scratch  = flag.String("scratch", "", "keep checkpoint images under this directory instead of a deleted temp dir (-matrix only)")
 	)
 	flag.Parse()
+
+	if *full && *quick {
+		fatal(fmt.Errorf("-full and -quick conflict; pick one"))
+	}
+	if *matrix {
+		runMatrix(*full, *parallel, *reps, *nodes, *rpn, *seed, *apps, *scratch, *out)
+		return
+	}
+	if *full || *apps != "" || *scratch != "" {
+		fatal(fmt.Errorf("-full, -apps and -scratch require -matrix"))
+	}
 
 	opts := harness.Full()
 	if *quick {
@@ -44,20 +69,22 @@ func main() {
 	if *rpn > 0 {
 		opts.RanksPerNode = *rpn
 	}
+	opts.Parallel = *parallel
+	opts.Seed = *seed
 
 	names := strings.Split(*figs, ",")
 	if *figs == "all" {
 		names = []string{"2", "3", "4", "5", "6"}
 	}
-	scratch, err := os.MkdirTemp("", "paperfigs-*")
+	figScratch, err := os.MkdirTemp("", "paperfigs-*")
 	if err != nil {
 		fatal(err)
 	}
-	defer os.RemoveAll(scratch)
+	defer os.RemoveAll(figScratch)
 
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		fig, err := harness.ByName(name, opts, scratch)
+		fig, err := harness.ByName(name, opts, figScratch)
 		if err != nil {
 			fatal(fmt.Errorf("figure %s: %w", name, err))
 		}
@@ -66,6 +93,53 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s/%s.csv\n\n", *out, fig.ID)
+	}
+}
+
+// runMatrix executes the scenario matrix and writes the JSON report.
+func runMatrix(full bool, parallel, reps, nodes, rpn int, seed int64, apps, scratch, out string) {
+	o := scenario.Quick()
+	if full {
+		o = scenario.Full()
+	}
+	o.Scratch = scratch
+	if parallel > 0 {
+		o.Parallel = parallel
+	}
+	if reps > 0 {
+		o.Reps = reps
+	}
+	if nodes > 0 {
+		o.Nodes = nodes
+	}
+	if rpn > 0 {
+		o.RanksPerNode = rpn
+	}
+	o.BaseSeed = seed
+
+	m := scenario.DefaultMatrix()
+	if apps != "" {
+		m.Programs = strings.Split(apps, ",")
+		for i := range m.Programs {
+			m.Programs[i] = strings.TrimSpace(m.Programs[i])
+		}
+	}
+	specs := m.Enumerate()
+	fmt.Printf("running %d scenarios (%d workers, %d reps each) ...\n", len(specs), o.Parallel, o.Reps)
+
+	rep := scenario.Run(specs, o)
+	fmt.Println(rep.Render())
+
+	path := out
+	if path == "results" { // the figure-mode default is a directory name
+		path = "results.json"
+	}
+	if err := rep.WriteJSON(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (schema v%d)\n", path, scenario.SchemaVersion)
+	if rep.Failed > 0 {
+		fatal(fmt.Errorf("%d of %d scenarios failed", rep.Failed, rep.Scenarios))
 	}
 }
 

@@ -143,6 +143,9 @@ func TestAppsCheckpointRestartCrossImpl(t *testing.T) {
 		t.Run(app, func(t *testing.T) {
 			stack := smallStack(core.ImplOpenMPI, core.ABIMukautuva, core.CkptMANA, 4)
 			dir := filepath.Join(t.TempDir(), "img")
+			// Hold the launch so the checkpoint request is registered
+			// before any rank steps: the checkpoint lands at the first
+			// safe point instead of racing the job to completion.
 			job, err := core.Launch(stack, app, core.WithConfigure(func(rank int, p core.Program) {
 				switch v := p.(type) {
 				case *wavempi.Wave:
@@ -152,12 +155,13 @@ func TestAppsCheckpointRestartCrossImpl(t *testing.T) {
 					v.Steps = 2000
 					v.ParticlesPerRank = 48
 				}
-			}))
+			}), core.WithHold())
 			if err != nil {
 				t.Fatal(err)
 			}
-			time.Sleep(50 * time.Millisecond)
-			if err := job.Checkpoint(dir, true); err != nil {
+			ckpt := job.CheckpointAsync(dir, true)
+			job.Start()
+			if err := <-ckpt; err != nil {
 				t.Fatal(err)
 			}
 			if err := job.Wait(); err != nil {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/abi"
 	"repro/internal/dmtcp"
@@ -55,8 +56,20 @@ type CkptMode string
 
 // Checkpointing packages.
 const (
+	// CkptNone runs without a checkpointing package; Checkpoint is rejected.
 	CkptNone CkptMode = "none"
+	// CkptMANA loads the MANA wrapper (MPI-agnostic): images taken through
+	// the standard ABI may restart under a different MPI implementation.
 	CkptMANA CkptMode = "mana"
+	// CkptDMTCP checkpoints with plain DMTCP, no MPI-aware plugin. The
+	// image captures the whole process — the MPI library included — so it
+	// can only restart under the identical implementation and binding,
+	// which is the baseline limitation the paper's Section 3 motivates
+	// MANA-over-the-standard-ABI against. Without MANA's drain protocol,
+	// messages in flight across a safe point are NOT captured: plain DMTCP
+	// is only safe for programs that complete all communication within
+	// each step (both Figure 5 applications and the OSU benchmarks do).
+	CkptDMTCP CkptMode = "dmtcp"
 )
 
 // Stack is one full configuration of the three-legged stool.
@@ -85,7 +98,7 @@ func (s Stack) Validate() error {
 		return fmt.Errorf("core: unknown ABI mode %q", s.ABI)
 	}
 	switch s.Ckpt {
-	case CkptNone, CkptMANA:
+	case CkptNone, CkptMANA, CkptDMTCP:
 	default:
 		return fmt.Errorf("core: unknown checkpoint mode %q", s.Ckpt)
 	}
@@ -95,20 +108,22 @@ func (s Stack) Validate() error {
 // Label renders the stack the way the paper's figure legends do.
 func (s Stack) Label() string {
 	name := map[Impl]string{ImplMPICH: "MPICH", ImplOpenMPI: "Open MPI"}[s.Impl]
-	switch {
-	case s.ABI == ABIMukautuva && s.Ckpt == CkptMANA:
-		return name + " + Mukautuva + MANA"
-	case s.ABI == ABIMukautuva:
-		return name + " + Mukautuva"
-	case s.ABI == ABIWi4MPI && s.Ckpt == CkptMANA:
-		return name + " + Wi4MPI + MANA"
-	case s.ABI == ABIWi4MPI:
-		return name + " + Wi4MPI"
-	case s.Ckpt == CkptMANA:
-		return name + " + MANA(vid)"
-	default:
-		return name
+	switch s.ABI {
+	case ABIMukautuva:
+		name += " + Mukautuva"
+	case ABIWi4MPI:
+		name += " + Wi4MPI"
 	}
+	switch s.Ckpt {
+	case CkptMANA:
+		if s.ABI == ABINative {
+			return name + " + MANA(vid)"
+		}
+		return name + " + MANA"
+	case CkptDMTCP:
+		return name + " + DMTCP"
+	}
+	return name
 }
 
 // DefaultStack is the paper's testbed shape for the given configuration.
@@ -191,9 +206,11 @@ type Job struct {
 	progs []Program
 	envs  []*abi.Env
 
-	wg   sync.WaitGroup
-	mu   sync.Mutex
-	errs []error
+	wg      sync.WaitGroup
+	live    atomic.Int32 // ranks still running; 0 resolves stray checkpoints
+	mu      sync.Mutex
+	started bool
+	errs    []error
 }
 
 // buildTable assembles one rank's binding stack, returning the table the
@@ -251,6 +268,7 @@ type LaunchOption func(*launchOpts)
 
 type launchOpts struct {
 	configure func(rank int, p Program)
+	hold      bool
 }
 
 // WithConfigure runs fn on each rank's fresh program instance before the
@@ -258,6 +276,16 @@ type launchOpts struct {
 // does not re-run it: parameters live in the serialized state.
 func WithConfigure(fn func(rank int, p Program)) LaunchOption {
 	return func(o *launchOpts) { o.configure = fn }
+}
+
+// WithHold builds the job without starting the rank goroutines; the caller
+// releases them with Job.Start. Holding a job lets a driver register a
+// checkpoint request before any rank has taken a step, pinning the
+// checkpoint to the first safe point — the scenario engine uses this to
+// make checkpoint/restart runs deterministic instead of racing a wall-clock
+// sleep window.
+func WithHold() LaunchOption {
+	return func(o *launchOpts) { o.hold = true }
 }
 
 // Launch starts progName (a registered Program) on a fresh world under the
@@ -288,6 +316,8 @@ func Launch(stack Stack, progName string, opts ...LaunchOption) (*Job, error) {
 		envs:  make([]*abi.Env, n),
 		coord: dmtcp.NewCoordinator(w, dmtcp.Meta{
 			Impl:        string(stack.Impl),
+			ABI:         string(stack.ABI),
+			Ckpt:        string(stack.Ckpt),
 			StandardABI: stack.ABI != ABINative,
 			Program:     progName,
 			NetSeed:     stack.Net.Seed,
@@ -299,23 +329,58 @@ func Launch(stack Stack, progName string, opts ...LaunchOption) (*Job, error) {
 			lo.configure(r, job.progs[r])
 		}
 	}
-	for r := 0; r < n; r++ {
-		job.wg.Add(1)
-		go job.runRank(r, false, 0)
+	if lo.hold {
+		return job, nil
 	}
+	job.Start()
 	return job, nil
+}
+
+// Start releases a job built with WithHold. It is a no-op on jobs that are
+// already running.
+func (j *Job) Start() {
+	j.mu.Lock()
+	if j.started {
+		j.mu.Unlock()
+		return
+	}
+	j.started = true
+	j.mu.Unlock()
+	j.live.Store(int32(len(j.progs)))
+	for r := range j.progs {
+		j.wg.Add(1)
+		go j.runRank(r, j.rdir != "", 0)
+	}
 }
 
 // runRank executes one rank's lifecycle: bind, setup (or resume), step
 // loop with safe points.
 func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
 	defer j.wg.Done()
+	// When the last rank exits, fail any still-pending checkpoint request:
+	// a caller blocked in Checkpoint must not hang on a job that finished
+	// before the request reached a safe point (and no new safe points are
+	// coming). The abort also closes the coordinator, so requests arriving
+	// after this point are rejected immediately.
+	defer func() {
+		if j.live.Add(-1) == 0 {
+			j.coord.AbortPending(fmt.Errorf("core: job finished before the checkpoint request reached a safe point"))
+		}
+	}()
 	fail := func(err error) {
 		j.mu.Lock()
 		j.errs = append(j.errs, fmt.Errorf("rank %d: %w", rank, err))
 		j.mu.Unlock()
 		j.w.Close() // release peers blocked in the fabric
 	}
+	// A panicking program (or binding layer) fails its own job, not the
+	// process: the scenario engine runs many stacks concurrently and one
+	// broken stack must not sink its siblings.
+	defer func() {
+		if r := recover(); r != nil {
+			fail(fmt.Errorf("panic: %v", r))
+		}
+	}()
 	table, plugin, wrapper, err := buildTable(j.stack, j.w, rank)
 	if err != nil {
 		fail(err)
@@ -329,12 +394,19 @@ func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
 			fail(err)
 			return
 		}
-		if wrapper == nil {
+		switch {
+		case wrapper != nil:
+			if err := wrapper.Restore(img.PluginBlob); err != nil {
+				fail(err)
+				return
+			}
+		case j.stack.Ckpt == CkptDMTCP:
+			// Plain DMTCP restores the whole process image wholesale; in
+			// the reproduction that is the program-state decode below, and
+			// there is no MPI-aware plugin state to rebuild. Restart has
+			// already verified the stack is identical to the image's.
+		default:
 			fail(fmt.Errorf("core: restart requires the MANA layer in the stack"))
-			return
-		}
-		if err := wrapper.Restore(img.PluginBlob); err != nil {
-			fail(err)
 			return
 		}
 		if err := gob.NewDecoder(bytes.NewReader(img.ProgState)).Decode(prog); err != nil {
@@ -385,15 +457,49 @@ func (j *Job) restartDir() string { return j.rdir }
 
 // Checkpoint requests a coordinated checkpoint into dir at the job's next
 // safe point and blocks until it completes. With exit=true the job stops
-// after the images are written.
+// after the images are written. A held job has no safe points yet, so
+// blocking on it would deadlock; use CheckpointAsync before Start instead.
 func (j *Job) Checkpoint(dir string, exit bool) error {
-	return <-j.coord.RequestCheckpoint(dir, exit)
+	if !j.isStarted() {
+		return fmt.Errorf("core: job is held; register with CheckpointAsync before Start")
+	}
+	return <-j.CheckpointAsync(dir, exit)
 }
 
-// Wait joins all ranks and returns the first failure, if any.
+func (j *Job) isStarted() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started
+}
+
+// CheckpointAsync registers the checkpoint request and returns a channel
+// that yields one error (nil on success) when it completes. Combined with
+// WithHold it pins the checkpoint to the job's first safe point.
+func (j *Job) CheckpointAsync(dir string, exit bool) <-chan error {
+	if j.stack.Ckpt == CkptNone {
+		errs := make(chan error, 1)
+		errs <- fmt.Errorf("core: stack %s has no checkpointing package", j.stack.Label())
+		return errs
+	}
+	return j.coord.RequestCheckpoint(dir, exit)
+}
+
+// Cancel aborts a running job: the fabric closes, every rank unblocks and
+// fails, and Wait returns an error. It is safe to call concurrently with
+// Wait and is idempotent; the scenario engine uses it to enforce
+// per-scenario timeouts without leaking rank goroutines.
+func (j *Job) Cancel() { j.w.Close() }
+
+// Wait joins all ranks and returns the first failure, if any. Waiting on
+// a held job that was never started is an error, not a silent success.
 func (j *Job) Wait() error {
+	if !j.isStarted() {
+		return fmt.Errorf("core: held job was never started")
+	}
 	j.wg.Wait()
-	j.coord.AbortPending(fmt.Errorf("core: job finished before the checkpoint request reached a safe point"))
+	// The last exiting rank has already aborted any pending checkpoint
+	// request and closed the coordinator (see runRank); only the fabric
+	// teardown is left.
 	j.w.Close()
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -418,10 +524,10 @@ func (j *Job) Stack() Stack { return j.stack }
 
 // Restart resumes a checkpoint image set under a new stack. The stack may
 // name a different MPI implementation than the one the image was taken
-// under only when the image was taken through the standard ABI
-// (ABIMukautuva) — restarting a native-ABI image under another
-// implementation is exactly the incompatibility the paper's three-legged
-// stool removes, and is rejected here.
+// under only when the image was taken by MANA through the standard ABI
+// (ABIMukautuva or ABIWi4MPI) — restarting a native-ABI or plain-DMTCP
+// image under another implementation is exactly the incompatibility the
+// paper's three-legged stool removes, and is rejected here.
 func Restart(dir string, stack Stack) (*Job, error) {
 	if err := stack.Validate(); err != nil {
 		return nil, err
@@ -430,10 +536,28 @@ func Restart(dir string, stack Stack) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	if stack.Ckpt != CkptMANA {
+	if stack.Ckpt == CkptNone {
 		return nil, fmt.Errorf("core: restart requires a checkpointing package in the stack")
 	}
-	if !meta.StandardABI {
+	imageCkpt := meta.Ckpt
+	if imageCkpt == "" {
+		imageCkpt = string(CkptMANA) // images from before Meta.Ckpt existed
+	}
+	if string(stack.Ckpt) != imageCkpt {
+		return nil, fmt.Errorf("core: image was written by %s; the restart stack loads %s",
+			imageCkpt, stack.Ckpt)
+	}
+	if stack.Ckpt == CkptDMTCP {
+		// A plain DMTCP image embeds the MPI library it ran over; only the
+		// identical stack can resume it (Section 3's baseline limitation).
+		if string(stack.Impl) != meta.Impl || (meta.ABI != "" && string(stack.ABI) != meta.ABI) {
+			return nil, fmt.Errorf(
+				"core: plain DMTCP image taken under %s/%s restores the whole process, "+
+					"MPI library included; it cannot restart under %s/%s — "+
+					"use the MANA stack over the standard ABI for cross-implementation restart",
+				meta.Impl, meta.ABI, stack.Impl, stack.ABI)
+		}
+	} else if !meta.StandardABI {
 		if stack.ABI != ABINative || string(stack.Impl) != meta.Impl {
 			return nil, fmt.Errorf(
 				"core: image was taken under %s with a native (non-standard) ABI; "+
@@ -465,6 +589,8 @@ func Restart(dir string, stack Stack) (*Job, error) {
 		envs:  make([]*abi.Env, n),
 		coord: dmtcp.NewCoordinator(w, dmtcp.Meta{
 			Impl:        string(stack.Impl),
+			ABI:         string(stack.ABI),
+			Ckpt:        string(stack.Ckpt),
 			StandardABI: stack.ABI != ABINative,
 			Program:     meta.Program,
 			NetSeed:     stack.Net.Seed,
@@ -473,9 +599,6 @@ func Restart(dir string, stack Stack) (*Job, error) {
 	for r := 0; r < n; r++ {
 		job.progs[r] = factory()
 	}
-	for r := 0; r < n; r++ {
-		job.wg.Add(1)
-		go job.runRank(r, true, 0)
-	}
+	job.Start()
 	return job, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/abi"
+	"repro/internal/dmtcp"
 	"repro/internal/simnet"
 )
 
@@ -128,6 +129,8 @@ func init() {
 	RegisterProgram("test.ring", func() Program { return &ringProg{Total: 40} })
 	RegisterProgram("test.ring.slow", func() Program { return &ringProg{Total: 300, StepDelay: time.Millisecond} })
 	RegisterProgram("test.split", func() Program { return &splitProg{Total: 200} })
+	RegisterProgram("test.lockstep", func() Program { return &lockstepProg{Total: 40} })
+	RegisterProgram("test.panic", func() Program { return &panicProg{} })
 }
 
 func testStack(impl Impl, abiMode ABIMode, ckpt CkptMode, n int) Stack {
@@ -440,6 +443,198 @@ func TestWi4MPICrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := restarted2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lockstepProg completes all communication within each step (one
+// allreduce), so it is quiescent at every safe point — the workload shape
+// plain DMTCP can checkpoint without MANA's drain protocol.
+type lockstepProg struct {
+	Total int
+	Iter  int
+	Sum   int64
+}
+
+func (p *lockstepProg) Setup(env *abi.Env) error { return nil }
+
+func (p *lockstepProg) Step(env *abi.Env) (bool, error) {
+	out := make([]byte, 8)
+	if err := env.T.Allreduce(abi.Int64Bytes([]int64{int64(p.Iter)}), out, 1,
+		env.TypeInt64, env.OpSum, env.CommWorld); err != nil {
+		return false, err
+	}
+	p.Sum += abi.Int64sOf(out)[0]
+	p.Iter++
+	return p.Iter >= p.Total, nil
+}
+
+// Plain DMTCP (no MANA plugin): checkpoints work for step-quiescent
+// programs, but the image restores the whole process — MPI library
+// included — so only the identical stack can resume it, and
+// cross-implementation restart is rejected.
+func TestDMTCPCheckpointRestartRules(t *testing.T) {
+	stack := testStack(ImplMPICH, ABIMukautuva, CkptDMTCP, 4)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	job, err := Launch(stack, "test.lockstep", WithHold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := job.CheckpointAsync(dir, true)
+	job.Start()
+	if err := <-ckpt; err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatalf("original job: %v", err)
+	}
+
+	// Wrong checkpointer on the restart side.
+	if _, err := Restart(dir, testStack(ImplMPICH, ABIMukautuva, CkptMANA, 4)); err == nil {
+		t.Fatal("MANA restart of a DMTCP image accepted")
+	}
+	// Different implementation.
+	if _, err := Restart(dir, testStack(ImplOpenMPI, ABIMukautuva, CkptDMTCP, 4)); err == nil {
+		t.Fatal("cross-implementation restart of a DMTCP image accepted")
+	}
+	// Different binding mode.
+	if _, err := Restart(dir, testStack(ImplMPICH, ABIWi4MPI, CkptDMTCP, 4)); err == nil {
+		t.Fatal("cross-ABI restart of a DMTCP image accepted")
+	}
+
+	// The identical stack resumes and completes correctly.
+	restarted, err := Restart(dir, stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Sum of 4*i over i=0..39: each step's allreduce contributes 4*Iter.
+	var want int64
+	for i := 0; i < 40; i++ {
+		want += int64(4 * i)
+	}
+	for r := 0; r < 4; r++ {
+		if got := restarted.Program(r).(*lockstepProg).Sum; got != want {
+			t.Fatalf("rank %d sum after DMTCP restart = %d, want %d", r, got, want)
+		}
+	}
+}
+
+// A checkpoint on a stack without a checkpointing package fails fast.
+func TestCheckpointRequiresCheckpointer(t *testing.T) {
+	job, err := Launch(testStack(ImplMPICH, ABINative, CkptNone, 2), "test.ring.slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Checkpoint(t.TempDir(), false); err == nil {
+		t.Fatal("checkpoint without a checkpointer accepted")
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A held launch pins the checkpoint to the first safe point, and a
+// checkpoint requested after completion errors instead of hanging.
+func TestHeldLaunchDeterministicCheckpoint(t *testing.T) {
+	stack := testStack(ImplOpenMPI, ABIMukautuva, CkptMANA, 3)
+	dir := filepath.Join(t.TempDir(), "ck")
+	job, err := Launch(stack, "test.ring", WithHold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := job.CheckpointAsync(dir, false)
+	job.Start()
+	if err := <-ckpt; err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := dmtcp.ReadMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Step != 1 {
+		t.Fatalf("checkpoint step = %d, want 1 (first safe point)", meta.Step)
+	}
+	if meta.Ckpt != string(CkptMANA) || meta.ABI != string(ABIMukautuva) {
+		t.Fatalf("image lineage meta = %+v", meta)
+	}
+
+	// The job has finished: a late checkpoint request must error, not hang.
+	done := make(chan error, 1)
+	go func() { done <- job.Checkpoint(t.TempDir(), false) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("post-completion checkpoint succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("post-completion checkpoint hung")
+	}
+}
+
+// Cancel aborts a running job and unblocks Wait.
+func TestCancelAbortsJob(t *testing.T) {
+	job, err := Launch(testStack(ImplMPICH, ABINative, CkptNone, 4), "test.ring.slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	job.Cancel()
+	done := make(chan error, 1)
+	go func() { done <- job.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled job reported success")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait hung after Cancel")
+	}
+}
+
+// panicProg blows up mid-step; the job must fail, not the process.
+type panicProg struct{ Iter int }
+
+func (p *panicProg) Setup(env *abi.Env) error { return nil }
+func (p *panicProg) Step(env *abi.Env) (bool, error) {
+	p.Iter++
+	if p.Iter == 3 {
+		panic("boom")
+	}
+	return p.Iter >= 10, nil
+}
+
+func TestProgramPanicFailsJobNotProcess(t *testing.T) {
+	job, err := Launch(testStack(ImplMPICH, ABINative, CkptNone, 2), "test.panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = job.Wait()
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("Wait() = %v, want a panic-carrying error", err)
+	}
+}
+
+// Synchronous Checkpoint and Wait on a held job must error, not deadlock
+// or silently succeed.
+func TestHeldJobGuards(t *testing.T) {
+	job, err := Launch(testStack(ImplMPICH, ABIMukautuva, CkptMANA, 2), "test.ring", WithHold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Checkpoint(t.TempDir(), false); err == nil {
+		t.Fatal("blocking Checkpoint on a held job accepted")
+	}
+	if err := job.Wait(); err == nil {
+		t.Fatal("Wait on a never-started job reported success")
+	}
+	job.Start()
+	if err := job.Wait(); err != nil {
 		t.Fatal(err)
 	}
 }

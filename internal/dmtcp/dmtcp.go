@@ -35,6 +35,13 @@ type Meta struct {
 	// Impl is the MPI implementation name the job ran under at
 	// checkpoint time.
 	Impl string
+	// ABI is the binding mode the job ran under ("native", "mukautuva",
+	// "wi4mpi"); together with Impl and Ckpt it is the image's lineage.
+	ABI string
+	// Ckpt is the checkpointing package that wrote the images ("mana" or
+	// "dmtcp"). Empty on images from before this field existed (treated as
+	// "mana" by the restart path).
+	Ckpt string
 	// StandardABI records whether the job ran through the Mukautuva shim.
 	// Only standard-ABI images may be restarted under a different
 	// implementation — the paper's core claim as an invariant.

@@ -3,6 +3,12 @@
 // model, plus an out-of-band control plane used by launchers, the
 // checkpoint coordinator, and MANA's drain protocol.
 //
+// In the paper's terms, fabric is the testbed hardware underneath the
+// three-legged stool (Section 5.1's 4-node 10 GbE Discovery partition):
+// every stack combination the evaluation compares runs over this same
+// substrate, which is what makes the overheads of Figures 2-6
+// attributable to the software layers alone.
+//
 // fabric deliberately knows nothing about MPI semantics. It moves opaque
 // envelopes between endpoints and stamps virtual arrival times; message
 // matching, protocols (eager/rendezvous) and collectives belong to the MPI

@@ -1,6 +1,13 @@
 // Package harness drives the paper's evaluation: one entry point per
-// figure, producing the same series the paper plots, with the same
-// protocol (medians of repeated runs; Figure 5 adds standard deviations).
+// figure (Figures 2-6 of Section 5, plus the FSGSBASE ablation its
+// overhead analysis implies), producing the same series the paper plots,
+// with the same protocol (medians of repeated runs; Figure 5 adds
+// standard deviations).
+//
+// The harness owns no experiment loops of its own: each figure names the
+// scenarios it needs, hands them to the internal/scenario matrix engine,
+// and renders the figure as a query over the engine's results. Running a
+// figure and running the full matrix therefore measure the same way.
 package harness
 
 import (
@@ -12,14 +19,8 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/mana"
-	"repro/internal/osu"
-	"repro/internal/simnet"
+	"repro/internal/scenario"
 	"repro/internal/stats"
-
-	// The Figure 5 applications register themselves by name.
-	_ "repro/internal/apps/comd"
-	_ "repro/internal/apps/wavempi"
 )
 
 // Options scales an experiment. Full() reproduces the paper's setup;
@@ -38,46 +39,59 @@ type Options struct {
 	// AppScale scales the Figure 5 applications' step counts (1.0 = paper
 	// scale).
 	AppScale float64
+	// Parallel bounds the scenario engine's worker pool (0 = per-CPU).
+	Parallel int
+	// Timeout fails one deadlocked scenario instead of hanging the figure
+	// (0 = the engine's default for the scale).
+	Timeout time.Duration
+	// Seed perturbs the engine's deterministic per-scenario jitter seeds.
+	Seed int64
 }
 
 // Full returns the paper-scale configuration.
 func Full() Options {
-	return Options{Nodes: 4, RanksPerNode: 12, Reps: 5, MaxSize: 1 << 18, Iters: 20, Warmup: 4, ItersLarge: 4, AppScale: 1}
+	return Options{Nodes: 4, RanksPerNode: 12, Reps: 5, MaxSize: 1 << 18, Iters: 20, Warmup: 4, ItersLarge: 4, AppScale: 1, Timeout: 30 * time.Minute}
 }
 
 // Quick returns a small configuration for tests.
 func Quick() Options {
-	return Options{Nodes: 2, RanksPerNode: 4, Reps: 2, MaxSize: 1 << 12, Iters: 4, Warmup: 1, ItersLarge: 2, AppScale: 0.08}
+	return Options{Nodes: 2, RanksPerNode: 4, Reps: 2, MaxSize: 1 << 12, Iters: 4, Warmup: 1, ItersLarge: 2, AppScale: 0.08, Timeout: 5 * time.Minute}
 }
 
 func (o Options) ranks() int { return o.Nodes * o.RanksPerNode }
 
-func (o Options) sizes() []int {
-	var out []int
-	for sz := 1; sz <= o.MaxSize; sz <<= 1 {
-		out = append(out, sz)
+// matrixOptions translates figure options into engine options.
+func (o Options) matrixOptions(scratch string) scenario.Options {
+	timeout := o.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Minute // never run a figure without a deadlock bound
 	}
-	return out
+	return scenario.Options{
+		Nodes: o.Nodes, RanksPerNode: o.RanksPerNode, Reps: o.Reps,
+		MaxSize: o.MaxSize, Iters: o.Iters, Warmup: o.Warmup, ItersLarge: o.ItersLarge,
+		AppScale: o.AppScale, Parallel: o.Parallel, Timeout: timeout,
+		BaseSeed: o.Seed, Scratch: scratch,
+	}
 }
 
-// net builds the cluster model for one repetition (distinct jitter seed per
-// rep, as distinct runs on a real cluster would see).
-func (o Options) net(rep int) simnet.Config {
-	cfg := simnet.Discovery10GbE()
-	cfg.Nodes = o.Nodes
-	cfg.RanksPerNode = o.RanksPerNode
-	cfg.Seed = int64(1000*rep + 17)
-	return cfg
+// fourSpecs is the paper's standard comparison matrix over one program.
+func fourSpecs(prog string) []scenario.Spec {
+	return []scenario.Spec{
+		{Program: prog, Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone},
+		{Program: prog, Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA},
+		{Program: prog, Impl: core.ImplOpenMPI, ABI: core.ABINative, Ckpt: core.CkptNone},
+		{Program: prog, Impl: core.ImplOpenMPI, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA},
+	}
 }
 
-// fourStacks is the paper's standard comparison matrix.
-func fourStacks() []core.Stack {
-	return []core.Stack{
-		core.DefaultStack(core.ImplMPICH, core.ABINative, core.CkptNone),
-		core.DefaultStack(core.ImplMPICH, core.ABIMukautuva, core.CkptMANA),
-		core.DefaultStack(core.ImplOpenMPI, core.ABINative, core.CkptNone),
-		core.DefaultStack(core.ImplOpenMPI, core.ABIMukautuva, core.CkptMANA),
+// runMatrix executes the figure's scenarios and surfaces the first
+// failure as an error (a figure is all-or-nothing).
+func runMatrix(specs []scenario.Spec, o Options, scratch string) (*scenario.Report, error) {
+	rep := scenario.Run(specs, o.matrixOptions(scratch))
+	if f := rep.FirstFailure(); f != nil {
+		return nil, fmt.Errorf("harness: scenario %s: %s", f.ID, f.Error)
 	}
+	return rep, nil
 }
 
 // Series is one plotted line (or bar group).
@@ -98,31 +112,22 @@ type Figure struct {
 	Notes  []string
 }
 
-// runLatency runs one OSU benchmark program under one stack and returns
-// rank 0's per-size mean latencies.
-func runLatency(stack core.Stack, prog string, o Options, rep int) ([]int, []float64, error) {
-	stack.Net = o.net(rep)
-	job, err := core.Launch(stack, prog, core.WithConfigure(func(rank int, p core.Program) {
-		b := p.(*osu.LatencyBench)
-		b.Sizes = o.sizes()
-		b.Iters = o.Iters
-		b.Warmup = o.Warmup
-		b.ItersLarge = o.ItersLarge
-		b.SleepVirtual = 0
-		b.SleepReal = 0
-	}))
-	if err != nil {
-		return nil, nil, err
+// curveSeries converts an engine latency curve into a plotted series.
+func curveSeries(label string, c *scenario.Curve) Series {
+	s := Series{Label: label}
+	if c == nil {
+		return s
 	}
-	if err := job.Wait(); err != nil {
-		return nil, nil, err
+	for i, sz := range c.Sizes {
+		s.X = append(s.X, float64(sz))
+		s.Y = append(s.Y, c.MedianUS[i])
+		s.Err = append(s.Err, c.StdDevUS[i])
 	}
-	b := job.Program(0).(*osu.LatencyBench)
-	sizes, means := b.Results()
-	return sizes, means, nil
+	return s
 }
 
-// latencyFigure sweeps one collective over the four stacks.
+// latencyFigure sweeps one collective over the four stacks: run the four
+// scenarios through the matrix engine, then read the aggregated curves.
 func latencyFigure(id, title string, prog string, o Options) (*Figure, error) {
 	fig := &Figure{
 		ID:     id,
@@ -130,26 +135,14 @@ func latencyFigure(id, title string, prog string, o Options) (*Figure, error) {
 		XLabel: "Message Size (byte)",
 		YLabel: "Average Latency (us)",
 	}
-	for _, stack := range fourStacks() {
-		perSize := make(map[int][]float64)
-		var sizes []int
-		for rep := 0; rep < o.Reps; rep++ {
-			s, means, err := runLatency(stack, prog, o, rep)
-			if err != nil {
-				return nil, fmt.Errorf("%s under %s rep %d: %w", prog, stack.Label(), rep, err)
-			}
-			sizes = s
-			for i, m := range means {
-				perSize[s[i]] = append(perSize[s[i]], m)
-			}
-		}
-		series := Series{Label: stack.Label()}
-		for _, sz := range sizes {
-			series.X = append(series.X, float64(sz))
-			series.Y = append(series.Y, stats.Median(perSize[sz]))
-			series.Err = append(series.Err, stats.StdDev(perSize[sz]))
-		}
-		fig.Series = append(fig.Series, series)
+	specs := fourSpecs(prog)
+	rep, err := runMatrix(specs, o, "")
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range specs {
+		res := rep.Find(sp.ID())
+		fig.Series = append(fig.Series, curveSeries(sp.LaunchStack().Label(), res.Curve))
 	}
 	annotateOverheads(fig)
 	return fig, nil
@@ -195,51 +188,9 @@ func Fig4(o Options) (*Figure, error) {
 	return latencyFigure("fig4", "OSU Micro-Benchmark: MPI_Allreduce", "osu.allreduce", o)
 }
 
-// runApp runs one Figure 5 application to completion and returns the
-// completion time in seconds (virtual, max over ranks).
-func runApp(stack core.Stack, prog string, o Options, rep int) (float64, error) {
-	stack.Net = o.net(rep)
-	job, err := core.Launch(stack, prog, core.WithConfigure(func(rank int, p core.Program) {
-		scaleApp(p, o.AppScale)
-		seedApp(p, stack.Net.Seed)
-	}))
-	if err != nil {
-		return 0, err
-	}
-	if err := job.Wait(); err != nil {
-		return 0, err
-	}
-	var maxT float64
-	for r := 0; r < stack.Net.Size(); r++ {
-		if t := job.Clock(r).Duration().Seconds(); t > maxT {
-			maxT = t
-		}
-	}
-	return maxT, nil
-}
-
-// seedApp plants the repetition's noise seed into programs that model OS
-// noise.
-func seedApp(p core.Program, seed int64) {
-	type seedable interface{ SetSeed(s int64) }
-	if s, ok := p.(seedable); ok {
-		s.SetSeed(seed)
-	}
-}
-
-// scaleApp shrinks application step counts for quick runs.
-func scaleApp(p core.Program, scale float64) {
-	if scale == 1 || scale <= 0 {
-		return
-	}
-	type scalable interface{ ScaleSteps(f float64) }
-	if s, ok := p.(scalable); ok {
-		s.ScaleSteps(scale)
-	}
-}
-
 // Fig5 reproduces Figure 5: completion times of CoMD and wave_mpi under
-// the four stacks (median and standard deviation of Reps runs).
+// the four stacks (median and standard deviation of Reps runs). All eight
+// scenarios go through the engine in one run.
 func Fig5(o Options) (*Figure, error) {
 	fig := &Figure{
 		ID:     "fig5",
@@ -248,20 +199,27 @@ func Fig5(o Options) (*Figure, error) {
 		YLabel: "Time (secs)",
 	}
 	apps := []string{"app.comd", "app.wave"}
-	for _, stack := range fourStacks() {
-		series := Series{Label: stack.Label()}
+	stacks := fourSpecs(apps[0])
+	var specs []scenario.Spec
+	for _, app := range apps {
+		for _, sp := range stacks {
+			sp.Program = app
+			specs = append(specs, sp)
+		}
+	}
+	rep, err := runMatrix(specs, o, "")
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range stacks {
+		series := Series{Label: sp.LaunchStack().Label()}
 		for ai, app := range apps {
-			var times []float64
-			for rep := 0; rep < o.Reps; rep++ {
-				t, err := runApp(stack, app, o, rep)
-				if err != nil {
-					return nil, fmt.Errorf("%s under %s rep %d: %w", app, stack.Label(), rep, err)
-				}
-				times = append(times, t)
-			}
+			q := sp
+			q.Program = app
+			res := rep.Find(q.ID())
 			series.X = append(series.X, float64(ai))
-			series.Y = append(series.Y, stats.Median(times))
-			series.Err = append(series.Err, stats.StdDev(times))
+			series.Y = append(series.Y, res.Time.Median)
+			series.Err = append(series.Err, res.Time.StdDev)
 		}
 		fig.Series = append(fig.Series, series)
 	}
@@ -277,9 +235,12 @@ func Fig5(o Options) (*Figure, error) {
 	return fig, nil
 }
 
-// Fig6 reproduces the Section 5.3 experiment: launch the modified alltoall
-// under Open MPI (+Muk+MANA), checkpoint during the post-warm-up sleep
-// window, restart under MPICH, and compare all three latency curves.
+// Fig6 reproduces the Section 5.3 experiment: launch the alltoall sweep
+// under Open MPI (+Muk+MANA), checkpoint it (the engine pins the
+// checkpoint to the first safe point), let the original run to
+// completion, restart the images under MPICH, and compare all three
+// latency curves. It is one cross-restart scenario plus one plain MPICH
+// scenario in the matrix.
 func Fig6(o Options, scratch string) (*Figure, error) {
 	fig := &Figure{
 		ID:     "fig6",
@@ -287,56 +248,27 @@ func Fig6(o Options, scratch string) (*Figure, error) {
 		XLabel: "Message Size (byte)",
 		YLabel: "Average Latency (us)",
 	}
-	configure := func(rank int, p core.Program) {
-		b := p.(*osu.LatencyBench)
-		b.Sizes = o.sizes()
-		b.Iters = o.Iters
-		b.Warmup = o.Warmup
-		b.ItersLarge = o.ItersLarge
+	pair := scenario.Spec{
+		Program: "osu.alltoall",
+		Impl:    core.ImplOpenMPI, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+		RestartImpl: core.ImplMPICH, RestartABI: core.ABIMukautuva,
 	}
-	ompi := core.DefaultStack(core.ImplOpenMPI, core.ABIMukautuva, core.CkptMANA)
-	mpich := core.DefaultStack(core.ImplMPICH, core.ABIMukautuva, core.CkptMANA)
-
-	// Series 1: launch with Open MPI, checkpoint in the window, let the
-	// original run to completion (its curve is the "Launch with Open MPI"
-	// line).
-	ompi.Net = o.net(0)
-	dir := filepath.Join(scratch, "fig6-images")
-	job, err := core.Launch(ompi, "osu.alltoall.ckptwindow", core.WithConfigure(configure))
+	plain := scenario.Spec{
+		Program: "osu.alltoall",
+		Impl:    core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+	}
+	rep, err := runMatrix([]scenario.Spec{pair, plain}, o, scratch)
 	if err != nil {
 		return nil, err
 	}
-	time.Sleep(40 * time.Millisecond) // into the sleep window
-	if err := job.Checkpoint(dir, false); err != nil {
-		return nil, fmt.Errorf("fig6 checkpoint: %w", err)
-	}
-	if err := job.Wait(); err != nil {
-		return nil, fmt.Errorf("fig6 original run: %w", err)
-	}
-	sizes, means := job.Program(0).(*osu.LatencyBench).Results()
-	fig.Series = append(fig.Series, seriesFrom("Launch with Open MPI", sizes, means))
-
-	// Series 2: plain MPICH launch for comparison.
-	s, m, err := runLatency(mpich, "osu.alltoall", o, 0)
-	if err != nil {
-		return nil, err
-	}
-	fig.Series = append(fig.Series, seriesFrom("Launch with MPICH", s, m))
-
-	// Series 3: restart the Open MPI images under MPICH.
-	mpichRestart := mpich
-	mpichRestart.Net = o.net(0)
-	restarted, err := core.Restart(dir, mpichRestart)
-	if err != nil {
-		return nil, fmt.Errorf("fig6 restart: %w", err)
-	}
-	if err := restarted.Wait(); err != nil {
-		return nil, fmt.Errorf("fig6 restarted run: %w", err)
-	}
-	rs, rm := restarted.Program(0).(*osu.LatencyBench).Results()
-	fig.Series = append(fig.Series, seriesFrom("Launch with Open MPI, restart with MPICH", rs, rm))
+	pairRes, plainRes := rep.Find(pair.ID()), rep.Find(plain.ID())
+	fig.Series = append(fig.Series,
+		curveSeries("Launch with Open MPI", pairRes.Curve),
+		curveSeries("Launch with MPICH", plainRes.Curve),
+		curveSeries("Launch with Open MPI, restart with MPICH", pairRes.RestartCurve))
 
 	// The paper's claim: the restarted curve tracks the MPICH launch curve.
+	m, rm := fig.Series[1].Y, fig.Series[2].Y
 	if len(m) == len(rm) && len(m) > 0 {
 		var devs []float64
 		for i := range m {
@@ -346,21 +278,17 @@ func Fig6(o Options, scratch string) (*Figure, error) {
 			"restart-vs-MPICH-launch deviation: median %.1f%%, max %.1f%%",
 			stats.Median(devs), stats.Max(devs)))
 	}
-	return fig, nil
-}
-
-func seriesFrom(label string, sizes []int, means []float64) Series {
-	s := Series{Label: label}
-	for i, sz := range sizes {
-		s.X = append(s.X, float64(sz))
-		s.Y = append(s.Y, means[i])
+	if len(pairRes.Lineage) > 0 {
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"checkpoint lineage: %s -> %s at step %d",
+			pairRes.Lineage[0].LaunchStack, pairRes.Lineage[0].RestartStack, pairRes.Lineage[0].Step))
 	}
-	return s
+	return fig, nil
 }
 
 // FSGSBase is the ablation the paper's overhead analysis implies: the same
 // Muk+MANA alltoall sweep under the old-kernel (syscall) and new-kernel
-// (userspace FSGSBASE) cost models.
+// (userspace FSGSBASE) cost models — the scenario matrix's kernel axis.
 func FSGSBase(o Options) (*Figure, error) {
 	fig := &Figure{
 		ID:     "fsgsbase",
@@ -368,24 +296,23 @@ func FSGSBase(o Options) (*Figure, error) {
 		XLabel: "Message Size (byte)",
 		YLabel: "Average Latency (us)",
 	}
-	base := core.DefaultStack(core.ImplMPICH, core.ABINative, core.CkptNone)
-	old := core.DefaultStack(core.ImplMPICH, core.ABIMukautuva, core.CkptMANA)
-	newk := old
-	newk.Kernel = mana.Kernel5_9Plus
-	stacks := []struct {
-		label string
-		stack core.Stack
-	}{
-		{"MPICH native", base},
-		{"MPICH + Muk + MANA (kernel < 5.9)", old},
-		{"MPICH + Muk + MANA (kernel >= 5.9)", newk},
+	specs := []scenario.Spec{
+		{Program: "osu.alltoall", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone},
+		{Program: "osu.alltoall", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA},
+		{Program: "osu.alltoall", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			Kernel: scenario.KernelModern},
 	}
-	for _, sc := range stacks {
-		s, m, err := runLatency(sc.stack, "osu.alltoall", o, 0)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, seriesFrom(sc.label, s, m))
+	labels := []string{
+		"MPICH native",
+		"MPICH + Muk + MANA (kernel < 5.9)",
+		"MPICH + Muk + MANA (kernel >= 5.9)",
+	}
+	rep, err := runMatrix(specs, o, "")
+	if err != nil {
+		return nil, err
+	}
+	for i, sp := range specs {
+		fig.Series = append(fig.Series, curveSeries(labels[i], rep.Find(sp.ID()).Curve))
 	}
 	n, o1, o2 := fig.Series[0], fig.Series[1], fig.Series[2]
 	if len(n.Y) > 0 {

@@ -137,15 +137,12 @@ func TestOptionsHelpers(t *testing.T) {
 	if full.Nodes*full.RanksPerNode != 48 || full.Reps != 5 || full.MaxSize != 1<<18 {
 		t.Fatalf("Full() changed: %+v", full)
 	}
-	if got := len(full.sizes()); got != 19 {
-		t.Fatalf("full sweep %d sizes, want 19", got)
-	}
 	q := Quick()
 	if q.ranks() >= full.ranks() {
 		t.Fatal("Quick not smaller than Full")
 	}
-	n0, n1 := q.net(0), q.net(1)
-	if n0.Seed == n1.Seed {
-		t.Fatal("repetitions share a jitter seed")
+	mo := q.matrixOptions("scratch")
+	if mo.Nodes != q.Nodes || mo.Reps != q.Reps || mo.MaxSize != q.MaxSize || mo.Scratch != "scratch" {
+		t.Fatalf("matrixOptions dropped fields: %+v", mo)
 	}
 }

@@ -19,6 +19,11 @@
 // None of this package's types appear in the standard ABI; the Mukautuva
 // wrap adapter (internal/mukautuva) translates between the two worlds, and
 // Bind provides the "compiled against MPICH's mpi.h" native binding.
+//
+// In the paper this is one of the two incompatible ABIs that motivate
+// standardization (Sections 2 and 4.1): the "MPICH" legs of every stack
+// in the Section 5 evaluation, and the restart-side implementation of the
+// Figure 6 cross-implementation experiment, bind here.
 package mpich
 
 import "fmt"

@@ -16,9 +16,13 @@
 // linear gather/scatter, Bruck allgather, linear alltoall with nonblocking
 // overlap, and a recursive-doubling barrier.
 //
-// The deliberate ABI mismatch with internal/mpich is the point: the
-// Mukautuva shim (internal/mukautuva) has to translate every handle,
-// constant, status record and error code that crosses the boundary.
+// The deliberate ABI mismatch with internal/mpich is the point (the
+// incompatibility of Section 2 that the paper's standard ABI removes):
+// the Mukautuva shim (internal/mukautuva) has to translate every handle,
+// constant, status record and error code that crosses the boundary. In
+// the Section 5 evaluation this package is the "Open MPI" leg of every
+// stack, and the launch-side implementation of Figure 6's
+// checkpoint-under-Open-MPI, restart-under-MPICH experiment.
 package openmpi
 
 import (

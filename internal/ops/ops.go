@@ -1,7 +1,10 @@
 // Package ops implements MPI reduction operators over raw buffers. Both
 // simulated MPI implementations delegate the arithmetic here while keeping
 // their own operator handle representations, exactly as both MPICH and
-// Open MPI implement the same MPI_SUM semantics behind different handles.
+// Open MPI implement the same MPI_SUM semantics behind different handles
+// — the handle-vs-semantics split that the paper's standard ABI (Section
+// 4.1) formalizes. The MPI_Allreduce sweeps of Figure 4 and the Figure 5
+// applications' energy reductions execute through these operators.
 package ops
 
 import (

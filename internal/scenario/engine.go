@@ -1,0 +1,372 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dmtcp"
+	"repro/internal/mana"
+	"repro/internal/osu"
+	"repro/internal/stats"
+
+	// The engine runs the registered workloads.
+	_ "repro/internal/apps/comd"
+	_ "repro/internal/apps/wavempi"
+)
+
+// kernelModern maps the Spec kernel tag to the MANA cost model.
+func kernelModern() mana.KernelVersion { return mana.Kernel5_9Plus }
+
+// Options scales and paces a matrix run.
+type Options struct {
+	// Nodes and RanksPerNode define the simulated cluster per scenario.
+	Nodes        int `json:"nodes"`
+	RanksPerNode int `json:"ranks_per_node"`
+	// Reps is the repetition count; repetitions differ only in jitter
+	// seed, and results carry medians and standard deviations over them.
+	Reps int `json:"reps"`
+	// MaxSize caps the message-size sweep of OSU benchmark scenarios.
+	MaxSize int `json:"max_size"`
+	// Iters/Warmup/ItersLarge are the OSU per-size iteration counts.
+	Iters      int `json:"iters"`
+	Warmup     int `json:"warmup"`
+	ItersLarge int `json:"iters_large"`
+	// AppScale scales application step counts (1.0 = paper scale).
+	AppScale float64 `json:"app_scale"`
+	// Parallel bounds the worker pool (0 = one worker per CPU, capped).
+	// Excluded from reports: pool width never affects results, and the
+	// CPU-derived default would make reports differ across machines.
+	Parallel int `json:"-"`
+	// Timeout fails one scenario repetition that exceeds it, without
+	// sinking the rest of the run (0 = no timeout).
+	Timeout time.Duration `json:"timeout_ns"`
+	// BaseSeed perturbs every derived jitter seed; runs with equal
+	// BaseSeed and scale are reproducible.
+	BaseSeed int64 `json:"base_seed"`
+	// Scratch is the root directory for checkpoint images. Empty means a
+	// throwaway temp directory. Excluded from reports: it varies per run.
+	Scratch string `json:"-"`
+}
+
+// Full returns the paper-scale configuration (4x12 ranks, 5 repetitions).
+func Full() Options {
+	return Options{
+		Nodes: 4, RanksPerNode: 12, Reps: 5,
+		MaxSize: 1 << 18, Iters: 20, Warmup: 4, ItersLarge: 4,
+		AppScale: 1, Timeout: 10 * time.Minute,
+	}
+}
+
+// Quick returns a minutes-scale smoke configuration for CI and laptops.
+func Quick() Options {
+	return Options{
+		Nodes: 2, RanksPerNode: 4, Reps: 2,
+		MaxSize: 1 << 12, Iters: 4, Warmup: 1, ItersLarge: 2,
+		AppScale: 0.08, Timeout: 2 * time.Minute,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 2
+	}
+	if o.RanksPerNode <= 0 {
+		o.RanksPerNode = 4
+	}
+	if o.Reps <= 0 {
+		o.Reps = 1
+	}
+	if o.MaxSize <= 0 {
+		o.MaxSize = 1 << 12
+	}
+	if o.Iters <= 0 {
+		o.Iters = 4
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.NumCPU()
+		if o.Parallel > 8 {
+			o.Parallel = 8
+		}
+	}
+	return o
+}
+
+func (o Options) sizes() []int {
+	var out []int
+	for sz := 1; sz <= o.MaxSize; sz <<= 1 {
+		out = append(out, sz)
+	}
+	return out
+}
+
+// configure plants the run scale and noise seed into a fresh program
+// instance, for every workload shape the engine knows.
+func (o Options) configure(seed int64) func(rank int, p core.Program) {
+	return func(rank int, p core.Program) {
+		if b, ok := p.(*osu.LatencyBench); ok {
+			b.Sizes = o.sizes()
+			b.Iters = o.Iters
+			b.Warmup = o.Warmup
+			b.ItersLarge = o.ItersLarge
+			// The engine checkpoints at the first safe point via WithHold;
+			// the wall-clock sleep window is not needed and only slows runs.
+			b.SleepVirtual = 0
+			b.SleepReal = 0
+		}
+		if s, ok := p.(interface{ ScaleSteps(f float64) }); ok && o.AppScale > 0 && o.AppScale != 1 {
+			s.ScaleSteps(o.AppScale)
+		}
+		if s, ok := p.(interface{ SetSeed(s int64) }); ok {
+			s.SetSeed(seed)
+		}
+	}
+}
+
+// runScenario executes one scenario; a package variable so pool tests can
+// observe scheduling without running real stacks.
+var runScenario = runOne
+
+// Run executes the scenarios concurrently over a bounded worker pool and
+// returns the aggregated, ID-sorted report. Every scenario produces a
+// Result — panics, timeouts and stack failures are isolated to their own
+// cell and reported as Status "fail". Duplicate scenario IDs are
+// collapsed to their first occurrence: two copies of the same scenario
+// would race on one checkpoint image directory and be indistinguishable
+// in the report.
+func Run(specs []Spec, o Options) *Report {
+	o = o.withDefaults()
+	seen := make(map[string]bool, len(specs))
+	uniq := make([]Spec, 0, len(specs))
+	for _, s := range specs {
+		if id := s.ID(); !seen[id] {
+			seen[id] = true
+			uniq = append(uniq, s)
+		}
+	}
+	specs = uniq
+	if o.Scratch == "" {
+		dir, err := os.MkdirTemp("", "scenario-*")
+		if err == nil {
+			o.Scratch = dir
+			defer os.RemoveAll(dir)
+		}
+		// On failure Scratch stays empty: scenarios that need checkpoint
+		// images fail their own cell (see runRep) instead of silently
+		// littering the working directory.
+	}
+	results := make([]Result, len(specs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < o.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = runScenario(specs[i], o)
+			}
+		}()
+	}
+	start := time.Now()
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return newReport(o, results, time.Since(start))
+}
+
+// runOne executes one scenario's repetitions and aggregates them.
+func runOne(s Spec, o Options) (res Result) {
+	start := time.Now()
+	res = Result{ID: s.ID(), Spec: s, Status: StatusPass, Reps: o.Reps}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Status = StatusFail
+			res.Error = fmt.Sprintf("panic: %v", r)
+		}
+		res.WallMS = time.Since(start).Milliseconds()
+	}()
+	if err := s.Validate(); err != nil {
+		res.Status = StatusFail
+		res.Error = err.Error()
+		return res
+	}
+	var launch, restart repSamples
+	for rep := 0; rep < o.Reps; rep++ {
+		seed := seedFor(o.BaseSeed, s.Program, rep)
+		res.Seeds = append(res.Seeds, seed)
+		lm, rm, lin, err := runRep(s, o, rep, seed)
+		if err != nil {
+			res.Status = StatusFail
+			res.Error = fmt.Sprintf("rep %d: %v", rep, err)
+			return res
+		}
+		launch.add(lm)
+		if s.HasRestart() {
+			restart.add(rm)
+			res.Lineage = append(res.Lineage, lin)
+		}
+	}
+	res.Time = launch.timeSummary()
+	res.Curve = launch.curve()
+	if s.HasRestart() {
+		res.RestartTime = restart.timeSummary()
+		res.RestartCurve = restart.curve()
+	}
+	return res
+}
+
+// runRep runs one repetition: launch (with the checkpoint/restart dance
+// when the scenario has a restart leg) and measurement extraction.
+func runRep(s Spec, o Options, rep int, seed int64) (launch, restarted measurement, lin Lineage, err error) {
+	stack := s.LaunchStack()
+	stack.Net.Nodes = o.Nodes
+	stack.Net.RanksPerNode = o.RanksPerNode
+	stack.Net.Seed = seed
+
+	opts := []core.LaunchOption{core.WithConfigure(o.configure(seed))}
+	if s.HasRestart() {
+		opts = append(opts, core.WithHold())
+	}
+	job, err := core.Launch(stack, s.Program, opts...)
+	if err != nil {
+		return launch, restarted, lin, err
+	}
+	var ckpt <-chan error
+	imgDir := ""
+	if s.HasRestart() {
+		if o.Scratch == "" {
+			job.Cancel()
+			return launch, restarted, lin, fmt.Errorf("no scratch directory for checkpoint images (temp dir creation failed)")
+		}
+		imgDir = filepath.Join(idPath(s.ID()), fmt.Sprintf("rep%02d", rep))
+		// Register the request before releasing the ranks: the checkpoint
+		// lands deterministically at the first safe point, and the
+		// original run continues to completion for comparison.
+		ckpt = job.CheckpointAsync(filepath.Join(o.Scratch, imgDir), false)
+		job.Start()
+	}
+	if err := waitTimeout(job, o.Timeout); err != nil {
+		return launch, restarted, lin, err
+	}
+	if ckpt != nil {
+		if err := <-ckpt; err != nil {
+			return launch, restarted, lin, fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	launch = measureJob(job, stack.Net.Size())
+	if !s.HasRestart() {
+		return launch, restarted, lin, nil
+	}
+
+	rstack := s.RestartStack()
+	rstack.Net.Nodes = o.Nodes
+	rstack.Net.RanksPerNode = o.RanksPerNode
+	rstack.Net.Seed = seed
+	rjob, err := core.Restart(filepath.Join(o.Scratch, imgDir), rstack)
+	if err != nil {
+		return launch, restarted, lin, fmt.Errorf("restart: %w", err)
+	}
+	if err := waitTimeout(rjob, o.Timeout); err != nil {
+		return launch, restarted, lin, fmt.Errorf("restarted run: %w", err)
+	}
+	restarted = measureJob(rjob, rstack.Net.Size())
+
+	lin = Lineage{Rep: rep, Dir: imgDir, LaunchStack: stack.Label(), RestartStack: rstack.Label()}
+	if meta, merr := dmtcp.ReadMeta(filepath.Join(o.Scratch, imgDir)); merr == nil {
+		lin.Step = meta.Step
+	}
+	return launch, restarted, lin, nil
+}
+
+// waitTimeout joins the job, cancelling it (and reaping its goroutines)
+// if it exceeds d.
+func waitTimeout(job *core.Job, d time.Duration) error {
+	if d <= 0 {
+		return job.Wait()
+	}
+	done := make(chan error, 1)
+	go func() { done <- job.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		job.Cancel()
+		if err := <-done; err == nil {
+			// The job completed right at the bound, before the cancel
+			// landed: that is a finished run, not a timeout.
+			return nil
+		}
+		return fmt.Errorf("scenario: timed out after %v", d)
+	}
+}
+
+// measurement is one repetition's extracted observables.
+type measurement struct {
+	timeSecs float64
+	sizes    []int
+	means    []float64
+}
+
+// measureJob pulls the completion time (max virtual time over ranks) and,
+// for OSU benchmarks, rank 0's per-size latency curve.
+func measureJob(job *core.Job, ranks int) measurement {
+	var m measurement
+	for r := 0; r < ranks; r++ {
+		if t := job.Clock(r).Duration().Seconds(); t > m.timeSecs {
+			m.timeSecs = t
+		}
+	}
+	if b, ok := job.Program(0).(*osu.LatencyBench); ok {
+		m.sizes, m.means = b.Results()
+	}
+	return m
+}
+
+// repSamples accumulates measurements across repetitions.
+type repSamples struct {
+	times   []float64
+	sizes   []int
+	perSize [][]float64 // perSize[i][rep] = mean latency for sizes[i]
+}
+
+func (a *repSamples) add(m measurement) {
+	a.times = append(a.times, m.timeSecs)
+	if len(m.sizes) == 0 {
+		return
+	}
+	if a.sizes == nil {
+		a.sizes = m.sizes
+		a.perSize = make([][]float64, len(m.sizes))
+	}
+	for i := range m.sizes {
+		if i < len(a.perSize) {
+			a.perSize[i] = append(a.perSize[i], m.means[i])
+		}
+	}
+}
+
+func (a *repSamples) timeSummary() *stats.Summary {
+	if len(a.times) == 0 {
+		return nil
+	}
+	s := stats.Summarize(a.times)
+	return &s
+}
+
+func (a *repSamples) curve() *Curve {
+	if len(a.sizes) == 0 {
+		return nil
+	}
+	c := &Curve{Sizes: a.sizes}
+	for i := range a.sizes {
+		c.MedianUS = append(c.MedianUS, stats.Median(a.perSize[i]))
+		c.StdDevUS = append(c.StdDevUS, stats.StdDev(a.perSize[i]))
+	}
+	return c
+}

@@ -1,0 +1,197 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// SchemaVersion is bumped whenever the JSON shape of Report changes, so
+// matrix results stay diffable (and comparable tooling can refuse
+// mismatched versions) across revisions of this repository.
+const SchemaVersion = 1
+
+// Status is a scenario outcome.
+type Status string
+
+// Scenario outcomes.
+const (
+	StatusPass Status = "pass"
+	StatusFail Status = "fail"
+)
+
+// Curve is a per-message-size latency series aggregated over repetitions
+// (medians with standard deviations, the paper's protocol).
+type Curve struct {
+	Sizes    []int     `json:"sizes"`
+	MedianUS []float64 `json:"median_us"`
+	StdDevUS []float64 `json:"stddev_us"`
+}
+
+// Lineage records one repetition's checkpoint image provenance: which
+// stack wrote the images, which stack resumed them, and at which program
+// step the checkpoint was taken. Dir is relative to the run's scratch
+// root so reports stay diffable; note that a self-created temp scratch is
+// deleted when Run returns — set Options.Scratch (cmd flags -scratch /
+// -dir) to keep images on disk.
+type Lineage struct {
+	Rep          int    `json:"rep"`
+	Dir          string `json:"dir"`
+	Step         uint64 `json:"step"`
+	LaunchStack  string `json:"launch_stack"`
+	RestartStack string `json:"restart_stack"`
+}
+
+// Result is one scenario's aggregated outcome.
+type Result struct {
+	ID     string `json:"id"`
+	Spec   Spec   `json:"spec"`
+	Status Status `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Reps and Seeds document the repetition protocol (Seeds are the
+	// deterministic per-repetition jitter seeds actually used).
+	Reps  int     `json:"reps"`
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Time is the virtual completion time over repetitions; Curve is the
+	// per-size latency sweep (OSU scenarios only).
+	Time  *stats.Summary `json:"time_secs,omitempty"`
+	Curve *Curve         `json:"curve,omitempty"`
+	// RestartTime/RestartCurve are the restarted run's measurements, and
+	// Lineage the image provenance, for scenarios with a restart leg.
+	RestartTime  *stats.Summary `json:"restart_time_secs,omitempty"`
+	RestartCurve *Curve         `json:"restart_curve,omitempty"`
+	Lineage      []Lineage      `json:"lineage,omitempty"`
+	// WallMS is the wall-clock cost of the scenario (all repetitions).
+	WallMS int64 `json:"wall_ms"`
+}
+
+// Cross reports whether the result's scenario restarts under a different
+// MPI implementation than it launched with — the paper's headline move.
+func (r Result) Cross() bool {
+	return r.Spec.HasRestart() && r.Spec.RestartImpl != r.Spec.Impl
+}
+
+// Report is a full matrix run: versioned, ID-sorted, and JSON-stable, so
+// two runs of the same matrix at the same scale diff cleanly.
+type Report struct {
+	SchemaVersion int      `json:"schema_version"`
+	Paper         string   `json:"paper"`
+	Options       Options  `json:"options"`
+	Scenarios     int      `json:"scenarios"`
+	Passed        int      `json:"passed"`
+	Failed        int      `json:"failed"`
+	WallMS        int64    `json:"wall_ms"`
+	Results       []Result `json:"results"`
+}
+
+func newReport(o Options, results []Result, wall time.Duration) *Report {
+	sorted := append([]Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		Paper:         "The Case for ABI Interoperability in a Fault Tolerant MPI (IPPS 2025)",
+		Options:       o,
+		Scenarios:     len(sorted),
+		WallMS:        wall.Milliseconds(),
+		Results:       sorted,
+	}
+	for _, r := range sorted {
+		if r.Status == StatusPass {
+			rep.Passed++
+		} else {
+			rep.Failed++
+		}
+	}
+	return rep
+}
+
+// Find returns the result with the given scenario ID, or nil.
+func (r *Report) Find(id string) *Result {
+	i := sort.Search(len(r.Results), func(i int) bool { return r.Results[i].ID >= id })
+	if i < len(r.Results) && r.Results[i].ID == id {
+		return &r.Results[i]
+	}
+	return nil
+}
+
+// Select returns the results matching the filter, in report order.
+func (r *Report) Select(keep func(Result) bool) []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if keep(res) {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// FirstFailure returns the first failed result, or nil when all passed.
+func (r *Report) FirstFailure() *Result {
+	for i := range r.Results {
+		if r.Results[i].Status != StatusPass {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON persists the report (indented, trailing newline) at path,
+// creating parent directories as needed.
+func (r *Report) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: encoding report: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("scenario: creating report dir: %w", err)
+		}
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ReadReport loads a report written by WriteJSON, rejecting unknown
+// schema versions.
+func ReadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: reading report: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("scenario: decoding report: %w", err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("scenario: report schema v%d, this build reads v%d",
+			rep.SchemaVersion, SchemaVersion)
+	}
+	return &rep, nil
+}
+
+// Render formats the report as an aligned text table, one scenario per
+// line, pass/fail first.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== SCENARIO MATRIX (schema v%d): %d scenarios, %d pass, %d fail, %.1fs wall ==\n",
+		r.SchemaVersion, r.Scenarios, r.Passed, r.Failed, float64(r.WallMS)/1000)
+	for _, res := range r.Results {
+		line := fmt.Sprintf("%-4s  %-64s", res.Status, res.ID)
+		switch {
+		case res.Status != StatusPass:
+			line += "  " + res.Error
+		case res.Time != nil:
+			line += fmt.Sprintf("  t=%.3fs", res.Time.Median)
+			if res.RestartTime != nil {
+				line += fmt.Sprintf("  restart t=%.3fs (ckpt step %d)", res.RestartTime.Median, res.Lineage[0].Step)
+			}
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}

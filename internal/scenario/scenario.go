@@ -1,0 +1,231 @@
+// Package scenario is the scenario-matrix engine behind the paper's
+// combinatorial claim (Sections 4-5): one application, compiled once
+// against the standard ABI, must run — and checkpoint, and restart —
+// under *every* valid pairing of MPI implementation, binding mode and
+// checkpointing package, cross-implementation restarts included.
+//
+// A Spec names one cell of that matrix: a registered program, the three
+// legs of the stool (implementation, ABI binding, checkpointer), an
+// optional kernel model for the MANA FSGSBASE ablation, and an optional
+// restart pairing (checkpoint under one implementation, restart under
+// another — the Section 5.3 / Figure 6 protocol). MatrixSpec enumerates
+// every valid Spec in a deterministic order, excluding the combinations
+// the paper's model forbids: restarting without a checkpointer,
+// cross-implementation restart of a native-ABI or plain-DMTCP image, and
+// restarting a standard-ABI image without a translation layer.
+//
+// Run executes a list of Specs concurrently over a bounded worker pool
+// with deterministic per-scenario seeds, per-scenario timeouts and
+// failure isolation (a panicking or deadlocked stack fails its own cell,
+// not the run), and aggregates repetitions with internal/stats exactly as
+// the paper does (medians, standard deviations). Results persist as
+// versioned JSON (see Report) so matrix runs are diffable across
+// revisions; internal/harness builds the paper's figures as thin queries
+// over these results.
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// KernelModern selects the post-5.9 (userspace FSGSBASE) kernel model for
+// the MANA layer; the empty string selects the paper's pre-5.9 testbed
+// kernel. These are the two points of the FSGSBASE ablation.
+const KernelModern = "5_9plus"
+
+// Spec identifies one scenario: a program run under one full stack, with
+// an optional checkpoint/restart pairing. The zero values of RestartImpl
+// and RestartABI mean "no restart leg".
+type Spec struct {
+	// Program is the registered core.Program name (e.g. "app.wave",
+	// "osu.alltoall").
+	Program string `json:"program"`
+	// Impl, ABI and Ckpt are the launch stack's three legs.
+	Impl core.Impl     `json:"impl"`
+	ABI  core.ABIMode  `json:"abi"`
+	Ckpt core.CkptMode `json:"ckpt"`
+	// Kernel optionally selects the MANA kernel model (KernelModern);
+	// empty means the paper's pre-5.9 testbed kernel.
+	Kernel string `json:"kernel,omitempty"`
+	// RestartImpl/RestartABI, when set, add a restart leg: the run is
+	// checkpointed at its first safe point and the images are restarted
+	// under this stack (same checkpointer), while the original run
+	// continues to completion for comparison.
+	RestartImpl core.Impl    `json:"restart_impl,omitempty"`
+	RestartABI  core.ABIMode `json:"restart_abi,omitempty"`
+}
+
+// HasRestart reports whether the scenario includes a restart leg.
+func (s Spec) HasRestart() bool { return s.RestartImpl != "" }
+
+// ID is the scenario's stable identifier:
+// program/impl+abi+ckpt[@kernel][>restartimpl+restartabi]. Reports are
+// sorted and queried by it.
+func (s Spec) ID() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s+%s+%s", s.Program, s.Impl, s.ABI, s.Ckpt)
+	if s.Kernel != "" {
+		fmt.Fprintf(&b, "@%s", s.Kernel)
+	}
+	if s.HasRestart() {
+		fmt.Fprintf(&b, ">%s+%s", s.RestartImpl, s.RestartABI)
+	}
+	return b.String()
+}
+
+// LaunchStack composes the launch-side core.Stack (testbed-default shape;
+// the engine overrides the cluster shape and seed per run).
+func (s Spec) LaunchStack() core.Stack {
+	stack := core.DefaultStack(s.Impl, s.ABI, s.Ckpt)
+	if s.Kernel == KernelModern {
+		stack.Kernel = kernelModern()
+	}
+	return stack
+}
+
+// RestartStack composes the restart-side core.Stack. Only meaningful when
+// HasRestart.
+func (s Spec) RestartStack() core.Stack {
+	stack := core.DefaultStack(s.RestartImpl, s.RestartABI, s.Ckpt)
+	if s.Kernel == KernelModern {
+		stack.Kernel = kernelModern()
+	}
+	return stack
+}
+
+// Validate reports why a scenario is not runnable. The restart rules
+// mirror core.Restart so that enumeration excludes exactly the stacks the
+// runtime would reject:
+//
+//   - a restart leg requires a checkpointing package;
+//   - a plain DMTCP image restores the whole process, MPI library
+//     included, so it restarts only under the identical stack;
+//   - a MANA image taken over a native ABI binding restarts only under
+//     the same implementation (the incompatibility the paper removes);
+//   - a MANA image taken through the standard ABI needs a translation
+//     layer (Mukautuva or Wi4MPI) on the restart side too.
+func (s Spec) Validate() error {
+	if s.Program == "" {
+		return fmt.Errorf("scenario: empty program name")
+	}
+	if err := s.LaunchStack().Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.ID(), err)
+	}
+	if s.Kernel != "" && s.Kernel != KernelModern {
+		return fmt.Errorf("scenario %s: unknown kernel model %q", s.ID(), s.Kernel)
+	}
+	if !s.HasRestart() {
+		if s.RestartABI != "" {
+			return fmt.Errorf("scenario %s: restart ABI without a restart implementation", s.ID())
+		}
+		return nil
+	}
+	if s.Ckpt == core.CkptNone {
+		return fmt.Errorf("scenario %s: restart leg requires a checkpointing package", s.ID())
+	}
+	if err := s.RestartStack().Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.ID(), err)
+	}
+	switch s.Ckpt {
+	case core.CkptDMTCP:
+		if s.RestartImpl != s.Impl || s.RestartABI != s.ABI {
+			return fmt.Errorf("scenario %s: a plain DMTCP image restarts only under the identical stack", s.ID())
+		}
+	case core.CkptMANA:
+		if s.ABI == core.ABINative {
+			if s.RestartImpl != s.Impl || s.RestartABI != core.ABINative {
+				return fmt.Errorf("scenario %s: a native-ABI image cannot restart under a different stack", s.ID())
+			}
+		} else if s.RestartABI == core.ABINative {
+			return fmt.Errorf("scenario %s: a standard-ABI image needs a translation layer to restart", s.ID())
+		}
+	}
+	return nil
+}
+
+// MatrixSpec enumerates a scenario matrix: the cross product of its axes,
+// filtered down to valid stacks.
+type MatrixSpec struct {
+	// Programs are registered program names (apps or benchmarks).
+	Programs []string
+	// Impls, ABIs and Ckpts are the three legs' axes.
+	Impls []core.Impl
+	ABIs  []core.ABIMode
+	Ckpts []core.CkptMode
+	// CrossRestart adds, for every checkpointed cell, one scenario per
+	// valid restart implementation (same-implementation restarts and, for
+	// standard-ABI MANA stacks, cross-implementation restarts).
+	CrossRestart bool
+}
+
+// DefaultMatrix is the paper's full claim surface: both Figure 5
+// applications over every implementation, every binding mode, every
+// checkpointing package, and every valid restart pairing.
+func DefaultMatrix() MatrixSpec {
+	return MatrixSpec{
+		Programs:     []string{"app.comd", "app.wave"},
+		Impls:        []core.Impl{core.ImplMPICH, core.ImplOpenMPI},
+		ABIs:         []core.ABIMode{core.ABINative, core.ABIMukautuva, core.ABIWi4MPI},
+		Ckpts:        []core.CkptMode{core.CkptNone, core.CkptDMTCP, core.CkptMANA},
+		CrossRestart: true,
+	}
+}
+
+// Enumerate expands the matrix into the valid scenarios, in a
+// deterministic order (axes iterate in the order given; restart pairings
+// follow their base cell).
+func (m MatrixSpec) Enumerate() []Spec {
+	var out []Spec
+	for _, prog := range m.Programs {
+		for _, impl := range m.Impls {
+			for _, abiMode := range m.ABIs {
+				for _, ckpt := range m.Ckpts {
+					base := Spec{Program: prog, Impl: impl, ABI: abiMode, Ckpt: ckpt}
+					if base.Validate() != nil {
+						continue
+					}
+					out = append(out, base)
+					if !m.CrossRestart || ckpt == core.CkptNone {
+						continue
+					}
+					for _, rimpl := range m.Impls {
+						s := base
+						s.RestartImpl = rimpl
+						s.RestartABI = abiMode
+						if s.Validate() == nil {
+							out = append(out, s)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// seedFor derives the deterministic jitter seed for one repetition. It
+// depends on the program and repetition but deliberately not on the
+// stack: the paper compares stacks under identical cluster noise, so
+// every stack running the same program in the same repetition sees the
+// same jitter stream (paired comparison), while distinct repetitions and
+// programs get distinct streams.
+func seedFor(base int64, program string, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d", program, base, rep)
+	seed := int64(h.Sum64() & 0x7fffffffffffffff)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// idPath renders a scenario ID as a filesystem-safe path component for
+// checkpoint image directories.
+func idPath(id string) string {
+	r := strings.NewReplacer("/", "_", ">", "_to_", "+", "-", "@", "-")
+	return r.Replace(id)
+}

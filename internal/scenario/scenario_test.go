@@ -1,0 +1,333 @@
+package scenario
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/abi"
+	"repro/internal/core"
+)
+
+func TestEnumerateExcludesInvalidStacks(t *testing.T) {
+	specs := DefaultMatrix().Enumerate()
+	if len(specs) == 0 {
+		t.Fatal("empty matrix")
+	}
+	seen := make(map[string]bool)
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("enumerated invalid scenario %s: %v", s.ID(), err)
+		}
+		if seen[s.ID()] {
+			t.Errorf("duplicate scenario %s", s.ID())
+		}
+		seen[s.ID()] = true
+	}
+	// The matrix must cover every base cell: 2 apps x 2 impls x 3 ABIs x
+	// 3 checkpointers = 36 straight runs.
+	var straight, cross, same int
+	for _, s := range specs {
+		switch {
+		case !s.HasRestart():
+			straight++
+		case s.RestartImpl != s.Impl:
+			cross++
+		default:
+			same++
+		}
+	}
+	if straight != 36 {
+		t.Errorf("straight scenarios = %d, want 36", straight)
+	}
+	// Cross-implementation restarts exist only for MANA over a standard
+	// ABI: 2 apps x 2 standard ABIs x 2 launch impls = 8.
+	if cross != 8 {
+		t.Errorf("cross-restart scenarios = %d, want 8", cross)
+	}
+	if same == 0 {
+		t.Error("no same-implementation restart scenarios")
+	}
+	for _, s := range specs {
+		if s.HasRestart() && s.RestartImpl != s.Impl && s.Ckpt != core.CkptMANA {
+			t.Errorf("cross-restart scenario %s with checkpointer %s", s.ID(), s.Ckpt)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Spec{
+		// Restart without a checkpointing package.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptNone,
+			RestartImpl: core.ImplOpenMPI, RestartABI: core.ABIMukautuva},
+		// Cross-implementation restart of a native-ABI MANA image.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptMANA,
+			RestartImpl: core.ImplOpenMPI, RestartABI: core.ABINative},
+		// Cross-implementation restart of a plain DMTCP image.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptDMTCP,
+			RestartImpl: core.ImplOpenMPI, RestartABI: core.ABIMukautuva},
+		// Standard-ABI image restarted without a translation layer.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			RestartImpl: core.ImplMPICH, RestartABI: core.ABINative},
+		// Unknown implementation.
+		{Program: "app.wave", Impl: "lam", ABI: core.ABINative, Ckpt: core.CkptNone},
+		// Unknown kernel model.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone, Kernel: "4.4"},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid scenario %s accepted", s.ID())
+		}
+	}
+}
+
+func TestEnumerateDeterministic(t *testing.T) {
+	a, b := DefaultMatrix().Enumerate(), DefaultMatrix().Enumerate()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("enumeration order is not deterministic")
+	}
+}
+
+func TestSeedsDeterministicAndPaired(t *testing.T) {
+	if seedFor(1, "app.wave", 0) != seedFor(1, "app.wave", 0) {
+		t.Fatal("seed not deterministic")
+	}
+	if seedFor(1, "app.wave", 0) == seedFor(1, "app.wave", 1) {
+		t.Fatal("repetitions share a seed")
+	}
+	if seedFor(1, "app.wave", 0) == seedFor(2, "app.wave", 0) {
+		t.Fatal("base seed has no effect")
+	}
+	if seedFor(1, "app.wave", 0) == seedFor(1, "app.comd", 0) {
+		t.Fatal("programs share a seed")
+	}
+}
+
+// withStubRunner swaps the scenario runner for fn for the test's duration.
+func withStubRunner(t *testing.T, fn func(Spec, Options) Result) {
+	t.Helper()
+	orig := runScenario
+	runScenario = fn
+	t.Cleanup(func() { runScenario = orig })
+}
+
+func TestWorkerPoolRespectsParallelismBound(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	var mu sync.Mutex
+	withStubRunner(t, func(s Spec, o Options) Result {
+		n := inFlight.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+		inFlight.Add(-1)
+		return Result{ID: s.ID(), Spec: s, Status: StatusPass}
+	})
+	specs := DefaultMatrix().Enumerate()[:12]
+	rep := Run(specs, Options{Parallel: 3, Reps: 1})
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("pool ran %d scenarios concurrently, bound is 3", got)
+	}
+	if rep.Scenarios != 12 || rep.Passed != 12 {
+		t.Fatalf("report: %d scenarios, %d passed", rep.Scenarios, rep.Passed)
+	}
+}
+
+func TestFailingScenarioDoesNotAbortSiblings(t *testing.T) {
+	withStubRunner(t, func(s Spec, o Options) Result {
+		if strings.HasPrefix(s.Program, "app.comd") {
+			panic("stack blew up")
+		}
+		return Result{ID: s.ID(), Spec: s, Status: StatusPass}
+	})
+	specs := []Spec{
+		{Program: "app.comd", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone},
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone},
+		{Program: "app.wave", Impl: core.ImplOpenMPI, ABI: core.ABINative, Ckpt: core.CkptNone},
+	}
+	// The stub panics out of runScenario itself: the pool worker must not
+	// die with it. Wrap like the real runner does.
+	withStubRunner(t, func(s Spec, o Options) (res Result) {
+		defer func() {
+			if r := recover(); r != nil {
+				res = Result{ID: s.ID(), Spec: s, Status: StatusFail, Error: "panic"}
+			}
+		}()
+		if s.Program == "app.comd" {
+			panic("stack blew up")
+		}
+		return Result{ID: s.ID(), Spec: s, Status: StatusPass}
+	})
+	rep := Run(specs, Options{Parallel: 2, Reps: 1})
+	if rep.Failed != 1 || rep.Passed != 2 {
+		t.Fatalf("passed=%d failed=%d, want 2/1", rep.Passed, rep.Failed)
+	}
+	if f := rep.FirstFailure(); f == nil || f.Spec.Program != "app.comd" {
+		t.Fatalf("FirstFailure = %+v", f)
+	}
+}
+
+func TestRunOneIsolatesPanicsAndInvalidSpecs(t *testing.T) {
+	// An invalid spec fails its own cell with the validation error.
+	res := runOne(Spec{Program: "app.wave", Impl: "lam", ABI: core.ABINative, Ckpt: core.CkptNone}, Quick())
+	if res.Status != StatusFail || res.Error == "" {
+		t.Fatalf("invalid spec result: %+v", res)
+	}
+	// An unregistered program fails at launch, not by sinking the run.
+	res = runOne(Spec{Program: "app.nonesuch", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone},
+		Options{Nodes: 1, RanksPerNode: 2, Reps: 1})
+	if res.Status != StatusFail || !strings.Contains(res.Error, "not registered") {
+		t.Fatalf("unregistered program result: %+v", res)
+	}
+}
+
+// tinyOptions runs real stacks small enough for CI.
+func tinyOptions(t *testing.T) Options {
+	return Options{
+		Nodes: 1, RanksPerNode: 4, Reps: 2,
+		MaxSize: 64, Iters: 2, Warmup: 1,
+		AppScale: 0.01, Parallel: 2,
+		Timeout: time.Minute, Scratch: t.TempDir(),
+	}
+}
+
+func TestRunRealScenariosEndToEnd(t *testing.T) {
+	specs := []Spec{
+		// Straight run, native stack.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone},
+		// Cross-implementation restart through the standard ABI.
+		{Program: "app.wave", Impl: core.ImplOpenMPI, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			RestartImpl: core.ImplMPICH, RestartABI: core.ABIMukautuva},
+		// Plain DMTCP same-stack restart.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptDMTCP,
+			RestartImpl: core.ImplMPICH, RestartABI: core.ABIMukautuva},
+		// OSU benchmark: must produce a latency curve.
+		{Program: "osu.alltoall", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone},
+	}
+	rep := Run(specs, tinyOptions(t))
+	if rep.Failed != 0 {
+		t.Fatalf("failures:\n%s", rep.Render())
+	}
+	for _, s := range specs[1:3] {
+		res := rep.Find(s.ID())
+		if res == nil {
+			t.Fatalf("scenario %s missing from report", s.ID())
+		}
+		if res.RestartTime == nil || res.RestartTime.Median <= 0 {
+			t.Errorf("%s: no restarted-run time", s.ID())
+		}
+		if len(res.Lineage) != 2 {
+			t.Errorf("%s: lineage for %d reps, want 2", s.ID(), len(res.Lineage))
+		} else if res.Lineage[0].Step == 0 {
+			t.Errorf("%s: lineage missing checkpoint step", s.ID())
+		}
+	}
+	if res := rep.Find(specs[1].ID()); !res.Cross() {
+		t.Error("mukautuva+mana pairing not flagged as cross-implementation")
+	}
+	osuRes := rep.Find(specs[3].ID())
+	if osuRes.Curve == nil || len(osuRes.Curve.Sizes) != 7 { // 1..64
+		t.Fatalf("osu scenario curve: %+v", osuRes.Curve)
+	}
+	for i, m := range osuRes.Curve.MedianUS {
+		if m <= 0 {
+			t.Errorf("size %d: non-positive latency", osuRes.Curve.Sizes[i])
+		}
+	}
+}
+
+func TestTimeoutFailsScenarioWithoutSinkingRun(t *testing.T) {
+	o := tinyOptions(t)
+	o.Reps = 1
+	// Wide enough that the tiny wave run always finishes (even under the
+	// race detector's slowdown), far shorter than glacial's ~200s.
+	o.Timeout = 2 * time.Second
+	specs := []Spec{
+		// The glacial program (registered below) outlives the timeout and
+		// must be cancelled; the sibling wave run must still pass.
+		{Program: "test.scenario.glacial", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone},
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone},
+	}
+	rep := Run(specs, o)
+	if rep.Failed != 1 || rep.Passed != 1 {
+		t.Fatalf("report:\n%s", rep.Render())
+	}
+	fail := rep.FirstFailure()
+	if fail.Spec.Program != "test.scenario.glacial" || !strings.Contains(fail.Error, "timed out") {
+		t.Fatalf("failure = %+v", fail)
+	}
+}
+
+// glacialProg sleeps through every step; only a timeout ends it.
+type glacialProg struct{ Iter int }
+
+func (g *glacialProg) Setup(env *abi.Env) error { return nil }
+func (g *glacialProg) Step(env *abi.Env) (bool, error) {
+	time.Sleep(2 * time.Millisecond)
+	g.Iter++
+	return g.Iter >= 100000, nil
+}
+
+func init() {
+	core.RegisterProgram("test.scenario.glacial", func() core.Program { return &glacialProg{} })
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	withStubRunner(t, func(s Spec, o Options) Result {
+		return runOne(s, o) // real runner, tiny specs below
+	})
+	specs := []Spec{
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone},
+		{Program: "app.wave", Impl: core.ImplOpenMPI, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			RestartImpl: core.ImplMPICH, RestartABI: core.ABIMukautuva},
+	}
+	rep := Run(specs, tinyOptions(t))
+	path := filepath.Join(t.TempDir(), "nested", "results.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scratch and Parallel are deliberately not serialized: a throwaway
+	// temp path and a CPU-derived pool width would make reports
+	// non-diffable across machines.
+	rep.Options.Scratch = ""
+	rep.Options.Parallel = 0
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", rep, got)
+	}
+	if got.SchemaVersion != SchemaVersion || got.Find(specs[1].ID()) == nil {
+		t.Fatal("report lost identity through JSON")
+	}
+}
+
+func TestReadReportRejectsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	rep := newReport(Options{}, nil, 0)
+	rep.SchemaVersion = SchemaVersion + 1
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("unknown schema version accepted")
+	}
+}
+
+func TestRunCollapsesDuplicateSpecs(t *testing.T) {
+	withStubRunner(t, func(s Spec, o Options) Result {
+		return Result{ID: s.ID(), Spec: s, Status: StatusPass}
+	})
+	s := Spec{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone}
+	rep := Run([]Spec{s, s, s}, Options{Parallel: 2, Reps: 1})
+	if rep.Scenarios != 1 {
+		t.Fatalf("duplicates not collapsed: %d scenarios", rep.Scenarios)
+	}
+}

@@ -9,6 +9,12 @@
 // time is computed from the topology-aware cost model in Network. This is a
 // conservative parallel-discrete-event approximation: it is exact for
 // contention-free traffic and near-deterministic under NIC contention.
+//
+// The cost-model defaults (Discovery10GbE) reproduce the paper's Section
+// 5.1 testbed — 4 nodes x 12 ranks on the Discovery cluster's 10 GbE
+// partition — and the jitter stream models the run-to-run variance behind
+// Figure 5's error bars; the scenario engine seeds it deterministically
+// per repetition.
 package simnet
 
 import (

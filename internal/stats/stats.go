@@ -1,6 +1,9 @@
 // Package stats provides the small statistical toolkit the experiment
-// harness needs: the paper reports medians of 5 repetitions with standard
-// deviations (Figure 5's error bars).
+// protocol of Section 5 needs: the paper reports medians of 5 repetitions
+// for the latency sweeps of Figures 2-4 and 6, adds standard deviations
+// for Figure 5's error bars, and quotes relative overheads in its in-text
+// claims (OverheadPct). Both internal/harness and the internal/scenario
+// matrix engine aggregate repetitions through Summarize.
 package stats
 
 import (
@@ -22,7 +25,10 @@ func Median(xs []float64) float64 {
 		return s[mid]
 	}
 	lo, hi := s[mid-1], s[mid]
-	return lo + (hi-lo)/2 // midpoint form avoids overflow on huge values
+	// Halved-sum form: lo+(hi-lo)/2 overflows when lo and hi have opposite
+	// signs and huge magnitudes, (lo+hi)/2 when they share a sign; halving
+	// each term first overflows in neither case and stays within [lo, hi].
+	return lo/2 + hi/2
 }
 
 // Mean returns the arithmetic mean.

@@ -6,7 +6,10 @@
 //
 // Each MPI implementation wraps these types in its own handle
 // representation (integer-encoded handles in internal/mpich, pointers in
-// internal/openmpi); the engine itself is representation-agnostic.
+// internal/openmpi); the engine itself is representation-agnostic. That
+// split mirrors Section 4.1 of the paper: datatype *semantics* are common
+// to every implementation, while datatype *handles* are part of the
+// incompatible ABIs the standard ABI papers over.
 package types
 
 import (

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/mana"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 
 	// Register the built-in workloads.
@@ -66,6 +67,7 @@ const (
 	ABIWi4MPI    = core.ABIWi4MPI
 	CkptNone     = core.CkptNone
 	CkptMANA     = core.CkptMANA
+	CkptDMTCP    = core.CkptDMTCP
 )
 
 // Application-facing MPI types (the standard ABI).
@@ -104,6 +106,13 @@ func WithConfigure(fn func(rank int, p Program)) LaunchOption {
 	return core.WithConfigure(fn)
 }
 
+// WithHold builds the job without starting its ranks; release with
+// Job.Start. Register a checkpoint with Job.CheckpointAsync before Start
+// to pin it deterministically to the first safe point.
+func WithHold() LaunchOption {
+	return core.WithHold()
+}
+
 // Restart resumes a checkpoint image set under a new stack. Images taken
 // through the standard ABI may restart under a different MPI
 // implementation; native-ABI images may not. See core.Restart.
@@ -138,4 +147,29 @@ func QuickScale() ExperimentOptions { return harness.Quick() }
 // "fsgsbase" for the ablation); scratch is used for checkpoint images.
 func ReproduceFigure(name string, o ExperimentOptions, scratch string) (*Figure, error) {
 	return harness.ByName(name, o, scratch)
+}
+
+// Scenario-matrix re-exports (see internal/scenario): enumerate every
+// valid stack combination and execute it concurrently.
+type (
+	// Scenario identifies one cell of the matrix: program, stack legs,
+	// optional restart pairing.
+	Scenario = scenario.Spec
+	// ScenarioMatrix enumerates a matrix of scenarios.
+	ScenarioMatrix = scenario.MatrixSpec
+	// ScenarioOptions scales and paces a matrix run.
+	ScenarioOptions = scenario.Options
+	// ScenarioReport is a versioned, diffable matrix result set.
+	ScenarioReport = scenario.Report
+)
+
+// DefaultScenarioMatrix is the paper's full claim surface: both Figure 5
+// applications over every implementation, binding mode, checkpointing
+// package, and valid restart pairing.
+func DefaultScenarioMatrix() ScenarioMatrix { return scenario.DefaultMatrix() }
+
+// RunScenarios executes scenarios concurrently over a bounded worker pool
+// with per-scenario seeds, timeouts and failure isolation.
+func RunScenarios(specs []Scenario, o ScenarioOptions) *ScenarioReport {
+	return scenario.Run(specs, o)
 }
