@@ -219,6 +219,63 @@ func BenchmarkAblationManaOverNative(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultRecovery measures the full fault-tolerance cycle the
+// paper's title promises: launch under Open MPI with periodic
+// checkpointing, crash a node mid-run, detect the failure, restart from
+// the latest complete image under MPICH, run to completion. Reported
+// wall time is the whole cycle; recovered-us isolates detection +
+// restart + recomputation.
+func BenchmarkFaultRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "bench-recovery-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		stack := benchStack(ImplOpenMPI, ABIMukautuva, CkptMANA)
+		rstack := benchStack(ImplMPICH, ABIMukautuva, CkptMANA)
+		inj, err := NewFaultInjector(FaultPlan{Faults: []FaultSpec{
+			{Kind: FaultNodeCrash, Rank: FaultAnywhere, Node: 0, Step: 6},
+		}}, 1, stack.Net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		res, err := RunWithRecovery(stack, "test.bench.ring", inj, RecoveryPolicy{
+			ImageRoot: dir, Interval: 2, MaxRestarts: 2, RestartStack: &rstack,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed || res.Restarts != 1 {
+			b.Fatalf("completed=%v restarts=%d", res.Completed, res.Restarts)
+		}
+		b.ReportMetric(float64(time.Since(start).Microseconds()), "cycle-us")
+		os.RemoveAll(dir)
+	}
+}
+
+// benchRing is a small lockstep workload for the recovery benchmark:
+// one allreduce per step, quiescent at every safe point.
+type benchRing struct {
+	Total int
+	Iter  int
+}
+
+func (p *benchRing) Setup(env *Env) error { return nil }
+
+func (p *benchRing) Step(env *Env) (bool, error) {
+	out := make([]byte, 8)
+	if err := env.T.Allreduce(make([]byte, 8), out, 1, env.TypeInt64, env.OpSum, env.CommWorld); err != nil {
+		return false, err
+	}
+	p.Iter++
+	return p.Iter >= p.Total, nil
+}
+
+func init() {
+	RegisterProgram("test.bench.ring", func() Program { return &benchRing{Total: 20} })
+}
+
 // BenchmarkCheckpointWrite isolates the checkpoint path: quiesce, drain,
 // image write.
 func BenchmarkCheckpointWrite(b *testing.B) {

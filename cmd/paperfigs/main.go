@@ -1,21 +1,26 @@
 // Command paperfigs regenerates the paper's evaluation figures — the OSU
 // latency sweeps (Figures 2-4), the real-application completion times
 // (Figure 5), the cross-implementation checkpoint/restart experiment
-// (Figure 6), the FSGSBASE ablation — and, with -matrix, runs the full
-// scenario matrix: every valid app x MPI implementation x checkpointer
-// combination, cross-restart pairings included, concurrently over a
-// bounded worker pool, persisted as versioned JSON.
+// (Figure 6), the FSGSBASE ablation, the recovery-overhead table
+// ("recovery": time-to-recover vs checkpoint interval under an injected
+// crash) — and, with -matrix, runs the full scenario matrix: every valid
+// app x MPI implementation x checkpointer combination, cross-restart
+// pairings and the fault axis included, concurrently over a bounded
+// worker pool, persisted as versioned JSON.
 //
 // Usage:
 //
-//	paperfigs [-fig 2,3,4,5,6|all|fsgsbase] [-quick] [-out results/] [-reps N] [-parallel N]
-//	paperfigs -matrix [-full] [-parallel N] [-out results.json] [-apps app.comd,app.wave]
+//	paperfigs [-fig 2,3,4,5,6|all|fsgsbase|recovery] [-quick] [-out results/] [-reps N] [-parallel N]
+//	paperfigs -matrix [-full] [-faults=false] [-parallel N] [-out results.json] [-apps app.comd,app.wave]
 //
 // Figure mode writes one CSV per figure into -out (a directory). Matrix
 // mode writes one JSON report to -out (a file; ".json" is appended to the
 // default). Figures run at paper scale (4x12 ranks, 5 repetitions) unless
 // -quick; the matrix runs at the quick smoke scale unless -full, because
-// it covers the whole combination space rather than one figure.
+// it covers the whole combination space rather than one figure. The
+// fault axis (rank-crash recovery over every restart pairing, node-crash
+// over every cross-implementation pairing, NIC degradation over every
+// plain cell) is on by default in matrix mode; -faults=false drops it.
 package main
 
 import (
@@ -42,6 +47,7 @@ func main() {
 		apps     = flag.String("apps", "", "override the matrix program axis (comma-separated registered programs; -matrix only)")
 		seed     = flag.Int64("seed", 0, "base seed perturbing every scenario's deterministic jitter seeds")
 		scratch  = flag.String("scratch", "", "keep checkpoint images under this directory instead of a deleted temp dir (-matrix only)")
+		withFlt  = flag.Bool("faults", true, "include the fault-injection axis in the matrix (-matrix only)")
 	)
 	flag.Parse()
 
@@ -49,7 +55,7 @@ func main() {
 		fatal(fmt.Errorf("-full and -quick conflict; pick one"))
 	}
 	if *matrix {
-		runMatrix(*full, *parallel, *reps, *nodes, *rpn, *seed, *apps, *scratch, *out)
+		runMatrix(*full, *withFlt, *parallel, *reps, *nodes, *rpn, *seed, *apps, *scratch, *out)
 		return
 	}
 	if *full || *apps != "" || *scratch != "" {
@@ -97,7 +103,7 @@ func main() {
 }
 
 // runMatrix executes the scenario matrix and writes the JSON report.
-func runMatrix(full bool, parallel, reps, nodes, rpn int, seed int64, apps, scratch, out string) {
+func runMatrix(full, withFaults bool, parallel, reps, nodes, rpn int, seed int64, apps, scratch, out string) {
 	o := scenario.Quick()
 	if full {
 		o = scenario.Full()
@@ -118,6 +124,9 @@ func runMatrix(full bool, parallel, reps, nodes, rpn int, seed int64, apps, scra
 	o.BaseSeed = seed
 
 	m := scenario.DefaultMatrix()
+	if !withFaults {
+		m.Faults = nil
+	}
 	if apps != "" {
 		m.Programs = strings.Split(apps, ",")
 		for i := range m.Programs {

@@ -10,6 +10,7 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/abi"
 	"repro/internal/dmtcp"
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/mana"
 	"repro/internal/mpich"
 	"repro/internal/mukautuva"
@@ -25,6 +27,45 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/wi4mpi"
 )
+
+// ErrCancelled is the stable error Wait returns for a job torn down by
+// Cancel. Cancellation races every rank against the closing fabric, and
+// which rank observes the close first is scheduling noise — surfacing
+// that rank's error text would make timed-out scenario cells
+// nondeterministic, so Wait collapses all of it to this sentinel.
+var ErrCancelled = errors.New("core: job cancelled")
+
+// RankFailure is the typed failure Wait returns when an injected fault
+// kills ranks: the failure-detection analog of an MPI runtime noticing a
+// dead process and aborting the job. It satisfies error with a stable,
+// time-free message so reports stay diffable; drivers unpack it with
+// errors.As to decide on recovery.
+type RankFailure struct {
+	// Kind is the fault class that fired.
+	Kind faults.Kind
+	// Ranks are the dead ranks, ascending.
+	Ranks []int
+	// Node is the dead node for node-scoped faults, -1 otherwise.
+	Node int
+	// Step is the program step the victims died before executing.
+	Step uint64
+	// Detected is the trigger rank's virtual clock at its fatal step
+	// boundary — a function of the run alone, so it is as deterministic
+	// as every other virtual-time metric (scanning other ranks' live
+	// clocks instead would read mid-step values that depend on goroutine
+	// interleaving). Per-rank clock skew can put it slightly before a
+	// peer's checkpoint clock; consumers clamp windows at zero.
+	Detected simnet.Time
+}
+
+// Error renders the failure without timestamps, so two runs at the same
+// seed produce byte-identical failure text.
+func (f *RankFailure) Error() string {
+	if f.Node >= 0 {
+		return fmt.Sprintf("core: node %d crashed (ranks %v) before step %d", f.Node, f.Ranks, f.Step)
+	}
+	return fmt.Sprintf("core: rank(s) %v crashed before step %d", f.Ranks, f.Step)
+}
 
 // Impl selects the MPI implementation (leg 2).
 type Impl string
@@ -205,12 +246,18 @@ type Job struct {
 
 	progs []Program
 	envs  []*abi.Env
+	inj   *faults.Injector // nil unless launched WithFaults
 
-	wg      sync.WaitGroup
-	live    atomic.Int32 // ranks still running; 0 resolves stray checkpoints
-	mu      sync.Mutex
-	started bool
-	errs    []error
+	wg        sync.WaitGroup
+	live      atomic.Int32 // ranks still running; 0 resolves stray checkpoints
+	cancelled atomic.Bool
+	mu        sync.Mutex
+	started   bool
+	failure   *RankFailure
+	errs      []error
+	// failedBeforeCancel distinguishes a genuine failure Cancel merely
+	// followed from the error noise Cancel itself provokes.
+	failedBeforeCancel bool
 }
 
 // buildTable assembles one rank's binding stack, returning the table the
@@ -269,6 +316,8 @@ type LaunchOption func(*launchOpts)
 type launchOpts struct {
 	configure func(rank int, p Program)
 	hold      bool
+	inj       *faults.Injector
+	periodic  dmtcp.Periodic
 }
 
 // WithConfigure runs fn on each rank's fresh program instance before the
@@ -286,6 +335,26 @@ func WithConfigure(fn func(rank int, p Program)) LaunchOption {
 // sleep window.
 func WithHold() LaunchOption {
 	return func(o *launchOpts) { o.hold = true }
+}
+
+// WithFaults arms a fault injector on the job: NIC degradations are
+// installed into the network cost model at launch, and crash faults are
+// consulted at every rank's step boundaries. When a crash fires, the
+// victims die, the job tears down, and Wait returns a *RankFailure. The
+// same injector may be passed to Restart legs; fired faults do not
+// refire, so a recovered job replays the trigger step unharmed. The
+// injector must have been armed against the stack's cluster shape.
+func WithFaults(inj *faults.Injector) LaunchOption {
+	return func(o *launchOpts) { o.inj = inj }
+}
+
+// WithPeriodicCheckpoint checkpoints the job every `every` steps into
+// step-numbered subdirectories of root (dmtcp.PeriodicDir), building the
+// image lineage automated recovery restarts from. It requires a
+// checkpointing package in the stack and composes with Restart, so
+// recovery legs keep extending the lineage.
+func WithPeriodicCheckpoint(root string, every uint64) LaunchOption {
+	return func(o *launchOpts) { o.periodic = dmtcp.Periodic{Dir: root, Every: every} }
 }
 
 // Launch starts progName (a registered Program) on a fresh world under the
@@ -329,11 +398,31 @@ func Launch(stack Stack, progName string, opts ...LaunchOption) (*Job, error) {
 			lo.configure(r, job.progs[r])
 		}
 	}
+	if err := applyRunOpts(job, lo); err != nil {
+		return nil, err
+	}
 	if lo.hold {
 		return job, nil
 	}
 	job.Start()
 	return job, nil
+}
+
+// applyRunOpts installs the options shared by launch and restart legs
+// (fault injection, periodic checkpointing).
+func applyRunOpts(job *Job, lo launchOpts) error {
+	if lo.periodic.Every > 0 {
+		if job.stack.Ckpt == CkptNone {
+			return fmt.Errorf("core: periodic checkpointing requires a checkpointing package in the stack")
+		}
+		job.coord.SetPeriodic(lo.periodic)
+	}
+	if lo.inj != nil {
+		job.inj = lo.inj
+		lo.inj.BeginLeg()
+		lo.inj.ArmNetwork(job.w.Network())
+	}
+	return nil
 }
 
 // Start releases a job built with WithHold. It is a no-op on jobs that are
@@ -430,6 +519,19 @@ func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
 		}
 	}
 	for {
+		if j.inj != nil {
+			// The rank is about to execute step agent.Step()+1; a crash
+			// fault triggered here models fail-stop death between safe
+			// points. The trigger rank records the failure and tears the
+			// world down (the runtime's failure detector propagating the
+			// news); co-victims of an already-fired fault just die.
+			if f, dead, first := j.inj.CrashAt(rank, agent.Step()+1, j.w.Endpoint(rank).Clock().Now()); dead {
+				if first {
+					j.recordFailure(f, agent.Step()+1, j.w.Endpoint(rank).Clock().Now())
+				}
+				return
+			}
+		}
 		done, err := prog.Step(env)
 		if err != nil {
 			fail(fmt.Errorf("step %d: %w", agent.Step(), err))
@@ -454,6 +556,27 @@ func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
 
 // restartDir is set on restart jobs (see Restart).
 func (j *Job) restartDir() string { return j.rdir }
+
+// recordFailure registers an injected fault's kill set and propagates it:
+// victims' endpoints die, then the world closes so surviving ranks
+// unblock (and fail) instead of waiting forever on the dead ranks'
+// traffic. A job that already failed for a genuine reason keeps that
+// error: the fault arrived on a corpse.
+func (j *Job) recordFailure(f *faults.Fault, step uint64, now simnet.Time) {
+	node := -1
+	if f.Kind == faults.KindNodeCrash {
+		node = f.Node
+	}
+	j.mu.Lock()
+	if j.failure == nil && len(j.errs) == 0 {
+		ranks := append([]int(nil), f.Ranks...)
+		sort.Ints(ranks)
+		j.failure = &RankFailure{Kind: f.Kind, Ranks: ranks, Node: node, Step: step, Detected: now}
+	}
+	j.mu.Unlock()
+	j.w.Kill(f.Ranks...)
+	j.w.Close()
+}
 
 // Checkpoint requests a coordinated checkpoint into dir at the job's next
 // safe point and blocks until it completes. With exit=true the job stops
@@ -485,13 +608,26 @@ func (j *Job) CheckpointAsync(dir string, exit bool) <-chan error {
 }
 
 // Cancel aborts a running job: the fabric closes, every rank unblocks and
-// fails, and Wait returns an error. It is safe to call concurrently with
-// Wait and is idempotent; the scenario engine uses it to enforce
+// fails, and Wait returns ErrCancelled. It is safe to call concurrently
+// with Wait and is idempotent; the scenario engine uses it to enforce
 // per-scenario timeouts without leaking rank goroutines.
-func (j *Job) Cancel() { j.w.Close() }
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	if len(j.errs) > 0 && !j.cancelled.Load() {
+		j.failedBeforeCancel = true
+	}
+	j.mu.Unlock()
+	j.cancelled.Store(true)
+	j.w.Close()
+}
 
-// Wait joins all ranks and returns the first failure, if any. Waiting on
-// a held job that was never started is an error, not a silent success.
+// Wait joins all ranks and returns the job's outcome: nil on success, a
+// *RankFailure when an injected fault killed ranks, ErrCancelled after
+// Cancel, otherwise the first rank error. Failure detection outranks the
+// rank errors because every error a closing world provokes is downstream
+// noise of the one event that closed it; which rank tripped over the
+// closed fabric first is scheduling order, not signal. Waiting on a held
+// job that was never started is an error, not a silent success.
 func (j *Job) Wait() error {
 	if !j.isStarted() {
 		return fmt.Errorf("core: held job was never started")
@@ -503,6 +639,18 @@ func (j *Job) Wait() error {
 	j.w.Close()
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.failure != nil {
+		return j.failure
+	}
+	if j.failedBeforeCancel {
+		return j.errs[0] // the genuine failure Cancel merely followed
+	}
+	// Cancellation only counts if it actually interrupted a rank: a job
+	// whose ranks all returned cleanly (no errors) completed right at
+	// the bound, and a finished run is not a timeout.
+	if j.cancelled.Load() && len(j.errs) > 0 {
+		return ErrCancelled
+	}
 	if len(j.errs) > 0 {
 		return j.errs[0]
 	}
@@ -522,13 +670,69 @@ func (j *Job) Clock(r int) simnet.Time { return j.w.Endpoint(r).Clock().Now() }
 // Stack returns the job's stack.
 func (j *Job) Stack() Stack { return j.stack }
 
+// restartCompatErr reports why an image with the given lineage — the MPI
+// implementation, binding mode and checkpointer it was taken under, and
+// whether that binding went through the standard ABI — cannot be resumed
+// under stack. Shared by Restart (lineage read from the image meta) and
+// the recovery driver (lineage known up front from the launch stack, so
+// an invalid pairing is refused before any fault fires).
+func restartCompatErr(imgImpl, imgABI, imgCkpt string, standardABI bool, stack Stack) error {
+	if stack.Ckpt == CkptNone {
+		return fmt.Errorf("core: restart requires a checkpointing package in the stack")
+	}
+	if imgCkpt == "" {
+		imgCkpt = string(CkptMANA) // images from before Meta.Ckpt existed
+	}
+	if string(stack.Ckpt) != imgCkpt {
+		return fmt.Errorf("core: image was written by %s; the restart stack loads %s",
+			imgCkpt, stack.Ckpt)
+	}
+	if stack.Ckpt == CkptDMTCP {
+		// A plain DMTCP image embeds the MPI library it ran over; only the
+		// identical stack can resume it (Section 3's baseline limitation).
+		if string(stack.Impl) != imgImpl || (imgABI != "" && string(stack.ABI) != imgABI) {
+			return fmt.Errorf(
+				"core: plain DMTCP image taken under %s/%s restores the whole process, "+
+					"MPI library included; it cannot restart under %s/%s — "+
+					"use the MANA stack over the standard ABI for cross-implementation restart",
+				imgImpl, imgABI, stack.Impl, stack.ABI)
+		}
+		return nil
+	}
+	if !standardABI {
+		if stack.ABI != ABINative || string(stack.Impl) != imgImpl {
+			return fmt.Errorf(
+				"core: image was taken under %s with a native (non-standard) ABI; "+
+					"it can only restart under the same implementation "+
+					"(requested %s/%s) — use the Mukautuva stack for cross-implementation restart",
+				imgImpl, stack.Impl, stack.ABI)
+		}
+		return nil
+	}
+	if stack.ABI == ABINative {
+		return fmt.Errorf("core: standard-ABI image requires a translation stack (Mukautuva or Wi4MPI) to restart")
+	}
+	return nil
+}
+
 // Restart resumes a checkpoint image set under a new stack. The stack may
 // name a different MPI implementation than the one the image was taken
 // under only when the image was taken by MANA through the standard ABI
 // (ABIMukautuva or ABIWi4MPI) — restarting a native-ABI or plain-DMTCP
 // image under another implementation is exactly the incompatibility the
 // paper's three-legged stool removes, and is rejected here.
-func Restart(dir string, stack Stack) (*Job, error) {
+//
+// A zero stack.Net.Seed resumes the image's recorded jitter stream
+// (meta.NetSeed), so an unset seed reproduces the checkpointed
+// environment instead of silently running a different one; the new
+// job's meta records the seed actually used. Options apply as on Launch,
+// except WithConfigure and WithHold: launch parameters live in the
+// serialized program state, and restart jobs start immediately.
+func Restart(dir string, stack Stack, opts ...LaunchOption) (*Job, error) {
+	var lo launchOpts
+	for _, o := range opts {
+		o(&lo)
+	}
 	if err := stack.Validate(); err != nil {
 		return nil, err
 	}
@@ -536,40 +740,14 @@ func Restart(dir string, stack Stack) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	if stack.Ckpt == CkptNone {
-		return nil, fmt.Errorf("core: restart requires a checkpointing package in the stack")
-	}
-	imageCkpt := meta.Ckpt
-	if imageCkpt == "" {
-		imageCkpt = string(CkptMANA) // images from before Meta.Ckpt existed
-	}
-	if string(stack.Ckpt) != imageCkpt {
-		return nil, fmt.Errorf("core: image was written by %s; the restart stack loads %s",
-			imageCkpt, stack.Ckpt)
-	}
-	if stack.Ckpt == CkptDMTCP {
-		// A plain DMTCP image embeds the MPI library it ran over; only the
-		// identical stack can resume it (Section 3's baseline limitation).
-		if string(stack.Impl) != meta.Impl || (meta.ABI != "" && string(stack.ABI) != meta.ABI) {
-			return nil, fmt.Errorf(
-				"core: plain DMTCP image taken under %s/%s restores the whole process, "+
-					"MPI library included; it cannot restart under %s/%s — "+
-					"use the MANA stack over the standard ABI for cross-implementation restart",
-				meta.Impl, meta.ABI, stack.Impl, stack.ABI)
-		}
-	} else if !meta.StandardABI {
-		if stack.ABI != ABINative || string(stack.Impl) != meta.Impl {
-			return nil, fmt.Errorf(
-				"core: image was taken under %s with a native (non-standard) ABI; "+
-					"it can only restart under the same implementation "+
-					"(requested %s/%s) — use the Mukautuva stack for cross-implementation restart",
-				meta.Impl, stack.Impl, stack.ABI)
-		}
-	} else if stack.ABI == ABINative {
-		return nil, fmt.Errorf("core: standard-ABI image requires a translation stack (Mukautuva or Wi4MPI) to restart")
+	if err := restartCompatErr(meta.Impl, meta.ABI, meta.Ckpt, meta.StandardABI, stack); err != nil {
+		return nil, err
 	}
 	if stack.Net.Size() != meta.NumRanks {
 		return nil, fmt.Errorf("core: stack has %d ranks, image has %d", stack.Net.Size(), meta.NumRanks)
+	}
+	if stack.Net.Seed == 0 {
+		stack.Net.Seed = meta.NetSeed
 	}
 	factory, err := programFactory(meta.Program)
 	if err != nil {
@@ -598,6 +776,9 @@ func Restart(dir string, stack Stack) (*Job, error) {
 	}
 	for r := 0; r < n; r++ {
 		job.progs[r] = factory()
+	}
+	if err := applyRunOpts(job, lo); err != nil {
+		return nil, err
 	}
 	job.Start()
 	return job, nil

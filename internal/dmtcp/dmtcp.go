@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"repro/internal/fabric"
@@ -99,15 +100,27 @@ type ckptRequest struct {
 	errs chan error
 }
 
+// Periodic configures automatic checkpoints: one image set lands in
+// PeriodicDir(Dir, step) at every step divisible by Every. Because all
+// ranks pass the same safe points, every rank decides a periodic
+// checkpoint is due locally, with no extra vote; the result is the image
+// lineage a recovery driver restarts from after a failure (see
+// core.RunWithRecovery and LatestComplete).
+type Periodic struct {
+	Dir   string
+	Every uint64
+}
+
 // Coordinator orchestrates checkpoints for one world. It is shared by all
 // rank agents in-process, standing in for the DMTCP coordinator daemon.
 type Coordinator struct {
 	w    *fabric.World
 	meta Meta
 
-	mu     sync.Mutex
-	req    *ckptRequest
-	closed bool
+	mu       sync.Mutex
+	req      *ckptRequest
+	periodic Periodic
+	closed   bool
 }
 
 // NewCoordinator builds a coordinator for a world. meta supplies the
@@ -134,6 +147,20 @@ func (c *Coordinator) RequestCheckpoint(dir string, exit bool) <-chan error {
 	}
 	c.req = &ckptRequest{dir: dir, exit: exit, errs: errs}
 	return errs
+}
+
+// SetPeriodic installs the periodic checkpoint schedule. Call before the
+// job's ranks start taking safe points.
+func (c *Coordinator) SetPeriodic(p Periodic) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.periodic = p
+}
+
+func (c *Coordinator) periodicCfg() Periodic {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.periodic
 }
 
 // pendingFlag is read during the safe-point vote.
@@ -212,7 +239,24 @@ func (a *Agent) SafePoint(serialize func() ([]byte, error), plugin Plugin) (Deci
 		}
 	}
 	if !any {
-		return DecisionContinue, nil
+		// No explicit request anywhere; a due periodic checkpoint still
+		// runs. Every rank computes the same verdict (same step, same
+		// schedule), so the quiesce/drain barriers inside runCheckpoint
+		// line up without an extra vote. An explicit request landing on a
+		// periodic step takes priority and the periodic image is skipped
+		// — the explicit image captures the same state.
+		per := a.c.periodicCfg()
+		if per.Every == 0 || a.step%per.Every != 0 {
+			return DecisionContinue, nil
+		}
+		req := &ckptRequest{dir: PeriodicDir(per.Dir, a.step)}
+		if err := a.runCheckpoint(req, serialize, plugin); err != nil {
+			return DecisionContinue, err
+		}
+		if perr := plugin.Resume(); perr != nil {
+			return DecisionCheckpointed, perr
+		}
+		return DecisionCheckpointed, nil
 	}
 	req := a.c.current()
 	if req == nil {
@@ -339,6 +383,48 @@ func writeMeta(dir string, meta Meta) error {
 		return fmt.Errorf("dmtcp: encoding meta: %w", err)
 	}
 	return nil
+}
+
+// PeriodicDir returns the image directory of the periodic checkpoint
+// taken at the given step under root.
+func PeriodicDir(root string, step uint64) string {
+	return filepath.Join(root, fmt.Sprintf("step_%06d", step))
+}
+
+// LatestComplete scans root for periodic image sets and returns the most
+// recent complete one: meta present and decodable, the expected rank
+// count (nranks; 0 accepts any), and every rank's image file on disk. A
+// checkpoint interrupted by the failure it was meant to survive leaves a
+// partial directory, which the scan skips — recovery falls back to the
+// image before it.
+func LatestComplete(root string, nranks int) (dir string, meta Meta, ok bool) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return "", Meta{}, false
+	}
+	// ReadDir sorts ascending; walk backwards for the newest step first.
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "step_") {
+			continue
+		}
+		d := filepath.Join(root, e.Name())
+		m, err := ReadMeta(d)
+		if err != nil || (nranks > 0 && m.NumRanks != nranks) {
+			continue
+		}
+		complete := true
+		for r := 0; r < m.NumRanks; r++ {
+			if _, err := os.Stat(rankImagePath(d, r)); err != nil {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			return d, m, true
+		}
+	}
+	return "", Meta{}, false
 }
 
 // ReadMeta loads the image set descriptor from a checkpoint directory.

@@ -18,6 +18,7 @@ package fabric
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/simnet"
 )
@@ -109,6 +110,15 @@ func (m *mailbox) close() {
 	m.cond.Broadcast()
 }
 
+// purge drops queued envelopes (fail-stop death: a dead host's inbound
+// queue is gone, not readable posthumously; contrast close, which lets
+// a graceful shutdown drain).
+func (m *mailbox) purge() {
+	m.mu.Lock()
+	m.queue = nil
+	m.mu.Unlock()
+}
+
 func (m *mailbox) len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -121,6 +131,7 @@ type World struct {
 	cfg  simnet.Config
 	net  *simnet.Network
 	eps  []*Endpoint
+	dead []atomic.Bool // per-rank fail-stop flag (see Kill)
 	oob  *OOB
 	once sync.Once
 }
@@ -132,7 +143,7 @@ func NewWorld(cfg simnet.Config) (*World, error) {
 		return nil, err
 	}
 	n := cfg.Size()
-	w := &World{cfg: cfg, net: net, oob: newOOB(n)}
+	w := &World{cfg: cfg, net: net, oob: newOOB(n), dead: make([]atomic.Bool, n)}
 	w.eps = make([]*Endpoint, n)
 	for i := range w.eps {
 		w.eps[i] = &Endpoint{world: w, rank: i, in: newMailbox()}
@@ -160,6 +171,32 @@ func (w *World) Endpoint(r int) *Endpoint {
 
 // OOB returns the out-of-band control plane.
 func (w *World) OOB() *OOB { return w.oob }
+
+// Kill marks ranks dead (fail-stop): their inbound mailboxes close,
+// dropping queued envelopes, and subsequent Sends addressed to them
+// vanish on the wire, exactly as messages to a powered-off node do.
+// Kill does not release peers blocked waiting on the dead ranks' traffic
+// — that is the failure-detection layer's job (internal/core records the
+// RankFailure and closes the world).
+func (w *World) Kill(ranks ...int) {
+	for _, r := range ranks {
+		if r < 0 || r >= len(w.eps) {
+			continue
+		}
+		if !w.dead[r].Swap(true) {
+			w.eps[r].in.close()
+			w.eps[r].in.purge()
+		}
+	}
+}
+
+// Alive reports whether rank r has not been killed.
+func (w *World) Alive(r int) bool {
+	if r < 0 || r >= len(w.dead) {
+		return false
+	}
+	return !w.dead[r].Load()
+}
 
 // Close shuts every mailbox down, releasing blocked receivers.
 func (w *World) Close() {
@@ -201,6 +238,10 @@ func (ep *Endpoint) Send(e *Envelope) {
 	e.Src = ep.rank
 	ep.clock.Advance(ep.world.cfg.SendOverhead)
 	e.Sent = ep.clock.Now()
+	if ep.world.dead[e.Dst].Load() {
+		// The sender pays its per-message overhead; the envelope is lost.
+		return
+	}
 	if e.Payload != nil {
 		p := make([]byte, len(e.Payload))
 		copy(p, e.Payload)

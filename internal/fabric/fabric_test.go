@@ -230,6 +230,46 @@ func TestInterNodeArrivalLaterThanIntra(t *testing.T) {
 	}
 }
 
+// Kill models fail-stop endpoint death: the victim's queued mail drops,
+// later sends to it vanish on the wire (the sender still pays its
+// overhead), Alive flips, and the rest of the world keeps working.
+func TestKillIsFailStop(t *testing.T) {
+	w, err := NewWorld(simnet.SingleNode(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.Endpoint(0).Send(&Envelope{Dst: 1, Payload: []byte("x")})
+	w.Kill(1)
+	if w.Alive(1) || !w.Alive(0) || !w.Alive(2) {
+		t.Fatalf("liveness after Kill(1): %v %v %v", w.Alive(0), w.Alive(1), w.Alive(2))
+	}
+	if w.Alive(-1) || w.Alive(99) {
+		t.Fatal("out-of-range ranks reported alive")
+	}
+	// The dead endpoint's mailbox is closed and drained.
+	if e := w.Endpoint(1).Recv(); e != nil {
+		t.Fatalf("dead endpoint received %+v", e)
+	}
+	// A send to the dead rank is dropped, but the sender's clock still
+	// advances by the send overhead.
+	before := w.Endpoint(0).Clock().Now()
+	w.Endpoint(0).Send(&Envelope{Dst: 1, Payload: []byte("y")})
+	if w.Endpoint(0).Clock().Now() <= before {
+		t.Fatal("sender paid no overhead for a send to a dead rank")
+	}
+	if w.Endpoint(1).Pending() != 0 {
+		t.Fatal("send to a dead rank was queued")
+	}
+	// Survivors still communicate.
+	w.Endpoint(0).Send(&Envelope{Dst: 2, Payload: []byte("z")})
+	if e := w.Endpoint(2).Recv(); e == nil || string(e.Payload) != "z" {
+		t.Fatalf("survivor traffic broken: %+v", e)
+	}
+	// Kill is idempotent.
+	w.Kill(1, 1)
+}
+
 func BenchmarkSendRecv(b *testing.B) {
 	w, err := NewWorld(simnet.SingleNode(2))
 	if err != nil {

@@ -148,10 +148,16 @@ func (o *OOB) Exchange(rank int, data []byte) [][]byte {
 	for o.published[gen] == nil && !o.done {
 		o.cond.Wait()
 	}
-	if o.done {
+	// A published generation outranks closure: if the last depositor
+	// completed the exchange and only then closed the world (a fault
+	// firing right after a checkpoint barrier does exactly this), the
+	// late wakers' data exists and they must receive it — returning nil
+	// here would tear a barrier that did, in fact, complete, stranding a
+	// finished checkpoint with half its images unwritten.
+	pg := o.published[gen]
+	if pg == nil {
 		return nil
 	}
-	pg := o.published[gen]
 	out := cloneSlots(pg.data)
 	pg.readers--
 	if pg.readers == 0 {

@@ -100,6 +100,35 @@ func TestFSGSBaseAblation(t *testing.T) {
 	}
 }
 
+func TestRecoveryOverheadTable(t *testing.T) {
+	fig, err := RecoveryOverhead(tiny(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "recovery" || len(fig.Series) != 2 {
+		t.Fatalf("fig %s with %d series", fig.ID, len(fig.Series))
+	}
+	recovered, lost := fig.Series[0], fig.Series[1]
+	if len(recovered.Y) != 3 || len(lost.Y) != 3 {
+		t.Fatalf("series lengths %d/%d, want 3 intervals", len(recovered.Y), len(lost.Y))
+	}
+	for i, y := range recovered.Y {
+		if y <= 0 {
+			t.Fatalf("interval %g: non-positive recovered completion %v", recovered.X[i], y)
+		}
+	}
+	// Lost work can only grow (weakly) with the checkpoint interval:
+	// fewer images, wider recomputation window.
+	for i := 1; i < len(lost.Y); i++ {
+		if lost.Y[i] < lost.Y[i-1] {
+			t.Fatalf("lost work shrank with a longer interval: %v", lost.Y)
+		}
+	}
+	if len(fig.Notes) < 4 {
+		t.Fatalf("notes missing: %v", fig.Notes)
+	}
+}
+
 func TestByName(t *testing.T) {
 	if _, err := ByName("17", tiny(), t.TempDir()); err == nil {
 		t.Fatal("unknown figure accepted")

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dmtcp"
+	"repro/internal/faults"
 	"repro/internal/mana"
 	"repro/internal/osu"
 	"repro/internal/stats"
@@ -48,6 +49,13 @@ type Options struct {
 	// BaseSeed perturbs every derived jitter seed; runs with equal
 	// BaseSeed and scale are reproducible.
 	BaseSeed int64 `json:"base_seed"`
+	// CkptEvery is the periodic checkpoint interval, in program steps,
+	// for fault-injection cells (0 = 1: an image behind every safe
+	// point, so a seeded fault always has a complete image to recover
+	// from). Spec.CkptEvery overrides it per cell.
+	CkptEvery uint64 `json:"ckpt_every"`
+	// MaxRestarts bounds each fault cell's recovery retry budget.
+	MaxRestarts int `json:"max_restarts"`
 	// Scratch is the root directory for checkpoint images. Empty means a
 	// throwaway temp directory. Excluded from reports: it varies per run.
 	Scratch string `json:"-"`
@@ -92,6 +100,12 @@ func (o Options) withDefaults() Options {
 		if o.Parallel > 8 {
 			o.Parallel = 8
 		}
+	}
+	if o.CkptEvery == 0 {
+		o.CkptEvery = 1
+	}
+	if o.MaxRestarts <= 0 {
+		o.MaxRestarts = 3
 	}
 	return o
 }
@@ -200,6 +214,17 @@ func runOne(s Spec, o Options) (res Result) {
 	for rep := 0; rep < o.Reps; rep++ {
 		seed := seedFor(o.BaseSeed, s.Program, rep)
 		res.Seeds = append(res.Seeds, seed)
+		if s.Fault != "" {
+			m, fr, err := runFaultRep(s, o, rep, seed)
+			if err != nil {
+				res.Status = StatusFail
+				res.Error = fmt.Sprintf("rep %d: %v", rep, err)
+				return res
+			}
+			launch.add(m)
+			res.Faults = append(res.Faults, fr)
+			continue
+		}
 		lm, rm, lin, err := runRep(s, o, rep, seed)
 		if err != nil {
 			res.Status = StatusFail
@@ -214,11 +239,103 @@ func runOne(s Spec, o Options) (res Result) {
 	}
 	res.Time = launch.timeSummary()
 	res.Curve = launch.curve()
-	if s.HasRestart() {
+	if s.HasRestart() && s.Fault == "" {
 		res.RestartTime = restart.timeSummary()
 		res.RestartCurve = restart.curve()
 	}
 	return res
+}
+
+// runFaultRep runs one fault-injection repetition. Crash kinds go
+// through the automated recovery driver (periodic checkpoints, typed
+// detection, restart from the latest complete image under the restart
+// stack when the scenario names one); nic-degrade completes under the
+// degraded fabric with no recovery. The returned measurement is the
+// final completed job's — for crash cells, the recovered completion.
+func runFaultRep(s Spec, o Options, rep int, seed int64) (measurement, FaultRecord, error) {
+	var m measurement
+	fr := FaultRecord{Rep: rep, Kind: string(s.Fault), Node: -1}
+	stack := s.LaunchStack()
+	stack.Net.Nodes = o.Nodes
+	stack.Net.RanksPerNode = o.RanksPerNode
+	stack.Net.Seed = seed
+	inj, err := faults.NewInjector(faults.Plan{Faults: []faults.Spec{{
+		Kind: s.Fault, Rank: faults.Anywhere, Node: faults.Anywhere, Step: s.FaultStep,
+	}}}, seed, stack.Net)
+	if err != nil {
+		return m, fr, err
+	}
+
+	if s.Fault == faults.KindNICDegrade {
+		f := inj.Faults()[0]
+		fr.Node = f.Node
+		job, err := core.Launch(stack, s.Program,
+			core.WithConfigure(o.configure(seed)), core.WithFaults(inj))
+		if err != nil {
+			return m, fr, err
+		}
+		if err := waitTimeout(job, o.Timeout); err != nil {
+			return m, fr, err
+		}
+		return measureJob(job, stack.Net.Size()), fr, nil
+	}
+
+	if o.Scratch == "" {
+		return m, fr, fmt.Errorf("no scratch directory for checkpoint images (temp dir creation failed)")
+	}
+	imgDir := filepath.Join(idPath(s.ID()), fmt.Sprintf("rep%02d", rep))
+	every := s.CkptEvery
+	if every == 0 {
+		every = o.CkptEvery
+	}
+	pol := core.RecoveryPolicy{
+		ImageRoot:   filepath.Join(o.Scratch, imgDir),
+		Interval:    every,
+		MaxRestarts: o.MaxRestarts,
+		LegTimeout:  o.Timeout,
+	}
+	if s.HasRestart() {
+		r := s.RestartStack()
+		r.Net = stack.Net
+		pol.RestartStack = &r
+		fr.RestartStack = r.Label()
+	}
+	rr, err := core.RunWithRecovery(stack, s.Program, inj, pol, core.WithConfigure(o.configure(seed)))
+	if rr != nil {
+		fr.Restarts = rr.Restarts
+		if len(rr.Events) > 0 {
+			ev := rr.Events[0]
+			fr.Ranks = ev.Failure.Ranks
+			fr.Node = ev.Failure.Node
+			fr.Step = ev.Failure.Step
+			fr.DetectVirtMS = float64(ev.Detected) / 1e6
+			fr.ImageStep = ev.ImageStep
+			fr.LostVirtMS = float64(ev.LostVirt.Nanoseconds()) / 1e6
+			if ev.ImageDir != "" {
+				// Keep the report path relative to the scratch root, like
+				// Lineage.Dir, so reports diff across machines.
+				if rel, rerr := filepath.Rel(o.Scratch, ev.ImageDir); rerr == nil {
+					fr.ImageDir = rel
+				} else {
+					fr.ImageDir = ev.ImageDir
+				}
+			}
+		}
+	}
+	if err != nil {
+		return m, fr, err
+	}
+	m = measureJob(rr.Job, stack.Net.Size())
+	// Fold the recomputation windows back in: Restart rewinds every
+	// rank's virtual clock to the image's, so the final completion time
+	// alone would read as if the crash never happened. The cell's time is
+	// the virtual time-to-solution — completion plus the work each
+	// failure threw away — which is what the recovery-overhead table
+	// sweeps against the checkpoint interval.
+	for _, ev := range rr.Events {
+		m.timeSecs += ev.LostVirt.Seconds()
+	}
+	return m, fr, nil
 }
 
 // runRep runs one repetition: launch (with the checkpoint/restart dance
@@ -284,26 +401,12 @@ func runRep(s Spec, o Options, rep int, seed int64) (launch, restarted measureme
 	return launch, restarted, lin, nil
 }
 
-// waitTimeout joins the job, cancelling it (and reaping its goroutines)
-// if it exceeds d.
+// waitTimeout bounds one job with the shared cancel-on-timeout helper;
+// the stable core.ErrCancelled-wrapping error it returns on timeout is
+// what keeps timed-out cells' text deterministic (the
+// report-diffability guarantee).
 func waitTimeout(job *core.Job, d time.Duration) error {
-	if d <= 0 {
-		return job.Wait()
-	}
-	done := make(chan error, 1)
-	go func() { done <- job.Wait() }()
-	select {
-	case err := <-done:
-		return err
-	case <-time.After(d):
-		job.Cancel()
-		if err := <-done; err == nil {
-			// The job completed right at the bound, before the cancel
-			// landed: that is a finished run, not a timeout.
-			return nil
-		}
-		return fmt.Errorf("scenario: timed out after %v", d)
-	}
+	return core.WaitTimeout(job, d)
 }
 
 // measurement is one repetition's extracted observables.

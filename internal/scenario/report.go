@@ -15,7 +15,10 @@ import (
 // SchemaVersion is bumped whenever the JSON shape of Report changes, so
 // matrix results stay diffable (and comparable tooling can refuse
 // mismatched versions) across revisions of this repository.
-const SchemaVersion = 1
+//
+// v2 added the fault axis: Spec.Fault/FaultStep/CkptEvery,
+// Result.Faults, and Options.CkptEvery/MaxRestarts.
+const SchemaVersion = 2
 
 // Status is a scenario outcome.
 type Status string
@@ -48,6 +51,34 @@ type Lineage struct {
 	RestartStack string `json:"restart_stack"`
 }
 
+// FaultRecord is one repetition's injected fault and its recovery, in
+// the terms the report can keep deterministic: resolved targets, trigger
+// step, and virtual times (wall clocks would differ between two runs of
+// the same seed, and the report must diff cleanly).
+type FaultRecord struct {
+	Rep  int    `json:"rep"`
+	Kind string `json:"kind"`
+	// Ranks are the ranks the fault killed; Node is the dead node for
+	// node-scoped faults (-1 otherwise); Step is the trigger step.
+	Ranks []int  `json:"ranks,omitempty"`
+	Node  int    `json:"node"`
+	Step  uint64 `json:"step,omitempty"`
+	// DetectVirtMS is the virtual time at which the failure was detected.
+	DetectVirtMS float64 `json:"detect_virt_ms,omitempty"`
+	// ImageDir (relative to the run's scratch root) and ImageStep name
+	// the complete image recovery resumed from; empty/zero means the
+	// failure beat the first checkpoint and the job relaunched from
+	// scratch. LostVirtMS is the recomputation window (detection minus
+	// image time): the recovery cost the checkpoint interval buys down.
+	ImageDir   string  `json:"image_dir,omitempty"`
+	ImageStep  uint64  `json:"image_step,omitempty"`
+	LostVirtMS float64 `json:"lost_virt_ms,omitempty"`
+	// Restarts is the number of recovery legs used (retry budget spent).
+	Restarts int `json:"restarts"`
+	// RestartStack labels the stack the recovery legs ran under.
+	RestartStack string `json:"restart_stack,omitempty"`
+}
+
 // Result is one scenario's aggregated outcome.
 type Result struct {
 	ID     string `json:"id"`
@@ -67,6 +98,12 @@ type Result struct {
 	RestartTime  *stats.Summary `json:"restart_time_secs,omitempty"`
 	RestartCurve *Curve         `json:"restart_curve,omitempty"`
 	Lineage      []Lineage      `json:"lineage,omitempty"`
+	// Faults records each repetition's injected fault and recovery, for
+	// fault-axis scenarios. Time then measures the virtual
+	// time-to-solution: recovered completion plus the recomputation
+	// windows the failures threw away (restart rewinds the virtual
+	// clocks to the image, so completion alone would hide the crash).
+	Faults []FaultRecord `json:"faults,omitempty"`
 	// WallMS is the wall-clock cost of the scenario (all repetitions).
 	WallMS int64 `json:"wall_ms"`
 }
@@ -187,8 +224,18 @@ func (r *Report) Render() string {
 			line += "  " + res.Error
 		case res.Time != nil:
 			line += fmt.Sprintf("  t=%.3fs", res.Time.Median)
-			if res.RestartTime != nil {
+			if res.RestartTime != nil && len(res.Lineage) > 0 {
 				line += fmt.Sprintf("  restart t=%.3fs (ckpt step %d)", res.RestartTime.Median, res.Lineage[0].Step)
+			}
+			if len(res.Faults) > 0 {
+				f := res.Faults[0]
+				line += fmt.Sprintf("  fault=%s", f.Kind)
+				if f.Step > 0 {
+					line += fmt.Sprintf("@%d", f.Step)
+				}
+				if f.Restarts > 0 {
+					line += fmt.Sprintf(" recovered(%d)", f.Restarts)
+				}
 			}
 		}
 		b.WriteString(line + "\n")

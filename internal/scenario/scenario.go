@@ -6,13 +6,17 @@
 //
 // A Spec names one cell of that matrix: a registered program, the three
 // legs of the stool (implementation, ABI binding, checkpointer), an
-// optional kernel model for the MANA FSGSBASE ablation, and an optional
+// optional kernel model for the MANA FSGSBASE ablation, an optional
 // restart pairing (checkpoint under one implementation, restart under
-// another — the Section 5.3 / Figure 6 protocol). MatrixSpec enumerates
-// every valid Spec in a deterministic order, excluding the combinations
-// the paper's model forbids: restarting without a checkpointer,
-// cross-implementation restart of a native-ABI or plain-DMTCP image, and
-// restarting a standard-ABI image without a translation layer.
+// another — the Section 5.3 / Figure 6 protocol), and an optional
+// injected fault (internal/faults) that turns the cell into the paper's
+// title claim under actual failure: crash, detect, restart from the
+// latest periodic image, complete — under the other implementation where
+// the pairing allows it. MatrixSpec enumerates every valid Spec in a
+// deterministic order, excluding the combinations the paper's model
+// forbids: restarting without a checkpointer, cross-implementation
+// restart of a native-ABI or plain-DMTCP image, and restarting a
+// standard-ABI image without a translation layer.
 //
 // Run executes a list of Specs concurrently over a bounded worker pool
 // with deterministic per-scenario seeds, per-scenario timeouts and
@@ -30,6 +34,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 // KernelModern selects the post-5.9 (userspace FSGSBASE) kernel model for
@@ -57,14 +62,30 @@ type Spec struct {
 	// continues to completion for comparison.
 	RestartImpl core.Impl    `json:"restart_impl,omitempty"`
 	RestartABI  core.ABIMode `json:"restart_abi,omitempty"`
+	// Fault, when set, turns the cell into a fault-injection scenario.
+	// Crash kinds run the automated recovery protocol instead of the
+	// compare protocol: the job checkpoints periodically, the fault fires
+	// at a seeded step, and the recovery driver restarts from the latest
+	// complete image — under the restart stack when the scenario has a
+	// restart leg (cross-implementation where the legs allow it).
+	// faults.KindNICDegrade degrades the fabric instead; the run
+	// completes under it without recovery.
+	Fault faults.Kind `json:"fault,omitempty"`
+	// FaultStep pins the fault's trigger step (0 = drawn from the
+	// repetition seed; see faults.Spec).
+	FaultStep uint64 `json:"fault_step,omitempty"`
+	// CkptEvery overrides Options.CkptEvery for this cell's periodic
+	// checkpoint interval (0 = the run-wide default). The
+	// recovery-overhead table sweeps it.
+	CkptEvery uint64 `json:"ckpt_every,omitempty"`
 }
 
 // HasRestart reports whether the scenario includes a restart leg.
 func (s Spec) HasRestart() bool { return s.RestartImpl != "" }
 
 // ID is the scenario's stable identifier:
-// program/impl+abi+ckpt[@kernel][>restartimpl+restartabi]. Reports are
-// sorted and queried by it.
+// program/impl+abi+ckpt[@kernel][>restartimpl+restartabi][!fault[#step][%every]].
+// Reports are sorted and queried by it.
 func (s Spec) ID() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s/%s+%s+%s", s.Program, s.Impl, s.ABI, s.Ckpt)
@@ -73,6 +94,15 @@ func (s Spec) ID() string {
 	}
 	if s.HasRestart() {
 		fmt.Fprintf(&b, ">%s+%s", s.RestartImpl, s.RestartABI)
+	}
+	if s.Fault != "" {
+		fmt.Fprintf(&b, "!%s", s.Fault)
+		if s.FaultStep > 0 {
+			fmt.Fprintf(&b, "#%d", s.FaultStep)
+		}
+		if s.CkptEvery > 0 {
+			fmt.Fprintf(&b, "%%%d", s.CkptEvery)
+		}
 	}
 	return b.String()
 }
@@ -118,6 +148,28 @@ func (s Spec) Validate() error {
 	if s.Kernel != "" && s.Kernel != KernelModern {
 		return fmt.Errorf("scenario %s: unknown kernel model %q", s.ID(), s.Kernel)
 	}
+	switch s.Fault {
+	case "":
+		if s.FaultStep != 0 || s.CkptEvery != 0 {
+			return fmt.Errorf("scenario %s: fault parameters without a fault kind", s.ID())
+		}
+	case faults.KindRankCrash, faults.KindNodeCrash:
+		// Crash recovery restarts from periodic images, so the cell needs
+		// a checkpointing package; the restart pairing (when present) is
+		// validated by the shared rules below.
+		if s.Ckpt == core.CkptNone {
+			return fmt.Errorf("scenario %s: crash recovery requires a checkpointing package", s.ID())
+		}
+	case faults.KindNICDegrade:
+		// Degradation slows the run but kills nobody; any stack survives
+		// — and nothing triggers a restart, so a restart pairing on a
+		// degraded cell would be advertised in the ID yet never executed.
+		if s.HasRestart() {
+			return fmt.Errorf("scenario %s: nic-degrade runs to completion without a restart leg; drop the restart pairing", s.ID())
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown fault kind %q", s.ID(), s.Fault)
+	}
 	if !s.HasRestart() {
 		if s.RestartABI != "" {
 			return fmt.Errorf("scenario %s: restart ABI without a restart implementation", s.ID())
@@ -160,11 +212,20 @@ type MatrixSpec struct {
 	// valid restart implementation (same-implementation restarts and, for
 	// standard-ABI MANA stacks, cross-implementation restarts).
 	CrossRestart bool
+	// Faults is the fault axis. KindRankCrash adds a crash-recovery
+	// scenario to every restart pairing; KindNodeCrash adds one to every
+	// cross-implementation pairing (the paper's headline failure: lose a
+	// node under one implementation, finish under the other);
+	// KindNICDegrade adds a degraded-completion scenario to every
+	// checkpointer-free straight cell.
+	Faults []faults.Kind
 }
 
 // DefaultMatrix is the paper's full claim surface: both Figure 5
 // applications over every implementation, every binding mode, every
-// checkpointing package, and every valid restart pairing.
+// checkpointing package, every valid restart pairing, and the fault
+// axis — crash recovery over every pairing, node loss over every
+// cross-implementation pairing, link degradation over every plain cell.
 func DefaultMatrix() MatrixSpec {
 	return MatrixSpec{
 		Programs:     []string{"app.comd", "app.wave"},
@@ -172,7 +233,18 @@ func DefaultMatrix() MatrixSpec {
 		ABIs:         []core.ABIMode{core.ABINative, core.ABIMukautuva, core.ABIWi4MPI},
 		Ckpts:        []core.CkptMode{core.CkptNone, core.CkptDMTCP, core.CkptMANA},
 		CrossRestart: true,
+		Faults:       []faults.Kind{faults.KindRankCrash, faults.KindNodeCrash, faults.KindNICDegrade},
 	}
+}
+
+// hasFault reports whether the matrix includes the fault kind.
+func (m MatrixSpec) hasFault(k faults.Kind) bool {
+	for _, f := range m.Faults {
+		if f == k {
+			return true
+		}
+	}
+	return false
 }
 
 // Enumerate expands the matrix into the valid scenarios, in a
@@ -189,6 +261,11 @@ func (m MatrixSpec) Enumerate() []Spec {
 						continue
 					}
 					out = append(out, base)
+					if ckpt == core.CkptNone && m.hasFault(faults.KindNICDegrade) {
+						s := base
+						s.Fault = faults.KindNICDegrade
+						out = append(out, s)
+					}
 					if !m.CrossRestart || ckpt == core.CkptNone {
 						continue
 					}
@@ -196,8 +273,19 @@ func (m MatrixSpec) Enumerate() []Spec {
 						s := base
 						s.RestartImpl = rimpl
 						s.RestartABI = abiMode
-						if s.Validate() == nil {
-							out = append(out, s)
+						if s.Validate() != nil {
+							continue
+						}
+						out = append(out, s)
+						if m.hasFault(faults.KindRankCrash) {
+							f := s
+							f.Fault = faults.KindRankCrash
+							out = append(out, f)
+						}
+						if m.hasFault(faults.KindNodeCrash) && s.RestartImpl != s.Impl {
+							f := s
+							f.Fault = faults.KindNodeCrash
+							out = append(out, f)
 						}
 					}
 				}
@@ -226,6 +314,6 @@ func seedFor(base int64, program string, rep int) int64 {
 // idPath renders a scenario ID as a filesystem-safe path component for
 // checkpoint image directories.
 func idPath(id string) string {
-	r := strings.NewReplacer("/", "_", ">", "_to_", "+", "-", "@", "-")
+	r := strings.NewReplacer("/", "_", ">", "_to_", "+", "-", "@", "-", "!", "_", "#", "-", "%", "-")
 	return r.Replace(id)
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/abi"
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 func TestEnumerateExcludesInvalidStacks(t *testing.T) {
@@ -31,7 +32,19 @@ func TestEnumerateExcludesInvalidStacks(t *testing.T) {
 	// The matrix must cover every base cell: 2 apps x 2 impls x 3 ABIs x
 	// 3 checkpointers = 36 straight runs.
 	var straight, cross, same int
+	var rankCrash, nodeCrash, nicDegrade int
 	for _, s := range specs {
+		switch s.Fault {
+		case faults.KindRankCrash:
+			rankCrash++
+			continue
+		case faults.KindNodeCrash:
+			nodeCrash++
+			continue
+		case faults.KindNICDegrade:
+			nicDegrade++
+			continue
+		}
 		switch {
 		case !s.HasRestart():
 			straight++
@@ -52,10 +65,76 @@ func TestEnumerateExcludesInvalidStacks(t *testing.T) {
 	if same == 0 {
 		t.Error("no same-implementation restart scenarios")
 	}
+	// The fault axis: a rank-crash recovery per restart pairing (8 cross
+	// + 24 same = 32), a node-crash per cross pairing (8), a nic-degrade
+	// per checkpointer-free straight cell (12) — 120 scenarios total.
+	if rankCrash != 32 {
+		t.Errorf("rank-crash scenarios = %d, want 32", rankCrash)
+	}
+	if nodeCrash != 8 {
+		t.Errorf("node-crash scenarios = %d, want 8", nodeCrash)
+	}
+	if nicDegrade != 12 {
+		t.Errorf("nic-degrade scenarios = %d, want 12", nicDegrade)
+	}
+	if len(specs) < 100 {
+		t.Errorf("matrix has %d scenarios, the fault axis should push it past 100", len(specs))
+	}
 	for _, s := range specs {
 		if s.HasRestart() && s.RestartImpl != s.Impl && s.Ckpt != core.CkptMANA {
 			t.Errorf("cross-restart scenario %s with checkpointer %s", s.ID(), s.Ckpt)
 		}
+		if s.Fault == faults.KindNodeCrash && s.RestartImpl == s.Impl {
+			t.Errorf("node-crash scenario %s is not a cross-implementation pairing", s.ID())
+		}
+	}
+}
+
+func TestFaultSpecValidation(t *testing.T) {
+	bad := []Spec{
+		// Crash recovery without a checkpointing package.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindRankCrash},
+		// Unknown fault kind.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptMANA,
+			Fault: "gamma-ray"},
+		// Fault parameters without a fault.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			FaultStep: 3},
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			CkptEvery: 2},
+		// A restart pairing on a nic-degrade cell would never execute.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			RestartImpl: core.ImplMPICH, RestartABI: core.ABIMukautuva, Fault: faults.KindNICDegrade},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid fault scenario %s accepted", s.ID())
+		}
+	}
+	good := []Spec{
+		// nic-degrade needs no checkpointer: nothing dies.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindNICDegrade},
+		// Crash recovery under the same stack (no restart leg).
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			Fault: faults.KindRankCrash, FaultStep: 3, CkptEvery: 2},
+		// The headline: node crash, recover under the other implementation.
+		{Program: "app.wave", Impl: core.ImplOpenMPI, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			RestartImpl: core.ImplMPICH, RestartABI: core.ABIMukautuva, Fault: faults.KindNodeCrash},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("valid fault scenario %s rejected: %v", s.ID(), err)
+		}
+	}
+	// Fault parameters are part of the identity (distinct image dirs,
+	// distinct report rows).
+	a := good[1]
+	b := a
+	b.CkptEvery = 4
+	if a.ID() == b.ID() {
+		t.Errorf("distinct checkpoint intervals share ID %s", a.ID())
 	}
 }
 
@@ -239,6 +318,129 @@ func TestRunRealScenariosEndToEnd(t *testing.T) {
 		if m <= 0 {
 			t.Errorf("size %d: non-positive latency", osuRes.Curve.Sizes[i])
 		}
+	}
+}
+
+// faultOptions is tinyOptions over two nodes, so node faults have a
+// surviving node and crash scenarios cross a node boundary.
+func faultOptions(t *testing.T) Options {
+	o := tinyOptions(t)
+	o.Nodes = 2
+	o.RanksPerNode = 2
+	return o
+}
+
+func TestFaultScenariosEndToEnd(t *testing.T) {
+	specs := []Spec{
+		// The paper's headline under failure: launch Open MPI, crash a
+		// node, recover and complete under MPICH.
+		{Program: "app.wave", Impl: core.ImplOpenMPI, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			RestartImpl: core.ImplMPICH, RestartABI: core.ABIMukautuva, Fault: faults.KindNodeCrash},
+		// Same-stack rank-crash recovery.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			Fault: faults.KindRankCrash},
+		// Degraded completion, no recovery.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindNICDegrade},
+	}
+	rep := Run(specs, faultOptions(t))
+	if rep.Failed != 0 {
+		t.Fatalf("failures:\n%s", rep.Render())
+	}
+	for _, s := range specs[:2] {
+		res := rep.Find(s.ID())
+		if res == nil {
+			t.Fatalf("scenario %s missing", s.ID())
+		}
+		if len(res.Faults) != 2 {
+			t.Fatalf("%s: fault records for %d reps, want 2", s.ID(), len(res.Faults))
+		}
+		for _, fr := range res.Faults {
+			if fr.Restarts == 0 {
+				t.Errorf("%s rep %d: fault did not trigger recovery", s.ID(), fr.Rep)
+			}
+			if fr.Step == 0 || len(fr.Ranks) == 0 {
+				t.Errorf("%s rep %d: fault record incomplete: %+v", s.ID(), fr.Rep, fr)
+			}
+			if fr.DetectVirtMS <= 0 {
+				t.Errorf("%s rep %d: no detection time", s.ID(), fr.Rep)
+			}
+			if fr.ImageDir == "" || fr.ImageStep == 0 {
+				t.Errorf("%s rep %d: no image lineage (interval 1 guarantees one): %+v", s.ID(), fr.Rep, fr)
+			}
+			if filepath.IsAbs(fr.ImageDir) {
+				t.Errorf("%s rep %d: image dir %q not relative to scratch", s.ID(), fr.Rep, fr.ImageDir)
+			}
+		}
+		if res.Time == nil || res.Time.Median <= 0 {
+			t.Errorf("%s: no recovered completion time", s.ID())
+		}
+	}
+	headline := rep.Find(specs[0].ID())
+	if headline.Faults[0].Node < 0 {
+		t.Errorf("node crash recorded no node: %+v", headline.Faults[0])
+	}
+	if headline.Faults[0].RestartStack == "" {
+		t.Errorf("cross recovery recorded no restart stack")
+	}
+	if nic := rep.Find(specs[2].ID()); len(nic.Faults) != 2 || nic.Faults[0].Restarts != 0 {
+		t.Errorf("nic-degrade records = %+v", nic.Faults)
+	}
+}
+
+// Same seed, same fault: two runs of a fault scenario must resolve the
+// same victims at the same step — the report-diffability guarantee
+// extended to the fault axis.
+func TestFaultResolutionDeterministic(t *testing.T) {
+	spec := Spec{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+		Fault: faults.KindRankCrash}
+	a := Run([]Spec{spec}, faultOptions(t))
+	b := Run([]Spec{spec}, faultOptions(t))
+	ra, rb := a.Find(spec.ID()), b.Find(spec.ID())
+	if ra.Status != StatusPass || rb.Status != StatusPass {
+		t.Fatalf("runs failed:\n%s\n%s", a.Render(), b.Render())
+	}
+	for i := range ra.Faults {
+		fa, fb := ra.Faults[i], rb.Faults[i]
+		if !reflect.DeepEqual(fa.Ranks, fb.Ranks) || fa.Step != fb.Step || fa.ImageStep != fb.ImageStep {
+			t.Fatalf("rep %d resolved differently:\n%+v\n%+v", i, fa, fb)
+		}
+	}
+}
+
+// A faulted cell fails or recovers alone: a node crash in one scenario
+// must not sink the healthy sibling running concurrently.
+func TestNodeCrashIsolation(t *testing.T) {
+	o := faultOptions(t)
+	o.Parallel = 2
+	specs := []Spec{
+		{Program: "app.wave", Impl: core.ImplOpenMPI, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			RestartImpl: core.ImplMPICH, RestartABI: core.ABIMukautuva, Fault: faults.KindNodeCrash},
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone},
+	}
+	rep := Run(specs, o)
+	if rep.Failed != 0 {
+		t.Fatalf("isolation broken:\n%s", rep.Render())
+	}
+	healthy := rep.Find(specs[1].ID())
+	if len(healthy.Faults) != 0 {
+		t.Fatalf("healthy cell caught fault records: %+v", healthy.Faults)
+	}
+
+	// And when recovery is impossible — a crash pairing the stool cannot
+	// support — the faulted cell fails alone, without sinking the healthy
+	// sibling.
+	badSpecs := []Spec{
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptDMTCP,
+			RestartImpl: core.ImplOpenMPI, RestartABI: core.ABIMukautuva, Fault: faults.KindRankCrash},
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone},
+	}
+	rep = Run(badSpecs, o)
+	if rep.Failed != 1 || rep.Passed != 1 {
+		t.Fatalf("invalid pairing not isolated:\n%s", rep.Render())
+	}
+	if f := rep.FirstFailure(); f.Spec.Fault != faults.KindRankCrash {
+		t.Fatalf("wrong cell failed: %+v", f)
 	}
 }
 

@@ -54,12 +54,22 @@ func (l *linkClock) reset() {
 	l.mu.Unlock()
 }
 
+// nodeDegrade is an injected NIC degradation: from virtual time at
+// onward, the node's NIC serializes at factor times its configured cost.
+type nodeDegrade struct {
+	at     Time
+	factor float64
+}
+
 // Network computes virtual arrival times for messages on the simulated
 // cluster. It is safe for concurrent use by all rank goroutines.
 type Network struct {
 	cfg     Config
 	egress  []linkClock // one per node
 	ingress []linkClock // one per node
+
+	dmu  sync.RWMutex
+	degr map[int]nodeDegrade
 
 	jmu sync.Mutex
 	rng *rand.Rand
@@ -82,6 +92,37 @@ func NewNetwork(cfg Config) (*Network, error) {
 // Config returns the configuration the network was built with.
 func (n *Network) Config() Config { return n.cfg }
 
+// DegradeNodeAfter injects a NIC degradation (internal/faults'
+// nic-degrade): transfers crossing the node's NIC at/after virtual time
+// at serialize at 1/factor of the configured rate. The trigger is pure
+// virtual time, so degraded runs stay as deterministic as healthy ones.
+// A second call for the same node replaces the first. Factors below 1
+// and out-of-range nodes are ignored (a degradation can slow a NIC, not
+// speed it up).
+func (n *Network) DegradeNodeAfter(node int, factor float64, at Time) {
+	if node < 0 || node >= n.cfg.Nodes || factor < 1 {
+		return
+	}
+	n.dmu.Lock()
+	defer n.dmu.Unlock()
+	if n.degr == nil {
+		n.degr = make(map[int]nodeDegrade)
+	}
+	n.degr[node] = nodeDegrade{at: at, factor: factor}
+}
+
+// nicBandwidth is the node's effective NIC rate for a transfer touching
+// it at virtual time at.
+func (n *Network) nicBandwidth(node int, at Time) float64 {
+	n.dmu.RLock()
+	d, ok := n.degr[node]
+	n.dmu.RUnlock()
+	if ok && at >= d.at {
+		return n.cfg.NICBandwidth / d.factor
+	}
+	return n.cfg.NICBandwidth
+}
+
 // Transfer returns the virtual time at which a message of nbytes sent from
 // src to dst at the given departure time is fully available at the receiver.
 //
@@ -102,12 +143,14 @@ func (n *Network) Transfer(src, dst int, nbytes int, depart Time) Time {
 	if srcNode == dstNode {
 		return depart.Add(n.cfg.IntraLatency + bytesTime(nbytes, n.cfg.IntraBandwidth))
 	}
-	tx := bytesTime(nbytes, n.cfg.NICBandwidth)
-	eDelay := n.egress[srcNode].reserve(depart, nbytes, n.cfg.NICBandwidth)
+	ebw := n.nicBandwidth(srcNode, depart)
+	tx := bytesTime(nbytes, ebw)
+	eDelay := n.egress[srcNode].reserve(depart, nbytes, ebw)
 	wire := n.cfg.InterLatency + n.jitter(n.cfg.InterLatency)
 	afterWire := depart.Add(eDelay + tx + wire)
-	iDelay := n.ingress[dstNode].reserve(afterWire, nbytes, n.cfg.NICBandwidth)
-	return afterWire.Add(iDelay + bytesExtra(nbytes, n.cfg.NICBandwidth, n.cfg.InterBandwidth))
+	ibw := n.nicBandwidth(dstNode, afterWire)
+	iDelay := n.ingress[dstNode].reserve(afterWire, nbytes, ibw)
+	return afterWire.Add(iDelay + bytesExtra(nbytes, ibw, n.cfg.InterBandwidth))
 }
 
 // Reset clears NIC reservation state so a fresh repetition starts from an

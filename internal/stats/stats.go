@@ -110,12 +110,24 @@ func Percentile(xs []float64, p float64) float64 {
 }
 
 // OverheadPct returns the relative overhead of measured vs baseline in
-// percent: 100*(measured-baseline)/baseline.
+// percent: 100*(measured-baseline)/baseline. A zero (missing) baseline
+// yields NaN: "overhead relative to nothing" is undefined, and returning
+// 0 would be indistinguishable from a measured perfect score. Render
+// with FormatPct, which spells the NaN as "n/a".
 func OverheadPct(baseline, measured float64) float64 {
 	if baseline == 0 {
-		return 0
+		return math.NaN()
 	}
 	return 100 * (measured - baseline) / baseline
+}
+
+// FormatPct renders an overhead percentage for tables and notes, "n/a"
+// when the value is undefined (NaN).
+func FormatPct(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", v)
 }
 
 // Summary aggregates a repeated measurement.

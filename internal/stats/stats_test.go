@@ -73,11 +73,22 @@ func TestOverheadPct(t *testing.T) {
 	if got := OverheadPct(100, 110); got != 10 {
 		t.Fatalf("OverheadPct = %v, want 10", got)
 	}
-	if got := OverheadPct(0, 10); got != 0 {
-		t.Fatal("division by zero not guarded")
+	// A missing baseline must be visibly undefined, not a fake perfect
+	// score: 0% would read as "no overhead".
+	if got := OverheadPct(0, 10); !math.IsNaN(got) {
+		t.Fatalf("OverheadPct(0, 10) = %v, want NaN", got)
 	}
 	if got := OverheadPct(200, 190); got != -5 {
 		t.Fatalf("negative overhead = %v, want -5", got)
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if got := FormatPct(12.34); got != "12.3%" {
+		t.Fatalf("FormatPct(12.34) = %q", got)
+	}
+	if got := FormatPct(OverheadPct(0, 10)); got != "n/a" {
+		t.Fatalf("FormatPct(NaN) = %q, want n/a", got)
 	}
 }
 

@@ -29,6 +29,7 @@ package repro
 import (
 	"repro/internal/abi"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/mana"
 	"repro/internal/scenario"
@@ -115,9 +116,72 @@ func WithHold() LaunchOption {
 
 // Restart resumes a checkpoint image set under a new stack. Images taken
 // through the standard ABI may restart under a different MPI
-// implementation; native-ABI images may not. See core.Restart.
-func Restart(dir string, stack Stack) (*Job, error) {
-	return core.Restart(dir, stack)
+// implementation; native-ABI images may not. An unset stack.Net.Seed
+// resumes the image's recorded jitter stream. See core.Restart.
+func Restart(dir string, stack Stack, opts ...LaunchOption) (*Job, error) {
+	return core.Restart(dir, stack, opts...)
+}
+
+// Fault injection and automated recovery (see internal/faults and
+// core.RunWithRecovery): declare the failures a run must survive, arm
+// them deterministically from a seed, and drive the paper's
+// crash-detect-restart loop, cross-implementation where the stack's
+// ABI and checkpointer legs allow it.
+type (
+	// FaultKind names a fault class (rank crash, node crash, NIC
+	// degradation).
+	FaultKind = faults.Kind
+	// FaultSpec declares one fault; FaultPlan is the list a run must
+	// survive.
+	FaultSpec = faults.Spec
+	// FaultPlan is the declarative fault list for one run.
+	FaultPlan = faults.Plan
+	// FaultInjector arms a plan against a cluster shape.
+	FaultInjector = faults.Injector
+	// RankFailure is the typed failure Job.Wait returns when an
+	// injected fault kills ranks.
+	RankFailure = core.RankFailure
+	// RecoveryPolicy configures RunWithRecovery.
+	RecoveryPolicy = core.RecoveryPolicy
+	// RecoveryResult summarizes a recovered run.
+	RecoveryResult = core.RecoveryResult
+)
+
+// Fault classes and the seeded-target sentinel.
+const (
+	FaultRankCrash  = faults.KindRankCrash
+	FaultNodeCrash  = faults.KindNodeCrash
+	FaultNICDegrade = faults.KindNICDegrade
+	FaultAnywhere   = faults.Anywhere
+)
+
+// ErrCancelled is the stable error Wait returns for a cancelled job.
+var ErrCancelled = core.ErrCancelled
+
+// NewFaultInjector resolves a fault plan's seeded draws against a
+// cluster shape; the same (plan, seed, config) always arms the same
+// faults.
+func NewFaultInjector(plan FaultPlan, seed int64, cfg simnet.Config) (*FaultInjector, error) {
+	return faults.NewInjector(plan, seed, cfg)
+}
+
+// WithFaults arms a fault injector on a launch or restart leg.
+func WithFaults(inj *FaultInjector) LaunchOption { return core.WithFaults(inj) }
+
+// WithPeriodicCheckpoint checkpoints every `every` steps into
+// step-numbered subdirectories of root, building the image lineage
+// automated recovery restarts from.
+func WithPeriodicCheckpoint(root string, every uint64) LaunchOption {
+	return core.WithPeriodicCheckpoint(root, every)
+}
+
+// RunWithRecovery launches a program under fault injection with periodic
+// checkpointing and drives automated recovery: detect the RankFailure,
+// restart from the latest complete image (under RecoveryPolicy's restart
+// stack when set — a different MPI implementation where the legs allow),
+// bounded by the retry budget.
+func RunWithRecovery(stack Stack, program string, inj *FaultInjector, pol RecoveryPolicy, opts ...LaunchOption) (*RecoveryResult, error) {
+	return core.RunWithRecovery(stack, program, inj, pol, opts...)
 }
 
 // RegisterProgram installs an application under a stable name so it can be
