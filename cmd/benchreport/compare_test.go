@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func bench(name string, metrics ...Metric) Bench {
+	return Bench{Name: name, Iters: 1, Metrics: metrics}
+}
+
+func report(benches ...Bench) *Report {
+	return &Report{Schema: Schema, Benches: benches}
+}
+
+func TestCompareGatesVirtualMetrics(t *testing.T) {
+	base := report(
+		bench("BenchmarkA", Metric{100, "ns/op"}, Metric{10, "virt-us/op"}),
+		bench("BenchmarkB", Metric{100, "ns/op"}, Metric{50, "virt-ms/run"}),
+	)
+	// A regresses 50% on virt-us/op; B improves; ns/op noise (4x!) must
+	// not trip the default gate.
+	cur := report(
+		bench("BenchmarkA", Metric{400, "ns/op"}, Metric{15, "virt-us/op"}),
+		bench("BenchmarkB", Metric{400, "ns/op"}, Metric{40, "virt-ms/run"}),
+	)
+	regs, _ := compareReports(cur, base, strings.Split(defaultUnits, ","), 25)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkA", regs)
+	}
+	r := regs[0]
+	if r.Name != "BenchmarkA" || r.Unit != "virt-us/op" || r.DeltaPct < 49 || r.DeltaPct > 51 {
+		t.Fatalf("regression = %+v", r)
+	}
+}
+
+func TestCompareWithinToleranceAndImprovementsPass(t *testing.T) {
+	base := report(bench("BenchmarkA", Metric{10, "virt-us/op"}))
+	for _, v := range []float64{10, 12.4, 5} { // +0%, +24%, -50%
+		cur := report(bench("BenchmarkA", Metric{v, "virt-us/op"}))
+		if regs, _ := compareReports(cur, base, []string{"virt-us/op"}, 25); len(regs) != 0 {
+			t.Fatalf("value %v tripped the 25%% gate: %+v", v, regs)
+		}
+	}
+}
+
+func TestCompareExplicitWallClockUnits(t *testing.T) {
+	base := report(bench("BenchmarkA", Metric{100, "ns/op"}))
+	cur := report(bench("BenchmarkA", Metric{200, "ns/op"}))
+	if regs, _ := compareReports(cur, base, []string{"ns/op"}, 25); len(regs) != 1 {
+		t.Fatalf("explicit ns/op gating missed a 2x regression: %+v", regs)
+	}
+}
+
+func TestCompareSurvivesRenamesAndZeroBaselines(t *testing.T) {
+	base := report(
+		bench("BenchmarkGone", Metric{10, "virt-us/op"}),
+		bench("BenchmarkZero", Metric{0, "virt-us/op"}),
+	)
+	cur := report(
+		bench("BenchmarkNew", Metric{999, "virt-us/op"}),
+		bench("BenchmarkZero", Metric{5, "virt-us/op"}),
+	)
+	regs, lines := compareReports(cur, base, []string{"virt-us/op"}, 25)
+	if len(regs) != 0 {
+		t.Fatalf("renames/zero baselines failed the gate: %+v", regs)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "missing: BenchmarkGone") || !strings.Contains(joined, "new: BenchmarkNew") {
+		t.Fatalf("rename visibility lost:\n%s", joined)
+	}
+}
+
+// End-to-end over real `go test -bench` text: parse both sides, then
+// gate — the exact CI flow.
+func TestParseAndGateEndToEnd(t *testing.T) {
+	baseText := `
+goos: linux
+goarch: amd64
+cpu: Intel(R) Xeon(R)
+BenchmarkFigX/size=1-8          1        367018 ns/op               86.29 virt-us/op
+BenchmarkFigY-8                 1        588214 ns/op               12.00 virt-ms/run
+PASS
+`
+	curText := `
+goos: linux
+BenchmarkFigX/size=1-16         1        212345 ns/op              200.00 virt-us/op
+BenchmarkFigY-16                1        999999 ns/op               12.01 virt-ms/run
+PASS
+`
+	base, err := parse(bufio.NewScanner(strings.NewReader(baseText)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parse(bufio.NewScanner(strings.NewReader(curText)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The -N proc suffix differs (8 vs 16 cores) and must not break the
+	// name join.
+	regs, _ := compareReports(cur, base, strings.Split(defaultUnits, ","), 25)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkFigX/size=1" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+}

@@ -8,10 +8,20 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 1x ./... | go run ./cmd/benchreport -out BENCH_baseline.json
+//	go test -run '^$' -bench . -benchtime 1x ./... | \
+//	  go run ./cmd/benchreport -out BENCH_ci.json -compare BENCH_baseline.json -tolerance 25
 //
 // The parser keeps every benchmark line's iteration count, ns/op and
 // custom metrics (virt-us/op, ckpt-us, cycle-us, ...), plus the goos /
 // goarch / cpu header lines, in input order.
+//
+// -compare turns the run into a regression gate: after writing -out,
+// the parsed report is checked against the named baseline and the
+// process exits nonzero when any gated metric regressed beyond
+// -tolerance percent. The gate defaults to the virtual-time units
+// (virt-us/op, virt-ms/run) because they are machine-independent —
+// the simulated cluster's clock, not the runner's; wall-clock units
+// can be added with -units at the cost of host-noise sensitivity.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -103,6 +114,9 @@ func parse(lines *bufio.Scanner) (*Report, error) {
 
 func main() {
 	out := flag.String("out", "", "output path (default: stdout)")
+	compare := flag.String("compare", "", "baseline benchreport JSON to gate this run against")
+	tolerance := flag.Float64("tolerance", 25, "percent slowdown beyond which a gated metric fails the -compare gate")
+	units := flag.String("units", defaultUnits, "comma-separated metric units the -compare gate checks")
 	flag.Parse()
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -118,11 +132,20 @@ func main() {
 	raw = append(raw, '\n')
 	if *out == "" {
 		os.Stdout.Write(raw)
-		return
+	} else {
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benches))
 	}
-	if err := os.WriteFile(*out, raw, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
-		os.Exit(1)
+	if *compare != "" {
+		// With no -out, stdout is the JSON report; keep the gate's text
+		// verdicts off it so the stream stays parseable.
+		gateOut := io.Writer(os.Stdout)
+		if *out == "" {
+			gateOut = os.Stderr
+		}
+		os.Exit(runGate(gateOut, rep, *compare, *units, *tolerance))
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benches))
 }

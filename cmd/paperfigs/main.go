@@ -12,6 +12,8 @@
 //
 //	paperfigs [-fig 2,3,4,5,6|all|fsgsbase|recovery] [-quick] [-out results/] [-reps N] [-parallel N]
 //	paperfigs -matrix [-full] [-faults=false] [-parallel N] [-out results.json] [-apps app.comd,app.wave]
+//	paperfigs -matrix -shard 0/4 -cache .scenario-cache -out shard-0.json
+//	paperfigs -merge shard-0.json,shard-1.json,shard-2.json,shard-3.json -out results.json
 //
 // Figure mode writes one CSV per figure into -out (a directory). Matrix
 // mode writes one JSON report to -out (a file; ".json" is appended to the
@@ -21,6 +23,15 @@
 // fault axis (rank-crash recovery over every restart pairing, node-crash
 // over every cross-implementation pairing, NIC degradation over every
 // plain cell) is on by default in matrix mode; -faults=false drops it.
+//
+// The incremental layer: -shard i/n runs only the i-th of n disjoint,
+// deterministic slices of the matrix (independent processes cover the
+// whole matrix with no coordination), -cache serves cells whose inputs
+// are unchanged from a persistent content-addressed result cache (both
+// modes), and -merge recombines shard/partial reports into one report —
+// with provenance recording live-vs-cached cells and per-shard wall
+// times — without running any scenarios. CI runs the matrix as a 4-shard
+// job matrix over a shared cache and merges the artifacts.
 package main
 
 import (
@@ -48,24 +59,42 @@ func main() {
 		seed     = flag.Int64("seed", 0, "base seed perturbing every scenario's deterministic jitter seeds")
 		scratch  = flag.String("scratch", "", "keep checkpoint images under this directory instead of a deleted temp dir (-matrix only)")
 		withFlt  = flag.Bool("faults", true, "include the fault-injection axis in the matrix (-matrix only)")
+		shardSel = flag.String("shard", "", "run only one deterministic slice of the matrix, format i/n with 0 <= i < n (-matrix only)")
+		cacheDir = flag.String("cache", "", "content-addressed result cache directory; unchanged cells are served from it instead of re-executing")
+		mergeIn  = flag.String("merge", "", "comma-separated shard/partial report JSONs to merge into one report at -out (runs nothing)")
 	)
 	flag.Parse()
 
 	if *full && *quick {
 		fatal(fmt.Errorf("-full and -quick conflict; pick one"))
 	}
-	if *matrix {
-		runMatrix(*full, *withFlt, *parallel, *reps, *nodes, *rpn, *seed, *apps, *scratch, *out)
+	if *mergeIn != "" {
+		if *matrix || *shardSel != "" || *cacheDir != "" {
+			fatal(fmt.Errorf("-merge runs nothing; it conflicts with -matrix, -shard and -cache"))
+		}
+		runMerge(strings.Split(*mergeIn, ","), *out)
 		return
 	}
-	if *full || *apps != "" || *scratch != "" {
-		fatal(fmt.Errorf("-full, -apps and -scratch require -matrix"))
+	var shard scenario.Shard
+	if *shardSel != "" {
+		var err error
+		if shard, err = scenario.ParseShard(*shardSel); err != nil {
+			fatal(err)
+		}
+	}
+	if *matrix {
+		runMatrix(*full, *withFlt, *parallel, *reps, *nodes, *rpn, *seed, *apps, *scratch, *cacheDir, shard, *out)
+		return
+	}
+	if *full || *apps != "" || *scratch != "" || *shardSel != "" {
+		fatal(fmt.Errorf("-full, -apps, -scratch and -shard require -matrix"))
 	}
 
 	opts := harness.Full()
 	if *quick {
 		opts = harness.Quick()
 	}
+	opts.Cache = *cacheDir
 	if *reps > 0 {
 		opts.Reps = *reps
 	}
@@ -102,13 +131,75 @@ func main() {
 	}
 }
 
+// runMerge recombines shard/partial reports into one and writes it.
+func runMerge(paths []string, out string) {
+	var parts []*scenario.Report
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		rep, err := scenario.ReadReport(p)
+		if err != nil {
+			fatal(err)
+		}
+		parts = append(parts, rep)
+	}
+	merged, err := scenario.MergeReports(parts...)
+	if err != nil {
+		fatal(err)
+	}
+	writeReport(merged, out, fmt.Sprintf("merged from %d reports", len(parts)))
+}
+
+// writeReport renders, persists and pass/fail-gates a matrix report:
+// the shared epilogue of -matrix and -merge modes.
+func writeReport(rep *scenario.Report, out, detail string) {
+	fmt.Println(rep.Render())
+	printProvenance(rep)
+	path := out
+	if path == "results" { // the figure-mode default is a directory name
+		path = "results.json"
+	}
+	if err := rep.WriteJSON(path); err != nil {
+		fatal(err)
+	}
+	if detail != "" {
+		detail = ", " + detail
+	}
+	fmt.Printf("wrote %s (schema v%d%s)\n", path, scenario.SchemaVersion, detail)
+	if rep.Failed > 0 {
+		fatal(fmt.Errorf("%d of %d scenarios failed", rep.Failed, rep.Scenarios))
+	}
+}
+
+// printProvenance summarizes the live/cached split and per-shard costs.
+func printProvenance(rep *scenario.Report) {
+	p := rep.Provenance
+	if p == nil {
+		return
+	}
+	fmt.Printf("provenance: %d live, %d cached\n", p.Live, p.Cached)
+	for _, sh := range p.Shards {
+		if sh.Count > 0 {
+			fmt.Printf("  shard %d/%d: %d cells (%d live, %d cached), %.1fs wall\n",
+				sh.Index, sh.Count, sh.Scenarios, sh.Live, sh.Cached, float64(sh.WallMS)/1000)
+		} else {
+			fmt.Printf("  partial %d: %d cells (%d live, %d cached), %.1fs wall\n",
+				sh.Index, sh.Scenarios, sh.Live, sh.Cached, float64(sh.WallMS)/1000)
+		}
+	}
+}
+
 // runMatrix executes the scenario matrix and writes the JSON report.
-func runMatrix(full, withFaults bool, parallel, reps, nodes, rpn int, seed int64, apps, scratch, out string) {
+func runMatrix(full, withFaults bool, parallel, reps, nodes, rpn int, seed int64, apps, scratch, cache string, shard scenario.Shard, out string) {
 	o := scenario.Quick()
 	if full {
 		o = scenario.Full()
 	}
 	o.Scratch = scratch
+	o.CacheDir = cache
+	o.Shard = shard
 	if parallel > 0 {
 		o.Parallel = parallel
 	}
@@ -134,22 +225,16 @@ func runMatrix(full, withFaults bool, parallel, reps, nodes, rpn int, seed int64
 		}
 	}
 	specs := m.Enumerate()
-	fmt.Printf("running %d scenarios (%d workers, %d reps each) ...\n", len(specs), o.Parallel, o.Reps)
+	owned := len(shard.Select(specs))
+	if owned != len(specs) {
+		fmt.Printf("running shard %d/%d: %d of %d scenarios (%d workers, %d reps each) ...\n",
+			shard.Index, shard.Count, owned, len(specs), o.Parallel, o.Reps)
+	} else {
+		fmt.Printf("running %d scenarios (%d workers, %d reps each) ...\n", len(specs), o.Parallel, o.Reps)
+	}
 
 	rep := scenario.Run(specs, o)
-	fmt.Println(rep.Render())
-
-	path := out
-	if path == "results" { // the figure-mode default is a directory name
-		path = "results.json"
-	}
-	if err := rep.WriteJSON(path); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("wrote %s (schema v%d)\n", path, scenario.SchemaVersion)
-	if rep.Failed > 0 {
-		fatal(fmt.Errorf("%d of %d scenarios failed", rep.Failed, rep.Scenarios))
-	}
+	writeReport(rep, out, "")
 }
 
 func fatal(err error) {

@@ -49,6 +49,10 @@ type Options struct {
 	Timeout time.Duration
 	// Seed perturbs the engine's deterministic per-scenario jitter seeds.
 	Seed int64
+	// Cache, when set, is the engine's content-addressed result cache
+	// directory: figures re-run over unchanged code and options serve
+	// their scenarios from disk instead of re-executing them.
+	Cache string
 }
 
 // Full returns the paper-scale configuration.
@@ -73,7 +77,7 @@ func (o Options) matrixOptions(scratch string) scenario.Options {
 		Nodes: o.Nodes, RanksPerNode: o.RanksPerNode, Reps: o.Reps,
 		MaxSize: o.MaxSize, Iters: o.Iters, Warmup: o.Warmup, ItersLarge: o.ItersLarge,
 		AppScale: o.AppScale, Parallel: o.Parallel, Timeout: timeout,
-		BaseSeed: o.Seed, Scratch: scratch,
+		BaseSeed: o.Seed, Scratch: scratch, CacheDir: o.Cache,
 	}
 }
 
@@ -95,6 +99,21 @@ func runMatrix(specs []scenario.Spec, o Options, scratch string) (*scenario.Repo
 		return nil, fmt.Errorf("harness: scenario %s: %s", f.ID, f.Error)
 	}
 	return rep, nil
+}
+
+// findResult resolves one scenario in a report, with a real error
+// instead of a nil dereference when the cell is absent. Figures run
+// their own matrices (every spec is guaranteed a result), but the same
+// queries also run over externally supplied reports — a single shard or
+// a bad merge can lack cells, and the error says which one and why.
+// The queries themselves behave identically over merged and unsharded
+// reports: MergeReports guarantees ID-sorted results and Find falls
+// back to a linear scan for unsorted hand-assembled ones.
+func findResult(rep *scenario.Report, id string) (*scenario.Result, error) {
+	if res := rep.Find(id); res != nil {
+		return res, nil
+	}
+	return nil, fmt.Errorf("harness: scenario %s missing from report (a single shard? merge every shard report first)", id)
 }
 
 // Series is one plotted line (or bar group).
@@ -144,7 +163,10 @@ func latencyFigure(id, title string, prog string, o Options) (*Figure, error) {
 		return nil, err
 	}
 	for _, sp := range specs {
-		res := rep.Find(sp.ID())
+		res, err := findResult(rep, sp.ID())
+		if err != nil {
+			return nil, err
+		}
 		fig.Series = append(fig.Series, curveSeries(sp.LaunchStack().Label(), res.Curve))
 	}
 	annotateOverheads(fig)
@@ -219,7 +241,10 @@ func Fig5(o Options) (*Figure, error) {
 		for ai, app := range apps {
 			q := sp
 			q.Program = app
-			res := rep.Find(q.ID())
+			res, err := findResult(rep, q.ID())
+			if err != nil {
+				return nil, err
+			}
 			series.X = append(series.X, float64(ai))
 			series.Y = append(series.Y, res.Time.Median)
 			series.Err = append(series.Err, res.Time.StdDev)
@@ -264,7 +289,14 @@ func Fig6(o Options, scratch string) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	pairRes, plainRes := rep.Find(pair.ID()), rep.Find(plain.ID())
+	pairRes, err := findResult(rep, pair.ID())
+	if err != nil {
+		return nil, err
+	}
+	plainRes, err := findResult(rep, plain.ID())
+	if err != nil {
+		return nil, err
+	}
 	fig.Series = append(fig.Series,
 		curveSeries("Launch with Open MPI", pairRes.Curve),
 		curveSeries("Launch with MPICH", plainRes.Curve),
@@ -326,11 +358,17 @@ func RecoveryOverhead(o Options, scratch string) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	base := rep.Find(baseline.ID())
+	base, err := findResult(rep, baseline.ID())
+	if err != nil {
+		return nil, err
+	}
 	recovered := Series{Label: "time-to-solution"}
 	lost := Series{Label: "lost work (virt ms)"}
 	for i, iv := range intervals {
-		res := rep.Find(specs[i+1].ID())
+		res, err := findResult(rep, specs[i+1].ID())
+		if err != nil {
+			return nil, err
+		}
 		recovered.X = append(recovered.X, float64(iv))
 		recovered.Y = append(recovered.Y, res.Time.Median)
 		recovered.Err = append(recovered.Err, res.Time.StdDev)
@@ -379,7 +417,11 @@ func FSGSBase(o Options) (*Figure, error) {
 		return nil, err
 	}
 	for i, sp := range specs {
-		fig.Series = append(fig.Series, curveSeries(labels[i], rep.Find(sp.ID()).Curve))
+		res, err := findResult(rep, sp.ID())
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, curveSeries(labels[i], res.Curve))
 	}
 	n, o1, o2 := fig.Series[0], fig.Series[1], fig.Series[2]
 	if len(n.Y) > 0 {

@@ -5,11 +5,111 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/scenario"
 )
 
 // tiny returns a minutes-not-hours configuration for CI.
 func tiny() Options {
 	return Options{Nodes: 2, RanksPerNode: 2, Reps: 1, MaxSize: 256, Iters: 2, Warmup: 1, AppScale: 0.02}
+}
+
+// A figure re-run with a warm cache serves every scenario from disk and
+// produces the identical figure — the incremental layer under the
+// harness queries.
+func TestFigureServedFromCache(t *testing.T) {
+	o := tiny()
+	o.Cache = t.TempDir()
+	cold, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Series) != len(cold.Series) {
+		t.Fatalf("warm figure has %d series, cold %d", len(warm.Series), len(cold.Series))
+	}
+	for i := range cold.Series {
+		c, w := cold.Series[i], warm.Series[i]
+		if len(c.Y) != len(w.Y) {
+			t.Fatalf("series %q resized across cache", c.Label)
+		}
+		for j := range c.Y {
+			// Bit-identical, not approximately equal: the warm run reads
+			// the cold run's stored results rather than re-measuring.
+			if c.Y[j] != w.Y[j] {
+				t.Fatalf("series %q point %d: cold %v, warm %v", c.Label, j, c.Y[j], w.Y[j])
+			}
+		}
+	}
+}
+
+// The figure queries answer identically over a merged report and the
+// unsharded report it reassembles — the merge contract seen from the
+// harness side.
+func TestQueriesOverMergedReports(t *testing.T) {
+	specs := fourSpecs("osu.alltoall")
+	mo := tiny().matrixOptions("")
+
+	whole := scenario.Run(specs, mo)
+	// Re-running shards live would re-measure (virtual metrics wiggle
+	// sub-percent across runs), so shard the *results*: split whole's
+	// cells into two partial reports and merge them back.
+	half := len(whole.Results) / 2
+	mkPartial := func(results []scenario.Result) *scenario.Report {
+		r := *whole
+		r.Results = append([]scenario.Result(nil), results...)
+		r.Scenarios = len(r.Results)
+		r.Passed, r.Failed = 0, 0
+		for _, res := range r.Results {
+			if res.Status == scenario.StatusPass {
+				r.Passed++
+			} else {
+				r.Failed++
+			}
+		}
+		r.Provenance = &scenario.Provenance{Live: len(r.Results)}
+		return &r
+	}
+	merged, err := scenario.MergeReports(mkPartial(whole.Results[:half]), mkPartial(whole.Results[half:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sp := range specs {
+		w, err := findResult(whole, sp.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := findResult(merged, sp.ID())
+		if err != nil {
+			t.Fatalf("merged report lost %s: %v", sp.ID(), err)
+		}
+		if w.ID != m.ID || w.Status != m.Status {
+			t.Fatalf("query diverges over merged report: %+v vs %+v", w, m)
+		}
+		if (w.Curve == nil) != (m.Curve == nil) {
+			t.Fatalf("%s: curve presence diverges", sp.ID())
+		}
+		if w.Curve != nil && w.Curve.MedianUS[0] != m.Curve.MedianUS[0] {
+			t.Fatalf("%s: curve diverges over merged report", sp.ID())
+		}
+	}
+
+	// And a single shard alone answers findResult with a real error, not
+	// a nil dereference, for the cells it does not own.
+	lone := mkPartial(whole.Results[:1])
+	missing := 0
+	for _, sp := range specs {
+		if _, err := findResult(lone, sp.ID()); err != nil {
+			missing++
+		}
+	}
+	if missing != len(specs)-1 {
+		t.Fatalf("partial report: %d missing cells reported, want %d", missing, len(specs)-1)
+	}
 }
 
 func TestLatencyFigureShape(t *testing.T) {

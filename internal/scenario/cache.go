@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// EngineVersion stamps every cell hash with the execution semantics
+// that produced the result. Bump it whenever Run/runOne change what a
+// cell *means* — measurement extraction, seed derivation, recovery
+// protocol, fault resolution — so every cached result from the old
+// engine misses and re-runs. Schema changes alone (report shape) do not
+// require a bump: cached entries already embed the result and are
+// invalidated by the entry decoding below when Result's JSON changes
+// incompatibly.
+const EngineVersion = 1
+
+// CellHash is the content address of one matrix cell: a stable SHA-256
+// over everything that determines the cell's Result.
+//
+// The preimage is the canonical JSON of (EngineVersion, Spec, the
+// report-serialized Options fields, and the derived per-repetition
+// seeds). Options fields excluded from report JSON — Parallel, Scratch,
+// CacheDir, Shard — are excluded here too, deliberately: pool width,
+// scratch location and shard membership never change a cell's result,
+// so they must not change its address. Conversely, every serialized
+// field (cluster shape, repetition count, sweep sizes, timeout, base
+// seed, checkpoint interval, retry budget) is part of the identity, and
+// changing any of them re-runs the cell. This is the cache invalidation
+// rule: a cell re-runs exactly when its spec, its scale, its seeds or
+// the engine version changed.
+func CellHash(s Spec, o Options) string {
+	o = o.withDefaults()
+	seeds := make([]int64, o.Reps)
+	for rep := 0; rep < o.Reps; rep++ {
+		seeds[rep] = seedFor(o.BaseSeed, s.Program, rep)
+	}
+	preimage := struct {
+		Engine int     `json:"engine"`
+		Spec   Spec    `json:"spec"`
+		Opts   Options `json:"options"`
+		Seeds  []int64 `json:"seeds"`
+	}{EngineVersion, s, o, seeds}
+	raw, err := json.Marshal(preimage)
+	if err != nil {
+		// Spec and Options are plain data; Marshal cannot fail on them.
+		panic(fmt.Sprintf("scenario: hashing cell %s: %v", s.ID(), err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// Cache is a persistent, content-addressed store of completed cell
+// Results, shared safely between concurrent workers and concurrent
+// processes (shards pointing at one directory). Entries live at
+// <dir>/<hash[:2]>/<hash>.json and are written atomically (temp file +
+// rename), so a reader never observes a half-written entry; two
+// processes racing to write the same hash write the same bytes, and
+// either rename winning is correct.
+//
+// Only passing Results are stored (see Run): a failure is re-attempted
+// on every run rather than pinned, because failures are where the
+// un-modeled world (timeouts, scratch exhaustion) leaks in.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("scenario: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// cacheEntry is the on-disk shape of one cached cell.
+type cacheEntry struct {
+	Engine int    `json:"engine_version"`
+	Hash   string `json:"hash"`
+	Result Result `json:"result"`
+}
+
+// path fans entries out over 256 subdirectories so no single directory
+// grows unboundedly as the matrix does.
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash[:2], hash+".json")
+}
+
+// Get returns the cached Result for hash, or ok=false on any miss —
+// absent, unreadable, corrupt, stale-engine or mismatched entries all
+// read as misses (the cell simply runs live and overwrites).
+func (c *Cache) Get(hash string) (Result, bool) {
+	if len(hash) < 2 {
+		return Result{}, false
+	}
+	raw, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return Result{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return Result{}, false
+	}
+	if e.Engine != EngineVersion || e.Hash != hash || e.Result.Status != StatusPass {
+		return Result{}, false
+	}
+	return e.Result, true
+}
+
+// Put stores res under hash. Best-effort by design: a failed Put only
+// means the cell re-runs next time, so Run ignores the error; callers
+// that care (tests) can check it.
+func (c *Cache) Put(hash string, res Result) error {
+	if len(hash) < 2 {
+		return fmt.Errorf("scenario: cache put with malformed hash %q", hash)
+	}
+	res.Cached = false // stored results are canonical, not themselves hits
+	raw, err := json.MarshalIndent(cacheEntry{Engine: EngineVersion, Hash: hash, Result: res}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: encoding cache entry: %w", err)
+	}
+	dir := filepath.Dir(c.path(hash))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("scenario: cache fanout dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+hash[:8]+"-*")
+	if err != nil {
+		return fmt.Errorf("scenario: cache temp file: %w", err)
+	}
+	if _, err := tmp.Write(append(raw, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("scenario: writing cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("scenario: closing cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("scenario: publishing cache entry: %w", err)
+	}
+	return nil
+}

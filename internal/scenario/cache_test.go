@@ -1,0 +1,252 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func hashSpec() Spec {
+	return Spec{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA}
+}
+
+func TestCellHashStableAndComplete(t *testing.T) {
+	s, o := hashSpec(), Quick()
+	if CellHash(s, o) != CellHash(s, o) {
+		t.Fatal("hash not deterministic")
+	}
+	// The hash must survive withDefaults: hashing raw options and hashing
+	// the defaults-applied options the engine actually runs with must
+	// agree, or Run and out-of-band tooling would disagree on addresses.
+	if CellHash(s, o) != CellHash(s, o.withDefaults()) {
+		t.Fatal("hash differs across withDefaults")
+	}
+
+	// Every result-determining input changes the address.
+	base := CellHash(s, o)
+	s2 := s
+	s2.Fault = "rank-crash"
+	if CellHash(s2, o) == base {
+		t.Error("spec change did not change hash")
+	}
+	for name, mutate := range map[string]func(*Options){
+		"base_seed":  func(o *Options) { o.BaseSeed++ },
+		"reps":       func(o *Options) { o.Reps++ },
+		"nodes":      func(o *Options) { o.Nodes++ },
+		"app_scale":  func(o *Options) { o.AppScale *= 2 },
+		"timeout":    func(o *Options) { o.Timeout *= 2 },
+		"ckpt_every": func(o *Options) { o.CkptEvery = 7 },
+	} {
+		m := o
+		mutate(&m)
+		if CellHash(s, m) == base {
+			t.Errorf("options change %q did not change hash", name)
+		}
+	}
+
+	// Run-local knobs must NOT change the address: pool width, scratch
+	// and cache paths, shard membership never affect a cell's result.
+	for name, mutate := range map[string]func(*Options){
+		"parallel": func(o *Options) { o.Parallel = 1 },
+		"scratch":  func(o *Options) { o.Scratch = "/elsewhere" },
+		"cache":    func(o *Options) { o.CacheDir = "/elsewhere" },
+		"shard":    func(o *Options) { o.Shard = Shard{Index: 1, Count: 4} },
+	} {
+		m := o
+		mutate(&m)
+		if CellHash(s, m) != base {
+			t.Errorf("run-local knob %q changed the hash", name)
+		}
+	}
+}
+
+// The pinned hash guards cross-process / cross-revision stability: two
+// shard processes (or two CI runs) must address the same cell with the
+// same hash, or the cache never hits. If this test breaks, cell
+// identity changed — that invalidates every cached result, which is
+// only correct when intentional: bump EngineVersion and re-pin.
+func TestCellHashPinned(t *testing.T) {
+	s := hashSpec()
+	o := Options{Nodes: 2, RanksPerNode: 4, Reps: 2, MaxSize: 64, Iters: 2, Warmup: 1, BaseSeed: 42}
+	const want = "f6885cc6016221ac9df3c16c957da746dd55e7df8c641c2e5a3d3c5d891523a2"
+	if got := CellHash(s, o); got != want {
+		t.Fatalf("pinned cell hash drifted (engine version %d):\n got %s\nwant %s",
+			EngineVersion, got, want)
+	}
+}
+
+func TestCacheHitSkipsExecution(t *testing.T) {
+	var live atomic.Int32
+	withStubRunner(t, func(s Spec, o Options) Result {
+		live.Add(1)
+		return Result{ID: s.ID(), Spec: s, Status: StatusPass, Reps: o.Reps, WallMS: 7}
+	})
+	o := Options{Parallel: 4, Reps: 2, CacheDir: t.TempDir()}
+	specs := DefaultMatrix().Enumerate()
+
+	cold := Run(specs, o)
+	if n := int(live.Load()); n != len(specs) {
+		t.Fatalf("cold run executed %d cells, want %d", n, len(specs))
+	}
+	if cold.Provenance == nil || cold.Provenance.Live != len(specs) || cold.Provenance.Cached != 0 {
+		t.Fatalf("cold provenance = %+v", cold.Provenance)
+	}
+
+	live.Store(0)
+	warm := Run(specs, o)
+	if n := int(live.Load()); n != 0 {
+		t.Fatalf("warm run executed %d cells, want 0", n)
+	}
+	if warm.Provenance.Live != 0 || warm.Provenance.Cached != len(specs) {
+		t.Fatalf("warm provenance = %+v", warm.Provenance)
+	}
+	// Warm results equal cold results cell-for-cell, modulo the Cached
+	// provenance mark.
+	for i := range cold.Results {
+		c, w := cold.Results[i], warm.Results[i]
+		if !w.Cached {
+			t.Fatalf("warm result %s not marked cached", w.ID)
+		}
+		w.Cached = false
+		if c.ID != w.ID || c.CellHash != w.CellHash || c.WallMS != w.WallMS || c.Status != w.Status {
+			t.Fatalf("warm result diverged:\ncold %+v\nwarm %+v", c, w)
+		}
+	}
+
+	// Changing the base seed re-addresses every cell: full re-run.
+	o.BaseSeed = 99
+	Run(specs, o)
+	if n := int(live.Load()); n != len(specs) {
+		t.Fatalf("seed change re-ran %d cells, want %d", n, len(specs))
+	}
+}
+
+func TestCacheDoesNotPinFailures(t *testing.T) {
+	var live atomic.Int32
+	withStubRunner(t, func(s Spec, o Options) Result {
+		live.Add(1)
+		return Result{ID: s.ID(), Spec: s, Status: StatusFail, Error: "transient"}
+	})
+	o := Options{Parallel: 2, Reps: 1, CacheDir: t.TempDir()}
+	specs := DefaultMatrix().Enumerate()[:4]
+	Run(specs, o)
+	Run(specs, o)
+	if n := int(live.Load()); n != 2*len(specs) {
+		t.Fatalf("failing cells executed %d times, want %d (failures must never be served from cache)",
+			n, 2*len(specs))
+	}
+}
+
+func TestCacheCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := CellHash(hashSpec(), Quick())
+	if err := c.Put(h, Result{ID: hashSpec().ID(), Status: StatusPass}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(h); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	if err := os.WriteFile(filepath.Join(dir, h[:2], h+".json"), []byte("{torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(h); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	// A stale engine version is a miss too.
+	raw := strings.Replace(`{"engine_version": 999999, "hash": "H", "result": {"id": "x", "status": "pass"}}`,
+		"H", h, 1)
+	if err := os.WriteFile(filepath.Join(dir, h[:2], h+".json"), []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(h); ok {
+		t.Fatal("stale-engine entry served as a hit")
+	}
+}
+
+// The cache is shared by the pool's workers and by concurrent shard
+// processes; this is the -race exercise for racing Put/Get on
+// overlapping hash sets.
+func TestCacheConcurrentPutGet(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := DefaultMatrix().Enumerate()[:16]
+	o := Quick()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, s := range specs {
+				h := CellHash(s, o)
+				if res, ok := c.Get(h); ok && res.ID != s.ID() {
+					t.Errorf("hash %s returned result for %s, want %s", h[:8], res.ID, s.ID())
+				}
+				if err := c.Put(h, Result{ID: s.ID(), Spec: s, Status: StatusPass}); err != nil {
+					t.Errorf("put %s: %v", s.ID(), err)
+				}
+				if res, ok := c.Get(h); !ok || res.ID != s.ID() {
+					t.Errorf("get-after-put %s: ok=%v", s.ID(), ok)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestShardPartitionDisjointAndExhaustive(t *testing.T) {
+	specs := DefaultMatrix().Enumerate()
+	const n = 4
+	seen := make(map[string]int)
+	sizes := make([]int, n)
+	for i := 0; i < n; i++ {
+		part := Shard{Index: i, Count: n}.Select(specs)
+		sizes[i] = len(part)
+		for _, s := range part {
+			if prev, dup := seen[s.ID()]; dup {
+				t.Fatalf("scenario %s in shards %d and %d", s.ID(), prev, i)
+			}
+			seen[s.ID()] = i
+		}
+	}
+	if len(seen) != len(specs) {
+		t.Fatalf("union covers %d of %d specs", len(seen), len(specs))
+	}
+	for i := 1; i < n; i++ {
+		if d := sizes[i] - sizes[0]; d < -1 || d > 1 {
+			t.Fatalf("unbalanced shards: %v", sizes)
+		}
+	}
+	// Unsharded selectors pass everything through.
+	if got := (Shard{}).Select(specs); len(got) != len(specs) {
+		t.Fatalf("zero shard selected %d of %d", len(got), len(specs))
+	}
+}
+
+func TestShardValidateAndParse(t *testing.T) {
+	for _, bad := range []string{"", "3", "4/4", "-1/4", "1/0", "a/b", "1/4/8", "1/4x", " 1/4"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+	sh, err := ParseShard("2/4")
+	if err != nil || sh != (Shard{Index: 2, Count: 4}) {
+		t.Fatalf("ParseShard(2/4) = %+v, %v", sh, err)
+	}
+	if err := (Shard{Index: 1, Count: 0}).Validate(); err == nil {
+		t.Error("index without count accepted")
+	}
+	if err := (Shard{}).Validate(); err != nil {
+		t.Errorf("zero shard rejected: %v", err)
+	}
+}

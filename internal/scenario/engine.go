@@ -59,6 +59,18 @@ type Options struct {
 	// Scratch is the root directory for checkpoint images. Empty means a
 	// throwaway temp directory. Excluded from reports: it varies per run.
 	Scratch string `json:"-"`
+	// CacheDir, when set, enables the content-addressed result cache:
+	// cells whose CellHash already has a completed (passing) Result are
+	// served from disk instead of executing, and live passing results
+	// are stored back. Safe to share between concurrent shard processes.
+	// Excluded from reports: the cache location never affects results.
+	CacheDir string `json:"-"`
+	// Shard selects a deterministic 1/Count slice of the (deduplicated)
+	// spec list; the zero value runs everything. Excluded from reports'
+	// options: shard membership is provenance (see Report.Provenance),
+	// not an experiment condition, and merged reports must compare equal
+	// to unsharded ones.
+	Shard Shard `json:"-"`
 }
 
 // Full returns the paper-scale configuration (4x12 ranks, 5 repetitions).
@@ -152,6 +164,13 @@ var runScenario = runOne
 // collapsed to their first occurrence: two copies of the same scenario
 // would race on one checkpoint image directory and be indistinguishable
 // in the report.
+//
+// The incremental layer sits between dedup and the pool: Options.Shard
+// selects this process's deterministic slice of the deduplicated list
+// (dedup first, so every shard partitions the same canonical list), and
+// Options.CacheDir serves cells whose content hash already has a
+// completed Result from disk instead of executing them (such results
+// are marked Cached; see Report.Provenance for the live/cached split).
 func Run(specs []Spec, o Options) *Report {
 	o = o.withDefaults()
 	seen := make(map[string]bool, len(specs))
@@ -162,7 +181,16 @@ func Run(specs []Spec, o Options) *Report {
 			uniq = append(uniq, s)
 		}
 	}
-	specs = uniq
+	specs = o.Shard.Select(uniq)
+	var cache *Cache
+	if o.CacheDir != "" {
+		// An unopenable cache degrades to a live run, mirroring the
+		// scratch fallback below: caching is an accelerator, never a
+		// correctness dependency.
+		if c, err := OpenCache(o.CacheDir); err == nil {
+			cache = c
+		}
+	}
 	if o.Scratch == "" {
 		dir, err := os.MkdirTemp("", "scenario-*")
 		if err == nil {
@@ -174,6 +202,10 @@ func Run(specs []Spec, o Options) *Report {
 		// littering the working directory.
 	}
 	results := make([]Result, len(specs))
+	hashes := make([]string, len(specs))
+	for i := range specs {
+		hashes[i] = CellHash(specs[i], o)
+	}
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < o.Parallel; w++ {
@@ -181,7 +213,21 @@ func Run(specs []Spec, o Options) *Report {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = runScenario(specs[i], o)
+				if cache != nil {
+					if res, ok := cache.Get(hashes[i]); ok && res.ID == specs[i].ID() {
+						res.Cached = true
+						results[i] = res
+						continue
+					}
+				}
+				res := runScenario(specs[i], o)
+				res.CellHash = hashes[i]
+				results[i] = res
+				if cache != nil && res.Status == StatusPass {
+					// Best-effort: a failed Put only means this cell runs
+					// live again next time.
+					_ = cache.Put(hashes[i], res)
+				}
 			}
 		}()
 	}

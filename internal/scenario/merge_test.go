@@ -1,0 +1,277 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// richStubRunner produces deterministic, structurally rich results so
+// merged and unsharded reports can be compared byte-for-byte.
+func richStubRunner(s Spec, o Options) Result {
+	res := Result{ID: s.ID(), Spec: s, Status: StatusPass, Reps: o.Reps}
+	for rep := 0; rep < o.Reps; rep++ {
+		res.Seeds = append(res.Seeds, seedFor(o.BaseSeed, s.Program, rep))
+	}
+	if s.HasRestart() {
+		res.Lineage = []Lineage{{Rep: 0, Dir: idPath(s.ID()), Step: 1,
+			LaunchStack: string(s.Impl), RestartStack: string(s.RestartImpl)}}
+	}
+	return res
+}
+
+// normalizeProvenance strips the fields the acceptance criterion
+// excludes: wall times and provenance (live/cached marks, shard lists).
+func normalizeProvenance(r *Report) {
+	r.WallMS = 0
+	r.Provenance = nil
+	for i := range r.Results {
+		r.Results[i].WallMS = 0
+		r.Results[i].Cached = false
+	}
+}
+
+// reportBytes is the byte-equivalence yardstick: the indented JSON that
+// WriteJSON would persist.
+func reportBytes(t *testing.T, r *Report) string {
+	t.Helper()
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// The headline acceptance: a 4-way sharded run of the full default
+// matrix, merged, is byte-equivalent (modulo wall-time and provenance
+// fields) to the unsharded run — cell-for-cell, including IDs, seeds,
+// hashes and lineage.
+func TestMergedShardsEqualUnshardedRun(t *testing.T) {
+	withStubRunner(t, richStubRunner)
+	specs := DefaultMatrix().Enumerate()
+	o := Options{Parallel: 4, Reps: 2, BaseSeed: 7}
+
+	whole := Run(specs, o)
+	const n = 4
+	var parts []*Report
+	total := 0
+	for i := 0; i < n; i++ {
+		so := o
+		so.Shard = Shard{Index: i, Count: n}
+		part := Run(specs, so)
+		total += part.Scenarios
+		if part.Provenance == nil || len(part.Provenance.Shards) != 1 ||
+			part.Provenance.Shards[0].Index != i || part.Provenance.Shards[0].Count != n {
+			t.Fatalf("shard %d provenance = %+v", i, part.Provenance)
+		}
+		parts = append(parts, part)
+	}
+	if total != len(specs) {
+		t.Fatalf("shards ran %d cells, matrix has %d", total, len(specs))
+	}
+
+	merged, err := MergeReports(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Scenarios != whole.Scenarios || merged.Passed != whole.Passed || merged.Failed != whole.Failed {
+		t.Fatalf("merged %d/%d/%d, unsharded %d/%d/%d",
+			merged.Scenarios, merged.Passed, merged.Failed,
+			whole.Scenarios, whole.Passed, whole.Failed)
+	}
+	if len(merged.Provenance.Shards) != n {
+		t.Fatalf("merged provenance lists %d shards, want %d", len(merged.Provenance.Shards), n)
+	}
+	if merged.Provenance.Live != len(specs) || merged.Provenance.Cached != 0 {
+		t.Fatalf("merged live/cached = %d/%d", merged.Provenance.Live, merged.Provenance.Cached)
+	}
+
+	normalizeProvenance(whole)
+	normalizeProvenance(merged)
+	if got, want := reportBytes(t, merged), reportBytes(t, whole); got != want {
+		t.Fatalf("merged report diverges from unsharded run:\nmerged:   %.2000s\nunsharded: %.2000s", got, want)
+	}
+
+	// The queries behave identically over both shapes.
+	for _, s := range specs {
+		if merged.Find(s.ID()) == nil {
+			t.Fatalf("merged report lost %s", s.ID())
+		}
+	}
+	cross := func(r *Report) int { return len(r.Select(Result.Cross)) }
+	if cross(merged) != cross(whole) || cross(merged) == 0 {
+		t.Fatalf("Select(Cross) = %d merged vs %d unsharded", cross(merged), cross(whole))
+	}
+}
+
+// Merging must also survive the disk round trip, since CI merges shard
+// artifacts written by four separate processes.
+func TestMergeAcrossDiskRoundTrip(t *testing.T) {
+	withStubRunner(t, richStubRunner)
+	specs := DefaultMatrix().Enumerate()[:10]
+	o := Options{Parallel: 2, Reps: 1}
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 2; i++ {
+		so := o
+		so.Shard = Shard{Index: i, Count: 2}
+		p := filepath.Join(dir, fmt.Sprintf("shard-%d.json", i))
+		if err := Run(specs, so).WriteJSON(p); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	var parts []*Report
+	for _, p := range paths {
+		r, err := ReadReport(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, r)
+	}
+	merged, err := MergeReports(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Scenarios != len(specs) {
+		t.Fatalf("merged %d scenarios, want %d", merged.Scenarios, len(specs))
+	}
+	whole := Run(specs, o)
+	normalizeProvenance(whole)
+	normalizeProvenance(merged)
+	if reportBytes(t, merged) != reportBytes(t, whole) {
+		t.Fatal("disk round-tripped merge diverges from unsharded run")
+	}
+}
+
+func TestMergeRejectsMismatchedOptions(t *testing.T) {
+	withStubRunner(t, richStubRunner)
+	specs := DefaultMatrix().Enumerate()[:8]
+	a := Run(specs, Options{Reps: 1, Shard: Shard{Index: 0, Count: 2}})
+	b := Run(specs, Options{Reps: 1, BaseSeed: 5, Shard: Shard{Index: 1, Count: 2}})
+	_, err := MergeReports(a, b)
+	var mismatch *OptionsMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("err = %v, want *OptionsMismatchError", err)
+	}
+	if mismatch.Field != "base_seed" || mismatch.Report != 1 {
+		t.Fatalf("mismatch = %+v", mismatch)
+	}
+
+	// Run-local knobs (parallel, scratch, cache, shard) must NOT block a
+	// merge — differing shard membership is the whole point.
+	c := Run(specs, Options{Reps: 1, Parallel: 1, Shard: Shard{Index: 1, Count: 2}})
+	if _, err := MergeReports(a, c); err != nil {
+		t.Fatalf("run-local knob blocked merge: %v", err)
+	}
+}
+
+func TestMergeRejectsOverlappingCells(t *testing.T) {
+	withStubRunner(t, richStubRunner)
+	specs := DefaultMatrix().Enumerate()[:6]
+	o := Options{Reps: 1}
+	a, b := Run(specs, o), Run(specs[3:], o)
+	_, err := MergeReports(a, b)
+	var dup *DuplicateCellError
+	if !errors.As(err, &dup) {
+		t.Fatalf("err = %v, want *DuplicateCellError", err)
+	}
+	if dup.A != 0 || dup.B != 1 || dup.ID == "" {
+		t.Fatalf("duplicate = %+v", dup)
+	}
+}
+
+func TestMergeRejectsForeignSchema(t *testing.T) {
+	withStubRunner(t, richStubRunner)
+	a := Run(DefaultMatrix().Enumerate()[:2], Options{Reps: 1})
+	b := Run(DefaultMatrix().Enumerate()[2:4], Options{Reps: 1})
+	b.SchemaVersion = SchemaVersion + 1
+	if _, err := MergeReports(a, b); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := MergeReports(); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+}
+
+// A merged report keeps working when one input was itself unsharded
+// (partial hand-run): its provenance is synthesized with Count 0.
+func TestMergeSynthesizesProvenanceForUnshardedInputs(t *testing.T) {
+	withStubRunner(t, richStubRunner)
+	specs := DefaultMatrix().Enumerate()[:6]
+	o := Options{Reps: 1}
+	a, b := Run(specs[:3], o), Run(specs[3:], o)
+	merged, err := MergeReports(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Provenance.Shards) != 2 {
+		t.Fatalf("shards = %+v", merged.Provenance.Shards)
+	}
+	for i, sh := range merged.Provenance.Shards {
+		if sh.Count != 0 || sh.Index != i || sh.Scenarios != 3 {
+			t.Fatalf("synthesized shard %d = %+v", i, sh)
+		}
+	}
+}
+
+func TestFindToleratesUnsortedReports(t *testing.T) {
+	// A hand-assembled report (results not ID-sorted) must still answer
+	// Find correctly via the linear fallback.
+	r := &Report{Results: []Result{
+		{ID: "z/last"}, {ID: "a/first"}, {ID: "m/middle"},
+	}}
+	for _, id := range []string{"z/last", "a/first", "m/middle"} {
+		if got := r.Find(id); got == nil || got.ID != id {
+			t.Fatalf("Find(%q) = %+v", id, got)
+		}
+	}
+	if r.Find("q/absent") != nil {
+		t.Fatal("absent ID found")
+	}
+}
+
+// Sharding composes with the cache: four shards sharing one cache
+// directory, then a fifth unsharded run, executes zero live cells.
+func TestShardsWarmSharedCacheForUnshardedRun(t *testing.T) {
+	withStubRunner(t, richStubRunner)
+	specs := DefaultMatrix().Enumerate()
+	o := Options{Parallel: 2, Reps: 1, CacheDir: t.TempDir()}
+	for i := 0; i < 4; i++ {
+		so := o
+		so.Shard = Shard{Index: i, Count: 4}
+		if rep := Run(specs, so); rep.Provenance.Cached != 0 {
+			t.Fatalf("shard %d hit the cache on a cold run: %+v", i, rep.Provenance)
+		}
+	}
+	warm := Run(specs, o)
+	if warm.Provenance.Live != 0 || warm.Provenance.Cached != len(specs) {
+		t.Fatalf("warm unsharded run after sharded warmup: %+v", warm.Provenance)
+	}
+}
+
+// Guard the scenario.Spec surface the cache hash folds in: adding a
+// field to Spec without bumping EngineVersion silently aliases old
+// cache entries. reflect-based field census.
+func TestSpecShapeGuard(t *testing.T) {
+	raw, err := json.Marshal(Spec{Program: "p", Impl: core.ImplMPICH, ABI: core.ABINative,
+		Ckpt: core.CkptMANA, Kernel: KernelModern, RestartImpl: core.ImplOpenMPI,
+		RestartABI: core.ABIMukautuva, Fault: "rank-crash", FaultStep: 1, CkptEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	// 10 serialized fields today. If this fails you added (or removed) a
+	// Spec field: it is part of every cell's content address, so bump
+	// EngineVersion in cache.go and re-pin TestCellHashPinned.
+	if len(m) != 10 {
+		t.Fatalf("Spec serializes %d fields, expected 10 — bump EngineVersion if this is intentional", len(m))
+	}
+}

@@ -18,7 +18,12 @@ import (
 //
 // v2 added the fault axis: Spec.Fault/FaultStep/CkptEvery,
 // Result.Faults, and Options.CkptEvery/MaxRestarts.
-const SchemaVersion = 2
+//
+// v3 added the incremental-execution layer: Result.CellHash/Cached and
+// Report.Provenance (live-vs-cached cell counts, per-shard wall times),
+// so sharded partial reports merge (MergeReports) into one report that
+// still records which cells ran live and where each slice came from.
+const SchemaVersion = 3
 
 // Status is a scenario outcome.
 type Status string
@@ -104,6 +109,16 @@ type Result struct {
 	// windows the failures threw away (restart rewinds the virtual
 	// clocks to the image, so completion alone would hide the crash).
 	Faults []FaultRecord `json:"faults,omitempty"`
+	// CellHash is the cell's content address (see CellHash): a stable
+	// hash of the spec, the result-determining options, the derived
+	// seeds and the engine version. Equal inputs hash equally across
+	// processes and machines, which is what lets shards share a result
+	// cache without coordination.
+	CellHash string `json:"cell_hash,omitempty"`
+	// Cached marks a result served from the on-disk cache instead of a
+	// live execution; its measurements (and WallMS) are those of the run
+	// that originally produced it.
+	Cached bool `json:"cached,omitempty"`
 	// WallMS is the wall-clock cost of the scenario (all repetitions).
 	WallMS int64 `json:"wall_ms"`
 }
@@ -114,17 +129,45 @@ func (r Result) Cross() bool {
 	return r.Spec.HasRestart() && r.Spec.RestartImpl != r.Spec.Impl
 }
 
+// ShardInfo is the provenance of one merged slice: which shard of how
+// many it was, how many cells it carried (split live vs cached), and
+// its own elapsed wall time. Count 0 marks a slice that was itself
+// unsharded (a partial report merged by hand rather than a -shard run).
+type ShardInfo struct {
+	Index     int   `json:"index"`
+	Count     int   `json:"count"`
+	Scenarios int   `json:"scenarios"`
+	Live      int   `json:"live"`
+	Cached    int   `json:"cached"`
+	WallMS    int64 `json:"wall_ms"`
+}
+
+// Provenance records how the report's results were obtained: how many
+// cells actually executed (Live) versus were served from the result
+// cache (Cached), and — for sharded or merged reports — the per-shard
+// breakdown. It is the schema-v3 answer to "what did this run cost and
+// can I trust a warm-cache run": a fully warm re-run shows Live 0.
+type Provenance struct {
+	Live   int         `json:"live"`
+	Cached int         `json:"cached"`
+	Shards []ShardInfo `json:"shards,omitempty"`
+}
+
 // Report is a full matrix run: versioned, ID-sorted, and JSON-stable, so
-// two runs of the same matrix at the same scale diff cleanly.
+// two runs of the same matrix at the same scale diff cleanly. A report
+// may also be one shard of a run (Options.Shard selected a slice of the
+// matrix) or the merge of several shards (MergeReports); the queries
+// below behave identically over all three.
 type Report struct {
-	SchemaVersion int      `json:"schema_version"`
-	Paper         string   `json:"paper"`
-	Options       Options  `json:"options"`
-	Scenarios     int      `json:"scenarios"`
-	Passed        int      `json:"passed"`
-	Failed        int      `json:"failed"`
-	WallMS        int64    `json:"wall_ms"`
-	Results       []Result `json:"results"`
+	SchemaVersion int         `json:"schema_version"`
+	Paper         string      `json:"paper"`
+	Options       Options     `json:"options"`
+	Scenarios     int         `json:"scenarios"`
+	Passed        int         `json:"passed"`
+	Failed        int         `json:"failed"`
+	WallMS        int64       `json:"wall_ms"`
+	Provenance    *Provenance `json:"provenance,omitempty"`
+	Results       []Result    `json:"results"`
 }
 
 func newReport(o Options, results []Result, wall time.Duration) *Report {
@@ -136,6 +179,7 @@ func newReport(o Options, results []Result, wall time.Duration) *Report {
 		Options:       o,
 		Scenarios:     len(sorted),
 		WallMS:        wall.Milliseconds(),
+		Provenance:    &Provenance{},
 		Results:       sorted,
 	}
 	for _, r := range sorted {
@@ -144,15 +188,35 @@ func newReport(o Options, results []Result, wall time.Duration) *Report {
 		} else {
 			rep.Failed++
 		}
+		if r.Cached {
+			rep.Provenance.Cached++
+		} else {
+			rep.Provenance.Live++
+		}
+	}
+	if sh := o.Shard.normalize(); sh.Count > 1 {
+		rep.Provenance.Shards = []ShardInfo{{
+			Index: sh.Index, Count: sh.Count, Scenarios: len(sorted),
+			Live: rep.Provenance.Live, Cached: rep.Provenance.Cached,
+			WallMS: wall.Milliseconds(),
+		}}
 	}
 	return rep
 }
 
-// Find returns the result with the given scenario ID, or nil.
+// Find returns the result with the given scenario ID, or nil. Reports
+// written by Run or MergeReports are ID-sorted and looked up by binary
+// search; a hand-assembled (unsorted) report falls back to a linear
+// scan, so queries tolerate partial and merged reports from any source.
 func (r *Report) Find(id string) *Result {
 	i := sort.Search(len(r.Results), func(i int) bool { return r.Results[i].ID >= id })
 	if i < len(r.Results) && r.Results[i].ID == id {
 		return &r.Results[i]
+	}
+	for j := range r.Results {
+		if r.Results[j].ID == id {
+			return &r.Results[j]
+		}
 	}
 	return nil
 }
@@ -215,8 +279,12 @@ func ReadReport(path string) (*Report, error) {
 // line, pass/fail first.
 func (r *Report) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "== SCENARIO MATRIX (schema v%d): %d scenarios, %d pass, %d fail, %.1fs wall ==\n",
+	fmt.Fprintf(&b, "== SCENARIO MATRIX (schema v%d): %d scenarios, %d pass, %d fail, %.1fs wall",
 		r.SchemaVersion, r.Scenarios, r.Passed, r.Failed, float64(r.WallMS)/1000)
+	if p := r.Provenance; p != nil && p.Cached > 0 {
+		fmt.Fprintf(&b, " (%d live, %d cached)", p.Live, p.Cached)
+	}
+	b.WriteString(" ==\n")
 	for _, res := range r.Results {
 		line := fmt.Sprintf("%-4s  %-64s", res.Status, res.ID)
 		switch {

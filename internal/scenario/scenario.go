@@ -26,6 +26,16 @@
 // versioned JSON (see Report) so matrix runs are diffable across
 // revisions; internal/harness builds the paper's figures as thin queries
 // over these results.
+//
+// On top of Run sits the incremental execution layer that keeps the
+// matrix's wall time flat as its axes multiply: every cell has a stable
+// content address (CellHash — spec, result-determining options, derived
+// seeds, engine version), a persistent content-addressed cache (Cache)
+// serves unchanged cells without re-executing them, Options.Shard
+// partitions the enumerated list so independent processes each run a
+// disjoint slice, and MergeReports recombines the partial reports into
+// one — with provenance recording which cells ran live, which came from
+// cache, and what each shard cost.
 package scenario
 
 import (

@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard selects a deterministic 1/Count slice of an enumerated spec
+// list, so N independent processes — CI jobs, machines, terminals — can
+// each run a disjoint subset of the same matrix and merge the partial
+// reports afterwards (MergeReports). The zero value means "unsharded":
+// every spec is selected.
+//
+// The partition is round-robin over the deduplicated, enumeration-
+// ordered spec list (spec i goes to shard i mod Count), which spreads
+// the expensive cells — restart pairings and fault recoveries cluster
+// together in enumeration order — roughly evenly across shards. Two
+// processes sharding the same spec list with the same Count therefore
+// always agree on who owns which cell, with no coordination.
+type Shard struct {
+	// Index is the 0-based shard number, in [0, Count).
+	Index int
+	// Count is the total number of shards; 0 or 1 means unsharded.
+	Count int
+}
+
+// Validate reports why the shard selector is unusable.
+func (sh Shard) Validate() error {
+	if sh.Count < 0 {
+		return fmt.Errorf("scenario: shard count %d is negative", sh.Count)
+	}
+	if sh.Count <= 1 {
+		if sh.Index != 0 {
+			return fmt.Errorf("scenario: shard index %d without a shard count", sh.Index)
+		}
+		return nil
+	}
+	if sh.Index < 0 || sh.Index >= sh.Count {
+		return fmt.Errorf("scenario: shard index %d out of range [0, %d)", sh.Index, sh.Count)
+	}
+	return nil
+}
+
+// normalize maps every selector to a usable one: an unsharded-ish zero
+// or negative Count becomes the zero selector, and an out-of-range
+// Index wraps modulo Count. Run normalizes rather than failing because
+// it has no error channel; cmd-level flag parsing validates loudly
+// first (see cmd/paperfigs -shard).
+func (sh Shard) normalize() Shard {
+	if sh.Count <= 1 {
+		return Shard{}
+	}
+	sh.Index = ((sh.Index % sh.Count) + sh.Count) % sh.Count
+	return sh
+}
+
+// sharded reports whether the selector actually partitions.
+func (sh Shard) sharded() bool { return sh.normalize().Count > 1 }
+
+// Select returns the specs this shard owns, preserving order. The
+// shards of a list are pairwise disjoint and their union is the list:
+// Select over Index 0..Count-1 yields every spec exactly once.
+func (sh Shard) Select(specs []Spec) []Spec {
+	sh = sh.normalize()
+	if sh.Count <= 1 {
+		return specs
+	}
+	var out []Spec
+	for i, s := range specs {
+		if i%sh.Count == sh.Index {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ParseShard parses the "i/n" form of cmd-line shard selectors
+// (0-based index, total count), validating the result. The whole
+// string must be consumed: "1/4/8" and "1/4x" are rejected rather than
+// silently running shard 1 of 4.
+func ParseShard(s string) (Shard, error) {
+	idx, count, found := strings.Cut(s, "/")
+	if !found {
+		return Shard{}, fmt.Errorf("scenario: shard selector %q is not i/n", s)
+	}
+	var sh Shard
+	var err error
+	if sh.Index, err = strconv.Atoi(idx); err != nil {
+		return Shard{}, fmt.Errorf("scenario: shard selector %q is not i/n: %w", s, err)
+	}
+	if sh.Count, err = strconv.Atoi(count); err != nil {
+		return Shard{}, fmt.Errorf("scenario: shard selector %q is not i/n: %w", s, err)
+	}
+	if sh.Count < 1 {
+		return Shard{}, fmt.Errorf("scenario: shard selector %q has no shards", s)
+	}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
