@@ -3,11 +3,20 @@ package repro
 import (
 	"fmt"
 	"os"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/abi"
+	"repro/internal/fabric"
+	"repro/internal/mpich"
+	"repro/internal/mpicore"
+	"repro/internal/openmpi"
+	"repro/internal/ops"
 	"repro/internal/osu"
 	"repro/internal/simnet"
+	"repro/internal/stdabi"
+	"repro/internal/types"
 )
 
 // benchStack builds a small-cluster stack (2x4 ranks) so benchmarks finish
@@ -305,6 +314,127 @@ func BenchmarkCheckpointWrite(b *testing.B) {
 			b.Fatal(err)
 		}
 		os.RemoveAll(dir)
+	}
+}
+
+// corePolicies names each implementation's algorithm personality — the
+// per-policy axis of the mpicore collective microbenchmarks.
+func corePolicies() []struct {
+	name string
+	pol  mpicore.Policy
+} {
+	return []struct {
+		name string
+		pol  mpicore.Policy
+	}{
+		{"MPICH", mpich.Policy()},
+		{"OpenMPI", openmpi.Policy()},
+		{"StdABI", stdabi.Policy()},
+	}
+}
+
+// benchCoreConsts/CoreCodes: the vocabulary never affects the hot path,
+// so the benchmarks use the standard one.
+var benchCoreConsts = mpicore.Consts{
+	AnySource: abi.AnySource, AnyTag: abi.AnyTag, ProcNull: abi.ProcNull,
+	TagUB: abi.TagUB, Undefined: abi.Undefined,
+}
+
+var benchCoreCodes = mpicore.Codes{
+	ErrBuffer: 1, ErrCount: 2, ErrType: 3, ErrTag: 4, ErrComm: 5,
+	ErrRank: 6, ErrRequest: 7, ErrRoot: 8, ErrGroup: 9, ErrOp: 10,
+	ErrArg: 11, ErrTruncate: 12, ErrIntern: 15, ErrOther: 16,
+}
+
+// benchCoreCollective drives one collective b.N times on an 8-rank world
+// directly over the shared runtime — no binding, no shim, no launcher —
+// isolating the refactored hot path the PR-3 regression gate watches.
+// Reported virt-us/op is rank 0's virtual clock advance per operation.
+func benchCoreCollective(b *testing.B, pol mpicore.Policy, coll string, count int) {
+	b.Helper()
+	const ranks = 8
+	w, err := fabric.NewWorld(simnet.SingleNode(ranks))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	var wg sync.WaitGroup
+	fail := make(chan int, ranks)
+	b.ResetTimer()
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			p := mpicore.NewProc(w, r, benchCoreConsts, benchCoreCodes, pol)
+			c := p.CommWorld
+			it := p.Predef(types.KindInt64)
+			sum := p.PredefOp(ops.OpSum)
+			sb := make([]byte, count*8)
+			rb := make([]byte, count*8)
+			a2aIn := make([]byte, ranks*count*8)
+			a2aOut := make([]byte, ranks*count*8)
+			for i := 0; i < b.N; i++ {
+				var code int
+				switch coll {
+				case "bcast":
+					code = p.Bcast(sb, count, it, 0, c)
+				case "allreduce":
+					code = p.Allreduce(sb, rb, count, it, sum, c)
+				case "alltoall":
+					code = p.Alltoall(a2aIn, count, it, a2aOut, count, it, c)
+				}
+				if code != 0 {
+					fail <- code
+					w.Close()
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case code := <-fail:
+		b.Fatalf("collective failed with code %d", code)
+	default:
+	}
+	virtUS := float64(w.Endpoint(0).Clock().Now()) / 1e3
+	b.ReportMetric(virtUS/float64(b.N), "virt-us/op")
+}
+
+// BenchmarkMpicoreBcast sweeps the broadcast hot path per policy, at a
+// size below and above every policy's tree/pipeline switchover.
+func BenchmarkMpicoreBcast(b *testing.B) {
+	for _, pc := range corePolicies() {
+		for _, count := range []int{8, 8192} { // 64 B and 64 KiB
+			b.Run(fmt.Sprintf("%s/bytes=%d", pc.name, count*8), func(b *testing.B) {
+				benchCoreCollective(b, pc.pol, "bcast", count)
+			})
+		}
+	}
+}
+
+// BenchmarkMpicoreAllreduce sweeps the allreduce hot path per policy
+// (recursive doubling vs Rabenseifner vs ring, per each policy's cutoffs).
+func BenchmarkMpicoreAllreduce(b *testing.B) {
+	for _, pc := range corePolicies() {
+		for _, count := range []int{8, 8192} {
+			b.Run(fmt.Sprintf("%s/bytes=%d", pc.name, count*8), func(b *testing.B) {
+				benchCoreCollective(b, pc.pol, "allreduce", count)
+			})
+		}
+	}
+}
+
+// BenchmarkMpicoreAlltoall sweeps the alltoall hot path per policy
+// (Bruck vs overlap vs pairwise, per each policy's cutoffs).
+func BenchmarkMpicoreAlltoall(b *testing.B) {
+	for _, pc := range corePolicies() {
+		for _, count := range []int{8, 1024} { // 64 B and 8 KiB blocks
+			b.Run(fmt.Sprintf("%s/bytes=%d", pc.name, count*8), func(b *testing.B) {
+				benchCoreCollective(b, pc.pol, "alltoall", count)
+			})
+		}
 	}
 }
 

@@ -18,7 +18,7 @@ import (
 func main() {
 	var (
 		bench  = flag.String("bench", "alltoall", "benchmark: alltoall, bcast, allreduce")
-		impl   = flag.String("impl", "mpich", "MPI implementation: mpich, openmpi")
+		impl   = flag.String("impl", "mpich", "MPI implementation: mpich, openmpi, stdabi")
 		abiMod = flag.String("abi", "native", "binding: native, mukautuva")
 		ckpt   = flag.String("ckpt", "none", "checkpoint package: none, mana")
 		nodes  = flag.Int("nodes", 4, "compute nodes")

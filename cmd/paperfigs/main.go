@@ -14,6 +14,7 @@
 //	paperfigs -matrix [-full] [-faults=false] [-parallel N] [-out results.json] [-apps app.comd,app.wave]
 //	paperfigs -matrix -shard 0/4 -cache .scenario-cache -out shard-0.json
 //	paperfigs -merge shard-0.json,shard-1.json,shard-2.json,shard-3.json -out results.json
+//	paperfigs -list [-faults=false] [-apps ...]   # print the cell set, run nothing
 //
 // Figure mode writes one CSV per figure into -out (a directory). Matrix
 // mode writes one JSON report to -out (a file; ".json" is appended to the
@@ -62,8 +63,21 @@ func main() {
 		shardSel = flag.String("shard", "", "run only one deterministic slice of the matrix, format i/n with 0 <= i < n (-matrix only)")
 		cacheDir = flag.String("cache", "", "content-addressed result cache directory; unchanged cells are served from it instead of re-executing")
 		mergeIn  = flag.String("merge", "", "comma-separated shard/partial report JSONs to merge into one report at -out (runs nothing)")
+		list     = flag.Bool("list", false, "print the enumerated matrix cells (id, program, impl, ABI path, ckpt, restart pairing, fault) without executing anything")
 	)
 	flag.Parse()
+
+	if *list {
+		var shard scenario.Shard
+		if *shardSel != "" {
+			var err error
+			if shard, err = scenario.ParseShard(*shardSel); err != nil {
+				fatal(err)
+			}
+		}
+		runList(*apps, *withFlt, shard)
+		return
+	}
 
 	if *full && *quick {
 		fatal(fmt.Errorf("-full and -quick conflict; pick one"))
@@ -129,6 +143,48 @@ func main() {
 		}
 		fmt.Printf("wrote %s/%s.csv\n\n", *out, fig.ID)
 	}
+}
+
+// runList prints the enumerated matrix without executing anything — the
+// cheap way to eyeball what a cell set covers (e.g. the stdabi cells and
+// their cross-restart pairings) before paying for a run.
+func runList(apps string, withFaults bool, shard scenario.Shard) {
+	specs := shard.Select(buildMatrix(apps, withFaults).Enumerate())
+	if shard.Count > 0 {
+		fmt.Printf("shard %d/%d:\n", shard.Index, shard.Count)
+	}
+	fmt.Printf("%-78s %-10s %-8s %-10s %-6s %-18s %s\n",
+		"ID", "PROGRAM", "IMPL", "ABI", "CKPT", "RESTART", "FAULT")
+	for _, s := range specs {
+		restart := "-"
+		if s.HasRestart() {
+			restart = fmt.Sprintf("%s+%s", s.RestartImpl, s.RestartABI)
+		}
+		fault := "-"
+		if s.Fault != "" {
+			fault = string(s.Fault)
+		}
+		fmt.Printf("%-78s %-10s %-8s %-10s %-6s %-18s %s\n",
+			s.ID(), s.Program, s.Impl, s.ABI, s.Ckpt, restart, fault)
+	}
+	fmt.Printf("%d cells\n", len(specs))
+}
+
+// buildMatrix applies the shared -apps/-faults knobs to the default
+// matrix — one definition, so -list always prints exactly the cell set
+// -matrix would run.
+func buildMatrix(apps string, withFaults bool) scenario.MatrixSpec {
+	m := scenario.DefaultMatrix()
+	if !withFaults {
+		m.Faults = nil
+	}
+	if apps != "" {
+		m.Programs = strings.Split(apps, ",")
+		for i := range m.Programs {
+			m.Programs[i] = strings.TrimSpace(m.Programs[i])
+		}
+	}
+	return m
 }
 
 // runMerge recombines shard/partial reports into one and writes it.
@@ -214,17 +270,7 @@ func runMatrix(full, withFaults bool, parallel, reps, nodes, rpn int, seed int64
 	}
 	o.BaseSeed = seed
 
-	m := scenario.DefaultMatrix()
-	if !withFaults {
-		m.Faults = nil
-	}
-	if apps != "" {
-		m.Programs = strings.Split(apps, ",")
-		for i := range m.Programs {
-			m.Programs[i] = strings.TrimSpace(m.Programs[i])
-		}
-	}
-	specs := m.Enumerate()
+	specs := buildMatrix(apps, withFaults).Enumerate()
 	owned := len(shard.Select(specs))
 	if owned != len(specs) {
 		fmt.Printf("running shard %d/%d: %d of %d scenarios (%d workers, %d reps each) ...\n",

@@ -14,7 +14,7 @@ import (
 
 func main() {
 	var (
-		impl   = flag.String("impl", "mpich", "mpich or openmpi")
+		impl   = flag.String("impl", "mpich", "mpich, openmpi or stdabi")
 		abiMod = flag.String("abi", "native", "native or mukautuva")
 		ckpt   = flag.String("ckpt", "none", "none or mana")
 		steps  = flag.Int("steps", 60, "MD steps")

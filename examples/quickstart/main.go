@@ -56,7 +56,7 @@ func (h *hello) Step(env *abi.Env) (bool, error) {
 func main() {
 	repro.RegisterProgram("example.hello", func() repro.Program { return &hello{} })
 
-	for _, impl := range []repro.Impl{repro.ImplMPICH, repro.ImplOpenMPI} {
+	for _, impl := range []repro.Impl{repro.ImplMPICH, repro.ImplOpenMPI, repro.ImplStdABI} {
 		stack := repro.DefaultStack(impl, repro.ABIMukautuva, repro.CkptNone)
 		stack.Net.Nodes = 2
 		stack.Net.RanksPerNode = 4
@@ -72,5 +72,5 @@ func main() {
 		fmt.Printf("%-28s ranks=%d  rank0 ring value=%d (from rank %d)  global sum=%d\n",
 			stack.Label(), n, h0.RingVal, n-1, h0.SumVal)
 	}
-	fmt.Println("same binary state, two MPI implementations — the standard ABI at work")
+	fmt.Println("same binary state, three MPI implementations — the standard ABI at work")
 }

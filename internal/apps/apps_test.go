@@ -4,11 +4,14 @@
 package apps_test
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"repro/internal/abi"
 	"repro/internal/apps/comd"
 	"repro/internal/apps/wavempi"
 	"repro/internal/core"
@@ -45,8 +48,10 @@ func TestWaveChecksumStackIndependent(t *testing.T) {
 	for i, stack := range []core.Stack{
 		smallStack(core.ImplMPICH, core.ABINative, core.CkptNone, 4),
 		smallStack(core.ImplOpenMPI, core.ABINative, core.CkptNone, 4),
+		smallStack(core.ImplStdABI, core.ABINative, core.CkptNone, 4),
 		smallStack(core.ImplMPICH, core.ABIMukautuva, core.CkptMANA, 4),
 		smallStack(core.ImplOpenMPI, core.ABIMukautuva, core.CkptMANA, 4),
+		smallStack(core.ImplStdABI, core.ABIMukautuva, core.CkptMANA, 4),
 	} {
 		w := runWave(t, stack, 25, 2048)
 		if i == 0 {
@@ -186,6 +191,151 @@ func TestAppsCheckpointRestartCrossImpl(t *testing.T) {
 			}
 		})
 	}
+}
+
+// equivProbe is a seeded SPMD program exercising the collective surface
+// with integer payloads: every round it derives a deterministic vector
+// from (seed, round, rank), runs it through allreduce (sum and max),
+// bcast, allgather and alltoall, and folds every result byte into a
+// running FNV-1a digest. Integer reductions are exact, so the digest —
+// and the whole gob-serialized program state — must be byte-identical
+// under every implementation and binding, whatever tree shapes and
+// thresholds their policies pick. (Floating-point apps get a tolerance;
+// this probe is the exact-arithmetic form of the invariant.)
+type equivProbe struct {
+	Seed   int64
+	Rounds int
+	Round  int
+	Digest uint64
+}
+
+func (p *equivProbe) Setup(env *abi.Env) error {
+	p.Digest = 14695981039346656037 // FNV-1a offset basis
+	return nil
+}
+
+func (p *equivProbe) fold(b []byte) {
+	for _, x := range b {
+		p.Digest ^= uint64(x)
+		p.Digest *= 1099511628211
+	}
+}
+
+func (p *equivProbe) Step(env *abi.Env) (bool, error) {
+	n, me := env.Size(), env.Rank()
+	const count = 96 // crosses none of the eager limits; payload math still exact
+	vals := make([]int64, count)
+	for i := range vals {
+		vals[i] = p.Seed + int64(p.Round)*1009 + int64(me)*31 + int64(i)
+	}
+	sb := abi.Int64Bytes(vals)
+	rb := make([]byte, count*8)
+	if err := env.T.Allreduce(sb, rb, count, env.TypeInt64, env.OpSum, env.CommWorld); err != nil {
+		return false, err
+	}
+	p.fold(rb)
+	if err := env.T.Allreduce(sb, rb, count, env.TypeInt64, env.OpMax, env.CommWorld); err != nil {
+		return false, err
+	}
+	p.fold(rb)
+	root := p.Round % n
+	bc := make([]byte, count*8)
+	if me == root {
+		copy(bc, sb)
+	}
+	if err := env.T.Bcast(bc, count, env.TypeInt64, root, env.CommWorld); err != nil {
+		return false, err
+	}
+	p.fold(bc)
+	ag := make([]byte, n*8)
+	if err := env.T.Allgather(abi.Int64Bytes([]int64{vals[0]}), 1, env.TypeInt64,
+		ag, 1, env.TypeInt64, env.CommWorld); err != nil {
+		return false, err
+	}
+	p.fold(ag)
+	a2a := make([]int64, n)
+	for d := 0; d < n; d++ {
+		a2a[d] = vals[0]*1000 + int64(d)
+	}
+	at := make([]byte, n*8)
+	if err := env.T.Alltoall(abi.Int64Bytes(a2a), 1, env.TypeInt64,
+		at, 1, env.TypeInt64, env.CommWorld); err != nil {
+		return false, err
+	}
+	p.fold(at)
+	p.Round++
+	return p.Round >= p.Rounds, nil
+}
+
+func init() {
+	core.RegisterProgram("test.equiv.collectives", func() core.Program {
+		return &equivProbe{Seed: 7, Rounds: 5}
+	})
+}
+
+// TestCollectiveResultsByteIdenticalAcrossImpls is the "same math,
+// different ABI" invariant: the same seeded program must produce
+// byte-identical reduction/collective results under mpich, openmpi and
+// stdabi — natively and through the standard-ABI shim — down to the
+// gob-serialized program state of every rank.
+func TestCollectiveResultsByteIdenticalAcrossImpls(t *testing.T) {
+	const n = 5 // odd size exercises the non-power-of-two paths everywhere
+	type leg struct {
+		impl core.Impl
+		abi  core.ABIMode
+	}
+	legs := []leg{
+		{core.ImplMPICH, core.ABINative},
+		{core.ImplOpenMPI, core.ABINative},
+		{core.ImplStdABI, core.ABINative},
+		{core.ImplMPICH, core.ABIMukautuva},
+		{core.ImplOpenMPI, core.ABIMukautuva},
+		{core.ImplStdABI, core.ABIMukautuva},
+	}
+	var ref [][]byte // per-rank gob state of the first leg
+	for i, l := range legs {
+		stack := smallStack(l.impl, l.abi, core.CkptNone, n)
+		job, err := core.Launch(stack, "test.equiv.collectives")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := job.Wait(); err != nil {
+			t.Fatalf("%s+%s: %v", l.impl, l.abi, err)
+		}
+		states := make([][]byte, n)
+		for r := 0; r < n; r++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(job.Program(r)); err != nil {
+				t.Fatal(err)
+			}
+			states[r] = buf.Bytes()
+			probe := job.Program(r).(*equivProbe)
+			if probe.Round != probe.Rounds || probe.Digest == 0 {
+				t.Fatalf("%s+%s rank %d: probe did not complete: %+v", l.impl, l.abi, r, probe)
+			}
+		}
+		if i == 0 {
+			ref = states
+			continue
+		}
+		for r := 0; r < n; r++ {
+			if !bytes.Equal(states[r], ref[r]) {
+				t.Errorf("%s+%s rank %d: state diverges from %s+%s (digest %x vs %x)",
+					l.impl, l.abi, r, legs[0].impl, legs[0].abi,
+					job.Program(r).(*equivProbe).Digest, mustProbe(t, ref[r]).Digest)
+			}
+		}
+	}
+}
+
+// mustProbe decodes a gob-serialized probe state.
+func mustProbe(t *testing.T, raw []byte) *equivProbe {
+	t.Helper()
+	var p equivProbe
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	return &p
 }
 
 func TestScaleHelpers(t *testing.T) {

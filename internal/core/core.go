@@ -25,6 +25,7 @@ import (
 	"repro/internal/mukautuva"
 	"repro/internal/openmpi"
 	"repro/internal/simnet"
+	"repro/internal/stdabi"
 	"repro/internal/wi4mpi"
 )
 
@@ -74,6 +75,10 @@ type Impl string
 const (
 	ImplMPICH   Impl = "mpich"
 	ImplOpenMPI Impl = "openmpi"
+	// ImplStdABI is the standard-ABI-native implementation: its native
+	// handle model, constants and error codes ARE the standard ABI's
+	// (internal/stdabi), so even its "native" binding is portable.
+	ImplStdABI Impl = "stdabi"
 )
 
 // ABIMode selects how the application binds to the implementation.
@@ -129,7 +134,7 @@ type Stack struct {
 // Validate reports configuration errors.
 func (s Stack) Validate() error {
 	switch s.Impl {
-	case ImplMPICH, ImplOpenMPI:
+	case ImplMPICH, ImplOpenMPI, ImplStdABI:
 	default:
 		return fmt.Errorf("core: unknown implementation %q", s.Impl)
 	}
@@ -148,7 +153,7 @@ func (s Stack) Validate() error {
 
 // Label renders the stack the way the paper's figure legends do.
 func (s Stack) Label() string {
-	name := map[Impl]string{ImplMPICH: "MPICH", ImplOpenMPI: "Open MPI"}[s.Impl]
+	name := map[Impl]string{ImplMPICH: "MPICH", ImplOpenMPI: "Open MPI", ImplStdABI: "StdABI"}[s.Impl]
 	switch s.ABI {
 	case ABIMukautuva:
 		name += " + Mukautuva"
@@ -272,6 +277,8 @@ func buildTable(stack Stack, w *fabric.World, rank int) (abi.FuncTable, dmtcp.Pl
 			table = mpich.Bind(mpich.Init(w, rank))
 		case ImplOpenMPI:
 			table = openmpi.Bind(openmpi.Init(w, rank))
+		case ImplStdABI:
+			table = stdabi.Bind(stdabi.Init(w, rank))
 		}
 	case ABIMukautuva:
 		shim, err := mukautuva.Load(string(stack.Impl), w, rank, stack.Muk)
@@ -300,6 +307,8 @@ func buildTable(stack Stack, w *fabric.World, rank int) (abi.FuncTable, dmtcp.Pl
 			mcfg.ErrClass = mpich.ClassOfCode
 		case ImplOpenMPI:
 			mcfg.ErrClass = openmpi.ClassOfCode
+		case ImplStdABI:
+			mcfg.ErrClass = stdabi.ClassOfCode
 		}
 	case ABIWi4MPI:
 		// Wi4MPI presents MPICH's code space upward regardless of the

@@ -1,0 +1,652 @@
+package mpich
+
+import (
+	"repro/internal/mpicore"
+)
+
+// This file is MPICH's public MPI surface: every function decodes the
+// package's native handles, delegates to the shared mpicore runtime, and
+// re-encodes results. The runtime was constructed with MPICH's constant
+// and error-code tables, so codes and sentinels come back already in
+// MPICH's vocabulary.
+
+func fillProcNullStatus(st *Status) {
+	if st == nil {
+		return
+	}
+	st.Source = ProcNull
+	st.Tag = AnyTag
+	st.Error = Success
+	st.setCount(0)
+}
+
+// Send is blocking standard-mode MPI_Send.
+func (p *Proc) Send(buf []byte, count int, dtype Handle, dest, tag int, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return code
+	}
+	return p.rt.Send(buf, count, dt, dest, tag, c)
+}
+
+// Recv is blocking MPI_Recv.
+func (p *Proc) Recv(buf []byte, count int, dtype Handle, source, tag int, comm Handle, st *Status) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return code
+	}
+	var cs mpicore.Status
+	code = p.rt.Recv(buf, count, dt, source, tag, c, &cs)
+	if st != nil {
+		*st = nativeStatus(&cs)
+	}
+	return code
+}
+
+// Isend is nonblocking MPI_Isend. The returned request must be completed
+// with Wait/Test/Waitall.
+func (p *Proc) Isend(buf []byte, count int, dtype Handle, dest, tag int, comm Handle) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return RequestNull, code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return RequestNull, code
+	}
+	r, code := p.rt.Isend(buf, count, dt, dest, tag, c)
+	if code != Success {
+		return RequestNull, code
+	}
+	h := p.newReqHandle()
+	p.reqs[h] = r
+	return h, Success
+}
+
+// Irecv is nonblocking MPI_Irecv.
+func (p *Proc) Irecv(buf []byte, count int, dtype Handle, source, tag int, comm Handle) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return RequestNull, code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return RequestNull, code
+	}
+	r, code := p.rt.Irecv(buf, count, dt, source, tag, c)
+	if code != Success {
+		return RequestNull, code
+	}
+	h := p.newReqHandle()
+	p.reqs[h] = r
+	return h, Success
+}
+
+// Wait completes one request, freeing it.
+func (p *Proc) Wait(req Handle, st *Status) int {
+	if req == RequestNull {
+		fillProcNullStatus(st)
+		return Success
+	}
+	r, ok := p.reqs[req]
+	if !ok {
+		return ErrRequest
+	}
+	var cs mpicore.Status
+	code := p.rt.Wait(r, &cs)
+	if !r.Done() {
+		return code // progress failed; the request stays live
+	}
+	delete(p.reqs, req)
+	if st != nil {
+		*st = nativeStatus(&cs)
+	}
+	return code
+}
+
+// Test polls one request; outcome=(completed, code). A completed request
+// is freed.
+func (p *Proc) Test(req Handle, st *Status) (bool, int) {
+	if req == RequestNull {
+		fillProcNullStatus(st)
+		return true, Success
+	}
+	r, ok := p.reqs[req]
+	if !ok {
+		return false, ErrRequest
+	}
+	var cs mpicore.Status
+	done, code := p.rt.Test(r, &cs)
+	if !done {
+		return false, code
+	}
+	delete(p.reqs, req)
+	if st != nil {
+		*st = nativeStatus(&cs)
+	}
+	return true, code
+}
+
+// Waitall completes a set of requests. statuses may be nil or match
+// len(reqs).
+func (p *Proc) Waitall(reqs []Handle, statuses []Status) int {
+	if statuses != nil && len(statuses) != len(reqs) {
+		return ErrArg
+	}
+	rc := Success
+	for i, h := range reqs {
+		var st Status
+		code := p.Wait(h, &st)
+		if code != Success {
+			rc = code
+		}
+		if statuses != nil {
+			statuses[i] = st
+		}
+	}
+	return rc
+}
+
+// Sendrecv posts the receive, runs the send, then completes the receive —
+// the deadlock-free composite MPI_Sendrecv.
+func (p *Proc) Sendrecv(sendbuf []byte, scount int, stype Handle, dest, stag int,
+	recvbuf []byte, rcount int, rtype Handle, source, rtag int,
+	comm Handle, st *Status) int {
+	rreq, code := p.Irecv(recvbuf, rcount, rtype, source, rtag, comm)
+	if code != Success {
+		return code
+	}
+	if code := p.Send(sendbuf, scount, stype, dest, stag, comm); code != Success {
+		return code
+	}
+	return p.Wait(rreq, st)
+}
+
+// Probe mirrors MPI_Probe: block until a matching message is pending.
+func (p *Proc) Probe(source, tag int, comm Handle, st *Status) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	var cs mpicore.Status
+	code = p.rt.Probe(source, tag, c, &cs)
+	if code == Success && st != nil {
+		*st = nativeStatus(&cs)
+	}
+	return code
+}
+
+// Iprobe mirrors MPI_Iprobe: poll for a matching pending message.
+func (p *Proc) Iprobe(source, tag int, comm Handle, st *Status) (bool, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return false, code
+	}
+	var cs mpicore.Status
+	found, code := p.rt.Iprobe(source, tag, c, &cs)
+	if found && st != nil {
+		*st = nativeStatus(&cs)
+	}
+	return found, code
+}
+
+// Barrier uses MPICH's dissemination algorithm (see the policy in
+// proc.go).
+func (p *Proc) Barrier(comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	return p.rt.Barrier(c)
+}
+
+// Bcast uses binomial trees for short messages and a scatter plus ring
+// allgather for long ones, MPICH's classic selection.
+func (p *Proc) Bcast(buf []byte, count int, dtype Handle, root int, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return code
+	}
+	return p.rt.Bcast(buf, count, dt, root, c)
+}
+
+// Reduce uses a binomial tree (commutative operators).
+func (p *Proc) Reduce(sendbuf, recvbuf []byte, count int, dtype, op Handle, root int, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return code
+	}
+	o, code := p.lookupOp(op)
+	if code != Success {
+		return code
+	}
+	return p.rt.Reduce(sendbuf, recvbuf, count, dt, o, root, c)
+}
+
+// Allreduce selects recursive doubling for short messages and
+// Rabenseifner's reduce-scatter/allgather for long power-of-two cases,
+// like MPICH.
+func (p *Proc) Allreduce(sendbuf, recvbuf []byte, count int, dtype, op Handle, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	dt, code := p.lookupType(dtype)
+	if code != Success {
+		return code
+	}
+	o, code := p.lookupOp(op)
+	if code != Success {
+		return code
+	}
+	return p.rt.Allreduce(sendbuf, recvbuf, count, dt, o, c)
+}
+
+// Gather uses MPICH's binomial tree: each subtree root forwards its
+// aggregated block range to its parent.
+func (p *Proc) Gather(sendbuf []byte, scount int, stype Handle,
+	recvbuf []byte, rcount int, rtype Handle, root int, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	st, code := p.lookupType(stype)
+	if code != Success {
+		return code
+	}
+	rt, _ := p.lookupType(rtype) // validated by the runtime at the root
+	return p.rt.Gather(sendbuf, scount, st, recvbuf, rcount, rt, root, c)
+}
+
+// Scatter is the binomial mirror of Gather.
+func (p *Proc) Scatter(sendbuf []byte, scount int, stype Handle,
+	recvbuf []byte, rcount int, rtype Handle, root int, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	rt, code := p.lookupType(rtype)
+	if code != Success {
+		return code
+	}
+	st, _ := p.lookupType(stype) // validated by the runtime at the root
+	return p.rt.Scatter(sendbuf, scount, st, recvbuf, rcount, rt, root, c)
+}
+
+// Allgather uses recursive doubling on power-of-two communicators for
+// short messages and a ring otherwise, MPICH's selection.
+func (p *Proc) Allgather(sendbuf []byte, scount int, stype Handle,
+	recvbuf []byte, rcount int, rtype Handle, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	st, code := p.lookupType(stype)
+	if code != Success {
+		return code
+	}
+	rt, code := p.lookupType(rtype)
+	if code != Success {
+		return code
+	}
+	return p.rt.Allgather(sendbuf, scount, st, recvbuf, rcount, rt, c)
+}
+
+// Alltoall uses the Bruck algorithm for short blocks, nonblocking overlap
+// for medium ones and pairwise exchanges for long ones, MPICH's selection.
+func (p *Proc) Alltoall(sendbuf []byte, scount int, stype Handle,
+	recvbuf []byte, rcount int, rtype Handle, comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	st, code := p.lookupType(stype)
+	if code != Success {
+		return code
+	}
+	rt, code := p.lookupType(rtype)
+	if code != Success {
+		return code
+	}
+	return p.rt.Alltoall(sendbuf, scount, st, recvbuf, rcount, rt, c)
+}
+
+// CommSize mirrors MPI_Comm_size.
+func (p *Proc) CommSize(comm Handle) (int, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return 0, code
+	}
+	return c.Size(), Success
+}
+
+// CommRank mirrors MPI_Comm_rank.
+func (p *Proc) CommRank(comm Handle) (int, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return 0, code
+	}
+	return c.MyPos, Success
+}
+
+// CommDup duplicates a communicator into a fresh context id (collective).
+func (p *Proc) CommDup(comm Handle) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return CommNull, code
+	}
+	nc, code := p.rt.CommDup(c)
+	if code != Success {
+		return CommNull, code
+	}
+	h := p.newCommHandle()
+	p.comms[h] = nc
+	return h, Success
+}
+
+// CommSplit partitions a communicator by color, ordering members by (key,
+// parent rank). Color Undefined yields CommNull (collective).
+func (p *Proc) CommSplit(comm Handle, color, key int) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return CommNull, code
+	}
+	nc, code := p.rt.CommSplit(c, color, key)
+	if code != Success || nc == nil {
+		return CommNull, code
+	}
+	h := p.newCommHandle()
+	p.comms[h] = nc
+	return h, Success
+}
+
+// CommCreate builds a communicator from a subgroup; callers outside the
+// group receive CommNull. Collective over the parent.
+func (p *Proc) CommCreate(comm, group Handle) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return CommNull, code
+	}
+	g, ok := p.groups[group]
+	if !ok || group.isNull() {
+		return CommNull, ErrGroup
+	}
+	nc, code := p.rt.CommCreate(c, g)
+	if code != Success || nc == nil {
+		return CommNull, code
+	}
+	h := p.newCommHandle()
+	p.comms[h] = nc
+	return h, Success
+}
+
+// CommGroup extracts a communicator's group.
+func (p *Proc) CommGroup(comm Handle) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return GroupNull, code
+	}
+	g, code := p.rt.CommGroup(c)
+	if code != Success {
+		return GroupNull, code
+	}
+	h := p.newGroupHandle()
+	p.groups[h] = g
+	return h, Success
+}
+
+// CommFree releases a dynamic communicator. Predefined communicators are
+// rejected, as in MPI.
+func (p *Proc) CommFree(comm Handle) int {
+	if comm == CommWorld || comm == CommSelf {
+		return ErrComm
+	}
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	if code := p.rt.CommFree(c); code != Success {
+		return code
+	}
+	delete(p.comms, comm)
+	return Success
+}
+
+// GroupSize mirrors MPI_Group_size.
+func (p *Proc) GroupSize(group Handle) (int, int) {
+	if group == GroupEmpty {
+		return 0, Success
+	}
+	g, code := p.lookupGroup(group)
+	if code != Success {
+		return 0, code
+	}
+	return p.rt.GroupSize(g)
+}
+
+// GroupRank mirrors MPI_Group_rank (Undefined when not a member).
+func (p *Proc) GroupRank(group Handle) (int, int) {
+	g, code := p.lookupGroup(group)
+	if code != Success {
+		return 0, code
+	}
+	return p.rt.GroupRank(g)
+}
+
+// GroupIncl selects the listed ranks into a new group, in order.
+func (p *Proc) GroupIncl(group Handle, ranksIn []int) (Handle, int) {
+	g, code := p.lookupGroup(group)
+	if code != Success {
+		return GroupNull, code
+	}
+	if len(ranksIn) == 0 {
+		return GroupEmpty, Success
+	}
+	ng, code := p.rt.GroupIncl(g, ranksIn)
+	if code != Success {
+		return GroupNull, code
+	}
+	h := p.newGroupHandle()
+	p.groups[h] = ng
+	return h, Success
+}
+
+// GroupExcl removes the listed ranks from a group, preserving order.
+func (p *Proc) GroupExcl(group Handle, ranksOut []int) (Handle, int) {
+	g, code := p.lookupGroup(group)
+	if code != Success {
+		return GroupNull, code
+	}
+	ng, code := p.rt.GroupExcl(g, ranksOut)
+	if code != Success {
+		return GroupNull, code
+	}
+	if len(ng.Ranks) == 0 {
+		return GroupEmpty, Success
+	}
+	h := p.newGroupHandle()
+	p.groups[h] = ng
+	return h, Success
+}
+
+// GroupTranslateRanks maps ranks in g1 to their ranks in g2 (Undefined
+// when absent), mirroring MPI_Group_translate_ranks.
+func (p *Proc) GroupTranslateRanks(g1 Handle, ranks []int, g2 Handle) ([]int, int) {
+	a, code := p.lookupGroup(g1)
+	if code != Success {
+		return nil, code
+	}
+	b, code := p.lookupGroup(g2)
+	if code != Success {
+		return nil, code
+	}
+	return p.rt.GroupTranslateRanks(a, ranks, b)
+}
+
+// GroupFree releases a dynamic group.
+func (p *Proc) GroupFree(group Handle) int {
+	if group == GroupEmpty {
+		return Success
+	}
+	if _, ok := p.groups[group]; !ok || group.isNull() {
+		return ErrGroup
+	}
+	delete(p.groups, group)
+	return Success
+}
+
+// TypeContiguous mirrors MPI_Type_contiguous.
+func (p *Proc) TypeContiguous(count int, inner Handle) (Handle, int) {
+	it, code := p.lookupType(inner)
+	if code != Success {
+		return DatatypeNull, code
+	}
+	t, code := p.rt.TypeContiguous(count, it)
+	if code != Success {
+		return DatatypeNull, code
+	}
+	h := p.newTypeHandle()
+	p.dtypes[h] = t
+	return h, Success
+}
+
+// TypeVector mirrors MPI_Type_vector.
+func (p *Proc) TypeVector(count, blocklen, stride int, inner Handle) (Handle, int) {
+	it, code := p.lookupType(inner)
+	if code != Success {
+		return DatatypeNull, code
+	}
+	t, code := p.rt.TypeVector(count, blocklen, stride, it)
+	if code != Success {
+		return DatatypeNull, code
+	}
+	h := p.newTypeHandle()
+	p.dtypes[h] = t
+	return h, Success
+}
+
+// TypeIndexed mirrors MPI_Type_indexed.
+func (p *Proc) TypeIndexed(blocklens, displs []int, inner Handle) (Handle, int) {
+	it, code := p.lookupType(inner)
+	if code != Success {
+		return DatatypeNull, code
+	}
+	t, code := p.rt.TypeIndexed(blocklens, displs, it)
+	if code != Success {
+		return DatatypeNull, code
+	}
+	h := p.newTypeHandle()
+	p.dtypes[h] = t
+	return h, Success
+}
+
+// TypeCreateStruct mirrors MPI_Type_create_struct. Member types must be
+// committed first (our engine's flattening requirement).
+func (p *Proc) TypeCreateStruct(blocklens, displs []int, typs []Handle) (Handle, int) {
+	members := make([]*mpicore.Type, len(typs))
+	for i, th := range typs {
+		tt, code := p.lookupType(th)
+		if code != Success {
+			return DatatypeNull, code
+		}
+		members[i] = tt
+	}
+	t, code := p.rt.TypeCreateStruct(blocklens, displs, members)
+	if code != Success {
+		return DatatypeNull, code
+	}
+	h := p.newTypeHandle()
+	p.dtypes[h] = t
+	return h, Success
+}
+
+// TypeCommit mirrors MPI_Type_commit.
+func (p *Proc) TypeCommit(dtype Handle) int {
+	t, code := p.lookupType(dtype)
+	if code != Success {
+		return code
+	}
+	return p.rt.TypeCommit(t)
+}
+
+// TypeFree releases a dynamic datatype; predefined types are rejected.
+func (p *Proc) TypeFree(dtype Handle) int {
+	t, code := p.lookupType(dtype)
+	if code != Success {
+		return code
+	}
+	if code := p.rt.TypeFree(t); code != Success {
+		return code
+	}
+	delete(p.dtypes, dtype)
+	return Success
+}
+
+// TypeSize mirrors MPI_Type_size (committing lazily for queries).
+func (p *Proc) TypeSize(dtype Handle) (int, int) {
+	t, code := p.lookupType(dtype)
+	if code != Success {
+		return 0, code
+	}
+	return p.rt.TypeSize(t)
+}
+
+// TypeExtent mirrors MPI_Type_get_extent.
+func (p *Proc) TypeExtent(dtype Handle) (int, int) {
+	t, code := p.lookupType(dtype)
+	if code != Success {
+		return 0, code
+	}
+	return p.rt.TypeExtent(t)
+}
+
+// GetCount mirrors MPI_Get_count.
+func (p *Proc) GetCount(st *Status, dtype Handle) (int, int) {
+	t, code := p.lookupType(dtype)
+	if code != Success {
+		return 0, code
+	}
+	return p.rt.GetCount(st.CountBytes(), t)
+}
+
+// OpCreate registers a user reduction operator by registry name (see
+// ops.RegisterUser); named registration is what lets user ops survive a
+// checkpoint/restart.
+func (p *Proc) OpCreate(name string, commute bool) (Handle, int) {
+	o, code := p.rt.OpCreate(name, commute)
+	if code != Success {
+		return OpNull, code
+	}
+	h := p.newOpHandle()
+	p.userOps[h] = o
+	return h, Success
+}
+
+// OpFree releases a user operator; predefined operators are rejected.
+func (p *Proc) OpFree(op Handle) int {
+	o, code := p.lookupOp(op)
+	if code != Success {
+		return code
+	}
+	if code := p.rt.OpFree(o); code != Success {
+		return code
+	}
+	delete(p.userOps, op)
+	return Success
+}

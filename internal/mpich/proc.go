@@ -2,9 +2,9 @@ package mpich
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"repro/internal/fabric"
+	"repro/internal/mpicore"
 	"repro/internal/ops"
 	"repro/internal/types"
 )
@@ -12,156 +12,145 @@ import (
 // Version identifies the simulated library, mirroring the paper's testbed.
 const Version = "MPICH 3.3.2 (simulated)"
 
-// collCIDBit marks collective-internal traffic so it can never match
-// application point-to-point receives on the same communicator.
-const collCIDBit uint32 = 1 << 31
-
 // eagerMax is MPICH's eager/rendezvous switchover in bytes.
 const eagerMax = 16 * 1024
 
-type commObj struct {
-	handle  Handle
-	cid     uint32
-	ranks   []int // communicator rank -> world rank
-	myPos   int   // my rank within the communicator
-	collSeq uint32
-	chldSeq uint32 // per-parent child communicator counter (cid derivation)
-}
-
-func (c *commObj) size() int { return len(c.ranks) }
-
-// posOf translates a world rank into a communicator rank, or -1.
-func (c *commObj) posOf(world int) int {
-	for i, r := range c.ranks {
-		if r == world {
-			return i
-		}
-	}
-	return -1
-}
-
-type groupObj struct {
-	handle Handle
-	ranks  []int // group rank -> world rank
-	myPos  int   // my position, or Undefined
-}
-
-type typeObj struct {
-	handle Handle
-	t      *types.Type
-	prim   types.Kind // valid for predefined types
-}
-
-type opObj struct {
-	handle  Handle
-	op      ops.Op // predefined, or OpNull for user ops
-	user    string // user op registry name
-	commute bool
-}
-
-type reqKind uint8
-
+// MPICH-style collective algorithm selection thresholds (bytes). These —
+// together with the handle encoding, the error-code table and the status
+// layout — are the whole of what this package adds over the shared
+// mpicore runtime: the ABI surface and the algorithm personality.
 const (
-	reqRecv reqKind = iota
-	reqSend
+	bcastShortMax       = 12288 // binomial below, scatter+ring-allgather above
+	allreduceShortMax   = 2048  // recursive doubling below, Rabenseifner above
+	alltoallBruckMax    = 256   // Bruck below, nonblocking overlap between
+	alltoallPairwiseMin = 32768 // pairwise exchange above (long messages)
+	allgatherRDMax      = 32768 // recursive doubling (pow2) below, ring above
 )
 
-// request is an in-flight operation. Blocking calls allocate one on the
-// stack side; nonblocking calls register it in the request table.
-type request struct {
-	handle Handle
-	kind   reqKind
-	done   bool
-	code   int // completion error code
-
-	// Receive bookkeeping.
-	comm     *commObj
-	buf      []byte
-	count    int
-	dt       *typeObj
-	srcWorld int // matched source world rank, or AnySource sentinel
-	tag      int
-	cid      uint32
-	raw      bool   // collective-internal: deliver packed payload directly
-	rawOut   []byte // raw delivery target
-	status   Status
-
-	// Rendezvous send bookkeeping.
-	payload []byte
-	dest    int // destination world rank
-	seq     uint64
+// consts is MPICH's integer-constant vocabulary (see handles.go).
+var mpichConsts = mpicore.Consts{
+	AnySource: AnySource,
+	AnyTag:    AnyTag,
+	ProcNull:  ProcNull,
+	TagUB:     TagUB,
+	Undefined: Undefined,
 }
 
-type seqKey struct {
-	peer int
-	seq  uint64
+// codes is MPICH's error-code table (see errors.go).
+var mpichCodes = mpicore.Codes{
+	Success:     Success,
+	ErrBuffer:   ErrBuffer,
+	ErrCount:    ErrCount,
+	ErrType:     ErrType,
+	ErrTag:      ErrTag,
+	ErrComm:     ErrComm,
+	ErrRank:     ErrRank,
+	ErrRoot:     ErrRoot,
+	ErrGroup:    ErrGroup,
+	ErrOp:       ErrOp,
+	ErrArg:      ErrArg,
+	ErrTruncate: ErrTruncate,
+	ErrRequest:  ErrRequest,
+	ErrIntern:   ErrIntern,
+	ErrOther:    ErrOther,
 }
 
-// Proc is one rank's MPICH library instance (the paper's "lower half").
+// Policy is MPICH's algorithm personality over the shared runtime: the
+// classic selections (binomial broadcast with a scatter+ring switch,
+// recursive-doubling and Rabenseifner allreduce, Bruck/overlap/pairwise
+// alltoall, dissemination barrier) at MPICH's thresholds.
+func Policy() mpicore.Policy {
+	return mpicore.Policy{
+		EagerMax:  eagerMax,
+		DeriveCID: mpicore.FNV1aCIDDeriver(),
+		Barrier: func(p *mpicore.Proc, c *mpicore.Comm, tag int32) int {
+			return p.BarrierDissemination(c, tag)
+		},
+		Bcast: func(p *mpicore.Proc, c *mpicore.Comm, packed []byte, root int, tag int32) int {
+			if len(packed) <= bcastShortMax {
+				return p.BcastBinomial(c, packed, root, tag)
+			}
+			return p.BcastScatterRing(c, packed, root, tag)
+		},
+		Reduce: func(p *mpicore.Proc, c *mpicore.Comm, acc []byte, o *mpicore.Op, k types.Kind, root int, tag int32) int {
+			return p.ReduceBinomial(c, acc, o, k, root, tag)
+		},
+		Allreduce: func(p *mpicore.Proc, c *mpicore.Comm, acc []byte, o *mpicore.Op, k types.Kind, tag int32) int {
+			n := c.Size()
+			elems := len(acc) / k.Size()
+			isPow2 := n&(n-1) == 0
+			if len(acc) > allreduceShortMax && isPow2 && elems >= n {
+				return p.AllreduceRabenseifner(c, acc, o, k, tag)
+			}
+			return p.AllreduceRecDoubling(c, acc, o, k, tag, 62)
+		},
+		Gather: func(p *mpicore.Proc, c *mpicore.Comm, own, region []byte, blockSz, root int, tag int32) int {
+			return p.GatherBinomial(c, own, region, blockSz, root, tag)
+		},
+		Scatter: func(p *mpicore.Proc, c *mpicore.Comm, region []byte, blockSz, root int, tag int32) ([]byte, int) {
+			return p.ScatterBinomial(c, region, blockSz, root, tag)
+		},
+		Allgather: func(p *mpicore.Proc, c *mpicore.Comm, region []byte, blockSz int, tag int32) int {
+			n := c.Size()
+			if n&(n-1) == 0 && n*blockSz <= allgatherRDMax {
+				return p.AllgatherRecDoubling(c, region, blockSz, tag)
+			}
+			return p.AllgatherRing(c, region, blockSz, tag)
+		},
+		Alltoall: func(p *mpicore.Proc, c *mpicore.Comm, out, in []byte, blockSz int, tag int32) int {
+			switch {
+			case blockSz <= alltoallBruckMax:
+				return p.AlltoallBruck(c, out, in, blockSz, tag)
+			case blockSz < alltoallPairwiseMin:
+				return p.AlltoallOverlap(c, out, in, blockSz, tag)
+			default:
+				return p.AlltoallPairwise(c, out, in, blockSz, tag)
+			}
+		},
+	}
+}
+
+// Proc is one rank's MPICH library instance (the paper's "lower half"):
+// the shared mpicore runtime plus MPICH's handle tables. Every API method
+// decodes MPICH's 32-bit handles into runtime objects, delegates, and
+// encodes results back — the same translation a natively compiled binary
+// gets from mpi.h macros.
 type Proc struct {
-	ep    *fabric.Endpoint
-	world *fabric.World
-	rank  int
-	size  int
+	rt *mpicore.Proc
 
-	comms     map[Handle]*commObj
-	cidIndex  map[uint32]*commObj
-	groups    map[Handle]*groupObj
-	dtypes    map[Handle]*typeObj
-	userOps   map[Handle]*opObj
-	reqs      map[Handle]*request
+	comms   map[Handle]*mpicore.Comm
+	groups  map[Handle]*mpicore.Group
+	dtypes  map[Handle]*mpicore.Type
+	userOps map[Handle]*mpicore.Op
+	reqs    map[Handle]*mpicore.Request
+
 	nextComm  int32
 	nextGroup int32
 	nextType  int32
 	nextOp    int32
 	nextReq   int32
-
-	posted       []*request
-	unexpected   []*fabric.Envelope
-	pendingSend  map[uint64]*request // my rendezvous sends by seq
-	awaitingData map[seqKey]*request // matched rendezvous recvs by (src,seq)
-	nextRdvSeq   uint64
-
-	finalized bool
 }
 
 // Init attaches a fresh MPICH instance to the given world endpoint, the
 // analog of MPI_Init for one rank.
 func Init(w *fabric.World, rank int) *Proc {
 	p := &Proc{
-		ep:           w.Endpoint(rank),
-		world:        w,
-		rank:         rank,
-		size:         w.Size(),
-		comms:        make(map[Handle]*commObj),
-		cidIndex:     make(map[uint32]*commObj),
-		groups:       make(map[Handle]*groupObj),
-		dtypes:       make(map[Handle]*typeObj),
-		userOps:      make(map[Handle]*opObj),
-		reqs:         make(map[Handle]*request),
-		pendingSend:  make(map[uint64]*request),
-		awaitingData: make(map[seqKey]*request),
+		rt:      mpicore.NewProc(w, rank, mpichConsts, mpichCodes, Policy()),
+		comms:   make(map[Handle]*mpicore.Comm),
+		groups:  make(map[Handle]*mpicore.Group),
+		dtypes:  make(map[Handle]*mpicore.Type),
+		userOps: make(map[Handle]*mpicore.Op),
+		reqs:    make(map[Handle]*mpicore.Request),
 	}
-	worldRanks := make([]int, p.size)
-	for i := range worldRanks {
-		worldRanks[i] = i
-	}
-	p.installComm(&commObj{handle: CommWorld, cid: 1, ranks: worldRanks, myPos: rank})
-	p.installComm(&commObj{handle: CommSelf, cid: 2, ranks: []int{rank}, myPos: 0})
+	p.comms[CommWorld] = p.rt.CommWorld
+	p.comms[CommSelf] = p.rt.CommSelf
 	for _, k := range types.Kinds() {
-		h := TypeHandle(k)
-		p.dtypes[h] = &typeObj{handle: h, t: types.Predefined(k), prim: k}
+		p.dtypes[TypeHandle(k)] = p.rt.Predef(k)
 	}
 	for _, op := range ops.Ops() {
-		h := OpHandle(op)
-		p.userOps[h] = &opObj{handle: h, op: op, commute: op.Commutative()}
+		p.userOps[OpHandle(op)] = p.rt.PredefOp(op)
 	}
 	return p
-}
-
-func (p *Proc) installComm(c *commObj) {
-	p.comms[c.handle] = c
-	p.cidIndex[c.cid] = c
 }
 
 // TypeHandle returns the MPICH handle of a predefined datatype. Real MPICH
@@ -194,25 +183,22 @@ func OpOfPredefined(h Handle) (ops.Op, bool) {
 }
 
 // Rank returns this process's world rank. Size returns the world size.
-func (p *Proc) Rank() int { return p.rank }
+func (p *Proc) Rank() int { return p.rt.Rank() }
 
 // Size returns the number of ranks in the world.
-func (p *Proc) Size() int { return p.size }
+func (p *Proc) Size() int { return p.rt.Size() }
 
 // World exposes the fabric world (used by the launcher and tests).
-func (p *Proc) World() *fabric.World { return p.world }
+func (p *Proc) World() *fabric.World { return p.rt.World() }
 
 // Finalize releases the instance. Outstanding requests are abandoned.
-func (p *Proc) Finalize() int {
-	p.finalized = true
-	return Success
-}
+func (p *Proc) Finalize() int { return p.rt.Finalize() }
 
 // Finalized reports whether Finalize has run.
-func (p *Proc) Finalized() bool { return p.finalized }
+func (p *Proc) Finalized() bool { return p.rt.Finalized() }
 
 // lookupComm validates a communicator handle.
-func (p *Proc) lookupComm(h Handle) (*commObj, int) {
+func (p *Proc) lookupComm(h Handle) (*mpicore.Comm, int) {
 	c, ok := p.comms[h]
 	if !ok || h.isNull() {
 		return nil, ErrComm
@@ -220,49 +206,36 @@ func (p *Proc) lookupComm(h Handle) (*commObj, int) {
 	return c, Success
 }
 
-// lookupType validates a datatype handle and requires it committed.
-func (p *Proc) lookupType(h Handle) (*typeObj, int) {
+// lookupType validates a datatype handle (commit checks happen in the
+// runtime).
+func (p *Proc) lookupType(h Handle) (*mpicore.Type, int) {
 	t, ok := p.dtypes[h]
 	if !ok || h.isNull() {
-		return nil, ErrType
-	}
-	if !t.t.Committed() {
 		return nil, ErrType
 	}
 	return t, Success
 }
 
+// lookupGroup validates a group handle; GroupEmpty resolves to a fresh
+// empty group object, as in MPICH.
+func (p *Proc) lookupGroup(h Handle) (*mpicore.Group, int) {
+	if h == GroupEmpty {
+		return &mpicore.Group{MyPos: -1}, Success
+	}
+	g, ok := p.groups[h]
+	if !ok || h.isNull() {
+		return nil, ErrGroup
+	}
+	return g, Success
+}
+
 // lookupOp validates an operator handle.
-func (p *Proc) lookupOp(h Handle) (*opObj, int) {
+func (p *Proc) lookupOp(h Handle) (*mpicore.Op, int) {
 	o, ok := p.userOps[h]
 	if !ok || h.isNull() {
 		return nil, ErrOp
 	}
 	return o, Success
-}
-
-// deriveCID computes a child communicator's context id deterministically:
-// all members observe the same (parent cid, creation ordinal) pair, so all
-// compute the same cid without extra communication. Real MPICH runs a
-// collective agreement protocol; the hash keeps the simulation cheap while
-// preserving the invariant that distinct communicators get distinct ids.
-func deriveCID(parent uint32, ordinal uint32) uint32 {
-	h := fnv.New32a()
-	var b [8]byte
-	b[0] = byte(parent)
-	b[1] = byte(parent >> 8)
-	b[2] = byte(parent >> 16)
-	b[3] = byte(parent >> 24)
-	b[4] = byte(ordinal)
-	b[5] = byte(ordinal >> 8)
-	b[6] = byte(ordinal >> 16)
-	b[7] = byte(ordinal >> 24)
-	h.Write(b[:])
-	cid := h.Sum32() &^ collCIDBit
-	if cid <= 2 { // avoid the predefined cids
-		cid += 3
-	}
-	return cid
 }
 
 // newCommHandle allocates a dynamic communicator handle.
@@ -292,13 +265,23 @@ func (p *Proc) newReqHandle() Handle {
 }
 
 // Abort mirrors MPI_Abort: it tears the whole world down.
-func (p *Proc) Abort(code int) int {
-	p.world.Close()
-	return ErrOther
+func (p *Proc) Abort(code int) int { return p.rt.Abort(code) }
+
+// nativeStatus converts the runtime's canonical status into MPICH's
+// split-count-word layout.
+func nativeStatus(cs *mpicore.Status) Status {
+	var s Status
+	s.Source = cs.Source
+	s.Tag = cs.Tag
+	s.Error = cs.Error
+	s.setCount(cs.CountBytes)
+	s.SetCancelled(cs.Cancelled)
+	return s
 }
 
 // debugString summarizes internal state for tests and fault diagnosis.
 func (p *Proc) debugString() string {
+	posted, unexpected, pendingSend, awaiting := p.rt.Depths()
 	return fmt.Sprintf("mpich rank %d: posted=%d unexpected=%d pendingSend=%d awaiting=%d reqs=%d",
-		p.rank, len(p.posted), len(p.unexpected), len(p.pendingSend), len(p.awaitingData), len(p.reqs))
+		p.rt.Rank(), posted, unexpected, pendingSend, awaiting, len(p.reqs))
 }

@@ -1,0 +1,1162 @@
+package mpicore
+
+import (
+	"repro/internal/ops"
+	"repro/internal/types"
+)
+
+// Policy is one implementation's algorithm personality: the protocol
+// switchover, its context-id derivation stream, and a selection function
+// per collective. The selections are where the simulated implementations
+// legitimately differ (MPICH's binomial/Rabenseifner/Bruck thresholds vs
+// Open MPI's tuned binary/chain/ring thresholds); everything a selection
+// can pick from is implemented once, below.
+type Policy struct {
+	// EagerMax is the eager/rendezvous protocol switchover in bytes.
+	EagerMax int
+	// DeriveCID derives a child communicator's context id from the
+	// parent's id and a creation ordinal (see FNV1aCIDDeriver and
+	// SaltedCIDDeriver).
+	DeriveCID func(parent, ordinal uint32) uint32
+
+	// Collective algorithm selections. Each receives validated,
+	// pre-packed inputs from the generic wrappers; tag is the reserved
+	// tag block for this collective call.
+	Barrier   func(p *Proc, c *Comm, tag int32) int
+	Bcast     func(p *Proc, c *Comm, packed []byte, root int, tag int32) int
+	Reduce    func(p *Proc, c *Comm, acc []byte, o *Op, k types.Kind, root int, tag int32) int
+	Allreduce func(p *Proc, c *Comm, acc []byte, o *Op, k types.Kind, tag int32) int
+	// Gather fills region (n blocks, absolute rank order, root only) from
+	// every rank's own packed block. Scatter is its inverse: it
+	// distributes region (absolute order, root only) and returns the
+	// caller's block. Allgather fills region (own block pre-placed at
+	// MyPos) on every rank. Alltoall moves out (packed per destination)
+	// into in (packed per source).
+	Gather    func(p *Proc, c *Comm, own, region []byte, blockSz, root int, tag int32) int
+	Scatter   func(p *Proc, c *Comm, region []byte, blockSz, root int, tag int32) ([]byte, int)
+	Allgather func(p *Proc, c *Comm, region []byte, blockSz int, tag int32) int
+	Alltoall  func(p *Proc, c *Comm, out, in []byte, blockSz int, tag int32) int
+}
+
+// NextCollTag reserves a tag block for one collective call on c. Each
+// call gets 64 tag values (rounds 0..63); successive collectives on the
+// same communicator never share tags.
+func (p *Proc) NextCollTag(c *Comm) int32 {
+	c.CollSeq++
+	return int32((c.CollSeq & 0x00ffffff) << 6)
+}
+
+// CollSend sends packed bytes to a communicator rank on the collective
+// context, blocking until the payload is handed to the fabric.
+func (p *Proc) CollSend(c *Comm, peer int, tag int32, data []byte) int {
+	r := p.sendInternal(data, c.Ranks[peer], tag, c.CID|collCIDBit)
+	for r != nil && !r.done {
+		if code := p.Progress(true); code != p.E.Success {
+			return code
+		}
+	}
+	if r != nil {
+		return r.code
+	}
+	return p.E.Success
+}
+
+// CollRecvPost posts a raw receive on the collective context without
+// waiting.
+func (p *Proc) CollRecvPost(c *Comm, peer int, tag int32) *Request {
+	r := &Request{
+		kind: reqRecv, comm: c, raw: true,
+		srcWorld: c.Ranks[peer], tag: int(tag), cid: c.CID | collCIDBit,
+	}
+	p.postRecv(r)
+	return r
+}
+
+// CollRecv blocks for a packed message from a communicator rank on the
+// collective context.
+func (p *Proc) CollRecv(c *Comm, peer int, tag int32) ([]byte, int) {
+	r := p.CollRecvPost(c, peer, tag)
+	for !r.done {
+		if code := p.Progress(true); code != p.E.Success {
+			return nil, code
+		}
+	}
+	return r.rawOut, r.code
+}
+
+// CollExchange posts the receive before sending, making symmetric
+// pairwise exchanges deadlock-free even on the rendezvous path.
+func (p *Proc) CollExchange(c *Comm, sendTo, recvFrom int, tag int32, data []byte) ([]byte, int) {
+	r := p.CollRecvPost(c, recvFrom, tag)
+	if code := p.CollSend(c, sendTo, tag, data); code != p.E.Success {
+		return nil, code
+	}
+	for !r.done {
+		if code := p.Progress(true); code != p.E.Success {
+			return nil, code
+		}
+	}
+	return r.rawOut, r.code
+}
+
+// ReduceKind extracts the uniform primitive kind needed for a reduction.
+func (p *Proc) ReduceKind(dt *Type) (types.Kind, int) {
+	k, ok := dt.T.PrimKind()
+	if !ok {
+		return types.KindInvalid, p.E.ErrType
+	}
+	return k, p.E.Success
+}
+
+// Fold folds in into acc (packed buffers of the same uniform kind).
+func (p *Proc) Fold(o *Op, k types.Kind, acc, in []byte) int {
+	count := len(acc) / k.Size()
+	if o.User != "" {
+		fn, _, err := ops.LookupUser(o.User)
+		if err != nil {
+			return p.E.ErrOp
+		}
+		fn(acc, in, k, count)
+		return p.E.Success
+	}
+	if err := ops.Apply(o.Op, k, acc, in, count); err != nil {
+		return p.E.ErrOp
+	}
+	return p.E.Success
+}
+
+// OpDefined checks operator/kind compatibility including user ops (which
+// accept any uniform kind).
+func OpDefined(o *Op, k types.Kind) bool {
+	if o.User != "" {
+		return true
+	}
+	return ops.Compatible(o.Op, k)
+}
+
+// ---------------------------------------------------------------------------
+// Generic wrappers: validation, packing and unpacking are identical in
+// every implementation; only the policy's algorithm selection differs.
+// ---------------------------------------------------------------------------
+
+// Barrier blocks until every member of c has entered it.
+func (p *Proc) Barrier(c *Comm) int {
+	if c == nil {
+		return p.E.ErrComm
+	}
+	if c.Size() == 1 {
+		return p.E.Success
+	}
+	tag := p.NextCollTag(c)
+	return p.pol.Barrier(p, c, tag)
+}
+
+// Bcast broadcasts count elements of dt from root.
+func (p *Proc) Bcast(buf []byte, count int, dt *Type, root int, c *Comm) int {
+	if code := p.checkCommType(c, dt); code != p.E.Success {
+		return code
+	}
+	if root < 0 || root >= c.Size() {
+		return p.E.ErrRoot
+	}
+	if count < 0 {
+		return p.E.ErrCount
+	}
+	n, me := c.Size(), c.MyPos
+	nbytes := count * dt.T.Size()
+	if n == 1 || nbytes == 0 {
+		return p.E.Success
+	}
+	tag := p.NextCollTag(c)
+	var packed []byte
+	if me == root {
+		var code int
+		if packed, code = p.PackElems(dt, buf, count); code != p.E.Success {
+			return code
+		}
+	} else {
+		packed = make([]byte, nbytes)
+	}
+	if code := p.pol.Bcast(p, c, packed, root, tag); code != p.E.Success {
+		return code
+	}
+	if me != root {
+		if _, err := dt.T.Unpack(packed, count, buf); err != nil {
+			return p.E.ErrBuffer
+		}
+	}
+	return p.E.Success
+}
+
+// Reduce folds every rank's contribution into recvbuf at root.
+func (p *Proc) Reduce(sendbuf, recvbuf []byte, count int, dt *Type, o *Op, root int, c *Comm) int {
+	if code := p.checkCommType(c, dt); code != p.E.Success {
+		return code
+	}
+	if o == nil {
+		return p.E.ErrOp
+	}
+	if root < 0 || root >= c.Size() {
+		return p.E.ErrRoot
+	}
+	if count < 0 {
+		return p.E.ErrCount
+	}
+	k, code := p.ReduceKind(dt)
+	if code != p.E.Success {
+		return code
+	}
+	if !OpDefined(o, k) {
+		return p.E.ErrOp
+	}
+	acc, code := p.PackElems(dt, sendbuf, count)
+	if code != p.E.Success {
+		return code
+	}
+	tag := p.NextCollTag(c)
+	if code := p.pol.Reduce(p, c, acc, o, k, root, tag); code != p.E.Success {
+		return code
+	}
+	if c.MyPos == root && count > 0 {
+		if _, err := dt.T.Unpack(acc, count, recvbuf); err != nil {
+			return p.E.ErrBuffer
+		}
+	}
+	return p.E.Success
+}
+
+// Allreduce folds every rank's contribution into recvbuf on every rank.
+func (p *Proc) Allreduce(sendbuf, recvbuf []byte, count int, dt *Type, o *Op, c *Comm) int {
+	if code := p.checkCommType(c, dt); code != p.E.Success {
+		return code
+	}
+	if o == nil {
+		return p.E.ErrOp
+	}
+	if count < 0 {
+		return p.E.ErrCount
+	}
+	k, code := p.ReduceKind(dt)
+	if code != p.E.Success {
+		return code
+	}
+	if !OpDefined(o, k) {
+		return p.E.ErrOp
+	}
+	acc, code := p.PackElems(dt, sendbuf, count)
+	if code != p.E.Success {
+		return code
+	}
+	tag := p.NextCollTag(c)
+	if c.Size() > 1 && len(acc) > 0 {
+		if code := p.pol.Allreduce(p, c, acc, o, k, tag); code != p.E.Success {
+			return code
+		}
+	}
+	if count > 0 {
+		if _, err := dt.T.Unpack(acc, count, recvbuf); err != nil {
+			return p.E.ErrBuffer
+		}
+	}
+	return p.E.Success
+}
+
+// Gather collects every rank's scount elements at root.
+func (p *Proc) Gather(sendbuf []byte, scount int, stype *Type,
+	recvbuf []byte, rcount int, rtype *Type, root int, c *Comm) int {
+	if code := p.checkCommType(c, stype); code != p.E.Success {
+		return code
+	}
+	if root < 0 || root >= c.Size() {
+		return p.E.ErrRoot
+	}
+	if scount < 0 || rcount < 0 {
+		return p.E.ErrCount
+	}
+	n, me := c.Size(), c.MyPos
+	blockSz := scount * stype.T.Size()
+	own, code := p.PackElems(stype, sendbuf, scount)
+	if code != p.E.Success {
+		return code
+	}
+	if own == nil {
+		own = make([]byte, blockSz)
+	}
+	// Reserve the tag block before any validation that only the root
+	// performs: every member must advance CollSeq in lockstep, or a
+	// root-side argument error would silently desynchronize the tag
+	// stream for every later collective on this communicator.
+	tag := p.NextCollTag(c)
+	var region []byte
+	if me == root {
+		if rtype == nil || !rtype.T.Committed() {
+			return p.E.ErrType
+		}
+		if rcount*rtype.T.Size() != blockSz {
+			return p.E.ErrTruncate
+		}
+		region = make([]byte, n*blockSz)
+	}
+	if code := p.pol.Gather(p, c, own, region, blockSz, root, tag); code != p.E.Success {
+		return code
+	}
+	if me == root && blockSz > 0 {
+		for r := 0; r < n; r++ {
+			if _, err := rtype.T.Unpack(region[r*blockSz:(r+1)*blockSz], rcount,
+				recvbuf[r*rcount*rtype.T.Extent():]); err != nil {
+				return p.E.ErrBuffer
+			}
+		}
+	}
+	return p.E.Success
+}
+
+// Scatter distributes root's n blocks of scount elements.
+func (p *Proc) Scatter(sendbuf []byte, scount int, stype *Type,
+	recvbuf []byte, rcount int, rtype *Type, root int, c *Comm) int {
+	if code := p.checkCommType(c, rtype); code != p.E.Success {
+		return code
+	}
+	if root < 0 || root >= c.Size() {
+		return p.E.ErrRoot
+	}
+	if scount < 0 || rcount < 0 {
+		return p.E.ErrCount
+	}
+	n, me := c.Size(), c.MyPos
+	blockSz := rcount * rtype.T.Size()
+	// Tag reservation precedes the root-only validation; see Gather.
+	tag := p.NextCollTag(c)
+	var region []byte
+	if me == root {
+		if stype == nil || !stype.T.Committed() {
+			return p.E.ErrType
+		}
+		if scount*stype.T.Size() != blockSz {
+			return p.E.ErrTruncate
+		}
+		region = make([]byte, n*blockSz)
+		for r := 0; r < n; r++ {
+			if _, err := stype.T.Pack(sendbuf[r*scount*stype.T.Extent():], scount,
+				region[r*blockSz:(r+1)*blockSz]); err != nil && scount > 0 {
+				return p.E.ErrBuffer
+			}
+		}
+	}
+	own, code := p.pol.Scatter(p, c, region, blockSz, root, tag)
+	if code != p.E.Success {
+		return code
+	}
+	if blockSz == 0 {
+		return p.E.Success
+	}
+	if _, err := rtype.T.Unpack(own, rcount, recvbuf); err != nil {
+		return p.E.ErrBuffer
+	}
+	return p.E.Success
+}
+
+// Allgather collects every rank's block on every rank.
+func (p *Proc) Allgather(sendbuf []byte, scount int, stype *Type,
+	recvbuf []byte, rcount int, rtype *Type, c *Comm) int {
+	if code := p.checkCommType(c, stype); code != p.E.Success {
+		return code
+	}
+	if rtype == nil || !rtype.T.Committed() {
+		return p.E.ErrType
+	}
+	n, me := c.Size(), c.MyPos
+	blockSz := scount * stype.T.Size()
+	if rcount*rtype.T.Size() != blockSz {
+		return p.E.ErrTruncate
+	}
+	region := make([]byte, n*blockSz)
+	if blockSz > 0 {
+		if _, err := stype.T.Pack(sendbuf, scount, region[me*blockSz:(me+1)*blockSz]); err != nil {
+			return p.E.ErrBuffer
+		}
+	}
+	tag := p.NextCollTag(c)
+	if n > 1 && blockSz > 0 {
+		if code := p.pol.Allgather(p, c, region, blockSz, tag); code != p.E.Success {
+			return code
+		}
+	}
+	for r := 0; r < n && blockSz > 0; r++ {
+		if _, err := rtype.T.Unpack(region[r*blockSz:(r+1)*blockSz], rcount,
+			recvbuf[r*rcount*rtype.T.Extent():]); err != nil {
+			return p.E.ErrBuffer
+		}
+	}
+	return p.E.Success
+}
+
+// Alltoall exchanges distinct blocks between every pair of ranks.
+func (p *Proc) Alltoall(sendbuf []byte, scount int, stype *Type,
+	recvbuf []byte, rcount int, rtype *Type, c *Comm) int {
+	if code := p.checkCommType(c, stype); code != p.E.Success {
+		return code
+	}
+	if rtype == nil || !rtype.T.Committed() {
+		return p.E.ErrType
+	}
+	if scount < 0 || rcount < 0 {
+		return p.E.ErrCount
+	}
+	n := c.Size()
+	blockSz := scount * stype.T.Size()
+	if rcount*rtype.T.Size() != blockSz {
+		return p.E.ErrTruncate
+	}
+	out := make([]byte, n*blockSz)
+	for d := 0; d < n; d++ {
+		if _, err := stype.T.Pack(sendbuf[d*scount*stype.T.Extent():], scount,
+			out[d*blockSz:(d+1)*blockSz]); err != nil && scount > 0 {
+			return p.E.ErrBuffer
+		}
+	}
+	in := make([]byte, n*blockSz)
+	tag := p.NextCollTag(c)
+	if n == 1 || blockSz == 0 {
+		copy(in, out)
+	} else if code := p.pol.Alltoall(p, c, out, in, blockSz, tag); code != p.E.Success {
+		return code
+	}
+	for r := 0; r < n; r++ {
+		if _, err := rtype.T.Unpack(in[r*blockSz:(r+1)*blockSz], rcount,
+			recvbuf[r*rcount*rtype.T.Extent():]); err != nil {
+			return p.E.ErrBuffer
+		}
+	}
+	return p.E.Success
+}
+
+// ---------------------------------------------------------------------------
+// The algorithm set. Each implementation's Policy composes these with its
+// own thresholds.
+// ---------------------------------------------------------------------------
+
+// BarrierDissemination is MPICH's dissemination barrier: ceil(log2 n)
+// rounds of token exchanges at power-of-two distances.
+func (p *Proc) BarrierDissemination(c *Comm, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	round := int32(0)
+	for mask := 1; mask < n; mask <<= 1 {
+		to := (me + mask) % n
+		from := (me - mask + n) % n
+		if _, code := p.CollExchange(c, to, from, tag+round, nil); code != p.E.Success {
+			return code
+		}
+		round++
+	}
+	return p.E.Success
+}
+
+// BarrierRDFold is the tuned recursive-doubling barrier with a fold for
+// non-power-of-two sizes (Open MPI's default for mid-size communicators).
+func (p *Proc) BarrierRDFold(c *Comm, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	newrank := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		if code := p.CollSend(c, me+1, tag, nil); code != p.E.Success {
+			return code
+		}
+	case me < 2*rem:
+		if _, code := p.CollRecv(c, me-1, tag); code != p.E.Success {
+			return code
+		}
+		newrank = me / 2
+	default:
+		newrank = me - rem
+	}
+	if newrank != -1 {
+		round := int32(1)
+		for mask := 1; mask < pof2; mask <<= 1 {
+			pn := newrank ^ mask
+			partner := pn + rem
+			if pn < rem {
+				partner = pn*2 + 1
+			}
+			if _, code := p.CollExchange(c, partner, partner, tag+round, nil); code != p.E.Success {
+				return code
+			}
+			round++
+		}
+	}
+	if me < 2*rem {
+		if me%2 != 0 {
+			return p.CollSend(c, me-1, tag+63, nil)
+		}
+		if _, code := p.CollRecv(c, me+1, tag+63); code != p.E.Success {
+			return code
+		}
+	}
+	return p.E.Success
+}
+
+// BcastBinomial is the binomial-tree broadcast over relative ranks.
+func (p *Proc) BcastBinomial(c *Comm, packed []byte, root int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			data, code := p.CollRecv(c, abs(rel-mask), tag)
+			if code != p.E.Success {
+				return code
+			}
+			copy(packed, data)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < n {
+			if code := p.CollSend(c, abs(rel+mask), tag, packed); code != p.E.Success {
+				return code
+			}
+		}
+	}
+	return p.E.Success
+}
+
+// ChunkBounds splits nbytes into n nearly-equal chunks; chunk i spans
+// [off[i], off[i+1]).
+func ChunkBounds(nbytes, n int) []int {
+	off := make([]int, n+1)
+	base, rem := nbytes/n, nbytes%n
+	for i := 0; i < n; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		off[i+1] = off[i] + sz
+	}
+	return off
+}
+
+// BcastScatterRing scatters the buffer binomially over relative ranks and
+// reassembles with a ring allgather, MPICH's long-message broadcast.
+func (p *Proc) BcastScatterRing(c *Comm, packed []byte, root int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	off := ChunkBounds(len(packed), n)
+
+	// Binomial scatter: the holder of relative range [rel, rel+mask) hands
+	// the upper half to its child.
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			data, code := p.CollRecv(c, abs(rel-mask), tag)
+			if code != p.E.Success {
+				return code
+			}
+			copy(packed[off[rel]:], data)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < n {
+			hi := rel + 2*mask
+			if hi > n {
+				hi = n
+			}
+			child := rel + mask
+			if code := p.CollSend(c, abs(child), tag, packed[off[child]:off[hi]]); code != p.E.Success {
+				return code
+			}
+		}
+	}
+
+	// Ring allgather of the n chunks over relative ranks.
+	for s := 0; s < n-1; s++ {
+		sendChunk := (rel - s + n) % n
+		recvChunk := (rel - s - 1 + n) % n
+		data, code := p.CollExchange(c, abs((rel+1)%n), abs((rel-1+n)%n),
+			tag+1, packed[off[sendChunk]:off[sendChunk+1]])
+		if code != p.E.Success {
+			return code
+		}
+		copy(packed[off[recvChunk]:off[recvChunk+1]], data)
+	}
+	return p.E.Success
+}
+
+// BcastBinaryTree broadcasts down an in-order binary tree over relative
+// ranks: children of relative node r are 2r+1 and 2r+2.
+func (p *Proc) BcastBinaryTree(c *Comm, packed []byte, root int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	if rel != 0 {
+		parent := (rel - 1) / 2
+		data, code := p.CollRecv(c, abs(parent), tag)
+		if code != p.E.Success {
+			return code
+		}
+		copy(packed, data)
+	}
+	for _, child := range []int{2*rel + 1, 2*rel + 2} {
+		if child < n {
+			if code := p.CollSend(c, abs(child), tag, packed); code != p.E.Success {
+				return code
+			}
+		}
+	}
+	return p.E.Success
+}
+
+// BcastChain pipelines segSize segments down the rank chain
+// root -> root+1 -> ... -> root+n-1 (relative order).
+func (p *Proc) BcastChain(c *Comm, packed []byte, root int, tag int32, segSize int) int {
+	n, me := c.Size(), c.MyPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	nseg := (len(packed) + segSize - 1) / segSize
+	for s := 0; s < nseg; s++ {
+		lo := s * segSize
+		hi := lo + segSize
+		if hi > len(packed) {
+			hi = len(packed)
+		}
+		if rel != 0 {
+			data, code := p.CollRecv(c, abs(rel-1), tag)
+			if code != p.E.Success {
+				return code
+			}
+			copy(packed[lo:hi], data)
+		}
+		if rel != n-1 {
+			if code := p.CollSend(c, abs(rel+1), tag, packed[lo:hi]); code != p.E.Success {
+				return code
+			}
+		}
+	}
+	return p.E.Success
+}
+
+// ReduceBinomial folds up a binomial tree over relative ranks
+// (commutative operators), MPICH's selection.
+func (p *Proc) ReduceBinomial(c *Comm, acc []byte, o *Op, k types.Kind, root int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask == 0 {
+			childRel := rel | mask
+			if childRel < n {
+				data, code := p.CollRecv(c, abs(childRel), tag)
+				if code != p.E.Success {
+					return code
+				}
+				if code := p.Fold(o, k, acc, data); code != p.E.Success {
+					return code
+				}
+			}
+		} else {
+			if code := p.CollSend(c, abs(rel-mask), tag, acc); code != p.E.Success {
+				return code
+			}
+			break
+		}
+	}
+	return p.E.Success
+}
+
+// ReduceBinaryTree folds up an in-order binary tree over relative ranks,
+// Open MPI's selection.
+func (p *Proc) ReduceBinaryTree(c *Comm, acc []byte, o *Op, k types.Kind, root int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	for _, child := range []int{2*rel + 1, 2*rel + 2} {
+		if child < n {
+			data, code := p.CollRecv(c, abs(child), tag)
+			if code != p.E.Success {
+				return code
+			}
+			if code := p.Fold(o, k, acc, data); code != p.E.Success {
+				return code
+			}
+		}
+	}
+	if rel != 0 {
+		parent := (rel - 1) / 2
+		if code := p.CollSend(c, abs(parent), tag, acc); code != p.E.Success {
+			return code
+		}
+	}
+	return p.E.Success
+}
+
+// AllreduceRecDoubling handles any communicator size by folding the
+// non-power-of-two remainder into the nearest power of two first.
+// unfoldRound is the tag round of the final unfold exchange (the two
+// historical implementations use different rounds; the difference is
+// preserved so wire traces stay stable).
+func (p *Proc) AllreduceRecDoubling(c *Comm, acc []byte, o *Op, k types.Kind, tag int32, unfoldRound int32) int {
+	n, me := c.Size(), c.MyPos
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	newrank := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		if code := p.CollSend(c, me+1, tag, acc); code != p.E.Success {
+			return code
+		}
+	case me < 2*rem: // odd rank in the folded region
+		data, code := p.CollRecv(c, me-1, tag)
+		if code != p.E.Success {
+			return code
+		}
+		if code := p.Fold(o, k, acc, data); code != p.E.Success {
+			return code
+		}
+		newrank = me / 2
+	default:
+		newrank = me - rem
+	}
+	if newrank != -1 {
+		round := int32(1)
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partnerNew := newrank ^ mask
+			partner := partnerNew + rem
+			if partnerNew < rem {
+				partner = partnerNew*2 + 1
+			}
+			data, code := p.CollExchange(c, partner, partner, tag+round, acc)
+			if code != p.E.Success {
+				return code
+			}
+			if code := p.Fold(o, k, acc, data); code != p.E.Success {
+				return code
+			}
+			round++
+		}
+	}
+	// Unfold: odd folded ranks return results to their even partners.
+	if me < 2*rem {
+		if me%2 != 0 {
+			return p.CollSend(c, me-1, tag+unfoldRound, acc)
+		}
+		data, code := p.CollRecv(c, me+1, tag+unfoldRound)
+		if code != p.E.Success {
+			return code
+		}
+		copy(acc, data)
+	}
+	return p.E.Success
+}
+
+// AllreduceRabenseifner is the long-message reduce-scatter plus allgather
+// algorithm for power-of-two communicators (MPICH's selection).
+func (p *Proc) AllreduceRabenseifner(c *Comm, acc []byte, o *Op, k types.Kind, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	es := k.Size()
+	elems := len(acc) / es
+	type span struct{ lo, hi int }
+	var stack []span
+	cur := span{0, elems}
+	round := int32(0)
+	// Reduce-scatter by recursive halving.
+	for dist := n / 2; dist >= 1; dist /= 2 {
+		partner := me ^ dist
+		mid := (cur.lo + cur.hi) / 2
+		var keep, give span
+		if me < partner {
+			keep, give = span{cur.lo, mid}, span{mid, cur.hi}
+		} else {
+			keep, give = span{mid, cur.hi}, span{cur.lo, mid}
+		}
+		data, code := p.CollExchange(c, partner, partner, tag+round, acc[give.lo*es:give.hi*es])
+		if code != p.E.Success {
+			return code
+		}
+		if code := p.Fold(o, k, acc[keep.lo*es:keep.hi*es], data); code != p.E.Success {
+			return code
+		}
+		stack = append(stack, cur)
+		cur = keep
+		round++
+	}
+	// Allgather by recursive doubling, unwinding the halving stack.
+	for dist := 1; dist < n; dist *= 2 {
+		partner := me ^ dist
+		parent := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		data, code := p.CollExchange(c, partner, partner, tag+round, acc[cur.lo*es:cur.hi*es])
+		if code != p.E.Success {
+			return code
+		}
+		// Partner owned the complementary half of the parent span.
+		if cur.lo == parent.lo {
+			copy(acc[cur.hi*es:parent.hi*es], data)
+		} else {
+			copy(acc[parent.lo*es:cur.lo*es], data)
+		}
+		cur = parent
+		round++
+	}
+	return p.E.Success
+}
+
+// AllreduceRing is the bandwidth-optimal ring: n-1 reduce-scatter steps
+// followed by n-1 allgather steps over element chunks (Open MPI's
+// long-message selection).
+func (p *Proc) AllreduceRing(c *Comm, acc []byte, o *Op, k types.Kind, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	es := k.Size()
+	elems := len(acc) / es
+	off := ChunkBounds(elems, n)
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	chunk := func(i int) []byte { return acc[off[i]*es : off[i+1]*es] }
+	// Reduce-scatter ring.
+	for s := 0; s < n-1; s++ {
+		sendIdx := (me - s + n) % n
+		recvIdx := (me - s - 1 + n) % n
+		data, code := p.CollExchange(c, right, left, tag, chunk(sendIdx))
+		if code != p.E.Success {
+			return code
+		}
+		if code := p.Fold(o, k, chunk(recvIdx), data); code != p.E.Success {
+			return code
+		}
+	}
+	// Allgather ring.
+	for s := 0; s < n-1; s++ {
+		sendIdx := (me + 1 - s + n) % n
+		recvIdx := (me - s + n) % n
+		data, code := p.CollExchange(c, right, left, tag+1, chunk(sendIdx))
+		if code != p.E.Success {
+			return code
+		}
+		copy(chunk(recvIdx), data)
+	}
+	return p.E.Success
+}
+
+// GatherBinomial aggregates subtree block ranges up a binomial tree over
+// relative ranks (MPICH's selection), rotating into absolute order at the
+// root.
+func (p *Proc) GatherBinomial(c *Comm, own, region []byte, blockSz, root int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	work := make([]byte, n*blockSz)
+	copy(work[:blockSz], own)
+	span := 1
+	mask := 1
+	for mask < n {
+		if rel&mask == 0 {
+			childRel := rel + mask
+			if childRel < n {
+				data, code := p.CollRecv(c, abs(childRel), tag)
+				if code != p.E.Success {
+					return code
+				}
+				copy(work[span*blockSz:], data)
+				childSpan := mask
+				if childRel+childSpan > n {
+					childSpan = n - childRel
+				}
+				span += childSpan
+			}
+		} else {
+			return p.CollSend(c, abs(rel-mask), tag, work[:span*blockSz])
+		}
+		mask <<= 1
+	}
+	// Only the root reaches here. Unscramble relative order into region.
+	for r := 0; r < n; r++ {
+		relPos := (r - root + n) % n
+		copy(region[r*blockSz:(r+1)*blockSz], work[relPos*blockSz:(relPos+1)*blockSz])
+	}
+	return p.E.Success
+}
+
+// GatherLinear is the basic linear gather with nonblocking overlap: the
+// root posts every receive, then drains (Open MPI's selection).
+func (p *Proc) GatherLinear(c *Comm, own, region []byte, blockSz, root int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	if me != root {
+		return p.CollSend(c, root, tag, own)
+	}
+	reqs := make([]*Request, n)
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		reqs[r] = p.CollRecvPost(c, r, tag)
+	}
+	for r := 0; r < n; r++ {
+		var data []byte
+		if r == me {
+			data = own
+		} else {
+			for !reqs[r].done {
+				if code := p.Progress(true); code != p.E.Success {
+					return code
+				}
+			}
+			if reqs[r].code != p.E.Success {
+				return reqs[r].code
+			}
+			data = reqs[r].rawOut
+		}
+		copy(region[r*blockSz:(r+1)*blockSz], data)
+	}
+	return p.E.Success
+}
+
+// ScatterBinomial distributes region down a binomial tree over relative
+// ranks (MPICH's selection), returning the caller's block.
+func (p *Proc) ScatterBinomial(c *Comm, region []byte, blockSz, root int, tag int32) ([]byte, int) {
+	n, me := c.Size(), c.MyPos
+	rel := (me - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	work := make([]byte, n*blockSz)
+	if me == root {
+		// Rotate into relative order.
+		for r := 0; r < n; r++ {
+			relPos := (r - root + n) % n
+			copy(work[relPos*blockSz:(relPos+1)*blockSz], region[r*blockSz:(r+1)*blockSz])
+		}
+	}
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			mySpan := mask
+			if rel+mySpan > n {
+				mySpan = n - rel
+			}
+			data, code := p.CollRecv(c, abs(rel-mask), tag)
+			if code != p.E.Success {
+				return nil, code
+			}
+			copy(work[rel*blockSz:(rel+mySpan)*blockSz], data)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask >= 1; mask >>= 1 {
+		if rel+mask < n {
+			child := rel + mask
+			hi := rel + 2*mask
+			if hi > n {
+				hi = n
+			}
+			if code := p.CollSend(c, abs(child), tag, work[child*blockSz:hi*blockSz]); code != p.E.Success {
+				return nil, code
+			}
+		}
+	}
+	return work[rel*blockSz : (rel+1)*blockSz], p.E.Success
+}
+
+// ScatterLinear is the basic linear scatter: the root sends each block
+// (Open MPI's selection).
+func (p *Proc) ScatterLinear(c *Comm, region []byte, blockSz, root int, tag int32) ([]byte, int) {
+	n, me := c.Size(), c.MyPos
+	if me == root {
+		for r := 0; r < n; r++ {
+			if r == me {
+				continue
+			}
+			if code := p.CollSend(c, r, tag, region[r*blockSz:(r+1)*blockSz]); code != p.E.Success {
+				return nil, code
+			}
+		}
+		return region[me*blockSz : (me+1)*blockSz], p.E.Success
+	}
+	data, code := p.CollRecv(c, root, tag)
+	if code != p.E.Success {
+		return nil, code
+	}
+	if data == nil {
+		data = make([]byte, blockSz)
+	}
+	return data, p.E.Success
+}
+
+// AllgatherRecDoubling doubles the known block range each round
+// (power-of-two communicators; MPICH's short-message selection).
+func (p *Proc) AllgatherRecDoubling(c *Comm, region []byte, blockSz int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	round := int32(0)
+	for dist := 1; dist < n; dist *= 2 {
+		partner := me ^ dist
+		myLo := me &^ (dist - 1)
+		partnerLo := partner &^ (dist - 1)
+		data, code := p.CollExchange(c, partner, partner, tag+round,
+			region[myLo*blockSz:(myLo+dist)*blockSz])
+		if code != p.E.Success {
+			return code
+		}
+		copy(region[partnerLo*blockSz:], data)
+		round++
+	}
+	return p.E.Success
+}
+
+// AllgatherRing rotates blocks around the ring for n-1 steps (the
+// long-message workhorse both historical implementations share).
+func (p *Proc) AllgatherRing(c *Comm, region []byte, blockSz int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		sendBlock := (me - s + n) % n
+		recvBlock := (me - s - 1 + n) % n
+		data, code := p.CollExchange(c, right, left, tag,
+			region[sendBlock*blockSz:(sendBlock+1)*blockSz])
+		if code != p.E.Success {
+			return code
+		}
+		copy(region[recvBlock*blockSz:(recvBlock+1)*blockSz], data)
+	}
+	return p.E.Success
+}
+
+// AllgatherBruck doubles the known prefix each round; block j of the
+// working buffer holds rank (me+j)'s contribution until the final rotate
+// (Open MPI's small-block selection).
+func (p *Proc) AllgatherBruck(c *Comm, region []byte, blockSz int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	tmp := make([]byte, n*blockSz)
+	copy(tmp[:blockSz], region[me*blockSz:(me+1)*blockSz])
+	cnt := 1
+	round := int32(0)
+	for cnt < n {
+		transfer := cnt
+		if n-cnt < transfer {
+			transfer = n - cnt
+		}
+		to := (me - cnt + n) % n
+		from := (me + cnt) % n
+		data, code := p.CollExchange(c, to, from, tag+round, tmp[:transfer*blockSz])
+		if code != p.E.Success {
+			return code
+		}
+		copy(tmp[cnt*blockSz:(cnt+transfer)*blockSz], data)
+		cnt += transfer
+		round++
+	}
+	for j := 0; j < n; j++ {
+		src := (me + j) % n
+		copy(region[src*blockSz:(src+1)*blockSz], tmp[j*blockSz:(j+1)*blockSz])
+	}
+	return p.E.Success
+}
+
+// AlltoallBruck runs in ceil(log2 n) rounds, each moving all blocks whose
+// (rotated) index has the round's bit set.
+func (p *Proc) AlltoallBruck(c *Comm, out, in []byte, blockSz int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	// Phase 1: local rotation; tmp[i] = block destined to (me+i) mod n.
+	tmp := make([]byte, n*blockSz)
+	for i := 0; i < n; i++ {
+		d := (me + i) % n
+		copy(tmp[i*blockSz:(i+1)*blockSz], out[d*blockSz:(d+1)*blockSz])
+	}
+	round := int32(0)
+	scratch := make([]byte, n*blockSz)
+	for pow := 1; pow < n; pow <<= 1 {
+		var idxs []int
+		for i := 0; i < n; i++ {
+			if i&pow != 0 {
+				idxs = append(idxs, i)
+			}
+		}
+		sendbuf := scratch[:0]
+		for _, i := range idxs {
+			sendbuf = append(sendbuf, tmp[i*blockSz:(i+1)*blockSz]...)
+		}
+		to := (me + pow) % n
+		from := (me - pow + n) % n
+		data, code := p.CollExchange(c, to, from, tag+round, sendbuf)
+		if code != p.E.Success {
+			return code
+		}
+		for j, i := range idxs {
+			copy(tmp[i*blockSz:(i+1)*blockSz], data[j*blockSz:(j+1)*blockSz])
+		}
+		round++
+	}
+	// Phase 3: block from source s sits at index (me-s+n) mod n.
+	for s := 0; s < n; s++ {
+		i := (me - s + n) % n
+		copy(in[s*blockSz:(s+1)*blockSz], tmp[i*blockSz:(i+1)*blockSz])
+	}
+	return p.E.Success
+}
+
+// AlltoallOverlap posts every receive, starts every send nonblocking,
+// then drains — maximal overlap across peers (MPICH's medium-message and
+// Open MPI's basic-linear algorithm).
+func (p *Proc) AlltoallOverlap(c *Comm, out, in []byte, blockSz int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	copy(in[me*blockSz:(me+1)*blockSz], out[me*blockSz:(me+1)*blockSz])
+	recvs := make([]*Request, 0, n-1)
+	for i := 1; i < n; i++ {
+		from := (me - i + n) % n
+		recvs = append(recvs, p.CollRecvPost(c, from, tag))
+	}
+	sends := make([]*Request, 0, n-1)
+	for i := 1; i < n; i++ {
+		to := (me + i) % n
+		if s := p.sendInternal(out[to*blockSz:(to+1)*blockSz], c.Ranks[to], tag, c.CID|collCIDBit); s != nil {
+			sends = append(sends, s)
+		}
+	}
+	for i, r := range recvs {
+		for !r.done {
+			if code := p.Progress(true); code != p.E.Success {
+				return code
+			}
+		}
+		if r.code != p.E.Success {
+			return r.code
+		}
+		from := (me - i - 1 + n) % n
+		copy(in[from*blockSz:(from+1)*blockSz], r.rawOut)
+	}
+	for _, s := range sends {
+		for !s.done {
+			if code := p.Progress(true); code != p.E.Success {
+				return code
+			}
+		}
+	}
+	return p.E.Success
+}
+
+// AlltoallPairwise exchanges with peers at increasing offsets; step k
+// pairs rank r with r+k (send) and r-k (recv). MPICH's long-message
+// selection.
+func (p *Proc) AlltoallPairwise(c *Comm, out, in []byte, blockSz int, tag int32) int {
+	n, me := c.Size(), c.MyPos
+	copy(in[me*blockSz:(me+1)*blockSz], out[me*blockSz:(me+1)*blockSz])
+	for k := 1; k < n; k++ {
+		to := (me + k) % n
+		from := (me - k + n) % n
+		data, code := p.CollExchange(c, to, from, tag, out[to*blockSz:(to+1)*blockSz])
+		if code != p.E.Success {
+			return code
+		}
+		copy(in[from*blockSz:(from+1)*blockSz], data)
+	}
+	return p.E.Success
+}

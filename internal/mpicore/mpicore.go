@@ -1,0 +1,338 @@
+// Package mpicore is the representation-agnostic MPI runtime shared by
+// every simulated implementation in this repository. The paper's central
+// observation — and the ABI working group's (Hammond et al., PAPERS.md) —
+// is that MPI implementations differ at the ABI surface (handle
+// representations, constant values, error-code numbering, status layout)
+// while the runtime semantics underneath are common: request lifecycle and
+// progress, point-to-point matching, communicator context ids, and the
+// collective algorithms. This package is that common runtime made literal.
+//
+// An implementation package (internal/mpich, internal/openmpi,
+// internal/stdabi) supplies three things:
+//
+//   - a Consts table: its native integer-constant vocabulary (wildcards,
+//     PROC_NULL, TAG_UB, MPI_UNDEFINED);
+//   - a Codes table: its native error-code numbering (MPICH's
+//     MPI_ERR_ROOT is 7, Open MPI's is 8, the standard ABI's is
+//     abi.ErrRoot);
+//   - a Policy: its eager/rendezvous switchover, context-id derivation
+//     stream, and collective algorithm selections (MPICH's
+//     binomial/Rabenseifner/Bruck cutoffs vs Open MPI's tuned
+//     binary/chain/ring cutoffs) built from the algorithm set this
+//     package exports.
+//
+// Everything else — the object model (Comm, Group, Type, Op, Request),
+// the progress engine, the protocols, the algorithms — is shared. What
+// remains in each implementation package is exactly what the paper calls
+// the ABI: handle encode/decode, constant values, status layout, error
+// codes. That an entire third implementation (internal/stdabi) fits in a
+// few hundred lines of such glue is the repository's executable form of
+// the paper's "a standard ABI makes new interoperable implementations
+// cheap" claim.
+package mpicore
+
+import (
+	"hash/fnv"
+
+	"repro/internal/fabric"
+	"repro/internal/ops"
+	"repro/internal/types"
+)
+
+// Consts is an implementation's native integer-constant vocabulary. The
+// runtime performs wildcard matching and argument validation directly in
+// the implementation's own value space, so arguments cross the
+// implementation boundary untranslated — exactly as they would inside a
+// real MPI library.
+type Consts struct {
+	AnySource int
+	AnyTag    int
+	ProcNull  int
+	TagUB     int
+	Undefined int
+}
+
+// Codes is an implementation's native error-code table. The runtime
+// returns these values directly (and embeds them in Status.Error), so an
+// implementation's public API reports its own numbering without a
+// translation pass — the numbering differences are part of each ABI and
+// are preserved bit-for-bit.
+type Codes struct {
+	Success     int
+	ErrBuffer   int
+	ErrCount    int
+	ErrType     int
+	ErrTag      int
+	ErrComm     int
+	ErrRank     int
+	ErrRoot     int
+	ErrGroup    int
+	ErrOp       int
+	ErrArg      int
+	ErrTruncate int
+	ErrRequest  int
+	ErrIntern   int
+	ErrOther    int
+}
+
+// Status is the runtime's canonical receive-status record. Source is a
+// communicator rank, Error carries the implementation's native code.
+// Implementation layers convert this into their own status layouts
+// (MPICH's split count words, Open MPI's public-fields-first record, the
+// standard ABI's Status) at the API boundary — the layout is ABI, the
+// contents are runtime.
+type Status struct {
+	Source     int32
+	Tag        int32
+	Error      int32
+	CountBytes uint64
+	Cancelled  bool
+}
+
+// Comm is a communicator: a context id, the comm-rank -> world-rank
+// table, and the caller's position. CollSeq reserves per-collective tag
+// blocks; ChldSeq numbers derived communicators for deterministic
+// context-id agreement.
+type Comm struct {
+	CID     uint32
+	Ranks   []int
+	MyPos   int
+	CollSeq uint32
+	ChldSeq uint32
+}
+
+// Size returns the communicator's size.
+func (c *Comm) Size() int { return len(c.Ranks) }
+
+// PosOf translates a world rank into a communicator rank, or -1.
+func (c *Comm) PosOf(world int) int {
+	for i, r := range c.Ranks {
+		if r == world {
+			return i
+		}
+	}
+	return -1
+}
+
+// Group is a process group: group rank -> world rank, plus the caller's
+// position (-1 when not a member).
+type Group struct {
+	Ranks []int
+	MyPos int
+}
+
+// Type is a datatype object wrapping the shared type engine. Prim is the
+// primitive kind for predefined types (KindInvalid for derived ones).
+type Type struct {
+	T    *types.Type
+	Prim types.Kind
+}
+
+// Op is a reduction operator object. User names a registered user
+// operator (see ops.RegisterUser); empty means the predefined Op.
+type Op struct {
+	Op      ops.Op
+	User    string
+	Commute bool
+}
+
+type reqKind uint8
+
+const (
+	reqRecv reqKind = iota
+	reqSend
+)
+
+// Request is an in-flight operation. Implementation layers hold *Request
+// (Open MPI style, where the pointer is the handle) or map their integer
+// handles to it (MPICH style); its internals belong to the runtime.
+type Request struct {
+	kind reqKind
+	done bool
+	code int
+
+	// Receive bookkeeping.
+	comm     *Comm
+	buf      []byte
+	count    int
+	dt       *Type
+	srcWorld int // matched source world rank, or the AnySource sentinel
+	tag      int
+	cid      uint32
+	raw      bool   // collective-internal: deliver the packed payload
+	rawOut   []byte // raw delivery target
+	status   Status
+
+	// Rendezvous send bookkeeping.
+	payload []byte
+	dest    int
+	seq     uint64
+}
+
+// Done reports request completion (used by implementation Test paths and
+// diagnostics; completion is normally consumed through Wait/Test).
+func (r *Request) Done() bool { return r.done }
+
+type seqKey struct {
+	peer int
+	seq  uint64
+}
+
+// collCIDBit marks collective-internal traffic so it can never match
+// application point-to-point receives on the same communicator. All
+// implementations share the bit: it lives on the wire, below the ABI.
+const collCIDBit uint32 = 1 << 31
+
+// Proc is one rank's runtime instance — the common lower half of every
+// simulated MPI library.
+type Proc struct {
+	ep    *fabric.Endpoint
+	world *fabric.World
+	rank  int
+	size  int
+
+	K   Consts
+	E   Codes
+	pol Policy
+
+	// Predefined objects, shared with the implementation layer.
+	CommWorld *Comm
+	CommSelf  *Comm
+
+	predefTypes map[types.Kind]*Type
+	predefOps   map[ops.Op]*Op
+
+	cidIndex map[uint32]*Comm
+
+	posted       []*Request
+	unexpected   []*fabric.Envelope
+	pendingSend  map[uint64]*Request
+	awaitingData map[seqKey]*Request
+	nextRdvSeq   uint64
+
+	finalized bool
+}
+
+// NewProc attaches a runtime instance to one rank of a world — the common
+// half of every implementation's MPI_Init. The predefined communicators
+// use the shared context ids 1 (world) and 2 (self).
+func NewProc(w *fabric.World, rank int, k Consts, e Codes, pol Policy) *Proc {
+	p := &Proc{
+		ep:           w.Endpoint(rank),
+		world:        w,
+		rank:         rank,
+		size:         w.Size(),
+		K:            k,
+		E:            e,
+		pol:          pol,
+		predefTypes:  make(map[types.Kind]*Type),
+		predefOps:    make(map[ops.Op]*Op),
+		cidIndex:     make(map[uint32]*Comm),
+		pendingSend:  make(map[uint64]*Request),
+		awaitingData: make(map[seqKey]*Request),
+	}
+	worldRanks := make([]int, p.size)
+	for i := range worldRanks {
+		worldRanks[i] = i
+	}
+	p.CommWorld = &Comm{CID: 1, Ranks: worldRanks, MyPos: rank}
+	p.CommSelf = &Comm{CID: 2, Ranks: []int{rank}, MyPos: 0}
+	p.cidIndex[1] = p.CommWorld
+	p.cidIndex[2] = p.CommSelf
+	for _, kind := range types.Kinds() {
+		p.predefTypes[kind] = &Type{T: types.Predefined(kind), Prim: kind}
+	}
+	for _, op := range ops.Ops() {
+		p.predefOps[op] = &Op{Op: op, Commute: op.Commutative()}
+	}
+	return p
+}
+
+// Predef returns the predefined datatype object for a primitive kind.
+func (p *Proc) Predef(k types.Kind) *Type { return p.predefTypes[k] }
+
+// PredefOp returns the predefined operator object.
+func (p *Proc) PredefOp(op ops.Op) *Op { return p.predefOps[op] }
+
+// Rank returns this process's world rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks in the world.
+func (p *Proc) Size() int { return p.size }
+
+// World exposes the fabric world (launchers and tests).
+func (p *Proc) World() *fabric.World { return p.world }
+
+// Finalize releases the instance. Outstanding requests are abandoned.
+func (p *Proc) Finalize() int {
+	p.finalized = true
+	return p.E.Success
+}
+
+// Finalized reports whether Finalize has run.
+func (p *Proc) Finalized() bool { return p.finalized }
+
+// Abort mirrors MPI_Abort: it tears the whole world down.
+func (p *Proc) Abort(code int) int {
+	p.world.Close()
+	return p.E.ErrOther
+}
+
+// Install registers a communicator in the context-id index. The
+// implementation layer calls it after wrapping a runtime-built Comm in
+// its own handle representation.
+func (p *Proc) Install(c *Comm) { p.cidIndex[c.CID] = c }
+
+// Uninstall removes a freed communicator from the context-id index.
+func (p *Proc) Uninstall(c *Comm) { delete(p.cidIndex, c.CID) }
+
+// Depths reports the progress engine's queue depths: posted receives,
+// unexpected envelopes, pending rendezvous sends, matched rendezvous
+// receives awaiting data. Implementations use it for diagnostics.
+func (p *Proc) Depths() (posted, unexpected, pendingSend, awaiting int) {
+	return len(p.posted), len(p.unexpected), len(p.pendingSend), len(p.awaitingData)
+}
+
+// FNV1aCIDDeriver returns MPICH's flavor of deterministic child
+// context-id derivation: FNV-1a over (parent, ordinal). All members of a
+// communicator observe the same pair, so all compute the same cid with no
+// extra communication; real implementations run a collective agreement
+// protocol, and the hash keeps the simulation cheap while preserving the
+// invariant that distinct communicators get distinct ids.
+func FNV1aCIDDeriver() func(parent, ordinal uint32) uint32 {
+	return func(parent, ordinal uint32) uint32 {
+		h := fnv.New32a()
+		var b [8]byte
+		putCIDWords(b[:], parent, ordinal)
+		h.Write(b[:])
+		return clampCID(h.Sum32())
+	}
+}
+
+// SaltedCIDDeriver returns an FNV-1 derivation with a leading salt byte,
+// keeping each implementation's cid stream distinct from the others'.
+func SaltedCIDDeriver(salt byte) func(parent, ordinal uint32) uint32 {
+	return func(parent, ordinal uint32) uint32 {
+		h := fnv.New32()
+		b := make([]byte, 9)
+		b[0] = salt
+		putCIDWords(b[1:], parent, ordinal)
+		h.Write(b)
+		return clampCID(h.Sum32())
+	}
+}
+
+func putCIDWords(b []byte, parent, ordinal uint32) {
+	b[0], b[1], b[2], b[3] = byte(parent), byte(parent>>8), byte(parent>>16), byte(parent>>24)
+	b[4], b[5], b[6], b[7] = byte(ordinal), byte(ordinal>>8), byte(ordinal>>16), byte(ordinal>>24)
+}
+
+// clampCID keeps derived cids off the collective bit and clear of the
+// predefined ids 1 and 2.
+func clampCID(cid uint32) uint32 {
+	cid &^= collCIDBit
+	if cid <= 2 {
+		cid += 3
+	}
+	return cid
+}

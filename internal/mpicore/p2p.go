@@ -1,0 +1,430 @@
+package mpicore
+
+import (
+	"repro/internal/fabric"
+)
+
+// Progress pulls one envelope from the fabric and dispatches it. With
+// block=true it waits for traffic; otherwise it returns immediately when
+// the mailbox is empty. MPI-style progress is driven only from inside MPI
+// calls, which this reproduces: the engine runs inside Send/Recv/Wait/etc.
+func (p *Proc) Progress(block bool) int {
+	var e *fabric.Envelope
+	if block {
+		e = p.ep.Recv()
+		if e == nil {
+			return p.E.ErrOther // world closed under us
+		}
+	} else {
+		var ok bool
+		e, ok = p.ep.TryRecv()
+		if !ok {
+			return p.E.Success
+		}
+	}
+	p.dispatch(e)
+	return p.E.Success
+}
+
+// dispatch routes one arrived envelope through the eager/rendezvous
+// protocol state machine.
+func (p *Proc) dispatch(e *fabric.Envelope) {
+	switch e.Proto {
+	case fabric.ProtoEager:
+		if r := p.matchPosted(e); r != nil {
+			p.deliverPayload(r, e.Src, e.Tag, e.Payload)
+		} else {
+			p.unexpected = append(p.unexpected, e)
+		}
+	case fabric.ProtoRTS:
+		if r := p.matchPosted(e); r != nil {
+			p.acceptRTS(e, r)
+		} else {
+			p.unexpected = append(p.unexpected, e)
+		}
+	case fabric.ProtoCTS:
+		if s, ok := p.pendingSend[e.Seq]; ok {
+			delete(p.pendingSend, e.Seq)
+			p.ep.Send(&fabric.Envelope{
+				Dst: e.Src, CID: s.cid, Proto: fabric.ProtoData,
+				Seq: e.Seq, Payload: s.payload,
+			})
+			s.payload = nil
+			s.done = true
+			s.code = p.E.Success
+		}
+	case fabric.ProtoData:
+		key := seqKey{peer: e.Src, seq: e.Seq}
+		if r, ok := p.awaitingData[key]; ok {
+			delete(p.awaitingData, key)
+			p.deliverPayload(r, e.Src, r.status.Tag, e.Payload)
+		}
+	}
+}
+
+// envMatches applies the matching rule. Wildcards use the owning
+// implementation's constant values (Consts), so each ABI's matching
+// semantics are honored without translation.
+func (p *Proc) envMatches(r *Request, e *fabric.Envelope) bool {
+	if e.CID != r.cid {
+		return false
+	}
+	if r.srcWorld != p.K.AnySource && e.Src != r.srcWorld {
+		return false
+	}
+	if r.tag != p.K.AnyTag && e.Tag != int32(r.tag) {
+		return false
+	}
+	return true
+}
+
+// matchPosted finds and removes the oldest posted recv matching e.
+func (p *Proc) matchPosted(e *fabric.Envelope) *Request {
+	for i, r := range p.posted {
+		if p.envMatches(r, e) {
+			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// matchUnexpected finds and removes the oldest unexpected envelope
+// matching a fresh recv.
+func (p *Proc) matchUnexpected(r *Request) *fabric.Envelope {
+	for i, e := range p.unexpected {
+		if p.envMatches(r, e) {
+			p.unexpected = append(p.unexpected[:i], p.unexpected[i+1:]...)
+			return e
+		}
+	}
+	return nil
+}
+
+// deliverPayload completes a receive with the given packed payload.
+func (p *Proc) deliverPayload(r *Request, srcWorld int, tag int32, payload []byte) {
+	r.status.Source = int32(srcWorld) // world rank; converted to comm rank below
+	if r.comm != nil {
+		r.status.Source = int32(r.comm.PosOf(srcWorld))
+	}
+	r.status.Tag = tag
+	r.done = true
+	if r.raw {
+		r.rawOut = payload
+		r.status.CountBytes = uint64(len(payload))
+		r.code = p.E.Success
+		r.status.Error = int32(p.E.Success)
+		return
+	}
+	capacity := r.count * r.dt.T.Size()
+	n := len(payload)
+	if n > capacity {
+		n = capacity
+		r.code = p.E.ErrTruncate
+	} else {
+		r.code = p.E.Success
+	}
+	if _, err := r.dt.T.UnpackPartial(payload[:n], r.buf); err != nil {
+		r.code = p.E.ErrIntern
+	}
+	r.status.CountBytes = uint64(n)
+	r.status.Error = int32(r.code)
+}
+
+// acceptRTS answers a rendezvous request-to-send for a matched recv.
+func (p *Proc) acceptRTS(e *fabric.Envelope, r *Request) {
+	// Remember the tag now; the data envelope only carries the seq.
+	r.status.Tag = e.Tag
+	p.awaitingData[seqKey{peer: e.Src, seq: e.Seq}] = r
+	p.ep.Send(&fabric.Envelope{
+		Dst: e.Src, CID: e.CID, Proto: fabric.ProtoCTS, Seq: e.Seq,
+	})
+}
+
+// postRecv registers a receive request, matching the unexpected queue
+// first.
+func (p *Proc) postRecv(r *Request) {
+	if e := p.matchUnexpected(r); e != nil {
+		switch e.Proto {
+		case fabric.ProtoEager:
+			p.deliverPayload(r, e.Src, e.Tag, e.Payload)
+		case fabric.ProtoRTS:
+			p.acceptRTS(e, r)
+		}
+		return
+	}
+	p.posted = append(p.posted, r)
+}
+
+// sendInternal implements blocking and nonblocking sends on an arbitrary
+// context id. Payloads at or below the policy's eager threshold (and
+// self-sends) travel with the envelope; larger ones run the RTS/CTS/Data
+// rendezvous. Returns the request for rendezvous progress, or nil if the
+// send completed immediately (eager path).
+func (p *Proc) sendInternal(packed []byte, destWorld int, tag int32, cid uint32) *Request {
+	if len(packed) <= p.pol.EagerMax || destWorld == p.rank {
+		p.ep.Send(&fabric.Envelope{
+			Dst: destWorld, CID: cid, Tag: tag,
+			Proto: fabric.ProtoEager, Payload: packed,
+		})
+		return nil
+	}
+	p.nextRdvSeq++
+	seq := p.nextRdvSeq
+	r := &Request{kind: reqSend, payload: packed, dest: destWorld, seq: seq, cid: cid}
+	p.pendingSend[seq] = r
+	p.ep.Send(&fabric.Envelope{
+		Dst: destWorld, CID: cid, Tag: tag,
+		Proto: fabric.ProtoRTS, Seq: seq, Hdr: uint64(len(packed)),
+	})
+	return r
+}
+
+// validateRankTag checks peer and tag arguments against a communicator,
+// in the implementation's own constant vocabulary.
+func (p *Proc) validateRankTag(c *Comm, peer, tag int, sending bool) int {
+	if peer == p.K.ProcNull {
+		return p.E.Success
+	}
+	if sending {
+		if tag < 0 || tag > p.K.TagUB {
+			return p.E.ErrTag
+		}
+	} else if tag != p.K.AnyTag && (tag < 0 || tag > p.K.TagUB) {
+		return p.E.ErrTag
+	}
+	if !sending && peer == p.K.AnySource {
+		return p.E.Success
+	}
+	if peer < 0 || peer >= c.Size() {
+		return p.E.ErrRank
+	}
+	return p.E.Success
+}
+
+// PackElems packs count elements of dt from buf into a fresh wire buffer.
+func (p *Proc) PackElems(dt *Type, buf []byte, count int) ([]byte, int) {
+	if count == 0 {
+		return nil, p.E.Success
+	}
+	out := make([]byte, count*dt.T.Size())
+	if _, err := dt.T.Pack(buf, count, out); err != nil {
+		return nil, p.E.ErrBuffer
+	}
+	return out, p.E.Success
+}
+
+// checkCommType is the shared argument prologue of the p2p calls.
+func (p *Proc) checkCommType(c *Comm, dt *Type) int {
+	if c == nil {
+		return p.E.ErrComm
+	}
+	if dt == nil || !dt.T.Committed() {
+		return p.E.ErrType
+	}
+	return p.E.Success
+}
+
+// Send is blocking standard-mode MPI_Send.
+func (p *Proc) Send(buf []byte, count int, dt *Type, dest, tag int, c *Comm) int {
+	if code := p.checkCommType(c, dt); code != p.E.Success {
+		return code
+	}
+	if code := p.validateRankTag(c, dest, tag, true); code != p.E.Success {
+		return code
+	}
+	if count < 0 {
+		return p.E.ErrCount
+	}
+	if dest == p.K.ProcNull {
+		return p.E.Success
+	}
+	packed, code := p.PackElems(dt, buf, count)
+	if code != p.E.Success {
+		return code
+	}
+	r := p.sendInternal(packed, c.Ranks[dest], int32(tag), c.CID)
+	for r != nil && !r.done {
+		if code := p.Progress(true); code != p.E.Success {
+			return code
+		}
+	}
+	if r != nil {
+		return r.code
+	}
+	return p.E.Success
+}
+
+// buildRecv validates arguments and constructs a recv request (nil for
+// PROC_NULL sources).
+func (p *Proc) buildRecv(buf []byte, count int, dt *Type, source, tag int, c *Comm) (*Request, int) {
+	if code := p.checkCommType(c, dt); code != p.E.Success {
+		return nil, code
+	}
+	if code := p.validateRankTag(c, source, tag, false); code != p.E.Success {
+		return nil, code
+	}
+	if count < 0 {
+		return nil, p.E.ErrCount
+	}
+	if source == p.K.ProcNull {
+		return nil, p.E.Success
+	}
+	srcWorld := p.K.AnySource
+	if source != p.K.AnySource {
+		srcWorld = c.Ranks[source]
+	}
+	return &Request{
+		kind: reqRecv, comm: c, buf: buf, count: count, dt: dt,
+		srcWorld: srcWorld, tag: tag, cid: c.CID,
+	}, p.E.Success
+}
+
+// ProcNullStatus fills st with the implementation's PROC_NULL sentinels.
+func (p *Proc) ProcNullStatus(st *Status) {
+	st.Source = int32(p.K.ProcNull)
+	st.Tag = int32(p.K.AnyTag)
+	st.Error = int32(p.E.Success)
+	st.CountBytes = 0
+}
+
+// Recv is blocking MPI_Recv. A nil st discards the status.
+func (p *Proc) Recv(buf []byte, count int, dt *Type, source, tag int, c *Comm, st *Status) int {
+	r, code := p.buildRecv(buf, count, dt, source, tag, c)
+	if code != p.E.Success {
+		return code
+	}
+	if r == nil { // PROC_NULL
+		if st != nil {
+			p.ProcNullStatus(st)
+		}
+		return p.E.Success
+	}
+	p.postRecv(r)
+	for !r.done {
+		if code := p.Progress(true); code != p.E.Success {
+			return code
+		}
+	}
+	if st != nil {
+		*st = r.status
+	}
+	return r.code
+}
+
+// Isend is nonblocking MPI_Isend. The returned request must be completed
+// with Wait/Test/Waitall; a PROC_NULL destination (and the eager path)
+// yield an already-done request.
+func (p *Proc) Isend(buf []byte, count int, dt *Type, dest, tag int, c *Comm) (*Request, int) {
+	if code := p.checkCommType(c, dt); code != p.E.Success {
+		return nil, code
+	}
+	if code := p.validateRankTag(c, dest, tag, true); code != p.E.Success {
+		return nil, code
+	}
+	if count < 0 {
+		return nil, p.E.ErrCount
+	}
+	if dest == p.K.ProcNull {
+		return &Request{kind: reqSend, done: true, code: p.E.Success}, p.E.Success
+	}
+	packed, code := p.PackElems(dt, buf, count)
+	if code != p.E.Success {
+		return nil, code
+	}
+	r := p.sendInternal(packed, c.Ranks[dest], int32(tag), c.CID)
+	if r == nil {
+		r = &Request{kind: reqSend, done: true, code: p.E.Success}
+	}
+	return r, p.E.Success
+}
+
+// Irecv is nonblocking MPI_Irecv.
+func (p *Proc) Irecv(buf []byte, count int, dt *Type, source, tag int, c *Comm) (*Request, int) {
+	r, code := p.buildRecv(buf, count, dt, source, tag, c)
+	if code != p.E.Success {
+		return nil, code
+	}
+	if r == nil { // PROC_NULL: complete immediately
+		pn := &Request{kind: reqRecv, done: true, code: p.E.Success}
+		p.ProcNullStatus(&pn.status)
+		return pn, p.E.Success
+	}
+	p.postRecv(r)
+	return r, p.E.Success
+}
+
+// Wait completes one request. A nil request is the null request: it
+// completes immediately with a PROC_NULL status.
+func (p *Proc) Wait(r *Request, st *Status) int {
+	if r == nil {
+		if st != nil {
+			p.ProcNullStatus(st)
+		}
+		return p.E.Success
+	}
+	for !r.done {
+		if code := p.Progress(true); code != p.E.Success {
+			return code
+		}
+	}
+	if st != nil {
+		*st = r.status
+	}
+	return r.code
+}
+
+// Test polls one request; outcome=(completed, code).
+func (p *Proc) Test(r *Request, st *Status) (bool, int) {
+	if r == nil {
+		if st != nil {
+			p.ProcNullStatus(st)
+		}
+		return true, p.E.Success
+	}
+	if !r.done {
+		if code := p.Progress(false); code != p.E.Success {
+			return false, code
+		}
+	}
+	if !r.done {
+		return false, p.E.Success
+	}
+	if st != nil {
+		*st = r.status
+	}
+	return true, r.code
+}
+
+// Waitall completes a set of requests. sts may be nil or match len(reqs).
+func (p *Proc) Waitall(reqs []*Request, sts []Status) int {
+	if sts != nil && len(sts) != len(reqs) {
+		return p.E.ErrArg
+	}
+	rc := p.E.Success
+	for i, r := range reqs {
+		var st Status
+		if code := p.Wait(r, &st); code != p.E.Success {
+			rc = code
+		}
+		if sts != nil {
+			sts[i] = st
+		}
+	}
+	return rc
+}
+
+// Sendrecv posts the receive, runs the send, then completes the receive —
+// the deadlock-free composite MPI_Sendrecv.
+func (p *Proc) Sendrecv(sendbuf []byte, scount int, stype *Type, dest, stag int,
+	recvbuf []byte, rcount int, rtype *Type, source, rtag int,
+	c *Comm, st *Status) int {
+	rr, code := p.Irecv(recvbuf, rcount, rtype, source, rtag, c)
+	if code != p.E.Success {
+		return code
+	}
+	if code := p.Send(sendbuf, scount, stype, dest, stag, c); code != p.E.Success {
+		return code
+	}
+	return p.Wait(rr, st)
+}

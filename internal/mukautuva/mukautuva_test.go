@@ -62,9 +62,9 @@ func bothImpls(t *testing.T, n int, fn func(s *Shim, rank int) error) {
 	}
 }
 
-func TestRegistryHasBothImplementations(t *testing.T) {
+func TestRegistryHasAllImplementations(t *testing.T) {
 	impls := Implementations()
-	if len(impls) != 2 || impls[0] != "mpich" || impls[1] != "openmpi" {
+	if len(impls) != 3 || impls[0] != "mpich" || impls[1] != "openmpi" || impls[2] != "stdabi" {
 		t.Fatalf("Implementations() = %v", impls)
 	}
 }

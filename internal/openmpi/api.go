@@ -1,0 +1,263 @@
+package openmpi
+
+import (
+	"repro/internal/mpicore"
+)
+
+// This file is Open MPI's public MPI surface. Handles are the runtime
+// objects themselves (pointer ABI), so most calls delegate directly; the
+// only translation left is the status layout. The runtime was constructed
+// with Open MPI's constant and error-code tables, so codes and sentinels
+// come back already in this package's vocabulary.
+
+// Send is blocking standard-mode MPI_Send.
+func (p *Proc) Send(buf []byte, count int, dt *Datatype, dest, tag int, c *Comm) int {
+	return p.rt.Send(buf, count, dt, dest, tag, c)
+}
+
+// Recv is blocking MPI_Recv.
+func (p *Proc) Recv(buf []byte, count int, dt *Datatype, source, tag int, c *Comm, st *Status) int {
+	var cs mpicore.Status
+	code := p.rt.Recv(buf, count, dt, source, tag, c, &cs)
+	if st != nil {
+		*st = nativeStatus(&cs)
+	}
+	return code
+}
+
+// Isend is nonblocking MPI_Isend.
+func (p *Proc) Isend(buf []byte, count int, dt *Datatype, dest, tag int, c *Comm) (*Request, int) {
+	return p.rt.Isend(buf, count, dt, dest, tag, c)
+}
+
+// Irecv is nonblocking MPI_Irecv.
+func (p *Proc) Irecv(buf []byte, count int, dt *Datatype, source, tag int, c *Comm) (*Request, int) {
+	return p.rt.Irecv(buf, count, dt, source, tag, c)
+}
+
+// Wait completes one request.
+func (p *Proc) Wait(r *Request, st *Status) int {
+	var cs mpicore.Status
+	code := p.rt.Wait(r, &cs)
+	if st != nil && (r == nil || r.Done()) {
+		*st = nativeStatus(&cs)
+	}
+	return code
+}
+
+// Test polls one request.
+func (p *Proc) Test(r *Request, st *Status) (bool, int) {
+	var cs mpicore.Status
+	done, code := p.rt.Test(r, &cs)
+	if done && st != nil {
+		*st = nativeStatus(&cs)
+	}
+	return done, code
+}
+
+// Waitall completes a batch of requests.
+func (p *Proc) Waitall(reqs []*Request, sts []Status) int {
+	if sts != nil && len(sts) != len(reqs) {
+		return ErrArg
+	}
+	rc := Success
+	for i, r := range reqs {
+		var st Status
+		if code := p.Wait(r, &st); code != Success {
+			rc = code
+		}
+		if sts != nil {
+			sts[i] = st
+		}
+	}
+	return rc
+}
+
+// Sendrecv posts the receive before sending, avoiding the exchange
+// deadlock.
+func (p *Proc) Sendrecv(sendbuf []byte, scount int, stype *Datatype, dest, stag int,
+	recvbuf []byte, rcount int, rtype *Datatype, source, rtag int,
+	c *Comm, st *Status) int {
+	var cs mpicore.Status
+	code := p.rt.Sendrecv(sendbuf, scount, stype, dest, stag,
+		recvbuf, rcount, rtype, source, rtag, c, &cs)
+	if st != nil {
+		*st = nativeStatus(&cs)
+	}
+	return code
+}
+
+// Probe mirrors MPI_Probe.
+func (p *Proc) Probe(source, tag int, c *Comm, st *Status) int {
+	var cs mpicore.Status
+	code := p.rt.Probe(source, tag, c, &cs)
+	if code == Success && st != nil {
+		*st = nativeStatus(&cs)
+	}
+	return code
+}
+
+// Iprobe mirrors MPI_Iprobe.
+func (p *Proc) Iprobe(source, tag int, c *Comm, st *Status) (bool, int) {
+	var cs mpicore.Status
+	found, code := p.rt.Iprobe(source, tag, c, &cs)
+	if found && st != nil {
+		*st = nativeStatus(&cs)
+	}
+	return found, code
+}
+
+// Barrier uses recursive doubling with a fold for non-power-of-two sizes
+// (Open MPI's tuned default for mid-size communicators).
+func (p *Proc) Barrier(c *Comm) int { return p.rt.Barrier(c) }
+
+// Bcast uses a binary tree for short messages and a pipelined chain for
+// long ones.
+func (p *Proc) Bcast(buf []byte, count int, dt *Datatype, root int, c *Comm) int {
+	return p.rt.Bcast(buf, count, dt, root, c)
+}
+
+// Reduce folds up an in-order binary tree over relative ranks.
+func (p *Proc) Reduce(sendbuf, recvbuf []byte, count int, dt *Datatype, o *Op, root int, c *Comm) int {
+	return p.rt.Reduce(sendbuf, recvbuf, count, dt, o, root, c)
+}
+
+// Allreduce uses recursive doubling for short messages and the classic
+// ring (reduce-scatter + allgather) for long ones.
+func (p *Proc) Allreduce(sendbuf, recvbuf []byte, count int, dt *Datatype, o *Op, c *Comm) int {
+	return p.rt.Allreduce(sendbuf, recvbuf, count, dt, o, c)
+}
+
+// Gather is Open MPI's basic linear algorithm with nonblocking overlap.
+func (p *Proc) Gather(sendbuf []byte, scount int, stype *Datatype,
+	recvbuf []byte, rcount int, rtype *Datatype, root int, c *Comm) int {
+	return p.rt.Gather(sendbuf, scount, stype, recvbuf, rcount, rtype, root, c)
+}
+
+// Scatter is the basic linear algorithm: the root sends each block.
+func (p *Proc) Scatter(sendbuf []byte, scount int, stype *Datatype,
+	recvbuf []byte, rcount int, rtype *Datatype, root int, c *Comm) int {
+	return p.rt.Scatter(sendbuf, scount, stype, recvbuf, rcount, rtype, root, c)
+}
+
+// Allgather uses the Bruck algorithm for small blocks and a ring for
+// large ones.
+func (p *Proc) Allgather(sendbuf []byte, scount int, stype *Datatype,
+	recvbuf []byte, rcount int, rtype *Datatype, c *Comm) int {
+	return p.rt.Allgather(sendbuf, scount, stype, recvbuf, rcount, rtype, c)
+}
+
+// Alltoall dispatches between the Bruck and basic-linear algorithms.
+func (p *Proc) Alltoall(sendbuf []byte, scount int, stype *Datatype,
+	recvbuf []byte, rcount int, rtype *Datatype, c *Comm) int {
+	return p.rt.Alltoall(sendbuf, scount, stype, recvbuf, rcount, rtype, c)
+}
+
+// CommSize mirrors MPI_Comm_size.
+func (p *Proc) CommSize(c *Comm) (int, int) {
+	if c == nil {
+		return 0, ErrComm
+	}
+	return c.Size(), Success
+}
+
+// CommRank mirrors MPI_Comm_rank.
+func (p *Proc) CommRank(c *Comm) (int, int) {
+	if c == nil {
+		return 0, ErrComm
+	}
+	return c.MyPos, Success
+}
+
+// CommDup duplicates a communicator (collective).
+func (p *Proc) CommDup(c *Comm) (*Comm, int) { return p.rt.CommDup(c) }
+
+// CommSplit partitions a communicator by color/key (collective).
+func (p *Proc) CommSplit(c *Comm, color, key int) (*Comm, int) {
+	return p.rt.CommSplit(c, color, key)
+}
+
+// CommCreate builds a communicator from a subgroup (collective over the
+// parent); non-members receive nil.
+func (p *Proc) CommCreate(c *Comm, g *Group) (*Comm, int) { return p.rt.CommCreate(c, g) }
+
+// CommGroup extracts a communicator's group.
+func (p *Proc) CommGroup(c *Comm) (*Group, int) { return p.rt.CommGroup(c) }
+
+// CommFree releases a communicator. Predefined communicators are
+// protected.
+func (p *Proc) CommFree(c *Comm) int { return p.rt.CommFree(c) }
+
+// GroupSize mirrors MPI_Group_size.
+func (p *Proc) GroupSize(g *Group) (int, int) { return p.rt.GroupSize(g) }
+
+// GroupRank mirrors MPI_Group_rank.
+func (p *Proc) GroupRank(g *Group) (int, int) { return p.rt.GroupRank(g) }
+
+// GroupIncl selects listed ranks into a new group.
+func (p *Proc) GroupIncl(g *Group, ranksIn []int) (*Group, int) {
+	return p.rt.GroupIncl(g, ranksIn)
+}
+
+// GroupExcl removes listed ranks from a group.
+func (p *Proc) GroupExcl(g *Group, ranksOut []int) (*Group, int) {
+	return p.rt.GroupExcl(g, ranksOut)
+}
+
+// GroupTranslateRanks maps ranks between groups.
+func (p *Proc) GroupTranslateRanks(a *Group, ranks []int, b *Group) ([]int, int) {
+	return p.rt.GroupTranslateRanks(a, ranks, b)
+}
+
+// GroupFree releases a group (no-op for the GC, kept for API fidelity).
+func (p *Proc) GroupFree(g *Group) int {
+	if g == nil {
+		return ErrGroup
+	}
+	return Success
+}
+
+// TypeContiguous mirrors MPI_Type_contiguous.
+func (p *Proc) TypeContiguous(count int, inner *Datatype) (*Datatype, int) {
+	return p.rt.TypeContiguous(count, inner)
+}
+
+// TypeVector mirrors MPI_Type_vector.
+func (p *Proc) TypeVector(count, blocklen, stride int, inner *Datatype) (*Datatype, int) {
+	return p.rt.TypeVector(count, blocklen, stride, inner)
+}
+
+// TypeIndexed mirrors MPI_Type_indexed.
+func (p *Proc) TypeIndexed(blocklens, displs []int, inner *Datatype) (*Datatype, int) {
+	return p.rt.TypeIndexed(blocklens, displs, inner)
+}
+
+// TypeCreateStruct mirrors MPI_Type_create_struct.
+func (p *Proc) TypeCreateStruct(blocklens, displs []int, typs []*Datatype) (*Datatype, int) {
+	return p.rt.TypeCreateStruct(blocklens, displs, typs)
+}
+
+// TypeCommit mirrors MPI_Type_commit.
+func (p *Proc) TypeCommit(dt *Datatype) int { return p.rt.TypeCommit(dt) }
+
+// TypeFree releases a datatype; predefined types are protected.
+func (p *Proc) TypeFree(dt *Datatype) int { return p.rt.TypeFree(dt) }
+
+// TypeSize mirrors MPI_Type_size.
+func (p *Proc) TypeSize(dt *Datatype) (int, int) { return p.rt.TypeSize(dt) }
+
+// TypeExtent mirrors MPI_Type_get_extent.
+func (p *Proc) TypeExtent(dt *Datatype) (int, int) { return p.rt.TypeExtent(dt) }
+
+// GetCount mirrors MPI_Get_count.
+func (p *Proc) GetCount(st *Status, dt *Datatype) (int, int) {
+	return p.rt.GetCount(st.UCount, dt)
+}
+
+// OpCreate registers a user reduction operator by registry name.
+func (p *Proc) OpCreate(name string, commute bool) (*Op, int) {
+	return p.rt.OpCreate(name, commute)
+}
+
+// OpFree releases a user operator; predefined operators are protected.
+func (p *Proc) OpFree(o *Op) int { return p.rt.OpFree(o) }

@@ -40,7 +40,7 @@ func Bind(p *Proc) *Binding {
 	b := &Binding{p: p, objs: make(map[uint64]any), next: slotDynBase}
 	b.objs[slotCommWorld] = p.CommWorld
 	b.objs[slotCommSelf] = p.CommSelf
-	b.objs[slotGroupEmpty] = &Group{myPos: -1}
+	b.objs[slotGroupEmpty] = &Group{MyPos: -1}
 	for _, k := range types.Kinds() {
 		b.objs[slotTypeBase+uint64(k)] = p.Type(k)
 	}

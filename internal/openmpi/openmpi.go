@@ -14,7 +14,11 @@
 // The collective suite follows Open MPI's "tuned" module flavor: binary
 // tree and pipelined-chain broadcast, ring allreduce for long messages,
 // linear gather/scatter, Bruck allgather, linear alltoall with nonblocking
-// overlap, and a recursive-doubling barrier.
+// overlap, and a recursive-doubling barrier. The algorithms themselves
+// live in the shared internal/mpicore runtime; this package contributes
+// the tuned thresholds (its Policy), its constant and error-code tables,
+// and the pointer-object handle model — which is exactly the ABI surface
+// the paper says is all that separates implementations.
 //
 // The deliberate ABI mismatch with internal/mpich is the point (the
 // incompatibility of Section 2 that the paper's standard ABI removes):
@@ -27,9 +31,9 @@ package openmpi
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"repro/internal/fabric"
+	"repro/internal/mpicore"
 	"repro/internal/ops"
 	"repro/internal/types"
 )
@@ -110,181 +114,162 @@ type Status struct {
 	Cancelled bool
 }
 
-// Comm is a communicator object; the handle is the pointer itself.
-type Comm struct {
-	cid     uint32
-	ranks   []int // comm rank -> world rank
-	myPos   int
-	collSeq uint32
-	chldSeq uint32
-	name    string
-}
+// Open MPI's handles are pointers to live objects, so the runtime's
+// object types ARE this package's handle types — the pointer value is the
+// handle, exactly like &ompi_mpi_comm_world. (MPICH, by contrast, wraps
+// the same objects behind encoded 32-bit integers.)
+type (
+	// Comm is a communicator object; the handle is the pointer itself.
+	Comm = mpicore.Comm
+	// Group is a process group object.
+	Group = mpicore.Group
+	// Datatype is a datatype object wrapping the shared type engine.
+	Datatype = mpicore.Type
+	// Op is a reduction operator object.
+	Op = mpicore.Op
+	// Request is an in-flight operation object; the handle is the pointer.
+	Request = mpicore.Request
+)
 
-// Size returns the communicator's size.
-func (c *Comm) Size() int { return len(c.ranks) }
-
-// posOf translates a world rank to a comm rank, or -1.
-func (c *Comm) posOf(world int) int {
-	for i, r := range c.ranks {
-		if r == world {
-			return i
-		}
-	}
-	return -1
-}
-
-// Group is a process group object.
-type Group struct {
-	ranks []int
-	myPos int // -1 when not a member
-}
-
-// Datatype is a datatype object wrapping the shared type engine.
-type Datatype struct {
-	t    *types.Type
-	prim types.Kind
-}
-
-// Op is a reduction operator object.
-type Op struct {
-	op      ops.Op
-	user    string
-	commute bool
-}
-
-// Request is an in-flight operation object; the handle is the pointer.
-type Request struct {
-	isRecv bool
-	done   bool
-	code   int
-
-	comm     *Comm
-	buf      []byte
-	count    int
-	dt       *Datatype
-	srcWorld int
-	tag      int
-	cid      uint32
-	raw      bool
-	rawOut   []byte
-	status   Status
-
-	payload []byte
-	seq     uint64
-}
-
-type seqKey struct {
-	peer int
-	seq  uint64
-}
-
-// collCIDBit separates collective-internal traffic from application
-// point-to-point traffic on the same communicator.
-const collCIDBit uint32 = 1 << 31
-
-// eagerLimit is Open MPI's (BTL tcp flavored) eager/rendezvous switchover,
-// intentionally lower than MPICH's.
+// eagerLimit is Open MPI's (BTL tcp flavored) eager/rendezvous
+// switchover, intentionally lower than MPICH's.
 const eagerLimit = 4 * 1024
 
-// Proc is one rank's Open MPI library instance.
+// Open MPI "tuned"-style algorithm selection thresholds (bytes).
+const (
+	bcastBinaryMax    = 32768    // binary tree below, pipelined chain above
+	bcastSegSize      = 8 * 1024 // chain pipeline segment size
+	allreduceRDMax    = 32768    // recursive doubling below, ring above
+	allgatherBruckMax = 1024     // Bruck below (per block), ring above
+	// alltoallBruckMax selects Bruck below (the tuned module's
+	// small-message choice) and basic linear with nonblocking overlap
+	// above. The thresholds and the linear algorithm differ from MPICH's
+	// Bruck/pairwise selection, giving the two implementations visibly
+	// different alltoall curves at medium sizes.
+	alltoallBruckMax = 200
+)
+
+var ompiConsts = mpicore.Consts{
+	AnySource: AnySource,
+	AnyTag:    AnyTag,
+	ProcNull:  ProcNull,
+	TagUB:     TagUB,
+	Undefined: Undefined,
+}
+
+var ompiCodes = mpicore.Codes{
+	Success:     Success,
+	ErrBuffer:   ErrBuffer,
+	ErrCount:    ErrCount,
+	ErrType:     ErrType,
+	ErrTag:      ErrTag,
+	ErrComm:     ErrComm,
+	ErrRank:     ErrRank,
+	ErrRoot:     ErrRoot,
+	ErrGroup:    ErrGroup,
+	ErrOp:       ErrOp,
+	ErrArg:      ErrArg,
+	ErrTruncate: ErrTruncate,
+	ErrRequest:  ErrRequest,
+	ErrIntern:   ErrIntern,
+	ErrOther:    ErrOther,
+}
+
+// Policy is Open MPI's tuned algorithm personality over the shared
+// runtime.
+func Policy() mpicore.Policy {
+	return mpicore.Policy{
+		EagerMax: eagerLimit,
+		// 'O': keep openmpi's cid stream distinct from mpich's.
+		DeriveCID: mpicore.SaltedCIDDeriver('O'),
+		Barrier: func(p *mpicore.Proc, c *mpicore.Comm, tag int32) int {
+			return p.BarrierRDFold(c, tag)
+		},
+		Bcast: func(p *mpicore.Proc, c *mpicore.Comm, packed []byte, root int, tag int32) int {
+			if len(packed) <= bcastBinaryMax {
+				return p.BcastBinaryTree(c, packed, root, tag)
+			}
+			return p.BcastChain(c, packed, root, tag, bcastSegSize)
+		},
+		Reduce: func(p *mpicore.Proc, c *mpicore.Comm, acc []byte, o *mpicore.Op, k types.Kind, root int, tag int32) int {
+			return p.ReduceBinaryTree(c, acc, o, k, root, tag)
+		},
+		Allreduce: func(p *mpicore.Proc, c *mpicore.Comm, acc []byte, o *mpicore.Op, k types.Kind, tag int32) int {
+			elems := len(acc) / k.Size()
+			if len(acc) > allreduceRDMax && elems >= c.Size() {
+				return p.AllreduceRing(c, acc, o, k, tag)
+			}
+			return p.AllreduceRecDoubling(c, acc, o, k, tag, 63)
+		},
+		Gather: func(p *mpicore.Proc, c *mpicore.Comm, own, region []byte, blockSz, root int, tag int32) int {
+			return p.GatherLinear(c, own, region, blockSz, root, tag)
+		},
+		Scatter: func(p *mpicore.Proc, c *mpicore.Comm, region []byte, blockSz, root int, tag int32) ([]byte, int) {
+			return p.ScatterLinear(c, region, blockSz, root, tag)
+		},
+		Allgather: func(p *mpicore.Proc, c *mpicore.Comm, region []byte, blockSz int, tag int32) int {
+			if blockSz <= allgatherBruckMax {
+				return p.AllgatherBruck(c, region, blockSz, tag)
+			}
+			return p.AllgatherRing(c, region, blockSz, tag)
+		},
+		Alltoall: func(p *mpicore.Proc, c *mpicore.Comm, out, in []byte, blockSz int, tag int32) int {
+			if blockSz <= alltoallBruckMax && c.Size() > 2 {
+				return p.AlltoallBruck(c, out, in, blockSz, tag)
+			}
+			return p.AlltoallOverlap(c, out, in, blockSz, tag)
+		},
+	}
+}
+
+// Proc is one rank's Open MPI library instance: the shared mpicore
+// runtime under Open MPI's pointer-handle ABI.
 type Proc struct {
-	ep    *fabric.Endpoint
-	world *fabric.World
-	rank  int
-	size  int
+	rt *mpicore.Proc
 
 	// Predefined objects, exposed as pointers like &ompi_mpi_comm_world.
 	CommWorld *Comm
 	CommSelf  *Comm
-
-	predefTypes map[types.Kind]*Datatype
-	predefOps   map[ops.Op]*Op
-
-	cidIndex map[uint32]*Comm
-
-	posted       []*Request
-	unexpected   []*fabric.Envelope
-	pendingSend  map[uint64]*Request
-	awaitingData map[seqKey]*Request
-	nextSeq      uint64
-
-	finalized bool
 }
 
 // Init attaches a fresh Open MPI instance to a world endpoint.
 func Init(w *fabric.World, rank int) *Proc {
-	p := &Proc{
-		ep:           w.Endpoint(rank),
-		world:        w,
-		rank:         rank,
-		size:         w.Size(),
-		predefTypes:  make(map[types.Kind]*Datatype),
-		predefOps:    make(map[ops.Op]*Op),
-		cidIndex:     make(map[uint32]*Comm),
-		pendingSend:  make(map[uint64]*Request),
-		awaitingData: make(map[seqKey]*Request),
-	}
-	worldRanks := make([]int, p.size)
-	for i := range worldRanks {
-		worldRanks[i] = i
-	}
-	p.CommWorld = &Comm{cid: 1, ranks: worldRanks, myPos: rank, name: "MPI_COMM_WORLD"}
-	p.CommSelf = &Comm{cid: 2, ranks: []int{rank}, myPos: 0, name: "MPI_COMM_SELF"}
-	p.cidIndex[1] = p.CommWorld
-	p.cidIndex[2] = p.CommSelf
-	for _, k := range types.Kinds() {
-		p.predefTypes[k] = &Datatype{t: types.Predefined(k), prim: k}
-	}
-	for _, op := range ops.Ops() {
-		p.predefOps[op] = &Op{op: op, commute: true}
-	}
-	return p
+	rt := mpicore.NewProc(w, rank, ompiConsts, ompiCodes, Policy())
+	return &Proc{rt: rt, CommWorld: rt.CommWorld, CommSelf: rt.CommSelf}
 }
 
 // Type returns the predefined datatype object for a primitive kind.
-func (p *Proc) Type(k types.Kind) *Datatype { return p.predefTypes[k] }
+func (p *Proc) Type(k types.Kind) *Datatype { return p.rt.Predef(k) }
 
 // PredefOp returns the predefined operator object.
-func (p *Proc) PredefOp(op ops.Op) *Op { return p.predefOps[op] }
+func (p *Proc) PredefOp(op ops.Op) *Op { return p.rt.PredefOp(op) }
 
 // Rank returns the world rank; Size the world size.
-func (p *Proc) Rank() int { return p.rank }
+func (p *Proc) Rank() int { return p.rt.Rank() }
 
 // Size returns the number of ranks in the world.
-func (p *Proc) Size() int { return p.size }
+func (p *Proc) Size() int { return p.rt.Size() }
 
 // World exposes the fabric world.
-func (p *Proc) World() *fabric.World { return p.world }
+func (p *Proc) World() *fabric.World { return p.rt.World() }
 
 // Finalize releases the instance.
-func (p *Proc) Finalize() int {
-	p.finalized = true
-	return Success
-}
+func (p *Proc) Finalize() int { return p.rt.Finalize() }
 
 // Abort tears the world down, like MPI_Abort.
-func (p *Proc) Abort(code int) int {
-	p.world.Close()
-	return ErrOther
-}
+func (p *Proc) Abort(code int) int { return p.rt.Abort(code) }
 
-// deriveCID allocates a child context id deterministically from the
-// parent's id and creation ordinal (see the mpich twin for rationale).
-func deriveCID(parent, ordinal uint32) uint32 {
-	h := fnv.New32()
-	var b [9]byte
-	b[0] = 0x4f // 'O': keep openmpi's cid stream distinct from mpich's
-	b[1], b[2], b[3], b[4] = byte(parent), byte(parent>>8), byte(parent>>16), byte(parent>>24)
-	b[5], b[6], b[7], b[8] = byte(ordinal), byte(ordinal>>8), byte(ordinal>>16), byte(ordinal>>24)
-	h.Write(b[:])
-	cid := h.Sum32() &^ collCIDBit
-	if cid <= 2 {
-		cid += 3
+// nativeStatus converts the runtime's canonical status into Open MPI's
+// public-fields-first layout.
+func nativeStatus(cs *mpicore.Status) Status {
+	return Status{
+		Source: cs.Source, Tag: cs.Tag, Error: cs.Error,
+		UCount: cs.CountBytes, Cancelled: cs.Cancelled,
 	}
-	return cid
 }
 
 func (p *Proc) String() string {
+	posted, unexpected, _, _ := p.rt.Depths()
 	return fmt.Sprintf("openmpi rank %d/%d: posted=%d unexpected=%d",
-		p.rank, p.size, len(p.posted), len(p.unexpected))
+		p.rt.Rank(), p.rt.Size(), posted, unexpected)
 }

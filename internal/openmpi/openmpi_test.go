@@ -368,7 +368,7 @@ func TestCommDupAndGroups(t *testing.T) {
 		if code != Success {
 			return codef(code, "dup")
 		}
-		if dup.cid == p.CommWorld.cid {
+		if dup.CID == p.CommWorld.CID {
 			return fmt.Errorf("dup shares the parent's context id")
 		}
 		g, code := p.CommGroup(dup)

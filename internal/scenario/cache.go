@@ -17,7 +17,17 @@ import (
 // require a bump: cached entries already embed the result and are
 // invalidated by the entry decoding below when Result's JSON changes
 // incompatibly.
-const EngineVersion = 1
+//
+// Version history:
+//
+//	1: PR 3's initial content-addressed cache.
+//	2: the mpicore extraction and the stdabi implementation. The matrix
+//	   grew a third implementation axis (120 -> 216 cells) and every MPI
+//	   stack now executes over the shared internal/mpicore runtime; the
+//	   refactor preserves algorithms and thresholds, but cell semantics
+//	   are owned by a different code path, so every v1 result must
+//	   re-run rather than be trusted across the boundary.
+const EngineVersion = 2
 
 // CellHash is the content address of one matrix cell: a stable SHA-256
 // over everything that determines the cell's Result.

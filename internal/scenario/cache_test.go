@@ -73,7 +73,7 @@ func TestCellHashStableAndComplete(t *testing.T) {
 func TestCellHashPinned(t *testing.T) {
 	s := hashSpec()
 	o := Options{Nodes: 2, RanksPerNode: 4, Reps: 2, MaxSize: 64, Iters: 2, Warmup: 1, BaseSeed: 42}
-	const want = "f6885cc6016221ac9df3c16c957da746dd55e7df8c641c2e5a3d3c5d891523a2"
+	const want = "8d44206e30f2d299602205d4e36220dedff0ad301997bb17827c68200826490c"
 	if got := CellHash(s, o); got != want {
 		t.Fatalf("pinned cell hash drifted (engine version %d):\n got %s\nwant %s",
 			EngineVersion, got, want)

@@ -232,14 +232,16 @@ type MatrixSpec struct {
 }
 
 // DefaultMatrix is the paper's full claim surface: both Figure 5
-// applications over every implementation, every binding mode, every
-// checkpointing package, every valid restart pairing, and the fault
-// axis — crash recovery over every pairing, node loss over every
+// applications over every implementation — the two historical ABIs plus
+// the standard-ABI-native third (internal/stdabi) — every binding mode,
+// every checkpointing package, every valid restart pairing (including
+// stdabi<->{mpich,openmpi} cross-restarts in both directions), and the
+// fault axis — crash recovery over every pairing, node loss over every
 // cross-implementation pairing, link degradation over every plain cell.
 func DefaultMatrix() MatrixSpec {
 	return MatrixSpec{
 		Programs:     []string{"app.comd", "app.wave"},
-		Impls:        []core.Impl{core.ImplMPICH, core.ImplOpenMPI},
+		Impls:        []core.Impl{core.ImplMPICH, core.ImplOpenMPI, core.ImplStdABI},
 		ABIs:         []core.ABIMode{core.ABINative, core.ABIMukautuva, core.ABIWi4MPI},
 		Ckpts:        []core.CkptMode{core.CkptNone, core.CkptDMTCP, core.CkptMANA},
 		CrossRestart: true,

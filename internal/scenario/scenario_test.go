@@ -29,8 +29,8 @@ func TestEnumerateExcludesInvalidStacks(t *testing.T) {
 		}
 		seen[s.ID()] = true
 	}
-	// The matrix must cover every base cell: 2 apps x 2 impls x 3 ABIs x
-	// 3 checkpointers = 36 straight runs.
+	// The matrix must cover every base cell: 2 apps x 3 impls x 3 ABIs x
+	// 3 checkpointers = 54 straight runs.
 	var straight, cross, same int
 	var rankCrash, nodeCrash, nicDegrade int
 	for _, s := range specs {
@@ -54,31 +54,45 @@ func TestEnumerateExcludesInvalidStacks(t *testing.T) {
 			same++
 		}
 	}
-	if straight != 36 {
-		t.Errorf("straight scenarios = %d, want 36", straight)
+	if straight != 54 {
+		t.Errorf("straight scenarios = %d, want 54", straight)
 	}
 	// Cross-implementation restarts exist only for MANA over a standard
-	// ABI: 2 apps x 2 standard ABIs x 2 launch impls = 8.
-	if cross != 8 {
-		t.Errorf("cross-restart scenarios = %d, want 8", cross)
+	// ABI: 2 apps x 2 standard ABIs x 3 launch impls x 2 other restart
+	// impls = 24 (stdabi<->{mpich,openmpi} pairings included, both
+	// directions).
+	if cross != 24 {
+		t.Errorf("cross-restart scenarios = %d, want 24", cross)
 	}
 	if same == 0 {
 		t.Error("no same-implementation restart scenarios")
 	}
-	// The fault axis: a rank-crash recovery per restart pairing (8 cross
-	// + 24 same = 32), a node-crash per cross pairing (8), a nic-degrade
-	// per checkpointer-free straight cell (12) — 120 scenarios total.
-	if rankCrash != 32 {
-		t.Errorf("rank-crash scenarios = %d, want 32", rankCrash)
+	// The fault axis: a rank-crash recovery per restart pairing (24 cross
+	// + 36 same = 60), a node-crash per cross pairing (24), a nic-degrade
+	// per checkpointer-free straight cell (18) — 216 scenarios total.
+	if rankCrash != 60 {
+		t.Errorf("rank-crash scenarios = %d, want 60", rankCrash)
 	}
-	if nodeCrash != 8 {
-		t.Errorf("node-crash scenarios = %d, want 8", nodeCrash)
+	if nodeCrash != 24 {
+		t.Errorf("node-crash scenarios = %d, want 24", nodeCrash)
 	}
-	if nicDegrade != 12 {
-		t.Errorf("nic-degrade scenarios = %d, want 12", nicDegrade)
+	if nicDegrade != 18 {
+		t.Errorf("nic-degrade scenarios = %d, want 18", nicDegrade)
 	}
-	if len(specs) < 100 {
-		t.Errorf("matrix has %d scenarios, the fault axis should push it past 100", len(specs))
+	if len(specs) < 170 {
+		t.Errorf("matrix has %d scenarios, the stdabi axis should push it past 170", len(specs))
+	}
+	// The stdabi axis must contribute cross-restart recovery cells in
+	// both directions (the acceptance bar for the third implementation).
+	var stdCross int
+	for _, s := range specs {
+		if s.Fault == faults.KindNodeCrash &&
+			(s.Impl == core.ImplStdABI) != (s.RestartImpl == core.ImplStdABI) {
+			stdCross++
+		}
+	}
+	if stdCross < 4 {
+		t.Errorf("stdabi node-crash cross-restart cells = %d, want >= 4", stdCross)
 	}
 	for _, s := range specs {
 		if s.HasRestart() && s.RestartImpl != s.Impl && s.Ckpt != core.CkptMANA {

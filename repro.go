@@ -63,6 +63,7 @@ type (
 const (
 	ImplMPICH    = core.ImplMPICH
 	ImplOpenMPI  = core.ImplOpenMPI
+	ImplStdABI   = core.ImplStdABI
 	ABINative    = core.ABINative
 	ABIMukautuva = core.ABIMukautuva
 	ABIWi4MPI    = core.ABIWi4MPI
