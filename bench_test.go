@@ -263,6 +263,41 @@ func BenchmarkFaultRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkShrinkRecovery measures the OTHER fault-tolerance cycle —
+// ULFM in-place recovery, the checkpoint-free path: launch, crash a
+// rank non-fatally mid-run, survivors' pending collectives complete
+// with the proc-failed code, revoke/shrink/agree, recompute on the
+// survivors-only world to completion. cycle-us is the whole cycle;
+// contrast BenchmarkFaultRecovery's image-restart cycle on the same
+// workload shape.
+func BenchmarkShrinkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stack := benchStack(ImplOpenMPI, ABIMukautuva, CkptNone)
+		inj, err := NewFaultInjector(FaultPlan{Faults: []FaultSpec{
+			{Kind: FaultRankCrash, Rank: 3, Step: 6, NonFatal: true},
+		}}, 1, stack.Net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		res, err := RunWithShrinkRecovery(stack, "test.bench.ring", inj, ShrinkPolicy{MaxShrinks: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed || res.Shrinks != 1 {
+			b.Fatalf("completed=%v shrinks=%d", res.Completed, res.Shrinks)
+		}
+		b.ReportMetric(float64(time.Since(start).Microseconds()), "cycle-us")
+		var virt float64
+		for r := 0; r < stack.Net.Size(); r++ {
+			if t := res.Job.Clock(r).Duration().Seconds(); t > virt {
+				virt = t
+			}
+		}
+		b.ReportMetric(virt*1e3, "virt-ms/run")
+	}
+}
+
 // benchRing is a small lockstep workload for the recovery benchmark:
 // one allreduce per step, quiescent at every safe point.
 type benchRing struct {

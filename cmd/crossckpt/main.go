@@ -12,6 +12,15 @@
 //	crossckpt [-program osu.alltoall] [-from openmpi] [-to mpich] [-cross-only]
 //	          [-faults] [-nodes 4] [-rpn 12] [-max-size 16384] [-parallel N]
 //	          [-dir images/] [-out report.json]
+//	crossckpt -shrink [-program app.wave] [-from impl] [-nodes 2] [-rpn 2] [-out report.json]
+//
+// With -shrink the tool runs the OTHER half of fault-tolerant MPI
+// instead: ULFM in-place recovery legs, one per implementation in both
+// native and Mukautuva-shimmed bindings — a non-fatal rank crash fires
+// mid-run, survivors' pending operations complete with the
+// implementation's own MPIX proc-failed code, and the application
+// revokes, shrinks and recomputes on the survivors-only communicator.
+// No checkpoints are written and nothing restarts.
 //
 // Images live in a throwaway temp directory unless -dir is given; pass
 // -dir to keep them for inspection with manactl (the report's lineage
@@ -50,6 +59,7 @@ func main() {
 		to        = flag.String("to", "", "only pairings restarted under this implementation")
 		crossOnly = flag.Bool("cross-only", false, "only cross-implementation pairings")
 		withFlt   = flag.Bool("faults", false, "inject a crash into every pairing and drive automated recovery (node crash on cross-implementation pairings, rank crash otherwise)")
+		shrink    = flag.Bool("shrink", false, "run ULFM shrink-recovery legs instead of restart pairings: one non-fatal rank crash per implementation (native and Mukautuva-shimmed), survived in place by revoke/shrink/recompute")
 		nodes     = flag.Int("nodes", 4, "compute nodes")
 		rpn       = flag.Int("rpn", 12, "ranks per node")
 		maxSz     = flag.Int("max-size", 1<<14, "largest message size in bytes")
@@ -64,6 +74,31 @@ func main() {
 	m.Programs = []string{*program}
 	m.Faults = nil // pristine pairings; -faults arms its own crash per pairing
 	var specs []scenario.Spec
+	if *shrink {
+		// Shrink legs have no restart side, no pairing filter beyond the
+		// launch implementation, and arm their own non-fatal fault:
+		// refuse the restart-mode flags instead of silently ignoring
+		// them.
+		if *to != "" || *crossOnly || *withFlt {
+			fatal(fmt.Errorf("-shrink runs in-place recovery legs; it conflicts with -to, -cross-only and -faults"))
+		}
+		// The ULFM demo legs: every implementation survives the same
+		// seeded rank crash in place — natively and through the shim, so
+		// the MPIX error classes cross the translation layer both ways.
+		for _, impl := range []core.Impl{core.ImplMPICH, core.ImplOpenMPI, core.ImplStdABI} {
+			for _, mode := range []core.ABIMode{core.ABINative, core.ABIMukautuva} {
+				if *from != "" && impl != core.Impl(*from) {
+					continue
+				}
+				specs = append(specs, scenario.Spec{
+					Program: *program, Impl: impl, ABI: mode, Ckpt: core.CkptNone,
+					Fault: faults.KindRankCrash, Recovery: scenario.RecoveryShrink,
+				})
+			}
+		}
+		runSpecs(specs, *program, *nodes, *rpn, *maxSz, *reps, *parallel, *dir, *out)
+		return
+	}
 	for _, s := range m.Enumerate() {
 		if !s.HasRestart() {
 			continue
@@ -138,6 +173,49 @@ func main() {
 	}
 	if rep.Failed > 0 {
 		fatal(fmt.Errorf("%d pairings failed", rep.Failed))
+	}
+}
+
+// runSpecs executes the shrink-recovery demo legs and reports them in
+// ULFM terms (victims, survivors, in-place recoveries).
+func runSpecs(specs []scenario.Spec, program string, nodes, rpn, maxSz, reps, parallel int, dir, out string) {
+	if len(specs) == 0 {
+		fatal(fmt.Errorf("no shrink legs selected for program=%s", program))
+	}
+	o := scenario.Quick()
+	o.Nodes = nodes
+	o.RanksPerNode = rpn
+	o.MaxSize = maxSz
+	o.Reps = reps
+	o.Parallel = parallel
+	o.Timeout = 10 * time.Minute
+	o.Scratch = dir
+
+	fmt.Printf("running %d ULFM shrink-recovery legs of %s over %dx%d ranks ...\n\n",
+		len(specs), program, nodes, rpn)
+	rep := scenario.Run(specs, o)
+	for _, res := range rep.Results {
+		switch {
+		case res.Status != scenario.StatusPass:
+			fmt.Printf("FAIL %-70s %s\n", res.ID, res.Error)
+		case len(res.Faults) > 0:
+			f := res.Faults[0]
+			fmt.Printf("OK   %-70s rank %v died at step %d; %d survivors shrank and completed in place (%d shrink(s))\n",
+				res.ID, f.Ranks, f.Step, f.Survivors, f.Shrinks)
+		default:
+			fmt.Printf("OK   %-70s\n", res.ID)
+		}
+	}
+	fmt.Printf("\n%d/%d shrink legs passed (no checkpoints written, no restarts).\n",
+		rep.Passed, rep.Scenarios)
+	if out != "" {
+		if err := rep.WriteJSON(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (schema v%d)\n", out, scenario.SchemaVersion)
+	}
+	if rep.Failed > 0 {
+		fatal(fmt.Errorf("%d shrink legs failed", rep.Failed))
 	}
 }
 

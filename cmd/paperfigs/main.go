@@ -10,11 +10,17 @@
 //
 // Usage:
 //
-//	paperfigs [-fig 2,3,4,5,6|all|fsgsbase|recovery] [-quick] [-out results/] [-reps N] [-parallel N]
+//	paperfigs [-fig 2,3,4,5,6|all|fsgsbase|recovery|shrinkrecovery] [-quick] [-out results/] [-reps N] [-parallel N]
 //	paperfigs -matrix [-full] [-faults=false] [-parallel N] [-out results.json] [-apps app.comd,app.wave]
 //	paperfigs -matrix -shard 0/4 -cache .scenario-cache -out shard-0.json
 //	paperfigs -merge shard-0.json,shard-1.json,shard-2.json,shard-3.json -out results.json
 //	paperfigs -list [-faults=false] [-apps ...]   # print the cell set, run nothing
+//	paperfigs -cache-prune -cache .scenario-cache # delete stale-engine cache entries, run nothing
+//
+// The "shrinkrecovery" figure compares the two recovery halves of
+// fault-tolerant MPI on the same seeded rank crash: ULFM in-place
+// recovery (revoke/shrink/recompute, no checkpointer) versus automated
+// checkpoint/restart, per implementation.
 //
 // Figure mode writes one CSV per figure into -out (a directory). Matrix
 // mode writes one JSON report to -out (a file; ".json" is appended to the
@@ -33,6 +39,9 @@
 // with provenance recording live-vs-cached cells and per-shard wall
 // times — without running any scenarios. CI runs the matrix as a 4-shard
 // job matrix over a shared cache and merges the artifacts.
+// -cache-prune deletes entries stamped with a stale EngineVersion (each
+// engine bump otherwise leaves its predecessors' whole generation of
+// results dead on disk forever) plus undecodable ones, and exits.
 package main
 
 import (
@@ -47,7 +56,7 @@ import (
 
 func main() {
 	var (
-		figs     = flag.String("fig", "all", "comma-separated figure list: 2,3,4,5,6,fsgsbase or 'all'")
+		figs     = flag.String("fig", "all", "comma-separated figure list: 2,3,4,5,6,fsgsbase,recovery,shrinkrecovery or 'all'")
 		quick    = flag.Bool("quick", false, "run figures at the small smoke configuration instead of paper scale")
 		out      = flag.String("out", "results", "output directory for CSV files; JSON file path in -matrix mode")
 		reps     = flag.Int("reps", 0, "override repetition count")
@@ -64,8 +73,29 @@ func main() {
 		cacheDir = flag.String("cache", "", "content-addressed result cache directory; unchanged cells are served from it instead of re-executing")
 		mergeIn  = flag.String("merge", "", "comma-separated shard/partial report JSONs to merge into one report at -out (runs nothing)")
 		list     = flag.Bool("list", false, "print the enumerated matrix cells (id, program, impl, ABI path, ckpt, restart pairing, fault) without executing anything")
+		prune    = flag.Bool("cache-prune", false, "delete cached cell results whose stamped engine version is stale (requires -cache), then exit without running anything")
 	)
 	flag.Parse()
+
+	if *prune {
+		if *cacheDir == "" {
+			fatal(fmt.Errorf("-cache-prune requires -cache"))
+		}
+		if *matrix || *list || *mergeIn != "" || *shardSel != "" {
+			fatal(fmt.Errorf("-cache-prune runs nothing; it conflicts with -matrix, -list, -merge and -shard"))
+		}
+		cache, err := scenario.OpenCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		removed, err := cache.Prune()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pruned %d stale cache entries under %s (engine version %d retained)\n",
+			removed, *cacheDir, scenario.EngineVersion)
+		return
+	}
 
 	if *list {
 		var shard scenario.Shard
@@ -163,6 +193,9 @@ func runList(apps string, withFaults bool, shard scenario.Shard) {
 		fault := "-"
 		if s.Fault != "" {
 			fault = string(s.Fault)
+			if s.Recovery != "" {
+				fault += "~" + s.Recovery
+			}
 		}
 		fmt.Printf("%-78s %-10s %-8s %-10s %-6s %-18s %s\n",
 			s.ID(), s.Program, s.Impl, s.ABI, s.Ckpt, restart, fault)

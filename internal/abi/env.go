@@ -63,6 +63,27 @@ func NewEnv(t FuncTable, clock *simnet.Clock) (*Env, error) {
 	return e, nil
 }
 
+// Rebind repoints the environment's world communicator — ULFM in-place
+// recovery's final step: after the application revokes the damaged
+// communicator and shrinks it to the survivors, the shrunken handle
+// becomes the new "world" and rank/size are re-resolved against it. The
+// rest of the environment (constants, types, ops, clock) is unchanged:
+// the binding survives the failure, which is the point of recovering in
+// place instead of restarting the process.
+func (e *Env) Rebind(world Handle) error {
+	size, err := e.T.CommSize(world)
+	if err != nil {
+		return err
+	}
+	rank, err := e.T.CommRank(world)
+	if err != nil {
+		return err
+	}
+	e.CommWorld = world
+	e.size, e.rank = size, rank
+	return nil
+}
+
 // Rank returns the caller's rank in the world communicator.
 func (e *Env) Rank() int { return e.rank }
 

@@ -29,6 +29,15 @@ const (
 	ErrPending
 	ErrIntern
 	ErrOther
+	// ErrProcFailed and ErrRevoked are the ULFM fault-tolerance classes
+	// (MPIX_ERR_PROC_FAILED / MPIX_ERR_REVOKED). They are the newest and
+	// least-settled corner of the error space: each implementation
+	// numbers them differently in its native table (they postdate the
+	// classic MPI_ERR_* block), so the standardized values here are what
+	// lets an application's failure handling survive an implementation
+	// swap — the paper's fault-tolerance argument in one enum.
+	ErrProcFailed
+	ErrRevoked
 	errClassMax
 )
 
@@ -39,6 +48,7 @@ var errClassNames = [...]string{
 	ErrGroup: "MPI_ERR_GROUP", ErrOp: "MPI_ERR_OP", ErrArg: "MPI_ERR_ARG",
 	ErrTruncate: "MPI_ERR_TRUNCATE", ErrUnsupported: "MPI_ERR_UNSUPPORTED_OPERATION",
 	ErrPending: "MPI_ERR_PENDING", ErrIntern: "MPI_ERR_INTERN", ErrOther: "MPI_ERR_OTHER",
+	ErrProcFailed: "MPI_ERR_PROC_FAILED", ErrRevoked: "MPI_ERR_REVOKED",
 }
 
 // String names the error class.

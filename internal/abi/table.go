@@ -209,6 +209,22 @@ type FuncTable interface {
 	TypeExtent(dtype Handle) (int, error)
 	GetCount(status *Status, dtype Handle) (int, error)
 
+	// ULFM fault tolerance (the MPIX_Comm_* extensions). CommRevoke
+	// poisons a communicator so every member's subsequent traffic on it
+	// raises ErrRevoked; CommShrink derives a survivors-only
+	// communicator (it works on revoked communicators); CommAgree is the
+	// fault-tolerant agreement (bitwise AND over living participants'
+	// flags, acknowledging failures as it goes); CommFailureAck /
+	// CommFailureGetAcked manage the acknowledged-failure set that
+	// re-arms wildcard receives. Error codes surface in each
+	// implementation's own MPIX numbering below the translation layers —
+	// the newest, least-standardized corner of the ABI.
+	CommRevoke(comm Handle) error
+	CommShrink(comm Handle) (Handle, error)
+	CommAgree(comm Handle, flag uint64) (uint64, error)
+	CommFailureAck(comm Handle) error
+	CommFailureGetAcked(comm Handle) (Handle, error)
+
 	// Reduction operators. User operators are registered by name in
 	// internal/ops so they survive checkpoint/restart.
 	OpCreate(name string, commute bool) (Handle, error)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/apps/comd"
 	"repro/internal/apps/wavempi"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/simnet"
 )
 
@@ -353,5 +354,44 @@ func TestScaleHelpers(t *testing.T) {
 	c.SetSeed(5)
 	if w.Seed != 5 || c.Seed != 5 {
 		t.Fatal("seed setters broken")
+	}
+}
+
+// TestWaveShrinkRecoveryDigest is the application-level acceptance check
+// for ULFM in-place recovery: kill a rank mid-run under every
+// implementation (the survivors are inside the halo exchange — only the
+// victim's neighbors observe the death directly; the rest are dragged
+// in by revocation), shrink, and require the recovered checksum to
+// match a survivors-only reference run bit-for-bit.
+func TestWaveShrinkRecoveryDigest(t *testing.T) {
+	const n, victim = 4, 3
+	configure := core.WithConfigure(func(rank int, p core.Program) {
+		w := p.(*wavempi.Wave)
+		w.Steps = 20
+		w.GlobalPoints = 2048
+	})
+	for _, impl := range []core.Impl{core.ImplMPICH, core.ImplOpenMPI, core.ImplStdABI} {
+		t.Run(string(impl), func(t *testing.T) {
+			stack := smallStack(impl, core.ABINative, core.CkptNone, n)
+			inj, err := faults.NewInjector(faults.Plan{Faults: []faults.Spec{
+				{Kind: faults.KindRankCrash, Rank: victim, Step: 5, NonFatal: true},
+			}}, 1, stack.Net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.RunWithShrinkRecovery(stack, "app.wave", inj,
+				core.ShrinkPolicy{LegTimeout: 2 * time.Minute}, configure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed || res.Shrinks != 1 {
+				t.Fatalf("completed=%v shrinks=%d", res.Completed, res.Shrinks)
+			}
+			ref := runWave(t, smallStack(impl, core.ABINative, core.CkptNone, n-1), 20, 2048)
+			got := res.Job.Program(0).(*wavempi.Wave).Checked
+			if ref.Checked == 0 || got != ref.Checked {
+				t.Fatalf("recovered checksum %v != %d-rank reference %v", got, n-1, ref.Checked)
+			}
+		})
 	}
 }

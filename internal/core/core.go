@@ -253,6 +253,14 @@ type Job struct {
 	envs  []*abi.Env
 	inj   *faults.Injector // nil unless launched WithFaults
 
+	// factory and configure rebuild a rank's program instance for ULFM
+	// in-place recovery (survivors re-Setup on the shrunken world).
+	factory   func() Program
+	configure func(rank int, p Program)
+	// shrink is non-nil for shrink-mode jobs (see RunWithShrinkRecovery):
+	// survivors recover in place instead of failing the job.
+	shrink *ShrinkPolicy
+
 	wg        sync.WaitGroup
 	live      atomic.Int32 // ranks still running; 0 resolves stray checkpoints
 	cancelled atomic.Bool
@@ -263,6 +271,10 @@ type Job struct {
 	// failedBeforeCancel distinguishes a genuine failure Cancel merely
 	// followed from the error noise Cancel itself provokes.
 	failedBeforeCancel bool
+	// shrinkFailures/shrinkEvents record non-fatal failures and the
+	// in-place recoveries they triggered (shrink-mode jobs only).
+	shrinkFailures []*RankFailure
+	shrinkEvents   []ShrinkEvent
 }
 
 // buildTable assembles one rank's binding stack, returning the table the
@@ -327,6 +339,7 @@ type launchOpts struct {
 	hold      bool
 	inj       *faults.Injector
 	periodic  dmtcp.Periodic
+	shrink    *ShrinkPolicy
 }
 
 // WithConfigure runs fn on each rank's fresh program instance before the
@@ -401,6 +414,8 @@ func Launch(stack Stack, progName string, opts ...LaunchOption) (*Job, error) {
 			NetSeed:     stack.Net.Seed,
 		}),
 	}
+	job.factory = factory
+	job.configure = lo.configure
 	for r := 0; r < n; r++ {
 		job.progs[r] = factory()
 		if lo.configure != nil {
@@ -418,7 +433,7 @@ func Launch(stack Stack, progName string, opts ...LaunchOption) (*Job, error) {
 }
 
 // applyRunOpts installs the options shared by launch and restart legs
-// (fault injection, periodic checkpointing).
+// (fault injection, periodic checkpointing, shrink-mode recovery).
 func applyRunOpts(job *Job, lo launchOpts) error {
 	if lo.periodic.Every > 0 {
 		if job.stack.Ckpt == CkptNone {
@@ -426,10 +441,31 @@ func applyRunOpts(job *Job, lo launchOpts) error {
 		}
 		job.coord.SetPeriodic(lo.periodic)
 	}
+	job.shrink = lo.shrink
+	if lo.shrink != nil {
+		if job.stack.Ckpt != CkptNone {
+			return fmt.Errorf("core: shrink-mode recovery is the checkpoint-free path; stack %s loads %s",
+				job.stack.Label(), job.stack.Ckpt)
+		}
+		if lo.periodic.Every > 0 {
+			return fmt.Errorf("core: shrink-mode recovery does not compose with periodic checkpointing")
+		}
+	}
 	if lo.inj != nil {
 		job.inj = lo.inj
 		lo.inj.BeginLeg()
 		lo.inj.ArmNetwork(job.w.Network())
+		// A fatal crash under a shrink-mode job would close the world out
+		// from under the recovering survivors; a non-fatal crash under a
+		// restart-mode job would strand survivors at the next checkpoint
+		// barrier waiting for deposits the dead will never make.
+		fatal, nonFatal := lo.inj.CrashModes()
+		if lo.shrink != nil && fatal {
+			return fmt.Errorf("core: shrink-mode job armed with fatal crash faults; mark them NonFatal")
+		}
+		if lo.shrink == nil && nonFatal {
+			return fmt.Errorf("core: non-fatal crash faults require shrink-mode recovery (RunWithShrinkRecovery)")
+		}
 	}
 	return nil
 }
@@ -466,6 +502,13 @@ func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
 		}
 	}()
 	fail := func(err error) {
+		// A dead rank's errors are noise, not signal: a non-fatal crash
+		// closes the victim's mailbox, so a co-victim blocked mid-step
+		// trips over it and "fails" — but it is a corpse, and fail-stop
+		// semantics say corpses don't get to fail the job.
+		if !j.w.Alive(rank) && !j.cancelled.Load() {
+			return
+		}
 		j.mu.Lock()
 		j.errs = append(j.errs, fmt.Errorf("rank %d: %w", rank, err))
 		j.mu.Unlock()
@@ -527,24 +570,60 @@ func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
 			return
 		}
 	}
+	shrinks := 0
 	for {
 		if j.inj != nil {
 			// The rank is about to execute step agent.Step()+1; a crash
 			// fault triggered here models fail-stop death between safe
-			// points. The trigger rank records the failure and tears the
-			// world down (the runtime's failure detector propagating the
-			// news); co-victims of an already-fired fault just die.
+			// points. In the fatal (restart-recovery) mode the trigger
+			// rank records the failure and tears the world down; in the
+			// non-fatal (ULFM) mode it records the failure, kills the
+			// victims' endpoints and broadcasts the failure notice, and
+			// the survivors keep running. Co-victims of an already-fired
+			// fault just die.
 			if f, dead, first := j.inj.CrashAt(rank, agent.Step()+1, j.w.Endpoint(rank).Clock().Now()); dead {
 				if first {
-					j.recordFailure(f, agent.Step()+1, j.w.Endpoint(rank).Clock().Now())
+					if f.NonFatal {
+						j.recordShrinkFailure(f, agent.Step()+1, j.w.Endpoint(rank).Clock().Now())
+					} else {
+						j.recordFailure(f, agent.Step()+1, j.w.Endpoint(rank).Clock().Now())
+					}
 				}
 				return
 			}
 		}
 		done, err := prog.Step(env)
 		if err != nil {
+			// ULFM in-place recovery: a survivor whose step tripped over
+			// the failure (proc-failed) or its aftermath (revoked) does
+			// not fail the job — it revokes, shrinks, and continues on
+			// the survivors-only communicator.
+			if j.shrink != nil && j.w.Alive(rank) && ulfmRecoverable(err) {
+				if shrinks >= j.shrink.maxShrinks() {
+					fail(fmt.Errorf("shrink budget exhausted after %d recoveries: %w", shrinks, err))
+					return
+				}
+				prog, err = j.shrinkRecover(rank, env)
+				if err != nil {
+					fail(err)
+					return
+				}
+				shrinks++
+				continue
+			}
 			fail(fmt.Errorf("step %d: %w", agent.Step(), err))
 			return
+		}
+		if j.shrink != nil {
+			// Shrink-mode jobs are checkpoint-free by construction, and
+			// the safe-point vote is a barrier over ALL ranks — the dead
+			// included, who will never vote again. Keep the step count
+			// (the injector's trigger clock) without the barrier.
+			agent.SetStep(agent.Step() + 1)
+			if done {
+				return
+			}
+			continue
 		}
 		decision, err := agent.SafePoint(func() ([]byte, error) {
 			var buf bytes.Buffer
@@ -566,21 +645,28 @@ func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
 // restartDir is set on restart jobs (see Restart).
 func (j *Job) restartDir() string { return j.rdir }
 
+// newRankFailure renders an armed fault into the typed failure record —
+// shared by the fatal (restart-mode) and non-fatal (shrink-mode) paths
+// so the two recovery halves can never disagree on what a failure is.
+func newRankFailure(f *faults.Fault, step uint64, now simnet.Time) *RankFailure {
+	node := -1
+	if f.Kind == faults.KindNodeCrash {
+		node = f.Node
+	}
+	ranks := append([]int(nil), f.Ranks...)
+	sort.Ints(ranks)
+	return &RankFailure{Kind: f.Kind, Ranks: ranks, Node: node, Step: step, Detected: now}
+}
+
 // recordFailure registers an injected fault's kill set and propagates it:
 // victims' endpoints die, then the world closes so surviving ranks
 // unblock (and fail) instead of waiting forever on the dead ranks'
 // traffic. A job that already failed for a genuine reason keeps that
 // error: the fault arrived on a corpse.
 func (j *Job) recordFailure(f *faults.Fault, step uint64, now simnet.Time) {
-	node := -1
-	if f.Kind == faults.KindNodeCrash {
-		node = f.Node
-	}
 	j.mu.Lock()
 	if j.failure == nil && len(j.errs) == 0 {
-		ranks := append([]int(nil), f.Ranks...)
-		sort.Ints(ranks)
-		j.failure = &RankFailure{Kind: f.Kind, Ranks: ranks, Node: node, Step: step, Detected: now}
+		j.failure = newRankFailure(f, step, now)
 	}
 	j.mu.Unlock()
 	j.w.Kill(f.Ranks...)
@@ -752,6 +838,9 @@ func Restart(dir string, stack Stack, opts ...LaunchOption) (*Job, error) {
 	if err := restartCompatErr(meta.Impl, meta.ABI, meta.Ckpt, meta.StandardABI, stack); err != nil {
 		return nil, err
 	}
+	if lo.shrink != nil {
+		return nil, fmt.Errorf("core: shrink-mode recovery applies to launches, not restarts")
+	}
 	if stack.Net.Size() != meta.NumRanks {
 		return nil, fmt.Errorf("core: stack has %d ranks, image has %d", stack.Net.Size(), meta.NumRanks)
 	}
@@ -783,6 +872,7 @@ func Restart(dir string, stack Stack, opts ...LaunchOption) (*Job, error) {
 			NetSeed:     stack.Net.Seed,
 		}),
 	}
+	job.factory = factory
 	for r := 0; r < n; r++ {
 		job.progs[r] = factory()
 	}

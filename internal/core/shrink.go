@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/abi"
+	"repro/internal/faults"
+	"repro/internal/simnet"
+)
+
+// ShrinkPolicy configures ULFM-style in-place recovery: the other half
+// of fault-tolerant MPI next to RunWithRecovery's checkpoint/restart.
+// Where restart recovery resumes an image under a possibly different
+// implementation, shrink recovery never leaves the job: the survivors
+// revoke the damaged communicator, shrink it, rebind, and recompute.
+// There is no image I/O and no relaunch — the cost is the recomputation
+// of everything since the last application-level milestone (here: the
+// whole run, since the programs are checkpoint-oblivious), which is
+// exactly the trade the harness can now measure against the checkpoint
+// interval sweep.
+type ShrinkPolicy struct {
+	// MaxShrinks bounds how many consecutive failures one job absorbs
+	// in place before giving up (default 3, like MaxRestarts).
+	MaxShrinks int
+	// LegTimeout cancels the whole job when it exceeds it (0 = none).
+	LegTimeout time.Duration
+}
+
+func (p *ShrinkPolicy) maxShrinks() int {
+	if p == nil || p.MaxShrinks <= 0 {
+		return 3
+	}
+	return p.MaxShrinks
+}
+
+// ShrinkEvent records one in-place recovery. Times are virtual; unlike
+// restart recovery, the survivors' clocks never rewind, so the job's
+// final completion time already IS the time-to-solution including all
+// recomputation.
+type ShrinkEvent struct {
+	// Failure is the non-fatal failure that triggered the recovery
+	// (paired with the shrink by order; nil if the pairing is ragged).
+	Failure *RankFailure
+	// Detected is the trigger rank's virtual clock at the death.
+	Detected simnet.Time
+	// Survivors is the shrunken communicator's size.
+	Survivors int
+	// Recovered is rank 0-of-the-shrunken-communicator's virtual clock
+	// when the survivors finished rebinding and re-setup.
+	Recovered simnet.Time
+}
+
+// ShrinkResult summarizes a run driven by RunWithShrinkRecovery.
+type ShrinkResult struct {
+	// Job is the one and only leg (in-place recovery never relaunches).
+	Job *Job
+	// Completed reports whether the survivors ran to completion.
+	Completed bool
+	// Shrinks is the number of in-place recoveries performed.
+	Shrinks int
+	// Events records each failure/recovery pair, in order.
+	Events []ShrinkEvent
+}
+
+// WithShrinkRecovery arms ULFM in-place recovery on a launch: non-fatal
+// crash faults kill ranks without aborting the job, and survivors whose
+// steps trip over the failure revoke the world communicator, shrink it,
+// re-run Setup on the survivors-only world, and continue. It requires a
+// checkpointer-free stack (CkptNone) — in-place recovery is the
+// alternative to checkpoint/restart, not a layer over it — and is
+// normally applied through RunWithShrinkRecovery.
+func WithShrinkRecovery(pol ShrinkPolicy) LaunchOption {
+	return func(o *launchOpts) { o.shrink = &pol }
+}
+
+// ulfmRecoverable reports whether a step error is the kind ULFM
+// recovery absorbs: the failure itself (proc-failed) or its propagated
+// aftermath (revoked). Anything else — a program bug, a cancelled
+// world — fails the job as before.
+func ulfmRecoverable(err error) bool {
+	switch abi.ClassOf(err) {
+	case abi.ErrProcFailed, abi.ErrRevoked:
+		return true
+	}
+	return false
+}
+
+// recordShrinkFailure registers a non-fatal fault's kill set: victims'
+// endpoints die and the fabric broadcasts the failure notice, but —
+// unlike recordFailure — the world stays open and the job keeps
+// running; the survivors recover in place.
+func (j *Job) recordShrinkFailure(f *faults.Fault, step uint64, now simnet.Time) {
+	j.mu.Lock()
+	j.shrinkFailures = append(j.shrinkFailures, newRankFailure(f, step, now))
+	j.mu.Unlock()
+	j.w.Kill(f.Ranks...)
+	j.w.NotifyFailure(f.Ranks...)
+}
+
+// shrinkRecover performs one survivor's in-place recovery: revoke the
+// (old) world so every straggler's traffic errors out instead of
+// hanging, shrink it to the survivors, agree on the shrunken
+// communicator (synchronizing the survivors and acknowledging the
+// failure), rebind the environment, and rebuild the program from
+// scratch on the smaller world. Returns the fresh program instance.
+func (j *Job) shrinkRecover(rank int, env *abi.Env) (Program, error) {
+	// Unilateral and idempotent: whichever survivor arrives first
+	// poisons the communicator for all of them, which is what unblocks
+	// survivors whose own operations were still succeeding.
+	_ = env.T.CommRevoke(env.CommWorld)
+	nc, err := env.T.CommShrink(env.CommWorld)
+	if err != nil {
+		return nil, fmt.Errorf("core: shrink: %w", err)
+	}
+	if _, err := env.T.CommAgree(nc, 1); err != nil {
+		return nil, fmt.Errorf("core: post-shrink agreement: %w", err)
+	}
+	if err := env.Rebind(nc); err != nil {
+		return nil, fmt.Errorf("core: rebinding survivors' world: %w", err)
+	}
+	prog := j.factory()
+	if j.configure != nil {
+		j.configure(rank, prog)
+	}
+	if err := prog.Setup(env); err != nil {
+		return nil, fmt.Errorf("core: survivor setup: %w", err)
+	}
+	j.progs[rank] = prog
+	if env.Rank() == 0 {
+		j.mu.Lock()
+		j.shrinkEvents = append(j.shrinkEvents, ShrinkEvent{
+			Survivors: env.Size(),
+			Recovered: env.Now(),
+		})
+		j.mu.Unlock()
+	}
+	return prog, nil
+}
+
+// ShrinkOutcome returns the job's recorded non-fatal failures and
+// in-place recoveries (stable after Wait).
+func (j *Job) ShrinkOutcome() ([]*RankFailure, []ShrinkEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]*RankFailure(nil), j.shrinkFailures...),
+		append([]ShrinkEvent(nil), j.shrinkEvents...)
+}
+
+// RunWithShrinkRecovery is the ULFM counterpart of RunWithRecovery: it
+// launches prog under stack with non-fatal crash faults armed, and when
+// a fault kills ranks the survivors recover *in place* — pending
+// operations complete with the implementation's proc-failed code
+// instead of hanging, the world communicator is revoked and shrunk, and
+// the survivors rebind and recompute on the smaller world. The job
+// never restarts and no checkpoint is ever written; stack must
+// therefore be checkpointer-free (CkptNone — any implementation, any
+// binding: native, Mukautuva or Wi4MPI, since the five MPIX calls
+// thread through every translation layer).
+//
+// Every crash fault in the injector must be marked NonFatal; fatal
+// faults are refused up front, exactly as RunWithRecovery refuses
+// invalid restart pairings. The programs are lockstep SPMD (every rank
+// executes the same step sequence), which is what guarantees every
+// survivor eventually joins the shrink.
+func RunWithShrinkRecovery(stack Stack, prog string, inj *faults.Injector, pol ShrinkPolicy, opts ...LaunchOption) (*ShrinkResult, error) {
+	if stack.Ckpt != CkptNone {
+		return nil, fmt.Errorf("core: shrink recovery is the checkpoint-free path; stack %s loads %s (use RunWithRecovery for restart-based recovery)",
+			stack.Label(), stack.Ckpt)
+	}
+	legOpts := append(append([]LaunchOption(nil), opts...),
+		WithFaults(inj), WithShrinkRecovery(pol))
+	job, err := Launch(stack, prog, legOpts...)
+	if err != nil {
+		return nil, err
+	}
+	res := &ShrinkResult{Job: job}
+	werr := WaitTimeout(job, pol.LegTimeout)
+	failures, events := job.ShrinkOutcome()
+	res.Shrinks = len(events)
+	for i, ev := range events {
+		if i < len(failures) {
+			ev.Failure = failures[i]
+			ev.Detected = failures[i].Detected
+		}
+		res.Events = append(res.Events, ev)
+	}
+	// A failure that killed ranks but never produced a shrink (e.g. the
+	// job finished first, or the timeout hit mid-recovery) is still part
+	// of the record.
+	for i := len(events); i < len(failures); i++ {
+		res.Events = append(res.Events, ShrinkEvent{
+			Failure: failures[i], Detected: failures[i].Detected,
+		})
+	}
+	if werr != nil {
+		return res, werr
+	}
+	res.Completed = true
+	return res, nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/abi"
+	"repro/internal/faults"
+	"repro/internal/simnet"
+)
+
+// shrinkRing is a lockstep collective-per-step workload for the ULFM
+// tests: every step allreduces the world's rank sum and accumulates it
+// into Digest, so the final digest is a strict function of (membership,
+// step count) — a 3-survivor recovered run must produce exactly a
+// 3-rank reference run's digest, which is the acceptance bar for
+// in-place recovery. The per-step collective also guarantees the rank
+// kill lands mid-collective for the survivors: they are inside the
+// allreduce when the victim's death is announced.
+type shrinkRing struct {
+	Total  int
+	Iter   int
+	Digest float64
+}
+
+func (p *shrinkRing) Setup(env *abi.Env) error {
+	p.Iter = 0
+	p.Digest = 0
+	return nil
+}
+
+func (p *shrinkRing) Step(env *abi.Env) (bool, error) {
+	in := abi.Int64Bytes([]int64{int64(env.Rank() + 1)})
+	out := make([]byte, 8)
+	if err := env.T.Allreduce(in, out, 1, env.TypeInt64, env.OpSum, env.CommWorld); err != nil {
+		return false, err
+	}
+	p.Digest = p.Digest*31 + float64(abi.Int64sOf(out)[0])
+	p.Iter++
+	return p.Iter >= p.Total, nil
+}
+
+func init() {
+	RegisterProgram("test.shrink.ring", func() Program { return &shrinkRing{Total: 8} })
+}
+
+// shrinkStack builds a checkpointer-free n-rank stack.
+func shrinkStack(impl Impl, abiMode ABIMode, n int) Stack {
+	s := DefaultStack(impl, abiMode, CkptNone)
+	s.Net = simnet.SingleNode(n)
+	return s
+}
+
+// refDigest runs the ring on a fresh fault-free world of n ranks and
+// returns its digest — the survivors-only reference.
+func refDigest(t *testing.T, impl Impl, abiMode ABIMode, n int) float64 {
+	t.Helper()
+	job, err := Launch(shrinkStack(impl, abiMode, n), "test.shrink.ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return job.Program(0).(*shrinkRing).Digest
+}
+
+// nonFatalRankCrash arms one non-fatal rank crash at the given step.
+func nonFatalRankCrash(t *testing.T, rank int, step uint64, cfg simnet.Config) *faults.Injector {
+	t.Helper()
+	inj, err := faults.NewInjector(faults.Plan{Faults: []faults.Spec{
+		{Kind: faults.KindRankCrash, Rank: rank, Step: step, NonFatal: true},
+	}}, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// TestShrinkRecoveryDigestAllImpls is the subsystem's acceptance bar:
+// kill a rank mid-collective under every implementation (native and
+// Mukautuva-shimmed), recover in place via revoke/shrink/agree, and
+// require the survivors' digest to be bit-identical to a survivors-only
+// reference run — proof the shrunken world is a real communicator, not
+// a limping one.
+func TestShrinkRecoveryDigestAllImpls(t *testing.T) {
+	const n, victim = 4, 2
+	for _, tc := range []struct {
+		impl Impl
+		abi  ABIMode
+	}{
+		{ImplMPICH, ABINative},
+		{ImplOpenMPI, ABINative},
+		{ImplStdABI, ABINative},
+		{ImplMPICH, ABIMukautuva},
+		{ImplOpenMPI, ABIMukautuva},
+		{ImplStdABI, ABIMukautuva},
+		{ImplOpenMPI, ABIWi4MPI},
+	} {
+		t.Run(fmt.Sprintf("%s_%s", tc.impl, tc.abi), func(t *testing.T) {
+			stack := shrinkStack(tc.impl, tc.abi, n)
+			inj := nonFatalRankCrash(t, victim, 3, stack.Net)
+			res, err := RunWithShrinkRecovery(stack, "test.shrink.ring", inj,
+				ShrinkPolicy{LegTimeout: 60 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed || res.Shrinks != 1 {
+				t.Fatalf("completed=%v shrinks=%d", res.Completed, res.Shrinks)
+			}
+			if len(res.Events) != 1 {
+				t.Fatalf("events = %+v", res.Events)
+			}
+			ev := res.Events[0]
+			if ev.Failure == nil || len(ev.Failure.Ranks) != 1 || ev.Failure.Ranks[0] != victim {
+				t.Fatalf("failure = %+v", ev.Failure)
+			}
+			if ev.Survivors != n-1 {
+				t.Fatalf("survivors = %d, want %d", ev.Survivors, n-1)
+			}
+			want := refDigest(t, tc.impl, tc.abi, n-1)
+			for r := 0; r < n; r++ {
+				if r == victim {
+					continue
+				}
+				got := res.Job.Program(r).(*shrinkRing).Digest
+				if math.Abs(got-want) > 0 {
+					t.Fatalf("survivor rank %d digest %v != %d-rank reference %v", r, got, n-1, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShrinkValidation pins the guard rails: checkpointed stacks are
+// refused, fatal faults are refused under shrink mode, and non-fatal
+// faults are refused outside it.
+func TestShrinkValidation(t *testing.T) {
+	stack := shrinkStack(ImplMPICH, ABINative, 2)
+
+	ck := DefaultStack(ImplMPICH, ABIMukautuva, CkptMANA)
+	ck.Net = simnet.SingleNode(2)
+	inj := nonFatalRankCrash(t, 1, 2, ck.Net)
+	if _, err := RunWithShrinkRecovery(ck, "test.shrink.ring", inj, ShrinkPolicy{}); err == nil {
+		t.Fatal("checkpointed stack accepted for shrink recovery")
+	}
+
+	fatal, err := faults.NewInjector(faults.Plan{Faults: []faults.Spec{
+		{Kind: faults.KindRankCrash, Rank: 1, Step: 2},
+	}}, 1, stack.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWithShrinkRecovery(stack, "test.shrink.ring", fatal, ShrinkPolicy{}); err == nil {
+		t.Fatal("fatal fault accepted under shrink mode")
+	}
+
+	nf := nonFatalRankCrash(t, 1, 2, stack.Net)
+	if _, err := Launch(stack, "test.shrink.ring", WithFaults(nf)); err == nil {
+		t.Fatal("non-fatal fault accepted without shrink mode")
+	}
+}
+
+// TestShrinkSurvivesConsecutiveFailures drives two separate non-fatal
+// crashes through one job: shrink from 5 to 4, then from 4 to 3, with
+// the final digest matching a 3-rank reference.
+func TestShrinkSurvivesConsecutiveFailures(t *testing.T) {
+	const n = 5
+	stack := shrinkStack(ImplMPICH, ABINative, n)
+	inj, err := faults.NewInjector(faults.Plan{Faults: []faults.Spec{
+		{Kind: faults.KindRankCrash, Rank: 1, Step: 2, NonFatal: true},
+		{Kind: faults.KindRankCrash, Rank: 4, Step: 5, NonFatal: true},
+	}}, 1, stack.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWithShrinkRecovery(stack, "test.shrink.ring", inj,
+		ShrinkPolicy{LegTimeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Shrinks != 2 {
+		t.Fatalf("completed=%v shrinks=%d", res.Completed, res.Shrinks)
+	}
+	want := refDigest(t, ImplMPICH, ABINative, n-2)
+	got := res.Job.Program(0).(*shrinkRing).Digest
+	if got != want {
+		t.Fatalf("digest %v != 3-rank reference %v", got, want)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/simnet"
+	"repro/internal/ulfm"
 )
 
 // Proto identifies the wire protocol step an envelope belongs to. The two
@@ -187,6 +188,27 @@ func (w *World) Kill(ranks ...int) {
 			w.eps[r].in.close()
 			w.eps[r].in.purge()
 		}
+	}
+}
+
+// NotifyFailure broadcasts a fail-stop failure notice for the given
+// ranks to every surviving endpoint's mailbox — the fabric analog of the
+// runtime failure detector ULFM specifies. The notice is a ProtoCtrl
+// envelope (tag ulfm.CtrlFailure, payload the dead world ranks), and the
+// push is what wakes peers blocked waiting on the dead ranks' traffic so
+// their pending operations can complete with the proc-failed error
+// instead of hanging. Callers Kill first, then NotifyFailure; contrast
+// Close, which tears the whole job down (the fail-stop fatal path).
+func (w *World) NotifyFailure(ranks ...int) {
+	payload := ulfm.EncodeRanks(ranks)
+	for r, ep := range w.eps {
+		if w.dead[r].Load() {
+			continue
+		}
+		ep.in.push(&Envelope{
+			Src: -1, Dst: r, Proto: ProtoCtrl, Tag: ulfm.CtrlFailure,
+			Payload: payload,
+		})
 	}
 }
 

@@ -391,6 +391,78 @@ func RecoveryOverhead(o Options, scratch string) (*Figure, error) {
 	return fig, nil
 }
 
+// ShrinkRecovery compares the two halves of fault-tolerant MPI on the
+// same seeded rank crash, per implementation: ULFM in-place recovery
+// (revoke/shrink/recompute on the survivors, no checkpointer — the
+// recovery-mode axis's shrink cells) versus automated
+// checkpoint/restart (periodic images, restart from the latest complete
+// one), with the fault-free run as the anchor. All stacks bind through
+// Mukautuva so the comparison is between recovery models, not binding
+// overheads; virtual time-to-solution includes each model's
+// recomputation (shrink loses the prefix, restart loses the window
+// since the last image) — the trade the paper's title implies but its
+// evaluation never measures.
+func ShrinkRecovery(o Options, scratch string) (*Figure, error) {
+	fig := &Figure{
+		ID:     "shrinkrecovery",
+		Title:  "Time-to-recover: ULFM shrink vs checkpoint/restart (seeded rank crash)",
+		XLabel: "Implementation (0=MPICH, 1=Open MPI, 2=StdABI)",
+		YLabel: "Virtual time-to-solution (secs)",
+	}
+	impls := []core.Impl{core.ImplMPICH, core.ImplOpenMPI, core.ImplStdABI}
+	var specs []scenario.Spec
+	for _, impl := range impls {
+		baseline := scenario.Spec{
+			Program: "app.wave", Impl: impl, ABI: core.ABIMukautuva, Ckpt: core.CkptNone,
+		}
+		shrink := baseline
+		shrink.Fault = faults.KindRankCrash
+		shrink.Recovery = scenario.RecoveryShrink
+		restart := scenario.Spec{
+			Program: "app.wave", Impl: impl, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			RestartImpl: impl, RestartABI: core.ABIMukautuva,
+			Fault: faults.KindRankCrash,
+		}
+		specs = append(specs, baseline, shrink, restart)
+	}
+	rep, err := runMatrix(specs, o, scratch)
+	if err != nil {
+		return nil, err
+	}
+	series := []Series{
+		{Label: "fault-free"},
+		{Label: "ULFM shrink (in place)"},
+		{Label: "checkpoint/restart"},
+	}
+	for ii := range impls {
+		for si := range series {
+			res, err := findResult(rep, specs[ii*3+si].ID())
+			if err != nil {
+				return nil, err
+			}
+			series[si].X = append(series[si].X, float64(ii))
+			series[si].Y = append(series[si].Y, res.Time.Median)
+			series[si].Err = append(series[si].Err, res.Time.StdDev)
+		}
+		base, shrunk, restarted := series[0].Y[ii], series[1].Y[ii], series[2].Y[ii]
+		shrinkRes, err := findResult(rep, specs[ii*3+1].ID())
+		if err != nil {
+			return nil, err
+		}
+		survivors := 0
+		if len(shrinkRes.Faults) > 0 {
+			survivors = shrinkRes.Faults[0].Survivors
+		}
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"%s: shrink overhead %s, restart overhead %s vs fault-free (%d survivors continue in place)",
+			impls[ii],
+			stats.FormatPct(stats.OverheadPct(base, shrunk)),
+			stats.FormatPct(stats.OverheadPct(base, restarted)), survivors))
+	}
+	fig.Series = series
+	return fig, nil
+}
+
 // FSGSBase is the ablation the paper's overhead analysis implies: the same
 // Muk+MANA alltoall sweep under the old-kernel (syscall) and new-kernel
 // (userspace FSGSBASE) cost models — the scenario matrix's kernel axis.
@@ -527,13 +599,14 @@ func All(o Options, scratch string) ([]*Figure, error) {
 
 // names for figure selection in cmd/paperfigs.
 var byName = map[string]func(Options, string) (*Figure, error){
-	"2":        func(o Options, _ string) (*Figure, error) { return Fig2(o) },
-	"3":        func(o Options, _ string) (*Figure, error) { return Fig3(o) },
-	"4":        func(o Options, _ string) (*Figure, error) { return Fig4(o) },
-	"5":        func(o Options, _ string) (*Figure, error) { return Fig5(o) },
-	"6":        Fig6,
-	"fsgsbase": func(o Options, _ string) (*Figure, error) { return FSGSBase(o) },
-	"recovery": RecoveryOverhead,
+	"2":              func(o Options, _ string) (*Figure, error) { return Fig2(o) },
+	"3":              func(o Options, _ string) (*Figure, error) { return Fig3(o) },
+	"4":              func(o Options, _ string) (*Figure, error) { return Fig4(o) },
+	"5":              func(o Options, _ string) (*Figure, error) { return Fig5(o) },
+	"6":              Fig6,
+	"fsgsbase":       func(o Options, _ string) (*Figure, error) { return FSGSBase(o) },
+	"recovery":       RecoveryOverhead,
+	"shrinkrecovery": ShrinkRecovery,
 }
 
 // ByName runs one figure by its paper number ("2".."6") or ablation name.

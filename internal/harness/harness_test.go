@@ -275,3 +275,38 @@ func TestOptionsHelpers(t *testing.T) {
 		t.Fatalf("matrixOptions dropped fields: %+v", mo)
 	}
 }
+
+// TestShrinkRecoveryFigure runs the shrink-vs-restart comparison at
+// tiny scale: three series (fault-free, shrink, restart) over three
+// implementations, each with a positive time-to-solution and a note
+// per implementation.
+func TestShrinkRecoveryFigure(t *testing.T) {
+	fig, err := ShrinkRecovery(tiny(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "shrinkrecovery" || len(fig.Series) != 3 {
+		t.Fatalf("figure shape: id=%s series=%d", fig.ID, len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 3 {
+			t.Fatalf("series %q has %d points, want 3 (one per implementation)", s.Label, len(s.Y))
+		}
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("series %q impl %d: non-positive time %v", s.Label, i, y)
+			}
+		}
+	}
+	// Both recovery modes must cost at least the fault-free run: each
+	// loses work to the crash.
+	for i := 0; i < 3; i++ {
+		if fig.Series[1].Y[i] < fig.Series[0].Y[i] || fig.Series[2].Y[i] < fig.Series[0].Y[i] {
+			t.Errorf("impl %d: recovery beat the fault-free run (%v / %v vs %v)",
+				i, fig.Series[1].Y[i], fig.Series[2].Y[i], fig.Series[0].Y[i])
+		}
+	}
+	if len(fig.Notes) != 3 {
+		t.Fatalf("notes = %v", fig.Notes)
+	}
+}

@@ -558,3 +558,38 @@ func (w *Wrapper) OpFree(op abi.Handle) error {
 func (w *Wrapper) Abort(comm abi.Handle, code int) error {
 	return w.err(w.inner.Abort(w.in(comm), code))
 }
+
+// The ULFM (MPIX_*) surface. Revocation, agreement and failure
+// acknowledgement are stateless from the checkpointer's point of view
+// and pass straight through. The handle-creating calls — CommShrink and
+// CommFailureGetAcked — are refused: a shrunken communicator's recipe is
+// a function of which ranks died, which no restart replay can
+// reproduce, so ULFM in-place recovery and MANA checkpoint/restart are
+// alternative fault-tolerance paths, not composable ones (core enforces
+// the same split: shrink-mode recovery runs checkpointer-free stacks).
+
+func (w *Wrapper) CommRevoke(comm abi.Handle) error {
+	w.charge()
+	return w.err(w.inner.CommRevoke(w.in(comm)))
+}
+
+func (w *Wrapper) CommShrink(comm abi.Handle) (abi.Handle, error) {
+	return abi.CommNull, abi.Errorf(abi.ErrUnsupported, "mana",
+		"MPIX_Comm_shrink under a checkpointing wrapper: a shrunken communicator has no replayable recipe; use the checkpoint-free ULFM stack")
+}
+
+func (w *Wrapper) CommAgree(comm abi.Handle, flag uint64) (uint64, error) {
+	w.charge()
+	out, err := w.inner.CommAgree(w.in(comm), flag)
+	return out, w.err(err)
+}
+
+func (w *Wrapper) CommFailureAck(comm abi.Handle) error {
+	w.charge()
+	return w.err(w.inner.CommFailureAck(w.in(comm)))
+}
+
+func (w *Wrapper) CommFailureGetAcked(comm abi.Handle) (abi.Handle, error) {
+	return abi.GroupNull, abi.Errorf(abi.ErrUnsupported, "mana",
+		"MPIX_Comm_failure_get_acked under a checkpointing wrapper: acknowledged-failure groups have no replayable recipe")
+}

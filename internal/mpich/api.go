@@ -650,3 +650,62 @@ func (p *Proc) OpFree(op Handle) int {
 	delete(p.userOps, op)
 	return Success
 }
+
+// CommRevoke mirrors MPIX_Comm_revoke.
+func (p *Proc) CommRevoke(comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	return p.rt.CommRevoke(c)
+}
+
+// CommShrink mirrors MPIX_Comm_shrink: a survivors-only communicator,
+// derived fault-tolerantly (it works on revoked communicators).
+func (p *Proc) CommShrink(comm Handle) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return CommNull, code
+	}
+	nc, code := p.rt.CommShrink(c)
+	if code != Success {
+		return CommNull, code
+	}
+	h := p.newCommHandle()
+	p.comms[h] = nc
+	return h, Success
+}
+
+// CommAgree mirrors MPIX_Comm_agree: fault-tolerant agreement returning
+// the bitwise AND of living participants' flags.
+func (p *Proc) CommAgree(comm Handle, flag uint64) (uint64, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return 0, code
+	}
+	return p.rt.CommAgree(c, flag)
+}
+
+// CommFailureAck mirrors MPIX_Comm_failure_ack.
+func (p *Proc) CommFailureAck(comm Handle) int {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return code
+	}
+	return p.rt.CommFailureAck(c)
+}
+
+// CommFailureGetAcked mirrors MPIX_Comm_failure_get_acked.
+func (p *Proc) CommFailureGetAcked(comm Handle) (Handle, int) {
+	c, code := p.lookupComm(comm)
+	if code != Success {
+		return GroupNull, code
+	}
+	g, code := p.rt.CommFailureGetAcked(c)
+	if code != Success {
+		return GroupNull, code
+	}
+	h := p.newGroupHandle()
+	p.groups[h] = g
+	return h, Success
+}

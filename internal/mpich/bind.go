@@ -74,8 +74,58 @@ func ClassOfCode(code int) abi.ErrClass {
 		return abi.ErrPending
 	case ErrIntern:
 		return abi.ErrIntern
+	case ErrProcFailed:
+		return abi.ErrProcFailed
+	case ErrRevoked:
+		return abi.ErrRevoked
 	default:
 		return abi.ErrOther
+	}
+}
+
+// CodeOfClass is the reverse direction: the MPICH code a standard error
+// class surfaces as. Translation layers that present MPICH's ABI upward
+// (internal/wi4mpi) and the cross-implementation round-trip tests use
+// it; classes MPICH's table does not distinguish collapse to ErrOther,
+// mirroring what a real errhandler sees.
+func CodeOfClass(c abi.ErrClass) int {
+	switch c {
+	case abi.ErrSuccess:
+		return Success
+	case abi.ErrBuffer:
+		return ErrBuffer
+	case abi.ErrCount:
+		return ErrCount
+	case abi.ErrType:
+		return ErrType
+	case abi.ErrTag:
+		return ErrTag
+	case abi.ErrComm:
+		return ErrComm
+	case abi.ErrRank:
+		return ErrRank
+	case abi.ErrRoot:
+		return ErrRoot
+	case abi.ErrGroup:
+		return ErrGroup
+	case abi.ErrOp:
+		return ErrOp
+	case abi.ErrArg:
+		return ErrArg
+	case abi.ErrTruncate:
+		return ErrTruncate
+	case abi.ErrRequest:
+		return ErrRequest
+	case abi.ErrPending:
+		return ErrPending
+	case abi.ErrIntern:
+		return ErrIntern
+	case abi.ErrProcFailed:
+		return ErrProcFailed
+	case abi.ErrRevoked:
+		return ErrRevoked
+	default:
+		return ErrOther
 	}
 }
 
@@ -403,3 +453,26 @@ var (
 		return true
 	}()
 )
+
+func (b *Binding) CommRevoke(comm abi.Handle) error {
+	return codeErr(b.p.CommRevoke(toNative(comm)))
+}
+
+func (b *Binding) CommShrink(comm abi.Handle) (abi.Handle, error) {
+	h, code := b.p.CommShrink(toNative(comm))
+	return toAbi(h), codeErr(code)
+}
+
+func (b *Binding) CommAgree(comm abi.Handle, flag uint64) (uint64, error) {
+	out, code := b.p.CommAgree(toNative(comm), flag)
+	return out, codeErr(code)
+}
+
+func (b *Binding) CommFailureAck(comm abi.Handle) error {
+	return codeErr(b.p.CommFailureAck(toNative(comm)))
+}
+
+func (b *Binding) CommFailureGetAcked(comm abi.Handle) (abi.Handle, error) {
+	h, code := b.p.CommFailureGetAcked(toNative(comm))
+	return toAbi(h), codeErr(code)
+}

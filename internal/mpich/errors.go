@@ -25,6 +25,16 @@ const (
 	ErrPending   = 18
 	ErrRequest   = 19
 	errCodeCount = 20
+
+	// ULFM (MPIX_*) error classes. Real MPICH allocates these
+	// dynamically past MPI_ERR_LASTCODE rather than in the classic
+	// mpi.h block, so their values are an implementation artifact —
+	// and differ from the simulated Open MPI's (54/56) and from the
+	// standard ABI's classes, which is exactly the divergence the
+	// translation layers must bridge for fault handling to survive an
+	// implementation swap.
+	ErrProcFailed = 71 // MPIX_ERR_PROC_FAILED
+	ErrRevoked    = 72 // MPIX_ERR_REVOKED
 )
 
 var errStrings = [errCodeCount]string{
@@ -52,6 +62,12 @@ var errStrings = [errCodeCount]string{
 
 // ErrorString mirrors MPI_Error_string.
 func ErrorString(code int) string {
+	switch code {
+	case ErrProcFailed:
+		return "Process failed"
+	case ErrRevoked:
+		return "Communicator revoked"
+	}
 	if code >= 0 && code < errCodeCount {
 		return errStrings[code]
 	}

@@ -38,21 +38,23 @@ var mpichConsts = mpicore.Consts{
 
 // codes is MPICH's error-code table (see errors.go).
 var mpichCodes = mpicore.Codes{
-	Success:     Success,
-	ErrBuffer:   ErrBuffer,
-	ErrCount:    ErrCount,
-	ErrType:     ErrType,
-	ErrTag:      ErrTag,
-	ErrComm:     ErrComm,
-	ErrRank:     ErrRank,
-	ErrRoot:     ErrRoot,
-	ErrGroup:    ErrGroup,
-	ErrOp:       ErrOp,
-	ErrArg:      ErrArg,
-	ErrTruncate: ErrTruncate,
-	ErrRequest:  ErrRequest,
-	ErrIntern:   ErrIntern,
-	ErrOther:    ErrOther,
+	Success:       Success,
+	ErrBuffer:     ErrBuffer,
+	ErrCount:      ErrCount,
+	ErrType:       ErrType,
+	ErrTag:        ErrTag,
+	ErrComm:       ErrComm,
+	ErrRank:       ErrRank,
+	ErrRoot:       ErrRoot,
+	ErrGroup:      ErrGroup,
+	ErrOp:         ErrOp,
+	ErrArg:        ErrArg,
+	ErrTruncate:   ErrTruncate,
+	ErrRequest:    ErrRequest,
+	ErrIntern:     ErrIntern,
+	ErrOther:      ErrOther,
+	ErrProcFailed: ErrProcFailed,
+	ErrRevoked:    ErrRevoked,
 }
 
 // Policy is MPICH's algorithm personality over the shared runtime: the

@@ -47,8 +47,13 @@ func (p *Proc) NextCollTag(c *Comm) int32 {
 }
 
 // CollSend sends packed bytes to a communicator rank on the collective
-// context, blocking until the payload is handed to the fabric.
+// context, blocking until the payload is handed to the fabric. A dead
+// peer fails the collective with ErrProcFailed instead of silently
+// dropping a round on the floor (the hang ULFM's detection replaces).
 func (p *Proc) CollSend(c *Comm, peer int, tag int32, data []byte) int {
+	if p.ft.Failed(c.Ranks[peer]) {
+		return p.E.ErrProcFailed
+	}
 	r := p.sendInternal(data, c.Ranks[peer], tag, c.CID|collCIDBit)
 	for r != nil && !r.done {
 		if code := p.Progress(true); code != p.E.Success {
@@ -143,6 +148,9 @@ func OpDefined(o *Op, k types.Kind) bool {
 func (p *Proc) Barrier(c *Comm) int {
 	if c == nil {
 		return p.E.ErrComm
+	}
+	if p.ft.Revoked(c.CID) {
+		return p.E.ErrRevoked
 	}
 	if c.Size() == 1 {
 		return p.E.Success

@@ -37,6 +37,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/ops"
 	"repro/internal/types"
+	"repro/internal/ulfm"
 )
 
 // Consts is an implementation's native integer-constant vocabulary. The
@@ -73,6 +74,12 @@ type Codes struct {
 	ErrRequest  int
 	ErrIntern   int
 	ErrOther    int
+	// ErrProcFailed and ErrRevoked are the ULFM (MPIX_*) error classes.
+	// Real implementations number these beyond their classic tables —
+	// and number them differently from each other, which is exactly the
+	// cross-ABI divergence the translation layers must bridge.
+	ErrProcFailed int
+	ErrRevoked    int
 }
 
 // Status is the runtime's canonical receive-status record. Source is a
@@ -99,6 +106,15 @@ type Comm struct {
 	MyPos   int
 	CollSeq uint32
 	ChldSeq uint32
+	// UlfmSeq numbers the ULFM collectives (Shrink, Agree) on this
+	// communicator. It is deliberately separate from CollSeq: after a
+	// failure, survivors may have attempted different numbers of regular
+	// collectives (one rank's broadcast completed, its neighbor's
+	// errored), so CollSeq diverges — but every survivor calls the ULFM
+	// recovery collectives in the same order, so UlfmSeq is the counter
+	// they still agree on, and the fault-tolerant tag blocks derive from
+	// it (see nextFtTag).
+	UlfmSeq uint32
 }
 
 // Size returns the communicator's size.
@@ -150,6 +166,11 @@ type Request struct {
 	kind reqKind
 	done bool
 	code int
+	// ft marks fault-tolerant (ULFM shrink/agree) traffic: exempt from
+	// revocation sweeps — ULFM's recovery collectives must keep working
+	// on a revoked communicator — while still completing with the
+	// proc-failed code when the peer is dead.
+	ft bool
 
 	// Receive bookkeeping.
 	comm     *Comm
@@ -210,6 +231,10 @@ type Proc struct {
 	awaitingData map[seqKey]*Request
 	nextRdvSeq   uint64
 
+	// ft is the rank's ULFM state: known-failed ranks, revoked context
+	// ids, per-communicator failure acknowledgements (see ulfm.go).
+	ft *ulfm.Tracker
+
 	finalized bool
 }
 
@@ -230,6 +255,7 @@ func NewProc(w *fabric.World, rank int, k Consts, e Codes, pol Policy) *Proc {
 		cidIndex:     make(map[uint32]*Comm),
 		pendingSend:  make(map[uint64]*Request),
 		awaitingData: make(map[seqKey]*Request),
+		ft:           ulfm.NewTracker(),
 	}
 	worldRanks := make([]int, p.size)
 	for i := range worldRanks {

@@ -28,6 +28,7 @@ var testCodes = Codes{
 	Success: 0, ErrBuffer: 101, ErrCount: 102, ErrType: 103, ErrTag: 104,
 	ErrComm: 105, ErrRank: 106, ErrRoot: 107, ErrGroup: 108, ErrOp: 109,
 	ErrArg: 110, ErrTruncate: 111, ErrRequest: 112, ErrIntern: 113, ErrOther: 114,
+	ErrProcFailed: 171, ErrRevoked: 172,
 }
 
 // testPolicies is one policy per algorithm family, so every algorithm in

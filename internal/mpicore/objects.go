@@ -16,6 +16,9 @@ func (p *Proc) CommDup(c *Comm) (*Comm, int) {
 	if c == nil {
 		return nil, p.E.ErrComm
 	}
+	if p.ft.Revoked(c.CID) {
+		return nil, p.E.ErrRevoked
+	}
 	if code := p.Barrier(c); code != p.E.Success {
 		return nil, code
 	}
@@ -36,6 +39,9 @@ func (p *Proc) CommDup(c *Comm) (*Comm, int) {
 func (p *Proc) CommSplit(c *Comm, color, key int) (*Comm, int) {
 	if c == nil {
 		return nil, p.E.ErrComm
+	}
+	if p.ft.Revoked(c.CID) {
+		return nil, p.E.ErrRevoked
 	}
 	n := c.Size()
 	mine := abi.Int64Bytes([]int64{int64(color), int64(key)})
@@ -92,6 +98,9 @@ func (p *Proc) CommCreate(c *Comm, g *Group) (*Comm, int) {
 	if c == nil {
 		return nil, p.E.ErrComm
 	}
+	if p.ft.Revoked(c.CID) {
+		return nil, p.E.ErrRevoked
+	}
 	if g == nil {
 		return nil, p.E.ErrGroup
 	}
@@ -136,6 +145,7 @@ func (p *Proc) CommFree(c *Comm) int {
 		return p.E.ErrComm
 	}
 	p.Uninstall(c)
+	p.ft.Forget(c.CID)
 	return p.E.Success
 }
 

@@ -59,6 +59,8 @@ func (p *Proc) dispatch(e *fabric.Envelope) {
 			delete(p.awaitingData, key)
 			p.deliverPayload(r, e.Src, r.status.Tag, e.Payload)
 		}
+	case fabric.ProtoCtrl:
+		p.handleCtrl(e)
 	}
 }
 
@@ -142,7 +144,11 @@ func (p *Proc) acceptRTS(e *fabric.Envelope, r *Request) {
 }
 
 // postRecv registers a receive request, matching the unexpected queue
-// first.
+// first. Data the peer sent before dying is still deliverable (the
+// fail-stop ordering guarantees it was dispatched ahead of the failure
+// notice), so the queue match runs before the doom checks; a recv that
+// can no longer be satisfied completes immediately with the ULFM error
+// instead of blocking forever.
 func (p *Proc) postRecv(r *Request) {
 	if e := p.matchUnexpected(r); e != nil {
 		switch e.Proto {
@@ -151,6 +157,10 @@ func (p *Proc) postRecv(r *Request) {
 		case fabric.ProtoRTS:
 			p.acceptRTS(e, r)
 		}
+		return
+	}
+	if code, doomed := p.recvDoom(r); doomed {
+		p.failRequest(r, code)
 		return
 	}
 	p.posted = append(p.posted, r)
@@ -214,10 +224,17 @@ func (p *Proc) PackElems(dt *Type, buf []byte, count int) ([]byte, int) {
 	return out, p.E.Success
 }
 
-// checkCommType is the shared argument prologue of the p2p calls.
+// checkCommType is the shared argument prologue of the p2p calls. It
+// also enforces revocation: once a communicator is revoked, every
+// regular operation on it answers ErrRevoked without touching the wire
+// (ULFM's poisoning rule) — only the recovery collectives in ulfm.go
+// keep working.
 func (p *Proc) checkCommType(c *Comm, dt *Type) int {
 	if c == nil {
 		return p.E.ErrComm
+	}
+	if p.ft.Revoked(c.CID) {
+		return p.E.ErrRevoked
 	}
 	if dt == nil || !dt.T.Committed() {
 		return p.E.ErrType
@@ -238,6 +255,9 @@ func (p *Proc) Send(buf []byte, count int, dt *Type, dest, tag int, c *Comm) int
 	}
 	if dest == p.K.ProcNull {
 		return p.E.Success
+	}
+	if p.ft.Failed(c.Ranks[dest]) {
+		return p.E.ErrProcFailed
 	}
 	packed, code := p.PackElems(dt, buf, count)
 	if code != p.E.Success {
@@ -327,6 +347,9 @@ func (p *Proc) Isend(buf []byte, count int, dt *Type, dest, tag int, c *Comm) (*
 	}
 	if dest == p.K.ProcNull {
 		return &Request{kind: reqSend, done: true, code: p.E.Success}, p.E.Success
+	}
+	if p.ft.Failed(c.Ranks[dest]) {
+		return nil, p.E.ErrProcFailed
 	}
 	packed, code := p.PackElems(dt, buf, count)
 	if code != p.E.Success {

@@ -36,6 +36,9 @@ func (p *Proc) probeArgs(c *Comm, source, tag int) (int, bool, int) {
 	if c == nil {
 		return 0, false, p.E.ErrComm
 	}
+	if p.ft.Revoked(c.CID) {
+		return 0, false, p.E.ErrRevoked
+	}
 	if code := p.validateRankTag(c, source, tag, false); code != p.E.Success {
 		return 0, false, code
 	}
@@ -62,11 +65,34 @@ func (p *Proc) Probe(source, tag int, c *Comm, st *Status) int {
 		return p.E.Success
 	}
 	for !p.probeScan(c, srcWorld, tag, c.CID, st) {
+		// A probe is not a posted request, so the failure sweep cannot
+		// complete it; apply the same doom rule here so probing a dead
+		// source (or a wildcard over an unacknowledged failure) raises
+		// ErrProcFailed instead of blocking forever. Queued messages the
+		// peer sent before dying were scanned first and still deliver.
+		if code, doomed := p.probeDoom(c, srcWorld); doomed {
+			return code
+		}
 		if code := p.Progress(true); code != p.E.Success {
 			return code
 		}
 	}
 	return p.E.Success
+}
+
+// probeDoom mirrors recvDoom for the probe path.
+func (p *Proc) probeDoom(c *Comm, srcWorld int) (int, bool) {
+	if srcWorld != p.K.AnySource {
+		if p.ft.Failed(srcWorld) {
+			return p.E.ErrProcFailed, true
+		}
+	} else if p.ft.HasUnacked(c.CID, c.Ranks) {
+		return p.E.ErrProcFailed, true
+	}
+	if p.ft.Revoked(c.CID) {
+		return p.E.ErrRevoked, true
+	}
+	return p.E.Success, false
 }
 
 // Iprobe mirrors MPI_Iprobe: poll for a matching pending message.
@@ -87,5 +113,11 @@ func (p *Proc) Iprobe(source, tag int, c *Comm, st *Status) (bool, int) {
 	if code := p.Progress(false); code != p.E.Success {
 		return false, code
 	}
-	return p.probeScan(c, srcWorld, tag, c.CID, st), p.E.Success
+	if p.probeScan(c, srcWorld, tag, c.CID, st) {
+		return true, p.E.Success
+	}
+	if code, doomed := p.probeDoom(c, srcWorld); doomed {
+		return false, code
+	}
+	return false, p.E.Success
 }

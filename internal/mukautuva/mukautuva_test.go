@@ -8,8 +8,11 @@ import (
 
 	"repro/internal/abi"
 	"repro/internal/fabric"
+	"repro/internal/mpich"
+	"repro/internal/openmpi"
 	"repro/internal/ops"
 	"repro/internal/simnet"
+	"repro/internal/stdabi"
 	"repro/internal/types"
 )
 
@@ -359,4 +362,88 @@ func TestFinalize(t *testing.T) {
 	}
 	s.Finalize()
 	s.Finalize() // idempotent
+}
+
+// TestErrClassRoundTripAllImpls is the cross-ABI error-class
+// translation table, pinned bit-exactly: for every standard error class
+// — the two new ULFM MPIX classes included — the class maps to each
+// implementation's own native code (standard -> native), and each
+// implementation's wrap adapter maps that code back to the standard
+// class (native -> standard, the direction every translated status and
+// return value takes through the shim). The native numbering is pinned
+// on purpose: these values ARE the ABI divergence (MPICH says
+// proc-failed=71 where Open MPI says 54 and the standard ABI says 17),
+// and a silent renumbering would invalidate every cross-implementation
+// claim the fault-tolerance cells make.
+func TestErrClassRoundTripAllImpls(t *testing.T) {
+	classes := []abi.ErrClass{
+		abi.ErrSuccess, abi.ErrBuffer, abi.ErrCount, abi.ErrType, abi.ErrTag,
+		abi.ErrComm, abi.ErrRank, abi.ErrRequest, abi.ErrRoot, abi.ErrGroup,
+		abi.ErrOp, abi.ErrArg, abi.ErrTruncate, abi.ErrUnsupported,
+		abi.ErrPending, abi.ErrIntern, abi.ErrOther,
+		abi.ErrProcFailed, abi.ErrRevoked,
+	}
+	// Pinned native codes per implementation, in `classes` order. -1
+	// marks a class the implementation's table cannot express: it
+	// collapses to the impl's ErrOther on the way down and therefore
+	// does not round-trip (exactly what a real errhandler sees).
+	native := map[string][]int{
+		"mpich":   {0, 1, 2, 3, 4, 5, 6, 19, 7, 8, 9, 12, 14, -1, 18, 16, 15, 71, 72},
+		"openmpi": {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 13, 15, -1, -1, 17, 16, 54, 56},
+		"stdabi":  {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18},
+	}
+	toNative := map[string]func(abi.ErrClass) int{
+		"mpich":   mpich.CodeOfClass,
+		"openmpi": openmpi.CodeOfClass,
+		"stdabi":  stdabi.CodeOfClass,
+	}
+	otherCode := map[string]int{"mpich": 15, "openmpi": 16, "stdabi": 16}
+
+	for _, impl := range []string{"mpich", "openmpi", "stdabi"} {
+		w, err := fabric.NewWorld(simnet.SingleNode(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib, err := LoadLib(impl, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, class := range classes {
+			want := native[impl][i]
+			got := toNative[impl](class)
+			if want == -1 {
+				// Inexpressible class: collapses to the native ErrOther.
+				if got != otherCode[impl] {
+					t.Errorf("%s: CodeOfClass(%v) = %d, want native ErrOther %d",
+						impl, class, got, otherCode[impl])
+				}
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: CodeOfClass(%v) = %d, want %d (pinned native code)",
+					impl, class, got, want)
+			}
+			// The shim's upward direction: native code -> standard class,
+			// through the wrap adapter's MPI_Error_class symbol.
+			if back := lib.ErrClass(want); back != class {
+				t.Errorf("%s: ErrClass(%d) = %v, want %v (impl->standard->impl must be exact)",
+					impl, want, back, class)
+			}
+		}
+		w.Close()
+	}
+
+	// The MPIX numbering must actually diverge across the native tables —
+	// if two implementations ever agreed, the cell would no longer test a
+	// translation.
+	if mpich.ErrProcFailed == openmpi.ErrProcFailed ||
+		mpich.ErrProcFailed == stdabi.ErrProcFailed ||
+		openmpi.ErrProcFailed == stdabi.ErrProcFailed {
+		t.Error("proc-failed codes coincide across implementations; the translation cells test nothing")
+	}
+	if mpich.ErrRevoked == openmpi.ErrRevoked ||
+		mpich.ErrRevoked == stdabi.ErrRevoked ||
+		openmpi.ErrRevoked == stdabi.ErrRevoked {
+		t.Error("revoked codes coincide across implementations; the translation cells test nothing")
+	}
 }

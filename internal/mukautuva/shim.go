@@ -556,3 +556,45 @@ func (s *Shim) OpFree(op abi.Handle) error {
 func (s *Shim) Abort(comm abi.Handle, code int) error {
 	return s.err(s.lib.Table.Abort(s.in(comm), code))
 }
+
+// The ULFM (MPIX_*) surface: translated like everything else — handles
+// in, adopted handles out, native MPIX error codes reclassified into the
+// standard ErrProcFailed/ErrRevoked classes by err(). This is where the
+// translation earns its keep for fault tolerance: each implementation
+// numbers these newest classes differently, so an application's failure
+// handling only survives an implementation swap because the shim maps
+// them through the standard encoding in both directions.
+
+func (s *Shim) CommRevoke(comm abi.Handle) error {
+	s.charge()
+	return s.err(s.lib.Table.CommRevoke(s.in(comm)))
+}
+
+func (s *Shim) CommShrink(comm abi.Handle) (abi.Handle, error) {
+	s.charge()
+	n, err := s.lib.Table.CommShrink(s.in(comm))
+	if err != nil {
+		return abi.CommNull, s.err(err)
+	}
+	return s.adopt(abi.ClassComm, n, s.commNull), nil
+}
+
+func (s *Shim) CommAgree(comm abi.Handle, flag uint64) (uint64, error) {
+	s.charge()
+	out, err := s.lib.Table.CommAgree(s.in(comm), flag)
+	return out, s.err(err)
+}
+
+func (s *Shim) CommFailureAck(comm abi.Handle) error {
+	s.charge()
+	return s.err(s.lib.Table.CommFailureAck(s.in(comm)))
+}
+
+func (s *Shim) CommFailureGetAcked(comm abi.Handle) (abi.Handle, error) {
+	s.charge()
+	n, err := s.lib.Table.CommFailureGetAcked(s.in(comm))
+	if err != nil {
+		return abi.GroupNull, s.err(err)
+	}
+	return s.adopt(abi.ClassGroup, n, s.groupNull), nil
+}

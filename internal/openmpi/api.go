@@ -261,3 +261,24 @@ func (p *Proc) OpCreate(name string, commute bool) (*Op, int) {
 
 // OpFree releases a user operator; predefined operators are protected.
 func (p *Proc) OpFree(o *Op) int { return p.rt.OpFree(o) }
+
+// CommRevoke mirrors MPIX_Comm_revoke.
+func (p *Proc) CommRevoke(c *Comm) int { return p.rt.CommRevoke(c) }
+
+// CommShrink mirrors MPIX_Comm_shrink: derive a survivors-only
+// communicator fault-tolerantly (works on revoked communicators).
+func (p *Proc) CommShrink(c *Comm) (*Comm, int) { return p.rt.CommShrink(c) }
+
+// CommAgree mirrors MPIX_Comm_agree: fault-tolerant agreement returning
+// the bitwise AND of living participants' flags.
+func (p *Proc) CommAgree(c *Comm, flag uint64) (uint64, int) {
+	return p.rt.CommAgree(c, flag)
+}
+
+// CommFailureAck mirrors MPIX_Comm_failure_ack.
+func (p *Proc) CommFailureAck(c *Comm) int { return p.rt.CommFailureAck(c) }
+
+// CommFailureGetAcked mirrors MPIX_Comm_failure_get_acked.
+func (p *Proc) CommFailureGetAcked(c *Comm) (*Group, int) {
+	return p.rt.CommFailureGetAcked(c)
+}

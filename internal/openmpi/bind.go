@@ -148,8 +148,56 @@ func ClassOfCode(code int) abi.ErrClass {
 		return abi.ErrTruncate
 	case ErrIntern:
 		return abi.ErrIntern
+	case ErrProcFailed:
+		return abi.ErrProcFailed
+	case ErrRevoked:
+		return abi.ErrRevoked
 	default:
 		return abi.ErrOther
+	}
+}
+
+// CodeOfClass is the reverse direction: the Open MPI code a standard
+// error class surfaces as (cross-implementation round-trip tests and
+// future standard-to-native translators). Classes Open MPI's table does
+// not distinguish (MPI_ERR_PENDING has no slot here) collapse to
+// ErrOther.
+func CodeOfClass(c abi.ErrClass) int {
+	switch c {
+	case abi.ErrSuccess:
+		return Success
+	case abi.ErrBuffer:
+		return ErrBuffer
+	case abi.ErrCount:
+		return ErrCount
+	case abi.ErrType:
+		return ErrType
+	case abi.ErrTag:
+		return ErrTag
+	case abi.ErrComm:
+		return ErrComm
+	case abi.ErrRank:
+		return ErrRank
+	case abi.ErrRequest:
+		return ErrRequest
+	case abi.ErrRoot:
+		return ErrRoot
+	case abi.ErrGroup:
+		return ErrGroup
+	case abi.ErrOp:
+		return ErrOp
+	case abi.ErrArg:
+		return ErrArg
+	case abi.ErrTruncate:
+		return ErrTruncate
+	case abi.ErrIntern:
+		return ErrIntern
+	case abi.ErrProcFailed:
+		return ErrProcFailed
+	case abi.ErrRevoked:
+		return ErrRevoked
+	default:
+		return ErrOther
 	}
 }
 
@@ -524,4 +572,33 @@ func (b *Binding) OpFree(op abi.Handle) error {
 
 func (b *Binding) Abort(comm abi.Handle, code int) error {
 	return codeErr(b.p.Abort(code))
+}
+
+func (b *Binding) CommRevoke(comm abi.Handle) error {
+	return codeErr(b.p.CommRevoke(b.comm(comm)))
+}
+
+func (b *Binding) CommShrink(comm abi.Handle) (abi.Handle, error) {
+	nc, code := b.p.CommShrink(b.comm(comm))
+	if code != Success {
+		return abi.Handle(slotCommNull), codeErr(code)
+	}
+	return b.register(nc, slotCommNull), nil
+}
+
+func (b *Binding) CommAgree(comm abi.Handle, flag uint64) (uint64, error) {
+	out, code := b.p.CommAgree(b.comm(comm), flag)
+	return out, codeErr(code)
+}
+
+func (b *Binding) CommFailureAck(comm abi.Handle) error {
+	return codeErr(b.p.CommFailureAck(b.comm(comm)))
+}
+
+func (b *Binding) CommFailureGetAcked(comm abi.Handle) (abi.Handle, error) {
+	g, code := b.p.CommFailureGetAcked(b.comm(comm))
+	if code != Success {
+		return abi.Handle(slotGroupNull), codeErr(code)
+	}
+	return b.register(g, slotGroupNull), nil
 }

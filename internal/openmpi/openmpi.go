@@ -72,6 +72,15 @@ const (
 	ErrOther    = 16
 	ErrIntern   = 17
 	errCount    = 18
+
+	// ULFM (MPIX_*) error classes, in Open MPI's numbering — appended
+	// after the classic table like Open MPI 5's ULFM integration, and
+	// deliberately different from the simulated MPICH's 71/72: the two
+	// implementations cannot even agree on what "a process failed" is
+	// called, which is the paper's fault-tolerance ABI argument in
+	// miniature.
+	ErrProcFailed = 54 // MPIX_ERR_PROC_FAILED
+	ErrRevoked    = 56 // MPIX_ERR_REVOKED
 )
 
 var errStrings = [errCount]string{
@@ -97,6 +106,12 @@ var errStrings = [errCount]string{
 
 // ErrorString mirrors MPI_Error_string.
 func ErrorString(code int) string {
+	switch code {
+	case ErrProcFailed:
+		return "MPIX_ERR_PROC_FAILED: process in the communicator has failed"
+	case ErrRevoked:
+		return "MPIX_ERR_REVOKED: communicator has been revoked"
+	}
 	if code >= 0 && code < errCount {
 		return errStrings[code]
 	}
@@ -158,21 +173,23 @@ var ompiConsts = mpicore.Consts{
 }
 
 var ompiCodes = mpicore.Codes{
-	Success:     Success,
-	ErrBuffer:   ErrBuffer,
-	ErrCount:    ErrCount,
-	ErrType:     ErrType,
-	ErrTag:      ErrTag,
-	ErrComm:     ErrComm,
-	ErrRank:     ErrRank,
-	ErrRoot:     ErrRoot,
-	ErrGroup:    ErrGroup,
-	ErrOp:       ErrOp,
-	ErrArg:      ErrArg,
-	ErrTruncate: ErrTruncate,
-	ErrRequest:  ErrRequest,
-	ErrIntern:   ErrIntern,
-	ErrOther:    ErrOther,
+	Success:       Success,
+	ErrBuffer:     ErrBuffer,
+	ErrCount:      ErrCount,
+	ErrType:       ErrType,
+	ErrTag:        ErrTag,
+	ErrComm:       ErrComm,
+	ErrRank:       ErrRank,
+	ErrRoot:       ErrRoot,
+	ErrGroup:      ErrGroup,
+	ErrOp:         ErrOp,
+	ErrArg:        ErrArg,
+	ErrTruncate:   ErrTruncate,
+	ErrRequest:    ErrRequest,
+	ErrIntern:     ErrIntern,
+	ErrOther:      ErrOther,
+	ErrProcFailed: ErrProcFailed,
+	ErrRevoked:    ErrRevoked,
 }
 
 // Policy is Open MPI's tuned algorithm personality over the shared

@@ -27,7 +27,12 @@ import (
 //	   refactor preserves algorithms and thresholds, but cell semantics
 //	   are owned by a different code path, so every v1 result must
 //	   re-run rather than be trusted across the boundary.
-const EngineVersion = 2
+//	3: the ULFM subsystem and the recovery-mode axis (216 -> 234 cells:
+//	   a shrink-recovery rank-crash cell per checkpointer-free straight
+//	   cell). Every cell's progress engine gained failure sweeps,
+//	   revocation checks and the control-plane dispatch path, so all v2
+//	   results execute over changed runtime semantics and must re-run.
+const EngineVersion = 3
 
 // CellHash is the content address of one matrix cell: a stable SHA-256
 // over everything that determines the cell's Result.
@@ -119,6 +124,52 @@ func (c *Cache) Get(hash string) (Result, bool) {
 		return Result{}, false
 	}
 	return e.Result, true
+}
+
+// Prune deletes cache entries no current-or-future engine can serve:
+// entries stamped with an OLDER EngineVersion (every version bump would
+// otherwise leave its whole generation of results dead on disk forever
+// — Get treats them as misses but nothing ever removed them) and
+// entries too corrupt to decode. Live-engine entries are untouched, and
+// so are entries from a NEWER engine: a shared cache directory may be
+// written by a more recent checkout, and an older build's prune must
+// not eat results only the newer build can serve.
+// Returns how many files were removed.
+func (c *Cache) Prune() (int, error) {
+	removed := 0
+	fanouts, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: pruning cache: %w", err)
+	}
+	for _, fan := range fanouts {
+		if !fan.IsDir() {
+			continue
+		}
+		dir := filepath.Join(c.dir, fan.Name())
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, ent := range entries {
+			if ent.IsDir() || filepath.Ext(ent.Name()) != ".json" {
+				continue
+			}
+			path := filepath.Join(dir, ent.Name())
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			var e cacheEntry
+			stale := json.Unmarshal(raw, &e) != nil || e.Engine < EngineVersion
+			if !stale {
+				continue
+			}
+			if err := os.Remove(path); err == nil {
+				removed++
+			}
+		}
+	}
+	return removed, nil
 }
 
 // Put stores res under hash. Best-effort by design: a failed Put only

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -73,7 +74,9 @@ func TestCellHashStableAndComplete(t *testing.T) {
 func TestCellHashPinned(t *testing.T) {
 	s := hashSpec()
 	o := Options{Nodes: 2, RanksPerNode: 4, Reps: 2, MaxSize: 64, Iters: 2, Warmup: 1, BaseSeed: 42}
-	const want = "8d44206e30f2d299602205d4e36220dedff0ad301997bb17827c68200826490c"
+	// Re-pinned for EngineVersion 3 (the ULFM subsystem and the
+	// recovery-mode axis; every v2 result deliberately invalidated).
+	const want = "6fc2363cfea7d7120c6eec8db4f3021f1f866624848db9b7bb6742e4c40a195b"
 	if got := CellHash(s, o); got != want {
 		t.Fatalf("pinned cell hash drifted (engine version %d):\n got %s\nwant %s",
 			EngineVersion, got, want)
@@ -248,5 +251,86 @@ func TestShardValidateAndParse(t *testing.T) {
 	}
 	if err := (Shard{}).Validate(); err != nil {
 		t.Errorf("zero shard rejected: %v", err)
+	}
+}
+
+// TestCachePrune: stale-engine and corrupt entries are deleted, live
+// entries survive and still serve.
+func TestCachePrune(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Quick()
+	live := CellHash(hashSpec(), o)
+	if err := c.Put(live, Result{ID: hashSpec().ID(), Status: StatusPass}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stale-engine entry: a valid entry body stamped with the previous
+	// engine version, planted the way an old build would have left it.
+	s2 := hashSpec()
+	s2.Program = "app.comd"
+	stale := CellHash(s2, o)
+	raw, err := os.ReadFile(filepath.Join(dir, live[:2], live+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := strings.Replace(string(raw),
+		`"engine_version": `+fmt.Sprint(EngineVersion),
+		`"engine_version": `+fmt.Sprint(EngineVersion-1), 1)
+	old = strings.Replace(old, live, stale, -1)
+	if err := os.MkdirAll(filepath.Join(dir, stale[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, stale[:2], stale+".json"), []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt entry.
+	corrupt := strings.Repeat("ab", 32)
+	if err := os.MkdirAll(filepath.Join(dir, corrupt[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, corrupt[:2], corrupt+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A newer-engine entry (a shared cache directory written by a more
+	// recent checkout) must survive an older build's prune.
+	future := strings.Repeat("cd", 32)
+	futureRaw := strings.Replace(old,
+		`"engine_version": `+fmt.Sprint(EngineVersion-1),
+		`"engine_version": `+fmt.Sprint(EngineVersion+1), 1)
+	futureRaw = strings.Replace(futureRaw, stale, future, -1)
+	if err := os.MkdirAll(filepath.Join(dir, future[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, future[:2], future+".json"), []byte(futureRaw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := c.Prune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("pruned %d entries, want 2 (stale + corrupt)", removed)
+	}
+	if _, ok := c.Get(live); !ok {
+		t.Fatal("prune removed a live-engine entry")
+	}
+	if _, err := os.Stat(filepath.Join(dir, future[:2], future+".json")); err != nil {
+		t.Fatal("prune removed a newer-engine entry a future build can serve")
+	}
+	if _, err := os.Stat(filepath.Join(dir, stale[:2], stale+".json")); !os.IsNotExist(err) {
+		t.Fatal("stale-engine entry survived prune")
+	}
+	if _, err := os.Stat(filepath.Join(dir, corrupt[:2], corrupt+".json")); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry survived prune")
+	}
+	// Idempotent.
+	if removed, err := c.Prune(); err != nil || removed != 0 {
+		t.Fatalf("second prune = (%d, %v), want (0, nil)", removed, err)
 	}
 }

@@ -326,6 +326,10 @@ func runFaultRep(s Spec, o Options, rep int, seed int64) (measurement, FaultReco
 		return measureJob(job, stack.Net.Size()), fr, nil
 	}
 
+	if s.Recovery == RecoveryShrink {
+		return runShrinkRep(s, o, fr, stack, seed)
+	}
+
 	if o.Scratch == "" {
 		return m, fr, fmt.Errorf("no scratch directory for checkpoint images (temp dir creation failed)")
 	}
@@ -382,6 +386,41 @@ func runFaultRep(s Spec, o Options, rep int, seed int64) (measurement, FaultReco
 		m.timeSecs += ev.LostVirt.Seconds()
 	}
 	return m, fr, nil
+}
+
+// runShrinkRep runs one ULFM shrink-recovery repetition: the same
+// seeded rank crash as a restart cell, injected non-fatally, survived
+// in place by revoke/shrink/recompute. Because in-place recovery never
+// rewinds the virtual clocks, the job's completion time already IS the
+// time-to-solution — no lost-work folding, unlike the restart path.
+func runShrinkRep(s Spec, o Options, fr FaultRecord, stack core.Stack, seed int64) (measurement, FaultRecord, error) {
+	var m measurement
+	fr.Recovery = RecoveryShrink
+	inj, err := faults.NewInjector(faults.Plan{Faults: []faults.Spec{{
+		Kind: s.Fault, Rank: faults.Anywhere, Step: s.FaultStep, NonFatal: true,
+	}}}, seed, stack.Net)
+	if err != nil {
+		return m, fr, err
+	}
+	rr, err := core.RunWithShrinkRecovery(stack, s.Program, inj,
+		core.ShrinkPolicy{MaxShrinks: o.MaxRestarts, LegTimeout: o.Timeout},
+		core.WithConfigure(o.configure(seed)))
+	if rr != nil {
+		fr.Shrinks = rr.Shrinks
+		if len(rr.Events) > 0 {
+			ev := rr.Events[0]
+			if ev.Failure != nil {
+				fr.Ranks = ev.Failure.Ranks
+				fr.Step = ev.Failure.Step
+				fr.DetectVirtMS = float64(ev.Detected) / 1e6
+			}
+			fr.Survivors = ev.Survivors
+		}
+	}
+	if err != nil {
+		return m, fr, err
+	}
+	return measureJob(rr.Job, stack.Net.Size()), fr, nil
 }
 
 // runRep runs one repetition: launch (with the checkpoint/restart dance

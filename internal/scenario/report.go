@@ -23,7 +23,11 @@ import (
 // Report.Provenance (live-vs-cached cell counts, per-shard wall times),
 // so sharded partial reports merge (MergeReports) into one report that
 // still records which cells ran live and where each slice came from.
-const SchemaVersion = 3
+//
+// v4 added the recovery-mode axis: Spec.Recovery ("shrink" selects ULFM
+// in-place recovery for rank-crash cells) and the shrink half of
+// FaultRecord (Recovery/Shrinks/Survivors).
+const SchemaVersion = 4
 
 // Status is a scenario outcome.
 type Status string
@@ -82,6 +86,13 @@ type FaultRecord struct {
 	Restarts int `json:"restarts"`
 	// RestartStack labels the stack the recovery legs ran under.
 	RestartStack string `json:"restart_stack,omitempty"`
+	// Recovery marks the recovery mode ("shrink" for ULFM in-place
+	// cells; empty for the restart protocol). Shrink cells never
+	// restart: Shrinks counts the in-place recoveries and Survivors is
+	// the shrunken world size after the first one.
+	Recovery  string `json:"recovery,omitempty"`
+	Shrinks   int    `json:"shrinks,omitempty"`
+	Survivors int    `json:"survivors,omitempty"`
 }
 
 // Result is one scenario's aggregated outcome.
@@ -303,6 +314,9 @@ func (r *Report) Render() string {
 				}
 				if f.Restarts > 0 {
 					line += fmt.Sprintf(" recovered(%d)", f.Restarts)
+				}
+				if f.Shrinks > 0 {
+					line += fmt.Sprintf(" shrunk(x%d, %d survive)", f.Shrinks, f.Survivors)
 				}
 			}
 		}

@@ -81,6 +81,15 @@ type Spec struct {
 	// faults.KindNICDegrade degrades the fabric instead; the run
 	// completes under it without recovery.
 	Fault faults.Kind `json:"fault,omitempty"`
+	// Recovery selects the recovery mode for rank-crash cells: empty
+	// means the default checkpoint/restart protocol above;
+	// RecoveryShrink runs ULFM in-place recovery instead — the fault is
+	// non-fatal, survivors revoke and shrink the world communicator and
+	// recompute on it, and no checkpoint is ever written (the cell must
+	// be checkpointer-free). The axis exists so the harness can compare
+	// the two halves of fault-tolerant MPI — restart a bigger job from
+	// images, or shrink and recompute in place — on the same crashes.
+	Recovery string `json:"recovery,omitempty"`
 	// FaultStep pins the fault's trigger step (0 = drawn from the
 	// repetition seed; see faults.Spec).
 	FaultStep uint64 `json:"fault_step,omitempty"`
@@ -90,11 +99,14 @@ type Spec struct {
 	CkptEvery uint64 `json:"ckpt_every,omitempty"`
 }
 
+// RecoveryShrink selects ULFM in-place recovery for a rank-crash cell.
+const RecoveryShrink = "shrink"
+
 // HasRestart reports whether the scenario includes a restart leg.
 func (s Spec) HasRestart() bool { return s.RestartImpl != "" }
 
 // ID is the scenario's stable identifier:
-// program/impl+abi+ckpt[@kernel][>restartimpl+restartabi][!fault[#step][%every]].
+// program/impl+abi+ckpt[@kernel][>restartimpl+restartabi][!fault[#step][%every][~recovery]].
 // Reports are sorted and queried by it.
 func (s Spec) ID() string {
 	var b strings.Builder
@@ -112,6 +124,9 @@ func (s Spec) ID() string {
 		}
 		if s.CkptEvery > 0 {
 			fmt.Fprintf(&b, "%%%d", s.CkptEvery)
+		}
+		if s.Recovery != "" {
+			fmt.Fprintf(&b, "~%s", s.Recovery)
 		}
 	}
 	return b.String()
@@ -163,7 +178,32 @@ func (s Spec) Validate() error {
 		if s.FaultStep != 0 || s.CkptEvery != 0 {
 			return fmt.Errorf("scenario %s: fault parameters without a fault kind", s.ID())
 		}
+		if s.Recovery != "" {
+			return fmt.Errorf("scenario %s: recovery mode without a fault kind", s.ID())
+		}
 	case faults.KindRankCrash, faults.KindNodeCrash:
+		if s.Recovery == RecoveryShrink {
+			// ULFM in-place recovery is the checkpoint-free path: the
+			// survivors shrink and recompute, nothing is ever written or
+			// restarted, so a checkpointer or restart pairing on the cell
+			// would advertise legs that never execute.
+			if s.Fault != faults.KindRankCrash {
+				return fmt.Errorf("scenario %s: shrink recovery applies to rank crashes (a node crash takes the membership below the apps' minimum)", s.ID())
+			}
+			if s.Ckpt != core.CkptNone {
+				return fmt.Errorf("scenario %s: shrink recovery is checkpoint-free; drop the checkpointer", s.ID())
+			}
+			if s.HasRestart() {
+				return fmt.Errorf("scenario %s: shrink recovery never restarts; drop the restart pairing", s.ID())
+			}
+			if s.CkptEvery != 0 {
+				return fmt.Errorf("scenario %s: shrink recovery has no checkpoint interval", s.ID())
+			}
+			break
+		}
+		if s.Recovery != "" {
+			return fmt.Errorf("scenario %s: unknown recovery mode %q", s.ID(), s.Recovery)
+		}
 		// Crash recovery restarts from periodic images, so the cell needs
 		// a checkpointing package; the restart pairing (when present) is
 		// validated by the shared rules below.
@@ -171,6 +211,9 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %s: crash recovery requires a checkpointing package", s.ID())
 		}
 	case faults.KindNICDegrade:
+		if s.Recovery != "" {
+			return fmt.Errorf("scenario %s: recovery mode applies to crash cells", s.ID())
+		}
 		// Degradation slows the run but kills nobody; any stack survives
 		// — and nothing triggers a restart, so a restart pairing on a
 		// degraded cell would be advertised in the ID yet never executed.
@@ -223,7 +266,10 @@ type MatrixSpec struct {
 	// standard-ABI MANA stacks, cross-implementation restarts).
 	CrossRestart bool
 	// Faults is the fault axis. KindRankCrash adds a crash-recovery
-	// scenario to every restart pairing; KindNodeCrash adds one to every
+	// scenario to every restart pairing AND a ULFM shrink-recovery
+	// scenario to every checkpointer-free straight cell (the
+	// recovery-mode axis: the same class of crash, survived by restart
+	// or in place); KindNodeCrash adds one to every
 	// cross-implementation pairing (the paper's headline failure: lose a
 	// node under one implementation, finish under the other);
 	// KindNICDegrade adds a degraded-completion scenario to every
@@ -236,8 +282,9 @@ type MatrixSpec struct {
 // the standard-ABI-native third (internal/stdabi) — every binding mode,
 // every checkpointing package, every valid restart pairing (including
 // stdabi<->{mpich,openmpi} cross-restarts in both directions), and the
-// fault axis — crash recovery over every pairing, node loss over every
-// cross-implementation pairing, link degradation over every plain cell.
+// fault axis — crash recovery over every pairing, ULFM shrink recovery
+// over every plain cell, node loss over every cross-implementation
+// pairing, link degradation over every plain cell.
 func DefaultMatrix() MatrixSpec {
 	return MatrixSpec{
 		Programs:     []string{"app.comd", "app.wave"},
@@ -276,6 +323,17 @@ func (m MatrixSpec) Enumerate() []Spec {
 					if ckpt == core.CkptNone && m.hasFault(faults.KindNICDegrade) {
 						s := base
 						s.Fault = faults.KindNICDegrade
+						out = append(out, s)
+					}
+					// The recovery-mode axis: every checkpointer-free
+					// straight cell gets a ULFM shrink-recovery sibling —
+					// the same seeded rank crash the restart cells
+					// recover from, survived in place instead (all three
+					// implementations, native and shimmed).
+					if ckpt == core.CkptNone && m.hasFault(faults.KindRankCrash) {
+						s := base
+						s.Fault = faults.KindRankCrash
+						s.Recovery = RecoveryShrink
 						out = append(out, s)
 					}
 					if !m.CrossRestart || ckpt == core.CkptNone {
@@ -326,6 +384,6 @@ func seedFor(base int64, program string, rep int) int64 {
 // idPath renders a scenario ID as a filesystem-safe path component for
 // checkpoint image directories.
 func idPath(id string) string {
-	r := strings.NewReplacer("/", "_", ">", "_to_", "+", "-", "@", "-", "!", "_", "#", "-", "%", "-")
+	r := strings.NewReplacer("/", "_", ">", "_to_", "+", "-", "@", "-", "!", "_", "#", "-", "%", "-", "~", "-")
 	return r.Replace(id)
 }

@@ -32,10 +32,14 @@ func TestEnumerateExcludesInvalidStacks(t *testing.T) {
 	// The matrix must cover every base cell: 2 apps x 3 impls x 3 ABIs x
 	// 3 checkpointers = 54 straight runs.
 	var straight, cross, same int
-	var rankCrash, nodeCrash, nicDegrade int
+	var rankCrash, nodeCrash, nicDegrade, shrink int
 	for _, s := range specs {
 		switch s.Fault {
 		case faults.KindRankCrash:
+			if s.Recovery == RecoveryShrink {
+				shrink++
+				continue
+			}
 			rankCrash++
 			continue
 		case faults.KindNodeCrash:
@@ -68,8 +72,10 @@ func TestEnumerateExcludesInvalidStacks(t *testing.T) {
 		t.Error("no same-implementation restart scenarios")
 	}
 	// The fault axis: a rank-crash recovery per restart pairing (24 cross
-	// + 36 same = 60), a node-crash per cross pairing (24), a nic-degrade
-	// per checkpointer-free straight cell (18) — 216 scenarios total.
+	// + 36 same = 60), a node-crash per cross pairing (24), and — per
+	// checkpointer-free straight cell (18 of them) — one nic-degrade and
+	// one ULFM shrink-recovery rank-crash (the recovery-mode axis) —
+	// 234 scenarios total.
 	if rankCrash != 60 {
 		t.Errorf("rank-crash scenarios = %d, want 60", rankCrash)
 	}
@@ -78,6 +84,34 @@ func TestEnumerateExcludesInvalidStacks(t *testing.T) {
 	}
 	if nicDegrade != 18 {
 		t.Errorf("nic-degrade scenarios = %d, want 18", nicDegrade)
+	}
+	if shrink != 18 {
+		t.Errorf("shrink-recovery scenarios = %d, want 18", shrink)
+	}
+	if len(specs) != 234 {
+		t.Errorf("matrix has %d scenarios, want 234", len(specs))
+	}
+	// The recovery-mode axis must cover all three implementations, both
+	// native and shimmed.
+	shrinkBy := make(map[core.Impl]map[core.ABIMode]bool)
+	for _, s := range specs {
+		if s.Recovery != RecoveryShrink {
+			continue
+		}
+		if s.Ckpt != core.CkptNone || s.HasRestart() {
+			t.Errorf("shrink cell %s advertises a checkpoint or restart leg", s.ID())
+		}
+		if shrinkBy[s.Impl] == nil {
+			shrinkBy[s.Impl] = make(map[core.ABIMode]bool)
+		}
+		shrinkBy[s.Impl][s.ABI] = true
+	}
+	for _, impl := range []core.Impl{core.ImplMPICH, core.ImplOpenMPI, core.ImplStdABI} {
+		for _, mode := range []core.ABIMode{core.ABINative, core.ABIMukautuva, core.ABIWi4MPI} {
+			if !shrinkBy[impl][mode] {
+				t.Errorf("no shrink-recovery cell for %s+%s", impl, mode)
+			}
+		}
 	}
 	if len(specs) < 170 {
 		t.Errorf("matrix has %d scenarios, the stdabi axis should push it past 170", len(specs))
@@ -120,6 +154,29 @@ func TestFaultSpecValidation(t *testing.T) {
 		// A restart pairing on a nic-degrade cell would never execute.
 		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
 			RestartImpl: core.ImplMPICH, RestartABI: core.ABIMukautuva, Fault: faults.KindNICDegrade},
+		// Recovery mode without a fault.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Recovery: RecoveryShrink},
+		// Unknown recovery mode.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindRankCrash, Recovery: "regrow"},
+		// Shrink recovery is checkpoint-free: a checkpointer on the cell
+		// advertises a leg that never executes.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			Fault: faults.KindRankCrash, Recovery: RecoveryShrink},
+		// ... as does a restart pairing.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptNone,
+			RestartImpl: core.ImplOpenMPI, RestartABI: core.ABIMukautuva,
+			Fault: faults.KindRankCrash, Recovery: RecoveryShrink},
+		// ... or a checkpoint interval.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindRankCrash, Recovery: RecoveryShrink, CkptEvery: 2},
+		// Shrink under a node crash would drop whole nodes of ranks.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindNodeCrash, Recovery: RecoveryShrink},
+		// Recovery mode on a nic-degrade cell is meaningless.
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindNICDegrade, Recovery: RecoveryShrink},
 	}
 	for _, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -136,6 +193,9 @@ func TestFaultSpecValidation(t *testing.T) {
 		// The headline: node crash, recover under the other implementation.
 		{Program: "app.wave", Impl: core.ImplOpenMPI, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
 			RestartImpl: core.ImplMPICH, RestartABI: core.ABIMukautuva, Fault: faults.KindNodeCrash},
+		// ULFM shrink recovery: checkpointer-free, any binding.
+		{Program: "app.wave", Impl: core.ImplStdABI, ABI: core.ABIWi4MPI, Ckpt: core.CkptNone,
+			Fault: faults.KindRankCrash, FaultStep: 3, Recovery: RecoveryShrink},
 	}
 	for _, s := range good {
 		if err := s.Validate(); err != nil {
@@ -545,5 +605,72 @@ func TestRunCollapsesDuplicateSpecs(t *testing.T) {
 	rep := Run([]Spec{s, s, s}, Options{Parallel: 2, Reps: 1})
 	if rep.Scenarios != 1 {
 		t.Fatalf("duplicates not collapsed: %d scenarios", rep.Scenarios)
+	}
+}
+
+// TestShrinkScenariosEndToEnd runs the recovery-mode axis live: one
+// shrink-recovery rank-crash cell per implementation (one shimmed), at
+// tiny scale, asserting the shrink half of the fault record and — the
+// determinism bar — that a second run produces identical fault
+// resolution.
+func TestShrinkScenariosEndToEnd(t *testing.T) {
+	specs := []Spec{
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindRankCrash, Recovery: RecoveryShrink},
+		{Program: "app.wave", Impl: core.ImplOpenMPI, ABI: core.ABIMukautuva, Ckpt: core.CkptNone,
+			Fault: faults.KindRankCrash, Recovery: RecoveryShrink},
+		{Program: "app.wave", Impl: core.ImplStdABI, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindRankCrash, Recovery: RecoveryShrink},
+	}
+	rep := Run(specs, faultOptions(t))
+	if rep.Failed != 0 {
+		t.Fatalf("failures:\n%s", rep.Render())
+	}
+	for _, s := range specs {
+		res := rep.Find(s.ID())
+		if res == nil {
+			t.Fatalf("scenario %s missing", s.ID())
+		}
+		if len(res.Faults) != 2 {
+			t.Fatalf("%s: fault records for %d reps, want 2", s.ID(), len(res.Faults))
+		}
+		for _, fr := range res.Faults {
+			if fr.Recovery != RecoveryShrink {
+				t.Errorf("%s rep %d: recovery mode %q", s.ID(), fr.Rep, fr.Recovery)
+			}
+			if fr.Shrinks != 1 || fr.Restarts != 0 {
+				t.Errorf("%s rep %d: shrinks=%d restarts=%d, want 1/0", s.ID(), fr.Rep, fr.Shrinks, fr.Restarts)
+			}
+			if fr.Survivors != 3 {
+				t.Errorf("%s rep %d: survivors=%d, want 3", s.ID(), fr.Rep, fr.Survivors)
+			}
+			if fr.Step == 0 || len(fr.Ranks) != 1 {
+				t.Errorf("%s rep %d: fault record incomplete: %+v", s.ID(), fr.Rep, fr)
+			}
+			if fr.ImageDir != "" || fr.ImageStep != 0 {
+				t.Errorf("%s rep %d: shrink cell recorded checkpoint lineage: %+v", s.ID(), fr.Rep, fr)
+			}
+		}
+		if res.Time == nil || res.Time.Median <= 0 {
+			t.Errorf("%s: no recovered completion time", s.ID())
+		}
+	}
+
+	// Determinism: a second run resolves the same victims at the same
+	// steps with the same shrink outcomes. The structural fields are
+	// exact; virtual times (DetectVirtMS, completion) carry the engine's
+	// documented near-determinism under simulated NIC contention and are
+	// deliberately not compared — same bar as the restart fault cells.
+	rep2 := Run(specs, faultOptions(t))
+	for _, s := range specs {
+		a, b := rep.Find(s.ID()), rep2.Find(s.ID())
+		for i := range a.Faults {
+			fa, fb := a.Faults[i], b.Faults[i]
+			fa.DetectVirtMS, fb.DetectVirtMS = 0, 0
+			if !reflect.DeepEqual(fa, fb) {
+				t.Errorf("%s rep %d: fault records differ across identical runs:\n%+v\n%+v",
+					s.ID(), i, a.Faults[i], b.Faults[i])
+			}
+		}
 	}
 }

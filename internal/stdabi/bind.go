@@ -392,3 +392,24 @@ func (b *Binding) OpFree(op abi.Handle) error {
 func (b *Binding) Abort(comm abi.Handle, code int) error {
 	return codeErr(b.p.rt.Abort(code))
 }
+
+func (b *Binding) CommRevoke(comm abi.Handle) error {
+	return codeErr(b.p.rt.CommRevoke(b.p.c(comm)))
+}
+
+func (b *Binding) CommShrink(comm abi.Handle) (abi.Handle, error) {
+	return b.newComm(b.p.rt.CommShrink(b.p.c(comm)))
+}
+
+func (b *Binding) CommAgree(comm abi.Handle, flag uint64) (uint64, error) {
+	out, code := b.p.rt.CommAgree(b.p.c(comm), flag)
+	return out, codeErr(code)
+}
+
+func (b *Binding) CommFailureAck(comm abi.Handle) error {
+	return codeErr(b.p.rt.CommFailureAck(b.p.c(comm)))
+}
+
+func (b *Binding) CommFailureGetAcked(comm abi.Handle) (abi.Handle, error) {
+	return b.newGroup(b.p.rt.CommFailureGetAcked(b.p.c(comm)))
+}

@@ -63,6 +63,11 @@ const (
 	ErrTruncate = int(abi.ErrTruncate)
 	ErrIntern   = int(abi.ErrIntern)
 	ErrOther    = int(abi.ErrOther)
+	// The ULFM classes: natively the standard values, where MPICH says
+	// 71/72 and Open MPI says 54/56 — the standardized encoding of
+	// exactly the classes fault-tolerant applications must compare.
+	ErrProcFailed = int(abi.ErrProcFailed)
+	ErrRevoked    = int(abi.ErrRevoked)
 )
 
 // ClassOfCode maps this implementation's error codes to standard classes.
@@ -70,10 +75,21 @@ const (
 // collapse to ErrOther, as MPI_Error_class does for unknown codes).
 func ClassOfCode(code int) abi.ErrClass {
 	c := abi.ErrClass(code)
-	if c < abi.ErrSuccess || c > abi.ErrOther {
+	if c < abi.ErrSuccess || c > abi.ErrRevoked {
 		return abi.ErrOther
 	}
 	return c
+}
+
+// CodeOfClass is the reverse direction — for this implementation, the
+// identity: the standard class IS the native code. Present so the
+// cross-implementation round-trip tests treat all three implementations
+// uniformly.
+func CodeOfClass(c abi.ErrClass) int {
+	if c < abi.ErrSuccess || c > abi.ErrRevoked {
+		return ErrOther
+	}
+	return int(c)
 }
 
 // ErrorString mirrors MPI_Error_string over the standard class names.
@@ -100,21 +116,23 @@ var stdConsts = mpicore.Consts{
 }
 
 var stdCodes = mpicore.Codes{
-	Success:     Success,
-	ErrBuffer:   ErrBuffer,
-	ErrCount:    ErrCount,
-	ErrType:     ErrType,
-	ErrTag:      ErrTag,
-	ErrComm:     ErrComm,
-	ErrRank:     ErrRank,
-	ErrRoot:     ErrRoot,
-	ErrGroup:    ErrGroup,
-	ErrOp:       ErrOp,
-	ErrArg:      ErrArg,
-	ErrTruncate: ErrTruncate,
-	ErrRequest:  ErrRequest,
-	ErrIntern:   ErrIntern,
-	ErrOther:    ErrOther,
+	Success:       Success,
+	ErrBuffer:     ErrBuffer,
+	ErrCount:      ErrCount,
+	ErrType:       ErrType,
+	ErrTag:        ErrTag,
+	ErrComm:       ErrComm,
+	ErrRank:       ErrRank,
+	ErrRoot:       ErrRoot,
+	ErrGroup:      ErrGroup,
+	ErrOp:         ErrOp,
+	ErrArg:        ErrArg,
+	ErrTruncate:   ErrTruncate,
+	ErrRequest:    ErrRequest,
+	ErrIntern:     ErrIntern,
+	ErrOther:      ErrOther,
+	ErrProcFailed: ErrProcFailed,
+	ErrRevoked:    ErrRevoked,
 }
 
 // Policy is the reference implementation's algorithm personality over

@@ -125,6 +125,10 @@ func codeOfClass(c abi.ErrClass) int32 {
 		return mpich.ErrPending
 	case abi.ErrIntern:
 		return mpich.ErrIntern
+	case abi.ErrProcFailed:
+		return mpich.ErrProcFailed
+	case abi.ErrRevoked:
+		return mpich.ErrRevoked
 	default:
 		return mpich.ErrOther
 	}
@@ -631,4 +635,45 @@ func (p *Preload) OpFree(op abi.Handle) error {
 
 func (p *Preload) Abort(comm abi.Handle, code int) error {
 	return p.err(p.lib.Table.Abort(p.in(comm), code))
+}
+
+// The ULFM (MPIX_*) surface in preload mode: the application speaks
+// MPICH's dialect (its handle values and its 71/72 MPIX error codes),
+// the target library answers in its own, and the translator converts
+// both directions on the fly — including re-numbering the target's
+// proc-failed/revoked codes into MPICH's, the newest corner of the code
+// space and the one fault-tolerant applications actually branch on.
+
+func (p *Preload) CommRevoke(comm abi.Handle) error {
+	p.charge()
+	return p.err(p.lib.Table.CommRevoke(p.in(comm)))
+}
+
+func (p *Preload) CommShrink(comm abi.Handle) (abi.Handle, error) {
+	p.charge()
+	n, err := p.lib.Table.CommShrink(p.in(comm))
+	if err != nil {
+		return widen(mpich.CommNull), p.err(err)
+	}
+	return p.adopt(n, p.tCommNull, widen(mpich.CommNull)), nil
+}
+
+func (p *Preload) CommAgree(comm abi.Handle, flag uint64) (uint64, error) {
+	p.charge()
+	out, err := p.lib.Table.CommAgree(p.in(comm), flag)
+	return out, p.err(err)
+}
+
+func (p *Preload) CommFailureAck(comm abi.Handle) error {
+	p.charge()
+	return p.err(p.lib.Table.CommFailureAck(p.in(comm)))
+}
+
+func (p *Preload) CommFailureGetAcked(comm abi.Handle) (abi.Handle, error) {
+	p.charge()
+	n, err := p.lib.Table.CommFailureGetAcked(p.in(comm))
+	if err != nil {
+		return widen(mpich.GroupNull), p.err(err)
+	}
+	return p.adopt(n, p.tGroupNull, widen(mpich.GroupNull)), nil
 }

@@ -146,6 +146,11 @@ type (
 	RecoveryPolicy = core.RecoveryPolicy
 	// RecoveryResult summarizes a recovered run.
 	RecoveryResult = core.RecoveryResult
+	// ShrinkPolicy configures RunWithShrinkRecovery (ULFM in-place
+	// recovery: revoke/shrink/recompute, no checkpoints, no restarts).
+	ShrinkPolicy = core.ShrinkPolicy
+	// ShrinkResult summarizes a shrink-recovered run.
+	ShrinkResult = core.ShrinkResult
 )
 
 // Fault classes and the seeded-target sentinel.
@@ -183,6 +188,15 @@ func WithPeriodicCheckpoint(root string, every uint64) LaunchOption {
 // bounded by the retry budget.
 func RunWithRecovery(stack Stack, program string, inj *FaultInjector, pol RecoveryPolicy, opts ...LaunchOption) (*RecoveryResult, error) {
 	return core.RunWithRecovery(stack, program, inj, pol, opts...)
+}
+
+// RunWithShrinkRecovery is the ULFM counterpart: launch with non-fatal
+// crash faults armed and survive them in place — pending operations
+// complete with the implementation's MPIX proc-failed code, the world
+// communicator is revoked and shrunk, and the survivors rebind and
+// recompute on the smaller world. Checkpoint-free stacks only.
+func RunWithShrinkRecovery(stack Stack, program string, inj *FaultInjector, pol ShrinkPolicy, opts ...LaunchOption) (*ShrinkResult, error) {
+	return core.RunWithShrinkRecovery(stack, program, inj, pol, opts...)
 }
 
 // RegisterProgram installs an application under a stable name so it can be
