@@ -492,3 +492,98 @@ func BenchmarkNativeVsShimCallPath(b *testing.B) {
 		})
 	}
 }
+
+// benchLargeWorld drives one collective on an n-rank world under the
+// given progress engine — the scale axis the event scheduler exists for.
+// At 4096 ranks the goroutine engine drowns in wakeups and allocation;
+// the event engine multiplexes all ranks over one token with batched
+// delivery and pooled envelopes, which is what makes these rank counts
+// benchable on a laptop. Reported virt-us/op is rank 0's virtual clock
+// advance per operation, as in the 8-rank gate benches.
+func benchLargeWorld(b *testing.B, mode fabric.ProgressMode, coll string, ranks, count int) {
+	b.Helper()
+	w, err := fabric.NewWorldMode(simnet.SingleNode(ranks), mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	pol := mpich.Policy()
+	var wg sync.WaitGroup
+	fail := make(chan int, ranks)
+	b.ResetTimer()
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		w.Spawn(r, func() {
+			defer wg.Done()
+			p := mpicore.NewProc(w, r, benchCoreConsts, benchCoreCodes, pol)
+			c := p.CommWorld
+			it := p.Predef(types.KindInt64)
+			sum := p.PredefOp(ops.OpSum)
+			sb := make([]byte, count*8)
+			rb := make([]byte, count*8)
+			for i := 0; i < b.N; i++ {
+				var code int
+				switch coll {
+				case "allreduce":
+					code = p.Allreduce(sb, rb, count, it, sum, c)
+				case "bcast":
+					code = p.Bcast(sb, count, it, 0, c)
+				case "barrier":
+					code = p.Barrier(c)
+				}
+				if code != 0 {
+					fail <- code
+					w.Close()
+					return
+				}
+			}
+		})
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case code := <-fail:
+		b.Fatalf("collective failed with code %d", code)
+	default:
+	}
+	virtUS := float64(w.Endpoint(0).Clock().Now()) / 1e3
+	b.ReportMetric(virtUS/float64(b.N), "virt-us/op")
+}
+
+// BenchmarkLargeWorldAllreduce is the tentpole scale bench: a 64-byte
+// allreduce at 1K and 4K ranks in event mode. These start their own
+// baselines — no goroutine-mode twin exists at these rank counts.
+func BenchmarkLargeWorldAllreduce(b *testing.B) {
+	for _, ranks := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("event/ranks=%d", ranks), func(b *testing.B) {
+			benchLargeWorld(b, fabric.ProgressEvent, "allreduce", ranks, 8)
+		})
+	}
+}
+
+// BenchmarkLargeWorldBcast: binomial broadcast at 1K ranks, event mode.
+func BenchmarkLargeWorldBcast(b *testing.B) {
+	b.Run("event/ranks=1024", func(b *testing.B) {
+		benchLargeWorld(b, fabric.ProgressEvent, "bcast", 1024, 8)
+	})
+}
+
+// BenchmarkLargeWorldBarrier: dissemination barrier at 1K ranks — the
+// pure wakeup/handoff cost of the event scheduler, no payload at all.
+func BenchmarkLargeWorldBarrier(b *testing.B) {
+	b.Run("event/ranks=1024", func(b *testing.B) {
+		benchLargeWorld(b, fabric.ProgressEvent, "barrier", 1024, 0)
+	})
+}
+
+// BenchmarkEngineComparison pits the two engines against each other at a
+// rank count both can handle — the apples-to-apples cost of the token
+// scheduler vs true parallelism on an 8-rank allreduce.
+func BenchmarkEngineComparison(b *testing.B) {
+	for _, mode := range []fabric.ProgressMode{fabric.ProgressGoroutine, fabric.ProgressEvent} {
+		b.Run(fmt.Sprintf("%s/ranks=8", mode), func(b *testing.B) {
+			benchLargeWorld(b, mode, "allreduce", 8, 8)
+		})
+	}
+}

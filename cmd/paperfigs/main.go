@@ -50,6 +50,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/scenario"
 )
@@ -74,8 +75,14 @@ func main() {
 		mergeIn  = flag.String("merge", "", "comma-separated shard/partial report JSONs to merge into one report at -out (runs nothing)")
 		list     = flag.Bool("list", false, "print the enumerated matrix cells (id, program, impl, ABI path, ckpt, restart pairing, fault) without executing anything")
 		prune    = flag.Bool("cache-prune", false, "delete cached cell results whose stamped engine version is stale (requires -cache), then exit without running anything")
+		progress = flag.String("progress", "", "rank execution engine for every scenario world: goroutine (default) or event (the large-rank scheduler; results are mode-invariant)")
 	)
 	flag.Parse()
+
+	progressMode := core.ProgressMode(*progress)
+	if err := progressMode.Validate(); err != nil {
+		fatal(err)
+	}
 
 	if *prune {
 		if *cacheDir == "" {
@@ -127,7 +134,7 @@ func main() {
 		}
 	}
 	if *matrix {
-		runMatrix(*full, *withFlt, *parallel, *reps, *nodes, *rpn, *seed, *apps, *scratch, *cacheDir, shard, *out)
+		runMatrix(*full, *withFlt, *parallel, *reps, *nodes, *rpn, *seed, *apps, *scratch, *cacheDir, shard, progressMode, *out)
 		return
 	}
 	if *full || *apps != "" || *scratch != "" || *shardSel != "" {
@@ -150,6 +157,7 @@ func main() {
 	}
 	opts.Parallel = *parallel
 	opts.Seed = *seed
+	opts.Progress = progressMode
 
 	names := strings.Split(*figs, ",")
 	if *figs == "all" {
@@ -281,7 +289,7 @@ func printProvenance(rep *scenario.Report) {
 }
 
 // runMatrix executes the scenario matrix and writes the JSON report.
-func runMatrix(full, withFaults bool, parallel, reps, nodes, rpn int, seed int64, apps, scratch, cache string, shard scenario.Shard, out string) {
+func runMatrix(full, withFaults bool, parallel, reps, nodes, rpn int, seed int64, apps, scratch, cache string, shard scenario.Shard, progress core.ProgressMode, out string) {
 	o := scenario.Quick()
 	if full {
 		o = scenario.Full()
@@ -289,6 +297,7 @@ func runMatrix(full, withFaults bool, parallel, reps, nodes, rpn int, seed int64
 	o.Scratch = scratch
 	o.CacheDir = cache
 	o.Shard = shard
+	o.Progress = progress
 	if parallel > 0 {
 		o.Parallel = parallel
 	}

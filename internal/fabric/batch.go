@@ -1,0 +1,194 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/simnet"
+)
+
+// Envelope batch codec: the wire frame for a burst of envelopes between
+// two fabric domains. In-process worlds move *Envelope pointers and never
+// serialize, but a future multi-process fabric (a matrixd worker farm, or
+// replaying a captured trace) needs the burst as bytes — and the frame is
+// the natural fuzz surface for the batching layer: every field that
+// RecvBatch hands to a dispatcher round-trips through it.
+//
+// Frame layout (all integers varint, signed fields zigzag):
+//
+//	magic byte 0xEB, version byte, count,
+//	then per envelope:
+//	  src dst cid tag proto seq round hdr sent arrive payloadLen payload
+//
+// Decoding is strict: unknown version, short input, oversized counts and
+// payload lengths past the buffer all fail loudly rather than truncating
+// silently.
+
+const (
+	batchMagic   = 0xEB
+	batchVersion = 1
+	// batchMaxCount caps the declared envelope count so a corrupt header
+	// cannot make the decoder pre-commit to absurd allocations.
+	batchMaxCount = 1 << 22
+)
+
+// AppendBatch appends the encoded frame for envs to buf and returns it.
+func AppendBatch(buf []byte, envs []*Envelope) []byte {
+	buf = append(buf, batchMagic, batchVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(envs)))
+	for _, e := range envs {
+		buf = binary.AppendVarint(buf, int64(e.Src))
+		buf = binary.AppendVarint(buf, int64(e.Dst))
+		buf = binary.AppendUvarint(buf, uint64(e.CID))
+		buf = binary.AppendVarint(buf, int64(e.Tag))
+		buf = append(buf, byte(e.Proto))
+		buf = binary.AppendUvarint(buf, e.Seq)
+		buf = binary.AppendVarint(buf, int64(e.Round))
+		buf = binary.AppendUvarint(buf, e.Hdr)
+		buf = binary.AppendVarint(buf, int64(e.Sent))
+		buf = binary.AppendVarint(buf, int64(e.Arrive))
+		buf = binary.AppendUvarint(buf, uint64(len(e.Payload)))
+		buf = append(buf, e.Payload...)
+	}
+	return buf
+}
+
+// DecodeBatch decodes one frame, returning the envelopes (pool-allocated;
+// the caller owns them and may PutEnvelope after consumption) and the
+// number of bytes consumed.
+func DecodeBatch(buf []byte) ([]*Envelope, int, error) {
+	if len(buf) < 2 {
+		return nil, 0, fmt.Errorf("fabric: batch frame truncated (len %d)", len(buf))
+	}
+	if buf[0] != batchMagic {
+		return nil, 0, fmt.Errorf("fabric: bad batch magic 0x%02x", buf[0])
+	}
+	if buf[1] != batchVersion {
+		return nil, 0, fmt.Errorf("fabric: unsupported batch version %d", buf[1])
+	}
+	d := batchDecoder{buf: buf, off: 2}
+	count := d.uvarint()
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if count > batchMaxCount {
+		return nil, 0, fmt.Errorf("fabric: batch count %d exceeds limit", count)
+	}
+	envs := make([]*Envelope, 0, min(int(count), 1024))
+	for i := uint64(0); i < count; i++ {
+		e := GetEnvelope()
+		e.Src = d.intField("src")
+		e.Dst = d.intField("dst")
+		e.CID = d.uint32Field("cid")
+		e.Tag = d.int32Field("tag")
+		e.Proto = Proto(d.byteField("proto"))
+		e.Seq = d.uvarint()
+		e.Round = d.int32Field("round")
+		e.Hdr = d.uvarint()
+		e.Sent = simnet.Time(d.varint())
+		e.Arrive = simnet.Time(d.varint())
+		e.Payload = d.bytesField("payload")
+		if d.err != nil {
+			PutEnvelope(e)
+			for _, prev := range envs {
+				PutEnvelope(prev)
+			}
+			return nil, 0, fmt.Errorf("fabric: batch envelope %d: %w", i, d.err)
+		}
+		envs = append(envs, e)
+	}
+	return envs, d.off, nil
+}
+
+// batchDecoder is a cursor with sticky error state; field helpers
+// become no-ops once an error is recorded.
+type batchDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *batchDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("truncated uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *batchDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("truncated varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *batchDecoder) byteField(name string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.err = fmt.Errorf("truncated %s at offset %d", name, d.off)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *batchDecoder) intField(name string) int {
+	v := d.varint()
+	if d.err == nil && (v > math.MaxInt32 || v < math.MinInt32) {
+		d.err = fmt.Errorf("%s %d out of range", name, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *batchDecoder) int32Field(name string) int32 {
+	v := d.varint()
+	if d.err == nil && (v > math.MaxInt32 || v < math.MinInt32) {
+		d.err = fmt.Errorf("%s %d out of range", name, v)
+		return 0
+	}
+	return int32(v)
+}
+
+func (d *batchDecoder) uint32Field(name string) uint32 {
+	v := d.uvarint()
+	if d.err == nil && v > math.MaxUint32 {
+		d.err = fmt.Errorf("%s %d out of range", name, v)
+		return 0
+	}
+	return uint32(v)
+}
+
+func (d *batchDecoder) bytesField(name string) []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.err = fmt.Errorf("%s length %d exceeds remaining %d bytes", name, n, len(d.buf)-d.off)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, d.buf[d.off:])
+	d.off += int(n)
+	return p
+}

@@ -1,0 +1,144 @@
+package fabric
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sampleBatch covers the frame's edge values: negative rank fields
+// (wildcards are negative in every test vocabulary), zero and max-uint32
+// cid, empty and non-empty payloads, and large timestamps.
+func sampleBatch() []*Envelope {
+	return []*Envelope{
+		{Src: 0, Dst: 1, CID: 0, Tag: 0, Proto: ProtoEager, Payload: []byte("hi")},
+		{Src: -7, Dst: 4095, CID: 1<<32 - 1, Tag: -8, Proto: ProtoRTS,
+			Seq: 1<<63 - 1, Round: -1, Hdr: 9999, Sent: 123456, Arrive: 789012},
+		{Src: 3, Dst: 3, CID: 42, Tag: 1 << 20, Proto: ProtoCtrl,
+			Payload: bytes.Repeat([]byte{0xAB}, 300)},
+		{Src: 1, Dst: 2, CID: 7, Proto: ProtoData, Seq: 17,
+			Sent: -1, Arrive: -1}, // negative times zigzag-encode fine
+	}
+}
+
+func envEqual(a, b *Envelope) bool {
+	return a.Src == b.Src && a.Dst == b.Dst && a.CID == b.CID && a.Tag == b.Tag &&
+		a.Proto == b.Proto && a.Seq == b.Seq && a.Round == b.Round && a.Hdr == b.Hdr &&
+		a.Sent == b.Sent && a.Arrive == b.Arrive && bytes.Equal(a.Payload, b.Payload)
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	envs := sampleBatch()
+	frame := AppendBatch(nil, envs)
+	got, n, err := DecodeBatch(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frame) {
+		t.Fatalf("consumed %d of %d bytes", n, len(frame))
+	}
+	if len(got) != len(envs) {
+		t.Fatalf("decoded %d envelopes, want %d", len(got), len(envs))
+	}
+	for i := range envs {
+		if !envEqual(envs[i], got[i]) {
+			t.Errorf("envelope %d: got %+v want %+v", i, got[i], envs[i])
+		}
+		PutEnvelope(got[i])
+	}
+}
+
+func TestBatchEmptyFrame(t *testing.T) {
+	frame := AppendBatch(nil, nil)
+	got, n, err := DecodeBatch(frame)
+	if err != nil || len(got) != 0 || n != len(frame) {
+		t.Fatalf("empty frame: envs=%v n=%d err=%v", got, n, err)
+	}
+}
+
+// TestBatchFrameConcatenation: frames are self-delimiting — the consumed
+// count lets a stream of frames decode back-to-back.
+func TestBatchFrameConcatenation(t *testing.T) {
+	a := sampleBatch()[:2]
+	b := sampleBatch()[2:]
+	stream := AppendBatch(AppendBatch(nil, a), b)
+	gotA, n, err := DecodeBatch(stream)
+	if err != nil || len(gotA) != 2 {
+		t.Fatalf("first frame: %d envs, err=%v", len(gotA), err)
+	}
+	gotB, _, err := DecodeBatch(stream[n:])
+	if err != nil || len(gotB) != 2 {
+		t.Fatalf("second frame: %d envs, err=%v", len(gotB), err)
+	}
+	if !envEqual(gotB[0], b[0]) || !envEqual(gotB[1], b[1]) {
+		t.Error("second frame contents diverged")
+	}
+}
+
+func TestBatchDecodeRejects(t *testing.T) {
+	good := AppendBatch(nil, sampleBatch())
+	cases := map[string][]byte{
+		"empty":        {},
+		"magic only":   {batchMagic},
+		"bad magic":    append([]byte{0x00}, good[1:]...),
+		"bad version":  append([]byte{batchMagic, 99}, good[2:]...),
+		"truncated":    good[:len(good)/2],
+		"payload lies": func() []byte { b := AppendBatch(nil, []*Envelope{{Payload: []byte("xy")}}); return b[:len(b)-1] }(),
+		"huge count": func() []byte {
+			b := []byte{batchMagic, batchVersion}
+			return append(b, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // uvarint > batchMaxCount
+		}(),
+	}
+	for name, buf := range cases {
+		if envs, _, err := DecodeBatch(buf); err == nil {
+			t.Errorf("%s: decoded %d envelopes, want error", name, len(envs))
+		}
+	}
+}
+
+// FuzzEnvelopeBatch drives the codec both ways. Valid-frame inputs must
+// round-trip losslessly; arbitrary inputs must either decode cleanly or
+// fail with an error — never panic, never over-read, never return an
+// envelope count the input couldn't have paid for (the anti-amplification
+// property that makes the frame safe to decode from untrusted peers).
+func FuzzEnvelopeBatch(f *testing.F) {
+	f.Add(AppendBatch(nil, sampleBatch()))
+	f.Add(AppendBatch(nil, nil))
+	f.Add(AppendBatch(nil, []*Envelope{{Src: 1, Dst: 0, Proto: ProtoCTS, Seq: 3}}))
+	f.Add([]byte{batchMagic, batchVersion, 0x03, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		envs, n, err := DecodeBatch(data)
+		if err != nil {
+			if envs != nil {
+				t.Fatal("error return leaked envelopes")
+			}
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d > input %d", n, len(data))
+		}
+		// Each decoded envelope costs >= 11 frame bytes (10 single-byte
+		// varints + proto byte + payload length byte is 12, minus sharing
+		// none — be conservative).
+		if len(envs) > 0 && n/len(envs) < 11 {
+			t.Fatalf("amplification: %d envelopes from %d consumed bytes", len(envs), n)
+		}
+		// Re-encode / re-decode: decoding is a projection — the decoded
+		// form must be a fixed point.
+		frame := AppendBatch(nil, envs)
+		again, m, err := DecodeBatch(frame)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded frame failed: %v", err)
+		}
+		if m != len(frame) || len(again) != len(envs) {
+			t.Fatalf("re-decode shape: %d envs/%d bytes, want %d/%d", len(again), m, len(envs), len(frame))
+		}
+		for i := range envs {
+			if !envEqual(envs[i], again[i]) {
+				t.Fatalf("envelope %d not a fixed point: %+v vs %+v", i, envs[i], again[i])
+			}
+			PutEnvelope(envs[i])
+			PutEnvelope(again[i])
+		}
+	})
+}

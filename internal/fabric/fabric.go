@@ -40,7 +40,10 @@ const (
 )
 
 // Envelope is one message on the wire. Payload is owned by the receiver
-// after delivery; senders must not retain it.
+// after delivery; senders must not retain it. Hot-path senders obtain
+// envelopes from GetEnvelope and receivers return fully-consumed ones
+// with PutEnvelope; an envelope handed to Send/SendOwned belongs to the
+// fabric and must not be reused by the sender.
 type Envelope struct {
 	Src, Dst int
 	CID      uint32 // communicator context id
@@ -55,16 +58,39 @@ type Envelope struct {
 	Arrive simnet.Time // computed by the network model
 }
 
-// mailbox is an unbounded FIFO of envelopes with blocking receive.
+// envPool recycles Envelope structs across the send/dispatch hot path.
+// At 4096 ranks a single allreduce creates hundreds of thousands of
+// envelopes; pooling them (and their one-per-message header allocations)
+// is a large share of the event mode's speedup.
+var envPool = sync.Pool{New: func() any { return new(Envelope) }}
+
+// GetEnvelope returns a zeroed envelope from the pool.
+func GetEnvelope() *Envelope { return envPool.Get().(*Envelope) }
+
+// PutEnvelope recycles an envelope the caller has fully consumed: no
+// field — Payload included — may be referenced after the call. Receivers
+// that retain an envelope's payload (unexpected-queue buffering) must
+// not recycle it until the payload is consumed too.
+func PutEnvelope(e *Envelope) {
+	*e = Envelope{}
+	envPool.Put(e)
+}
+
+// mailbox is an unbounded FIFO of envelopes with blocking receive. On a
+// goroutine-mode world blocking uses a condition variable; on an
+// event-mode world the owning fiber parks in the scheduler instead, and
+// a push marks it runnable.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []*Envelope
 	closed bool
+	sched  *sched // nil on goroutine-mode worlds
+	owner  int    // owning rank, for sched wakes
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(s *sched, owner int) *mailbox {
+	m := &mailbox{sched: s, owner: owner}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -73,22 +99,34 @@ func (m *mailbox) push(e *Envelope) {
 	m.mu.Lock()
 	m.queue = append(m.queue, e)
 	m.mu.Unlock()
-	m.cond.Signal()
+	if m.sched != nil {
+		m.sched.wake(m.owner)
+	} else {
+		m.cond.Signal()
+	}
 }
 
 // pop blocks until an envelope is available or the mailbox is closed.
 // It returns nil once closed and drained.
 func (m *mailbox) pop() *Envelope {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for len(m.queue) == 0 && !m.closed {
-		m.cond.Wait()
+		if m.sched != nil {
+			// park must not hold m.mu (the successor fiber may need it);
+			// the scheduler's pending bit closes the unlock→park window.
+			m.mu.Unlock()
+			m.sched.park(m.owner)
+			m.mu.Lock()
+		} else {
+			m.cond.Wait()
+		}
 	}
-	if len(m.queue) == 0 {
-		return nil
+	var e *Envelope
+	if len(m.queue) > 0 {
+		e = m.queue[0]
+		m.queue = m.queue[1:]
 	}
-	e := m.queue[0]
-	m.queue = m.queue[1:]
+	m.mu.Unlock()
 	return e
 }
 
@@ -104,11 +142,57 @@ func (m *mailbox) tryPop() (*Envelope, bool) {
 	return e, true
 }
 
+// popBatch blocks like pop but drains the ENTIRE queue in one lock
+// acquisition, appending to buf in arrival order. It returns the grown
+// buf, or buf unchanged once the mailbox is closed and drained. Batching
+// replaces per-message lock/wakeup hops with one hop per burst — the
+// receive-side half of the hot-path refactor.
+func (m *mailbox) popBatch(buf []*Envelope) []*Envelope {
+	m.mu.Lock()
+	for len(m.queue) == 0 && !m.closed {
+		if m.sched != nil {
+			m.mu.Unlock()
+			m.sched.park(m.owner)
+			m.mu.Lock()
+		} else {
+			m.cond.Wait()
+		}
+	}
+	buf = append(buf, m.queue...)
+	clearEnvSlice(m.queue)
+	m.queue = m.queue[:0]
+	m.mu.Unlock()
+	return buf
+}
+
+// tryPopBatch drains the queue without blocking.
+func (m *mailbox) tryPopBatch(buf []*Envelope) []*Envelope {
+	m.mu.Lock()
+	buf = append(buf, m.queue...)
+	clearEnvSlice(m.queue)
+	m.queue = m.queue[:0]
+	m.mu.Unlock()
+	return buf
+}
+
+// clearEnvSlice nils out a drained queue so the retained backing array
+// does not pin envelopes (they are pooled and must be collectible by
+// their next owner alone).
+func clearEnvSlice(q []*Envelope) {
+	for i := range q {
+		q[i] = nil
+	}
+}
+
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
-	m.cond.Broadcast()
+	if m.sched != nil {
+		m.sched.wake(m.owner)
+	} else {
+		m.cond.Broadcast()
+	}
 }
 
 // purge drops queued envelopes (fail-stop death: a dead host's inbound
@@ -129,25 +213,41 @@ func (m *mailbox) len() int {
 // World is one simulated cluster run: n rank endpoints over a shared
 // network, plus the out-of-band plane.
 type World struct {
-	cfg  simnet.Config
-	net  *simnet.Network
-	eps  []*Endpoint
-	dead []atomic.Bool // per-rank fail-stop flag (see Kill)
-	oob  *OOB
-	once sync.Once
+	cfg   simnet.Config
+	net   *simnet.Network
+	eps   []*Endpoint
+	dead  []atomic.Bool // per-rank fail-stop flag (see Kill)
+	oob   *OOB
+	sched *sched // non-nil iff the world runs in ProgressEvent mode
+	once  sync.Once
 }
 
-// NewWorld builds a world for cfg.Size() ranks.
+// NewWorld builds a goroutine-mode world for cfg.Size() ranks.
 func NewWorld(cfg simnet.Config) (*World, error) {
+	return NewWorldMode(cfg, ProgressGoroutine)
+}
+
+// NewWorldMode builds a world running under the given progress mode. On
+// an event-mode world every rank-driving goroutine must be started via
+// Spawn; everything else — Send/Recv, OOB, Kill/NotifyFailure, Close —
+// keeps its exact goroutine-mode semantics.
+func NewWorldMode(cfg simnet.Config, mode ProgressMode) (*World, error) {
+	if err := mode.Validate(); err != nil {
+		return nil, err
+	}
 	net, err := simnet.NewNetwork(cfg)
 	if err != nil {
 		return nil, err
 	}
 	n := cfg.Size()
-	w := &World{cfg: cfg, net: net, oob: newOOB(n), dead: make([]atomic.Bool, n)}
+	var s *sched
+	if mode.event() {
+		s = newSched(n)
+	}
+	w := &World{cfg: cfg, net: net, oob: newOOB(n, s), dead: make([]atomic.Bool, n), sched: s}
 	w.eps = make([]*Endpoint, n)
 	for i := range w.eps {
-		w.eps[i] = &Endpoint{world: w, rank: i, in: newMailbox()}
+		w.eps[i] = &Endpoint{world: w, rank: i, in: newMailbox(s, i)}
 	}
 	return w, nil
 }
@@ -253,7 +353,17 @@ func (ep *Endpoint) World() *World { return ep.world }
 // destination mailbox. The payload is copied, mirroring MPI's buffer
 // ownership semantics, and the sender's clock is advanced by the per-message
 // send overhead. Send never blocks (mailboxes are unbounded).
-func (ep *Endpoint) Send(e *Envelope) {
+func (ep *Endpoint) Send(e *Envelope) { ep.send(e, true) }
+
+// SendOwned is Send minus the defensive payload copy: the caller
+// transfers ownership of e.Payload to the receiver. Legal ONLY when the
+// payload is freshly allocated for this message and the sender never
+// touches it again — a packed p2p buffer qualifies; a collective
+// accumulator that the algorithm keeps reducing into does not (the
+// receiver would observe the sender's later mutations).
+func (ep *Endpoint) SendOwned(e *Envelope) { ep.send(e, false) }
+
+func (ep *Endpoint) send(e *Envelope, copyPayload bool) {
 	if e.Dst < 0 || e.Dst >= ep.world.Size() {
 		panic(fmt.Sprintf("fabric: send to rank %d out of range [0,%d)", e.Dst, ep.world.Size()))
 	}
@@ -264,7 +374,7 @@ func (ep *Endpoint) Send(e *Envelope) {
 		// The sender pays its per-message overhead; the envelope is lost.
 		return
 	}
-	if e.Payload != nil {
+	if copyPayload && e.Payload != nil {
 		p := make([]byte, len(e.Payload))
 		copy(p, e.Payload)
 		e.Payload = p
@@ -295,6 +405,30 @@ func (ep *Endpoint) TryRecv() (*Envelope, bool) {
 	ep.clock.AdvanceTo(e.Arrive)
 	ep.clock.Advance(ep.world.cfg.RecvOverhead)
 	return e, true
+}
+
+// RecvBatch blocks for inbound traffic and drains the whole mailbox into
+// buf in arrival order, one lock hop for the burst. Unlike Recv it does
+// NOT touch the clock: the caller accounts each envelope with
+// AccountRecv as it dispatches it, which keeps the virtual-time
+// arithmetic bit-identical to a sequence of Recv calls (the clock
+// advances per message, in the same order, by the same amounts).
+// Returns buf unchanged once the world is closed and the queue drained.
+func (ep *Endpoint) RecvBatch(buf []*Envelope) []*Envelope {
+	return ep.in.popBatch(buf)
+}
+
+// TryRecvBatch is RecvBatch without blocking.
+func (ep *Endpoint) TryRecvBatch(buf []*Envelope) []*Envelope {
+	return ep.in.tryPopBatch(buf)
+}
+
+// AccountRecv applies one envelope's receive-side clock cost: advance to
+// its arrival time, then pay the per-message receive overhead — exactly
+// what Recv does after pop.
+func (ep *Endpoint) AccountRecv(e *Envelope) {
+	ep.clock.AdvanceTo(e.Arrive)
+	ep.clock.Advance(ep.world.cfg.RecvOverhead)
 }
 
 // Pending reports the number of queued inbound envelopes (used by drain

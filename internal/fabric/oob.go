@@ -15,6 +15,7 @@ import (
 // a side channel whose cost is not part of the measured MPI latencies.
 type OOB struct {
 	boxes []*mailboxAny
+	sched *sched // nil on goroutine-mode worlds
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -42,10 +43,12 @@ type mailboxAny struct {
 	cond   *sync.Cond
 	queue  []anyMsg
 	closed bool
+	sched  *sched // nil on goroutine-mode worlds
+	owner  int
 }
 
-func newMailboxAny() *mailboxAny {
-	m := &mailboxAny{}
+func newMailboxAny(s *sched, owner int) *mailboxAny {
+	m := &mailboxAny{sched: s, owner: owner}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -54,7 +57,11 @@ func (m *mailboxAny) push(v anyMsg) {
 	m.mu.Lock()
 	m.queue = append(m.queue, v)
 	m.mu.Unlock()
-	m.cond.Broadcast()
+	if m.sched != nil {
+		m.sched.wake(m.owner)
+	} else {
+		m.cond.Broadcast()
+	}
 }
 
 // popTag blocks until a message with the given tag is available and removes
@@ -72,7 +79,14 @@ func (m *mailboxAny) popTag(tag string) (anyMsg, bool) {
 		if m.closed {
 			return anyMsg{}, false
 		}
-		m.cond.Wait()
+		if m.sched != nil {
+			// Park outside the box lock; the pending bit covers the gap.
+			m.mu.Unlock()
+			m.sched.park(m.owner)
+			m.mu.Lock()
+		} else {
+			m.cond.Wait()
+		}
 	}
 }
 
@@ -80,17 +94,22 @@ func (m *mailboxAny) close() {
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
-	m.cond.Broadcast()
+	if m.sched != nil {
+		m.sched.wake(m.owner)
+	} else {
+		m.cond.Broadcast()
+	}
 }
 
-func newOOB(n int) *OOB {
+func newOOB(n int, s *sched) *OOB {
 	o := &OOB{
 		boxes:     make([]*mailboxAny, n),
 		slots:     make([][]byte, n),
 		published: make(map[uint64]*pubGen),
+		sched:     s,
 	}
 	for i := range o.boxes {
-		o.boxes[i] = newMailboxAny()
+		o.boxes[i] = newMailboxAny(s, i)
 	}
 	o.cond = sync.NewCond(&o.mu)
 	return o
@@ -101,6 +120,9 @@ func (o *OOB) close() {
 	o.done = true
 	o.mu.Unlock()
 	o.cond.Broadcast()
+	if o.sched != nil {
+		o.sched.wakeAll()
+	}
 	for _, b := range o.boxes {
 		b.close()
 	}
@@ -143,10 +165,22 @@ func (o *OOB) Exchange(rank int, data []byte) [][]byte {
 		o.gen++
 		o.seen = 0
 		o.cond.Broadcast()
+		if o.sched != nil {
+			o.sched.wakeAll()
+		}
 		return cloneSlots(snap)
 	}
 	for o.published[gen] == nil && !o.done {
-		o.cond.Wait()
+		if o.sched != nil {
+			// Park outside o.mu so the completing fiber can take it; a
+			// broadcast landing in the unlock→park window is latched by
+			// the scheduler's pending bit and park returns at once.
+			o.mu.Unlock()
+			o.sched.park(rank)
+			o.mu.Lock()
+		} else {
+			o.cond.Wait()
+		}
 	}
 	// A published generation outranks closure: if the last depositor
 	// completed the exchange and only then closed the world (a fault

@@ -54,14 +54,19 @@ func (p *Proc) CollSend(c *Comm, peer int, tag int32, data []byte) int {
 	if p.ft.Failed(c.Ranks[peer]) {
 		return p.E.ErrProcFailed
 	}
-	r := p.sendInternal(data, c.Ranks[peer], tag, c.CID|collCIDBit)
+	// data is a caller-owned buffer the algorithm may keep folding into
+	// after this call returns, so the fabric's defensive copy stays
+	// (owned=false) — see Request.owned.
+	r := p.sendInternal(data, c.Ranks[peer], tag, c.CID|collCIDBit, false)
 	for r != nil && !r.done {
 		if code := p.Progress(true); code != p.E.Success {
 			return code
 		}
 	}
 	if r != nil {
-		return r.code
+		code := r.code
+		p.putReq(r)
+		return code
 	}
 	return p.E.Success
 }
@@ -69,10 +74,13 @@ func (p *Proc) CollSend(c *Comm, peer int, tag int32, data []byte) int {
 // CollRecvPost posts a raw receive on the collective context without
 // waiting.
 func (p *Proc) CollRecvPost(c *Comm, peer int, tag int32) *Request {
-	r := &Request{
-		kind: reqRecv, comm: c, raw: true,
-		srcWorld: c.Ranks[peer], tag: int(tag), cid: c.CID | collCIDBit,
-	}
+	r := p.getReq()
+	r.kind = reqRecv
+	r.comm = c
+	r.raw = true
+	r.srcWorld = c.Ranks[peer]
+	r.tag = int(tag)
+	r.cid = c.CID | collCIDBit
 	p.postRecv(r)
 	return r
 }
@@ -86,7 +94,9 @@ func (p *Proc) CollRecv(c *Comm, peer int, tag int32) ([]byte, int) {
 			return nil, code
 		}
 	}
-	return r.rawOut, r.code
+	out, code := r.rawOut, r.code
+	p.putReq(r)
+	return out, code
 }
 
 // CollExchange posts the receive before sending, making symmetric
@@ -101,7 +111,9 @@ func (p *Proc) CollExchange(c *Comm, sendTo, recvFrom int, tag int32, data []byt
 			return nil, code
 		}
 	}
-	return r.rawOut, r.code
+	out, code := r.rawOut, r.code
+	p.putReq(r)
+	return out, code
 }
 
 // ReduceKind extracts the uniform primitive kind needed for a reduction.
@@ -1125,7 +1137,7 @@ func (p *Proc) AlltoallOverlap(c *Comm, out, in []byte, blockSz int, tag int32) 
 	sends := make([]*Request, 0, n-1)
 	for i := 1; i < n; i++ {
 		to := (me + i) % n
-		if s := p.sendInternal(out[to*blockSz:(to+1)*blockSz], c.Ranks[to], tag, c.CID|collCIDBit); s != nil {
+		if s := p.sendInternal(out[to*blockSz:(to+1)*blockSz], c.Ranks[to], tag, c.CID|collCIDBit, false); s != nil {
 			sends = append(sends, s)
 		}
 	}

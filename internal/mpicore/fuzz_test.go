@@ -1,0 +1,142 @@
+package mpicore
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+// FuzzMatchQueue drives the progress engine's matching queues — the
+// posted-receive list and the unexpected-envelope list — with arbitrary
+// interleavings of posts and arrivals, wildcards included, and checks
+// every decision against a reference matcher that restates the MPI
+// matching rule directly: an envelope pairs with the OLDEST posted
+// receive whose (cid, source, tag) accept it, a fresh receive pairs with
+// the OLDEST unexpected envelope it accepts, and nothing else moves.
+// The production and reference matchers must agree on every pairing and
+// on both queues' exact contents at every step.
+//
+// This is the correctness core the differential suite leans on: event
+// mode batches arrivals, so any order-sensitivity bug in the match
+// queues shows up as cross-mode divergence — this target hunts the same
+// bug class at a million interleavings per minute instead.
+func FuzzMatchQueue(f *testing.F) {
+	// Seeds: FIFO drains, wildcard-vs-directed races, cid isolation,
+	// tag mismatch pile-ups.
+	f.Add([]byte{0x00, 0, 0, 0x01, 0, 0})             // arrive then matching post
+	f.Add([]byte{0x01, 4, 4, 0x00, 1, 2})             // wildcard post then arrival
+	f.Add([]byte{0x00, 1, 1, 0x00, 1, 1, 0x01, 4, 1}) // two identical arrivals, AnySource post takes the oldest
+	f.Add([]byte{0x03, 0, 0, 0x01, 0, 0, 0x02, 0, 0}) // cid B post does not take cid A's envelope
+	f.Add([]byte{0x01, 0, 0, 0x01, 0, 4, 0x00, 0, 3}) // AnyTag post behind a directed mismatch
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type refRecv struct {
+			id       int
+			src, tag int
+			cid      uint32
+		}
+		type refEnv struct {
+			id  int
+			src int
+			tag int32
+			cid uint32
+		}
+		refAccepts := func(r refRecv, e refEnv) bool {
+			return r.cid == e.cid &&
+				(r.src == testConsts.AnySource || r.src == e.src) &&
+				(r.tag == testConsts.AnyTag || int32(r.tag) == e.tag)
+		}
+
+		p := &Proc{K: testConsts, E: testCodes}
+		reqID := map[*Request]int{}
+		envID := map[*fabric.Envelope]int{}
+		var refPosted []refRecv
+		var refUnexpected []refEnv
+		nextID := 0
+
+		checkQueues := func(step int) {
+			t.Helper()
+			if len(p.posted) != len(refPosted) || len(p.unexpected) != len(refUnexpected) {
+				t.Fatalf("step %d: queue depths (%d,%d), reference (%d,%d)",
+					step, len(p.posted), len(p.unexpected), len(refPosted), len(refUnexpected))
+			}
+			for i, r := range p.posted {
+				if reqID[r] != refPosted[i].id {
+					t.Fatalf("step %d: posted[%d] is request %d, reference %d", step, i, reqID[r], refPosted[i].id)
+				}
+			}
+			for i, e := range p.unexpected {
+				if envID[e] != refUnexpected[i].id {
+					t.Fatalf("step %d: unexpected[%d] is envelope %d, reference %d", step, i, envID[e], refUnexpected[i].id)
+				}
+			}
+		}
+
+		for step := 0; step+2 < len(data) && step < 3*200; step += 3 {
+			op, sb, tb := data[step], data[step+1], data[step+2]
+			cid := uint32(op>>1) & 1
+			id := nextID
+			nextID++
+			if op&1 == 0 {
+				// Arrival. Envelopes never carry wildcards.
+				e := &fabric.Envelope{Src: int(sb % 4), Tag: int32(tb % 4), CID: cid, Proto: fabric.ProtoEager}
+				envID[e] = id
+				re := refEnv{id: id, src: e.Src, tag: e.Tag, cid: cid}
+				gotMatch := p.matchPosted(e)
+				wantMatch := -1
+				for i, r := range refPosted {
+					if refAccepts(r, re) {
+						wantMatch = r.id
+						refPosted = append(refPosted[:i], refPosted[i+1:]...)
+						break
+					}
+				}
+				switch {
+				case gotMatch == nil && wantMatch != -1:
+					t.Fatalf("step %d: arrival %d unmatched, reference matched receive %d", step, id, wantMatch)
+				case gotMatch != nil && wantMatch == -1:
+					t.Fatalf("step %d: arrival %d matched receive %d, reference unmatched", step, id, reqID[gotMatch])
+				case gotMatch != nil && reqID[gotMatch] != wantMatch:
+					t.Fatalf("step %d: arrival %d matched receive %d, reference %d", step, id, reqID[gotMatch], wantMatch)
+				}
+				if gotMatch == nil {
+					p.unexpected = append(p.unexpected, e)
+					refUnexpected = append(refUnexpected, re)
+				}
+			} else {
+				// Post. Source/tag value 4 selects the wildcard.
+				src, tag := int(sb%5), int(tb%5)
+				if src == 4 {
+					src = testConsts.AnySource
+				}
+				if tag == 4 {
+					tag = testConsts.AnyTag
+				}
+				r := &Request{kind: reqRecv, srcWorld: src, tag: tag, cid: cid}
+				reqID[r] = id
+				rr := refRecv{id: id, src: src, tag: tag, cid: cid}
+				gotMatch := p.matchUnexpected(r)
+				wantMatch := -1
+				for i, e := range refUnexpected {
+					if refAccepts(rr, e) {
+						wantMatch = e.id
+						refUnexpected = append(refUnexpected[:i], refUnexpected[i+1:]...)
+						break
+					}
+				}
+				switch {
+				case gotMatch == nil && wantMatch != -1:
+					t.Fatalf("step %d: post %d unmatched, reference matched envelope %d", step, id, wantMatch)
+				case gotMatch != nil && wantMatch == -1:
+					t.Fatalf("step %d: post %d matched envelope %d, reference unmatched", step, id, envID[gotMatch])
+				case gotMatch != nil && envID[gotMatch] != wantMatch:
+					t.Fatalf("step %d: post %d matched envelope %d, reference %d", step, id, envID[gotMatch], wantMatch)
+				}
+				if gotMatch == nil {
+					p.posted = append(p.posted, r)
+					refPosted = append(refPosted, rr)
+				}
+			}
+			checkQueues(step)
+		}
+	})
+}

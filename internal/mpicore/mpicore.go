@@ -188,6 +188,11 @@ type Request struct {
 	payload []byte
 	dest    int
 	seq     uint64
+	// owned marks a payload the sender handed over for good (a freshly
+	// packed p2p buffer): the fabric may skip its defensive copy.
+	// Collective accumulators, which the algorithms keep mutating after
+	// the send, are never owned.
+	owned bool
 }
 
 // Done reports request completion (used by implementation Test paths and
@@ -230,6 +235,16 @@ type Proc struct {
 	pendingSend  map[uint64]*Request
 	awaitingData map[seqKey]*Request
 	nextRdvSeq   uint64
+
+	// batch is Progress's reusable drain buffer (one mailbox lock hop
+	// per burst instead of per message); batchPos is the next unserved
+	// envelope in it. Dispatch never re-enters Progress, so a single
+	// buffer per Proc suffices.
+	batch    []*fabric.Envelope
+	batchPos int
+	// freeReqs recycles internal Request objects. The Proc is driven by
+	// exactly one goroutine/fiber, so the freelist needs no lock.
+	freeReqs []*Request
 
 	// ft is the rank's ULFM state: known-failed ranks, revoked context
 	// ids, per-communicator failure acknowledgements (see ulfm.go).
@@ -311,6 +326,31 @@ func (p *Proc) Install(c *Comm) { p.cidIndex[c.CID] = c }
 
 // Uninstall removes a freed communicator from the context-id index.
 func (p *Proc) Uninstall(c *Comm) { delete(p.cidIndex, c.CID) }
+
+// getReq returns a zeroed request from the freelist.
+func (p *Proc) getReq() *Request {
+	if n := len(p.freeReqs); n > 0 {
+		r := p.freeReqs[n-1]
+		p.freeReqs[n-1] = nil
+		p.freeReqs = p.freeReqs[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
+// putReq recycles a COMPLETED request whose result has been fully
+// consumed. Only the runtime's internal requests are ever recycled;
+// requests that escape to the implementation layer as user handles
+// (Isend/Irecv results) are not. A non-done request is left alone — it
+// may still sit in a match queue, and completion is the proof it has
+// been dequeued everywhere (the failure sweeps remove before failing).
+func (p *Proc) putReq(r *Request) {
+	if r == nil || !r.done {
+		return
+	}
+	*r = Request{}
+	p.freeReqs = append(p.freeReqs, r)
+}
 
 // Depths reports the progress engine's queue depths: posted receives,
 // unexpected envelopes, pending rendezvous sends, matched rendezvous

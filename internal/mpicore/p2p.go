@@ -4,63 +4,92 @@ import (
 	"repro/internal/fabric"
 )
 
-// Progress pulls one envelope from the fabric and dispatches it. With
-// block=true it waits for traffic; otherwise it returns immediately when
-// the mailbox is empty. MPI-style progress is driven only from inside MPI
-// calls, which this reproduces: the engine runs inside Send/Recv/Wait/etc.
+// Progress dispatches one arrived envelope. With block=true it waits
+// for traffic; otherwise it returns immediately when nothing has
+// arrived. Arrivals are drained from the fabric mailbox a whole burst
+// per lock hop into p.batch, but served — clock-accounted and
+// dispatched — strictly one per Progress call. The one-per-call pace is
+// load-bearing for the virtual clock: an envelope must be accounted at
+// the Progress call that consumes it, after any sends the caller issued
+// in between have advanced the clock. Accounting a queued burst eagerly
+// would fold each AdvanceTo(arrival) in at a lower clock value and
+// inflate simulated latencies (observed: ~2x on the 8-rank gate
+// benches). MPI-style progress is driven only from inside MPI calls,
+// which this reproduces: the engine runs inside Send/Recv/Wait/etc.
 func (p *Proc) Progress(block bool) int {
-	var e *fabric.Envelope
-	if block {
-		e = p.ep.Recv()
-		if e == nil {
-			return p.E.ErrOther // world closed under us
-		}
-	} else {
-		var ok bool
-		e, ok = p.ep.TryRecv()
-		if !ok {
-			return p.E.Success
+	if p.batchPos == len(p.batch) {
+		p.batch = p.batch[:0]
+		p.batchPos = 0
+		if block {
+			p.batch = p.ep.RecvBatch(p.batch)
+			if len(p.batch) == 0 {
+				return p.E.ErrOther // world closed under us
+			}
+		} else {
+			p.batch = p.ep.TryRecvBatch(p.batch)
+			if len(p.batch) == 0 {
+				return p.E.Success
+			}
 		}
 	}
+	e := p.batch[p.batchPos]
+	p.batch[p.batchPos] = nil
+	p.batchPos++
+	p.ep.AccountRecv(e)
 	p.dispatch(e)
 	return p.E.Success
 }
 
 // dispatch routes one arrived envelope through the eager/rendezvous
-// protocol state machine.
+// protocol state machine. Envelopes consumed here go back to the pool;
+// only unmatched eager/RTS traffic is retained (on the unexpected
+// queue, until a matching receive consumes it in postRecv). Payload
+// slices may outlive their envelope — the pool recycles structs only.
 func (p *Proc) dispatch(e *fabric.Envelope) {
 	switch e.Proto {
 	case fabric.ProtoEager:
 		if r := p.matchPosted(e); r != nil {
 			p.deliverPayload(r, e.Src, e.Tag, e.Payload)
+			fabric.PutEnvelope(e)
 		} else {
 			p.unexpected = append(p.unexpected, e)
 		}
 	case fabric.ProtoRTS:
 		if r := p.matchPosted(e); r != nil {
 			p.acceptRTS(e, r)
+			fabric.PutEnvelope(e)
 		} else {
 			p.unexpected = append(p.unexpected, e)
 		}
 	case fabric.ProtoCTS:
 		if s, ok := p.pendingSend[e.Seq]; ok {
 			delete(p.pendingSend, e.Seq)
-			p.ep.Send(&fabric.Envelope{
-				Dst: e.Src, CID: s.cid, Proto: fabric.ProtoData,
-				Seq: e.Seq, Payload: s.payload,
-			})
+			d := fabric.GetEnvelope()
+			d.Dst = e.Src
+			d.CID = s.cid
+			d.Proto = fabric.ProtoData
+			d.Seq = e.Seq
+			d.Payload = s.payload
+			if s.owned {
+				p.ep.SendOwned(d)
+			} else {
+				p.ep.Send(d)
+			}
 			s.payload = nil
 			s.done = true
 			s.code = p.E.Success
 		}
+		fabric.PutEnvelope(e)
 	case fabric.ProtoData:
 		key := seqKey{peer: e.Src, seq: e.Seq}
 		if r, ok := p.awaitingData[key]; ok {
 			delete(p.awaitingData, key)
 			p.deliverPayload(r, e.Src, r.status.Tag, e.Payload)
 		}
+		fabric.PutEnvelope(e)
 	case fabric.ProtoCtrl:
 		p.handleCtrl(e)
+		fabric.PutEnvelope(e)
 	}
 }
 
@@ -138,9 +167,12 @@ func (p *Proc) acceptRTS(e *fabric.Envelope, r *Request) {
 	// Remember the tag now; the data envelope only carries the seq.
 	r.status.Tag = e.Tag
 	p.awaitingData[seqKey{peer: e.Src, seq: e.Seq}] = r
-	p.ep.Send(&fabric.Envelope{
-		Dst: e.Src, CID: e.CID, Proto: fabric.ProtoCTS, Seq: e.Seq,
-	})
+	cts := fabric.GetEnvelope()
+	cts.Dst = e.Src
+	cts.CID = e.CID
+	cts.Proto = fabric.ProtoCTS
+	cts.Seq = e.Seq
+	p.ep.Send(cts)
 }
 
 // postRecv registers a receive request, matching the unexpected queue
@@ -157,6 +189,7 @@ func (p *Proc) postRecv(r *Request) {
 		case fabric.ProtoRTS:
 			p.acceptRTS(e, r)
 		}
+		fabric.PutEnvelope(e)
 		return
 	}
 	if code, doomed := p.recvDoom(r); doomed {
@@ -170,23 +203,42 @@ func (p *Proc) postRecv(r *Request) {
 // context id. Payloads at or below the policy's eager threshold (and
 // self-sends) travel with the envelope; larger ones run the RTS/CTS/Data
 // rendezvous. Returns the request for rendezvous progress, or nil if the
-// send completed immediately (eager path).
-func (p *Proc) sendInternal(packed []byte, destWorld int, tag int32, cid uint32) *Request {
+// send completed immediately (eager path). owned=true transfers packed
+// to the receiver without a defensive copy — legal only when the caller
+// never touches packed again (see Request.owned).
+func (p *Proc) sendInternal(packed []byte, destWorld int, tag int32, cid uint32, owned bool) *Request {
 	if len(packed) <= p.pol.EagerMax || destWorld == p.rank {
-		p.ep.Send(&fabric.Envelope{
-			Dst: destWorld, CID: cid, Tag: tag,
-			Proto: fabric.ProtoEager, Payload: packed,
-		})
+		e := fabric.GetEnvelope()
+		e.Dst = destWorld
+		e.CID = cid
+		e.Tag = tag
+		e.Proto = fabric.ProtoEager
+		e.Payload = packed
+		if owned {
+			p.ep.SendOwned(e)
+		} else {
+			p.ep.Send(e)
+		}
 		return nil
 	}
 	p.nextRdvSeq++
 	seq := p.nextRdvSeq
-	r := &Request{kind: reqSend, payload: packed, dest: destWorld, seq: seq, cid: cid}
+	r := p.getReq()
+	r.kind = reqSend
+	r.payload = packed
+	r.dest = destWorld
+	r.seq = seq
+	r.cid = cid
+	r.owned = owned
 	p.pendingSend[seq] = r
-	p.ep.Send(&fabric.Envelope{
-		Dst: destWorld, CID: cid, Tag: tag,
-		Proto: fabric.ProtoRTS, Seq: seq, Hdr: uint64(len(packed)),
-	})
+	e := fabric.GetEnvelope()
+	e.Dst = destWorld
+	e.CID = cid
+	e.Tag = tag
+	e.Proto = fabric.ProtoRTS
+	e.Seq = seq
+	e.Hdr = uint64(len(packed))
+	p.ep.Send(e)
 	return r
 }
 
@@ -263,14 +315,16 @@ func (p *Proc) Send(buf []byte, count int, dt *Type, dest, tag int, c *Comm) int
 	if code != p.E.Success {
 		return code
 	}
-	r := p.sendInternal(packed, c.Ranks[dest], int32(tag), c.CID)
+	r := p.sendInternal(packed, c.Ranks[dest], int32(tag), c.CID, true)
 	for r != nil && !r.done {
 		if code := p.Progress(true); code != p.E.Success {
 			return code
 		}
 	}
 	if r != nil {
-		return r.code
+		code := r.code
+		p.putReq(r)
+		return code
 	}
 	return p.E.Success
 }
@@ -294,10 +348,16 @@ func (p *Proc) buildRecv(buf []byte, count int, dt *Type, source, tag int, c *Co
 	if source != p.K.AnySource {
 		srcWorld = c.Ranks[source]
 	}
-	return &Request{
-		kind: reqRecv, comm: c, buf: buf, count: count, dt: dt,
-		srcWorld: srcWorld, tag: tag, cid: c.CID,
-	}, p.E.Success
+	r := p.getReq()
+	r.kind = reqRecv
+	r.comm = c
+	r.buf = buf
+	r.count = count
+	r.dt = dt
+	r.srcWorld = srcWorld
+	r.tag = tag
+	r.cid = c.CID
+	return r, p.E.Success
 }
 
 // ProcNullStatus fills st with the implementation's PROC_NULL sentinels.
@@ -329,7 +389,9 @@ func (p *Proc) Recv(buf []byte, count int, dt *Type, source, tag int, c *Comm, s
 	if st != nil {
 		*st = r.status
 	}
-	return r.code
+	code = r.code
+	p.putReq(r)
+	return code
 }
 
 // Isend is nonblocking MPI_Isend. The returned request must be completed
@@ -355,7 +417,7 @@ func (p *Proc) Isend(buf []byte, count int, dt *Type, dest, tag int, c *Comm) (*
 	if code != p.E.Success {
 		return nil, code
 	}
-	r := p.sendInternal(packed, c.Ranks[dest], int32(tag), c.CID)
+	r := p.sendInternal(packed, c.Ranks[dest], int32(tag), c.CID, true)
 	if r == nil {
 		r = &Request{kind: reqSend, done: true, code: p.E.Success}
 	}
@@ -449,5 +511,7 @@ func (p *Proc) Sendrecv(sendbuf []byte, scount int, stype *Type, dest, stag int,
 	if code := p.Send(sendbuf, scount, stype, dest, stag, c); code != p.E.Success {
 		return code
 	}
-	return p.Wait(rr, st)
+	code = p.Wait(rr, st)
+	p.putReq(rr)
+	return code
 }

@@ -208,7 +208,9 @@ func (p *Proc) ftSend(c *Comm, pos int, tag int32, data []byte) int {
 	if p.ft.Failed(w) {
 		return p.E.Success
 	}
-	r := p.sendInternal(data, w, tag, c.CID|collCIDBit)
+	// ftExchange fans the same payload slice out to every believed-alive
+	// peer, so the fabric must keep copying it (owned=false).
+	r := p.sendInternal(data, w, tag, c.CID|collCIDBit, false)
 	if r != nil {
 		r.ft = true
 	}

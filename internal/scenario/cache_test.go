@@ -83,6 +83,25 @@ func TestCellHashPinned(t *testing.T) {
 	}
 }
 
+// ProgressMode is result-determining (virtual-time folds depend on the
+// delivery schedule), so the event engine must get its own cell address —
+// while the default engine, spelled "" or "goroutine", must hash exactly
+// as it did before the knob existed, keeping every cached result valid.
+func TestCellHashProgressMode(t *testing.T) {
+	s, o := hashSpec(), Quick()
+	base := CellHash(s, o)
+	explicit := o
+	explicit.Progress = core.ProgressGoroutine
+	if CellHash(s, explicit) != base {
+		t.Error("explicit goroutine mode changed the cell address; cached results orphaned")
+	}
+	event := o
+	event.Progress = core.ProgressEvent
+	if CellHash(s, event) == base {
+		t.Error("event mode shares the default engine's cell address")
+	}
+}
+
 func TestCacheHitSkipsExecution(t *testing.T) {
 	var live atomic.Int32
 	withStubRunner(t, func(s Spec, o Options) Result {

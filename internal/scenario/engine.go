@@ -71,6 +71,13 @@ type Options struct {
 	// not an experiment condition, and merged reports must compare equal
 	// to unsharded ones.
 	Shard Shard `json:"-"`
+	// Progress selects the worlds' rank execution engine (goroutine-
+	// per-rank by default, or the event-driven scheduler for large-rank
+	// runs). omitempty keeps default-mode cell hashes — and therefore
+	// the CI result cache — identical to what they were before the knob
+	// existed; results are mode-invariant by the differential suites, so
+	// an "event" hash differing from the default one is conservative.
+	Progress core.ProgressMode `json:"progress_mode,omitempty"`
 }
 
 // Full returns the paper-scale configuration (4x12 ranks, 5 repetitions).
@@ -118,6 +125,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRestarts <= 0 {
 		o.MaxRestarts = 3
+	}
+	// An explicit "goroutine" is the default spelled out: normalize to the
+	// empty string so both spellings address the same cache cell (the JSON
+	// hash field carries omitempty for exactly this reason).
+	if o.Progress == core.ProgressGoroutine {
+		o.Progress = ""
 	}
 	return o
 }
@@ -305,6 +318,7 @@ func runFaultRep(s Spec, o Options, rep int, seed int64) (measurement, FaultReco
 	stack.Net.Nodes = o.Nodes
 	stack.Net.RanksPerNode = o.RanksPerNode
 	stack.Net.Seed = seed
+	stack.Progress = o.Progress
 	inj, err := faults.NewInjector(faults.Plan{Faults: []faults.Spec{{
 		Kind: s.Fault, Rank: faults.Anywhere, Node: faults.Anywhere, Step: s.FaultStep,
 	}}}, seed, stack.Net)
@@ -347,6 +361,7 @@ func runFaultRep(s Spec, o Options, rep int, seed int64) (measurement, FaultReco
 	if s.HasRestart() {
 		r := s.RestartStack()
 		r.Net = stack.Net
+		r.Progress = o.Progress
 		pol.RestartStack = &r
 		fr.RestartStack = r.Label()
 	}
@@ -430,6 +445,7 @@ func runRep(s Spec, o Options, rep int, seed int64) (launch, restarted measureme
 	stack.Net.Nodes = o.Nodes
 	stack.Net.RanksPerNode = o.RanksPerNode
 	stack.Net.Seed = seed
+	stack.Progress = o.Progress
 
 	opts := []core.LaunchOption{core.WithConfigure(o.configure(seed))}
 	if s.HasRestart() {
@@ -470,6 +486,7 @@ func runRep(s Spec, o Options, rep int, seed int64) (launch, restarted measureme
 	rstack.Net.Nodes = o.Nodes
 	rstack.Net.RanksPerNode = o.RanksPerNode
 	rstack.Net.Seed = seed
+	rstack.Progress = o.Progress
 	rjob, err := core.Restart(filepath.Join(o.Scratch, imgDir), rstack)
 	if err != nil {
 		return launch, restarted, lin, fmt.Errorf("restart: %w", err)
