@@ -1,0 +1,119 @@
+// Command mpivet is the runtime's invariant checker: a multichecker in
+// the go/analysis mold (self-contained — no x/tools dependency) that
+// machine-enforces the contracts the compiler cannot see:
+//
+//	envlifetime  pooled fabric.Envelope ownership (use-after-Put,
+//	             double-Put, Put-after-send, leaked envelopes)
+//	sendowned    no touching an envelope or payload alias after
+//	             SendOwned transfers ownership
+//	parksafe     fiber-reachable code blocks only via the scheduler
+//	             and never parks holding a mutex
+//	nativecodes  ABI-surface error codes come from Codes tables or
+//	             abi.ErrClass, never integer literals
+//	walltime     no wall clock, global rand, or order-sensitive map
+//	             iteration in the deterministic core
+//
+// Usage:
+//
+//	go run ./cmd/mpivet ./...
+//
+// Findings are suppressed, one at a time and with a mandatory written
+// justification, by
+//
+//	//mpivet:allow <analyzer>[,<analyzer>] -- <justification>
+//
+// trailing a line (suppresses that line), alone on a line (suppresses
+// the next), or in a function's doc comment (suppresses the function).
+// A directive with no justification, or naming an unknown analyzer, is
+// itself a finding. Exit status is 1 when any finding survives.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/envlifetime"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/nativecodes"
+	"repro/internal/analysis/parksafe"
+	"repro/internal/analysis/sendowned"
+	"repro/internal/analysis/walltime"
+)
+
+var analyzers = []*analysis.Analyzer{
+	envlifetime.Analyzer,
+	sendowned.Analyzer,
+	parksafe.Analyzer,
+	nativecodes.Analyzer,
+	walltime.Analyzer,
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	_, fset, pkgs, err := load.Program(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpivet:", err)
+		os.Exit(2)
+	}
+
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []analysis.Diagnostic
+	var allows []*analysis.Allow
+	pkgAllows := map[*load.Package][]*analysis.Allow{}
+	for _, pkg := range pkgs {
+		pa, problems := analysis.ParseAllows(fset, pkg.Files, pkg.Src, known)
+		pkgAllows[pkg] = pa
+		allows = append(allows, pa...)
+		diags = append(diags, problems...)
+	}
+
+	for _, a := range analyzers {
+		var passes []*analysis.Pass
+		for _, pkg := range pkgs {
+			passes = append(passes, &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Allows:    pkgAllows[pkg],
+			})
+		}
+		switch {
+		case a.Run != nil:
+			for _, pass := range passes {
+				if err := a.Run(pass); err != nil {
+					fmt.Fprintf(os.Stderr, "mpivet: %s: %v\n", a.Name, err)
+					os.Exit(2)
+				}
+				diags = append(diags, pass.Diagnostics()...)
+			}
+		case a.RunProgram != nil:
+			if err := a.RunProgram(passes); err != nil {
+				fmt.Fprintf(os.Stderr, "mpivet: %s: %v\n", a.Name, err)
+				os.Exit(2)
+			}
+			for _, pass := range passes {
+				diags = append(diags, pass.Diagnostics()...)
+			}
+		}
+	}
+
+	findings := analysis.Filter(fset, diags, allows, nil)
+	for _, d := range findings {
+		pos := fset.Position(d.Pos)
+		fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mpivet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -32,7 +32,7 @@ func (c *counter) Step(env *abi.Env) (bool, error) {
 	}
 	c.Acc += abi.Int64sOf(out)[0]
 	c.Iter++
-	time.Sleep(time.Millisecond)
+	time.Sleep(time.Millisecond) //mpivet:allow parksafe -- simulated compute between steps; a sleeping fiber stalls briefly, it cannot deadlock
 	return c.Iter >= c.Total, nil
 }
 

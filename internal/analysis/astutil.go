@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Unparen strips any enclosing parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// Callee resolves the static callee of a call: a package function, a
+// concrete method, or an interface method. Calls through function
+// values return nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified call: fabric.GetEnvelope().
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// PkgPathIs reports whether the object's package import path ends in
+// suffix (matched on path-segment boundaries). Matching by suffix keeps
+// the analyzers independent of the module name, so the same rules hold
+// for the repo and for testdata importing it.
+func PkgPathIs(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}
+
+// IsPkgFunc reports whether f is the package-level function
+// pkgSuffix.name.
+func IsPkgFunc(f *types.Func, pkgSuffix, name string) bool {
+	if f == nil || f.Name() != name || !PkgPathIs(f.Pkg(), pkgSuffix) {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// IsMethod reports whether f is method recvName.name (pointer or value
+// receiver) declared in the package with the given path suffix.
+func IsMethod(f *types.Func, pkgSuffix, recvName, name string) bool {
+	if f == nil || f.Name() != name || !PkgPathIs(f.Pkg(), pkgSuffix) {
+		return false
+	}
+	return RecvTypeName(f) == recvName
+}
+
+// RecvTypeName returns the name of f's receiver's named type, with any
+// pointer stripped, or "" for package-level functions.
+func RecvTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// NamedTypeIs reports whether t (through pointers) is the named type
+// pkgSuffix.name.
+func NamedTypeIs(t types.Type, pkgSuffix, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == name && PkgPathIs(n.Obj().Pkg(), pkgSuffix)
+}
+
+// ExprKey canonicalizes an ident or selector chain of idents to a
+// stable string ("e", "s.payload", "p.ep"); other expressions yield "".
+// The key is scoped by the root identifier's object, so shadowed names
+// in nested scopes do not collide.
+func ExprKey(info *types.Info, e ast.Expr) string {
+	switch e := Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil {
+			return objKey(obj)
+		}
+	case *ast.SelectorExpr:
+		base := ExprKey(info, e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+func objKey(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	return obj.Name() + "@" + obj.Id() + posKey(obj)
+}
+
+func posKey(obj types.Object) string {
+	if !obj.Pos().IsValid() {
+		return ""
+	}
+	return "#" + itoa(int(obj.Pos()))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// ExprString renders an ident/selector chain as source-ish text for
+// diagnostics ("m.mu", "p.ep"); other expressions render as "<expr>".
+func ExprString(e ast.Expr) string {
+	switch e := Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	}
+	return "<expr>"
+}
+
+// FuncKey names a function object package-globally:
+// "path|RecvName|Name" (RecvName empty for package functions). Keys are
+// what the program-level analyzers use to stitch call graphs across
+// per-package type-checker instances.
+func FuncKey(f *types.Func) string {
+	if f == nil {
+		return ""
+	}
+	path := ""
+	if f.Pkg() != nil {
+		path = f.Pkg().Path()
+	}
+	return path + "|" + RecvTypeName(f) + "|" + f.Name()
+}

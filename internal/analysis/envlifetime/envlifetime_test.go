@@ -1,0 +1,12 @@
+package envlifetime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/envlifetime"
+)
+
+func TestEnvLifetime(t *testing.T) {
+	analysistest.Run(t, envlifetime.Analyzer, "envlifetime")
+}

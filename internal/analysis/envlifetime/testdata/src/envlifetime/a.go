@@ -1,0 +1,49 @@
+// Seeded violations of the pooled-envelope lifecycle.
+package envlifetime
+
+import "repro/internal/fabric"
+
+func useAfterPut() {
+	e := fabric.GetEnvelope()
+	e.Dst = 1
+	fabric.PutEnvelope(e)
+	e.Tag = 2 // want `use of e after PutEnvelope returned it to the pool`
+}
+
+func doublePut() {
+	e := fabric.GetEnvelope()
+	fabric.PutEnvelope(e)
+	fabric.PutEnvelope(e) // want `second PutEnvelope of e: envelope already returned to the pool`
+}
+
+func putAfterSend(ep *fabric.Endpoint) {
+	e := fabric.GetEnvelope()
+	ep.Send(e)
+	fabric.PutEnvelope(e) // want `PutEnvelope of e after Send handed it to the fabric: the receiver owns it now`
+}
+
+func useAfterSend(ep *fabric.Endpoint) {
+	e := fabric.GetEnvelope()
+	ep.Send(e)
+	_ = e.Seq // want `use of e after Send handed it to the fabric`
+}
+
+func doubleSend(ep *fabric.Endpoint) {
+	e := fabric.GetEnvelope()
+	ep.Send(e)
+	ep.Send(e) // want `e already handed to the fabric by Send; an envelope can be sent once`
+}
+
+func leakOnErrorPath(cond bool) error {
+	e := fabric.GetEnvelope()
+	if cond {
+		return nil // want `envelope e from GetEnvelope is neither recycled nor handed to the fabric on this return path`
+	}
+	fabric.PutEnvelope(e)
+	return nil
+}
+
+func paramReuse(e *fabric.Envelope) {
+	fabric.PutEnvelope(e)
+	_ = e.Src // want `use of e after PutEnvelope returned it to the pool`
+}

@@ -1,0 +1,24 @@
+// Directive handling: a justified allow suppresses, a bare one is a
+// finding in its own right (and suppresses nothing).
+package envlifetime
+
+import "repro/internal/fabric"
+
+func suppressed() {
+	e := fabric.GetEnvelope()
+	fabric.PutEnvelope(e)
+	e.Tag = 9 //mpivet:allow envlifetime -- seeded: proves a justified directive suppresses this line
+}
+
+func standaloneSuppressed() {
+	e := fabric.GetEnvelope()
+	fabric.PutEnvelope(e)
+	//mpivet:allow envlifetime -- seeded: proves a standalone directive covers the next line
+	e.Tag = 10
+}
+
+func unjustified() {
+	e := fabric.GetEnvelope()
+	fabric.PutEnvelope(e)
+	_ = e.Seq //mpivet:allow envlifetime // want `use of e after PutEnvelope` `mpivet:allow directive is missing its justification`
+}

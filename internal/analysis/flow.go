@@ -1,0 +1,187 @@
+package analysis
+
+import "go/ast"
+
+// Flow is the per-analyzer half of a branch-isolated sequential walk
+// over a function body. WalkFlow owns the control-flow skeleton —
+// statement ordering, branch cloning, merging — and hands every
+// non-control statement and every control-flow condition to the
+// analyzer's state.
+//
+// The model is deliberately simple: state changes inside a branch are
+// visible to later statements of that branch; after the branch, Merge
+// decides what survives (typically: keep what all non-terminating
+// branches agree on). Loops run their body once over a clone. This
+// catches straight-line and single-branch ordering bugs — which is what
+// the ownership and park contracts are — without a CFG, and its
+// conservatism is one-sided: disagreement stops tracking rather than
+// reporting.
+type Flow interface {
+	// Clone returns an independent copy for a branch walk.
+	Clone() Flow
+	// Merge reconciles branch outcomes into the receiver. terminated[i]
+	// marks branches whose statement list certainly leaves the scope
+	// (return/branch/panic); their state should not vote.
+	Merge(branches []Flow, terminated []bool)
+	// Leaf handles one non-control statement (assign, expr, return,
+	// defer, go, decl, send, inc/dec, empty).
+	Leaf(s ast.Stmt)
+	// Cond scans a control-flow operand (if/for condition, switch tag,
+	// range operand) for uses.
+	Cond(e ast.Expr)
+}
+
+// WalkFlow interprets the statement list sequentially against f.
+func WalkFlow(stmts []ast.Stmt, f Flow) {
+	for _, s := range stmts {
+		walkFlowStmt(s, f)
+	}
+}
+
+func walkFlowStmt(s ast.Stmt, f Flow) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		WalkFlow(s.List, f)
+	case *ast.LabeledStmt:
+		walkFlowStmt(s.Stmt, f)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkFlowStmt(s.Init, f)
+		}
+		f.Cond(s.Cond)
+		then := f.Clone()
+		WalkFlow(s.Body.List, then)
+		branches := []Flow{then}
+		terms := []bool{FlowTerminates(s.Body.List)}
+		if s.Else != nil {
+			els := f.Clone()
+			walkFlowStmt(s.Else, els)
+			branches = append(branches, els)
+			if eb, ok := s.Else.(*ast.BlockStmt); ok {
+				terms = append(terms, FlowTerminates(eb.List))
+			} else {
+				terms = append(terms, false) // else-if: approximate
+			}
+		} else {
+			branches = append(branches, f.Clone())
+			terms = append(terms, false)
+		}
+		f.Merge(branches, terms)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkFlowStmt(s.Init, f)
+		}
+		if s.Cond != nil {
+			f.Cond(s.Cond)
+		}
+		body := f.Clone()
+		WalkFlow(s.Body.List, body)
+		if s.Post != nil {
+			walkFlowStmt(s.Post, body)
+		}
+		f.Merge([]Flow{body}, []bool{FlowTerminates(s.Body.List)})
+	case *ast.RangeStmt:
+		f.Cond(s.X)
+		body := f.Clone()
+		// Key/Value rebinding is the analyzer's business; hand the whole
+		// range header to Leaf via a synthetic assign when present.
+		if s.Key != nil || s.Value != nil {
+			body.Leaf(&ast.AssignStmt{Lhs: rangeVars(s), Tok: s.Tok, Rhs: nil})
+		}
+		WalkFlow(s.Body.List, body)
+		f.Merge([]Flow{body}, []bool{FlowTerminates(s.Body.List)})
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkFlowStmt(s.Init, f)
+		}
+		if s.Tag != nil {
+			f.Cond(s.Tag)
+		}
+		walkFlowClauses(s.Body, f)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			walkFlowStmt(s.Init, f)
+		}
+		if as, ok := s.Assign.(*ast.AssignStmt); ok {
+			for _, r := range as.Rhs {
+				f.Cond(r)
+			}
+		} else if es, ok := s.Assign.(*ast.ExprStmt); ok {
+			f.Cond(es.X)
+		}
+		walkFlowClauses(s.Body, f)
+	case *ast.SelectStmt:
+		walkFlowClauses(s.Body, f)
+	default:
+		f.Leaf(s)
+	}
+}
+
+func rangeVars(s *ast.RangeStmt) []ast.Expr {
+	var out []ast.Expr
+	if s.Key != nil {
+		out = append(out, s.Key)
+	}
+	if s.Value != nil {
+		out = append(out, s.Value)
+	}
+	return out
+}
+
+func walkFlowClauses(body *ast.BlockStmt, f Flow) {
+	var branches []Flow
+	var terms []bool
+	hasDefault := false
+	for _, cl := range body.List {
+		b := f.Clone()
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				f.Cond(e)
+			}
+			WalkFlow(cl.Body, b)
+			branches = append(branches, b)
+			terms = append(terms, FlowTerminates(cl.Body))
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				walkFlowStmt(cl.Comm, b)
+			}
+			WalkFlow(cl.Body, b)
+			branches = append(branches, b)
+			terms = append(terms, FlowTerminates(cl.Body))
+		}
+	}
+	if !hasDefault {
+		branches = append(branches, f.Clone())
+		terms = append(terms, false)
+	}
+	f.Merge(branches, terms)
+}
+
+// FlowTerminates reports whether the statement list certainly leaves
+// the enclosing scope, so a branch's state cannot flow past its merge.
+func FlowTerminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return FlowTerminates(last.List)
+	case *ast.LabeledStmt:
+		return FlowTerminates([]ast.Stmt{last.Stmt})
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package nativecodes_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nativecodes"
+)
+
+func TestNativeCodes(t *testing.T) {
+	analysistest.Run(t, nativecodes.Analyzer, "internal/mpich")
+}
+
+// TestOffSurface pins the scope: packages outside the ABI surfaces are
+// never flagged, whatever they return.
+func TestOffSurface(t *testing.T) {
+	analysistest.Run(t, nativecodes.Analyzer, "offsurface")
+}

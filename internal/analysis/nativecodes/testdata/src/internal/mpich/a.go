@@ -1,0 +1,70 @@
+// Seeded violations of error-code sourcing. The directory name makes
+// this package's import path end in internal/mpich, putting it on the
+// analyzer's ABI surface exactly like the real implementation package.
+package mpich
+
+import "repro/internal/abi"
+
+const (
+	Success = 0
+	ErrComm = 5
+)
+
+func constsOK(ok bool) int {
+	if ok {
+		return Success
+	}
+	return ErrComm
+}
+
+func literalCode(ok bool) int {
+	if ok {
+		return Success
+	}
+	return 71 // want `error code returned as integer literal`
+}
+
+func negativeLiteral(ok bool) int {
+	if ok {
+		return ErrComm
+	}
+	return -(2) // want `error code returned as integer literal`
+}
+
+func convertedLiteral(ok bool) int32 {
+	if ok {
+		return int32(Success)
+	}
+	return int32(54) // want `error code returned as integer literal`
+}
+
+func classLiteral() abi.ErrClass {
+	return abi.ErrClass(3) // want `error code returned as integer literal`
+}
+
+func classOK() abi.ErrClass {
+	return abi.ErrRevoked
+}
+
+func codeInPair(ok bool) ([]byte, int) {
+	if ok {
+		return nil, Success
+	}
+	return nil, 54 // want `error code returned as integer literal`
+}
+
+// notACode: int results that never carry error-shaped values are not
+// error slots; lengths and counts stay unflagged.
+func notACode(n int) int {
+	if n > 4 {
+		return 4
+	}
+	return n + 1
+}
+
+func suppressed(ok bool) int {
+	if ok {
+		return Success
+	}
+	return 71 //mpivet:allow nativecodes -- seeded: proves a justified directive suppresses this line
+}

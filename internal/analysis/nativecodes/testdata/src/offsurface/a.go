@@ -1,0 +1,12 @@
+// offsurface is not an ABI package: even literal returns beside
+// error-shaped ones are out of the analyzer's scope here.
+package offsurface
+
+const ErrSomething = 7
+
+func untouched(ok bool) int {
+	if ok {
+		return ErrSomething
+	}
+	return 71
+}

@@ -1,0 +1,12 @@
+package parksafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/parksafe"
+)
+
+func TestParkSafe(t *testing.T) {
+	analysistest.Run(t, parksafe.Analyzer, "parksafe")
+}

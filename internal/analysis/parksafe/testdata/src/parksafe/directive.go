@@ -1,0 +1,15 @@
+// Directive suppression: an allowed fact is struck before the may-park
+// closure, so neither the site nor anything reaching it is reported.
+package parksafe
+
+import "repro/internal/fabric"
+
+func sendsOnce(done chan struct{}) {
+	done <- struct{}{} //mpivet:allow parksafe -- seeded: capacity-1 in every caller, the send never blocks
+}
+
+func suppressedFactClearsClosure(w *fabric.World, done chan struct{}) {
+	w.Spawn(0, func() {
+		sendsOnce(done)
+	})
+}

@@ -1,0 +1,62 @@
+// False-positive regressions for the fiber rules.
+package parksafe
+
+import (
+	"sync"
+
+	"repro/internal/fabric"
+)
+
+// offFiber: goroutines started by fiber code are not fibers — they may
+// block freely.
+func offFiber(w *fabric.World, ch chan int) {
+	w.Spawn(0, func() {
+		go func() {
+			ch <- 1
+		}()
+	})
+}
+
+// notSpawned: a function never handed to Spawn may block; it is host
+// code.
+func notSpawned(ch chan int) {
+	ch <- 1
+	<-ch
+}
+
+// selectWithDefault never blocks.
+func selectWithDefault(w *fabric.World, ch chan int) {
+	w.Spawn(0, func() {
+		select {
+		case v := <-ch:
+			_ = v
+		default:
+		}
+	})
+}
+
+// unlockBeforeBlock is the runtime's own mailbox/OOB pattern: release
+// the lock, block, re-take it. The sequential model must not flag the
+// block site.
+func unlockBeforeBlock(w *fabric.World, ch chan int) {
+	var mu sync.Mutex
+	w.Spawn(0, func() {
+		mu.Lock()
+		mu.Unlock()
+		blockHelper(ch)
+		mu.Lock()
+		mu.Unlock()
+	})
+}
+
+// shortCritical: lock spans only non-parking work.
+func shortCritical(w *fabric.World) {
+	var mu sync.Mutex
+	n := 0
+	w.Spawn(0, func() {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	_ = n
+}

@@ -1,0 +1,12 @@
+package sendowned_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sendowned"
+)
+
+func TestSendOwned(t *testing.T) {
+	analysistest.Run(t, sendowned.Analyzer, "sendowned")
+}

@@ -1,0 +1,56 @@
+// Seeded violations of the SendOwned ownership transfer.
+package sendowned
+
+import "repro/internal/fabric"
+
+func payloadReuse(ep *fabric.Endpoint, buf []byte) {
+	e := fabric.GetEnvelope()
+	e.Payload = buf
+	ep.SendOwned(e)
+	buf[0] = 1 // want `payload alias of e used after SendOwned transferred ownership to the receiver`
+}
+
+func payloadRead(ep *fabric.Endpoint, buf []byte) byte {
+	e := fabric.GetEnvelope()
+	e.Payload = buf
+	ep.SendOwned(e)
+	return buf[0] // want `payload alias of e used after SendOwned transferred ownership to the receiver`
+}
+
+func envelopeWrite(ep *fabric.Endpoint, buf []byte) {
+	e := fabric.GetEnvelope()
+	e.Payload = buf
+	ep.SendOwned(e)
+	e.Tag = 3 // want `envelope e used after SendOwned transferred ownership to the receiver`
+}
+
+func doubleSendOwned(ep *fabric.Endpoint, buf []byte) {
+	e := fabric.GetEnvelope()
+	e.Payload = buf
+	ep.SendOwned(e)
+	ep.SendOwned(e) // want `envelope e used after SendOwned transferred ownership to the receiver`
+}
+
+func paramEnvelope(ep *fabric.Endpoint, e *fabric.Envelope) {
+	ep.SendOwned(e)
+	_ = e.Seq // want `envelope e used after SendOwned transferred ownership to the receiver`
+}
+
+// accumulatorThroughSendOwned is the collective-accumulator bug class:
+// the buffer keeps being reduced into after its backing array left.
+func accumulatorThroughSendOwned(ep *fabric.Endpoint, acc []byte, chunk []byte) {
+	e := fabric.GetEnvelope()
+	e.Payload = acc
+	ep.SendOwned(e)
+	for i := range chunk {
+		acc[i] += chunk[i] // want `payload alias of e used after SendOwned transferred ownership to the receiver`
+	}
+}
+
+func aliasOfAlias(ep *fabric.Endpoint, buf []byte) {
+	e := fabric.GetEnvelope()
+	e.Payload = buf
+	view := buf
+	ep.SendOwned(e)
+	_ = view[0] // want `payload alias of e used after SendOwned transferred ownership to the receiver`
+}

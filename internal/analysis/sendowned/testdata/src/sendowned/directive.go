@@ -1,0 +1,11 @@
+// Directive suppression through the production filter path.
+package sendowned
+
+import "repro/internal/fabric"
+
+func suppressed(ep *fabric.Endpoint, buf []byte) {
+	e := fabric.GetEnvelope()
+	e.Payload = buf
+	ep.SendOwned(e)
+	_ = buf[0] //mpivet:allow sendowned -- seeded: proves a justified directive suppresses this line
+}

@@ -1,0 +1,45 @@
+// False-positive regressions: the rendezvous CTS handoff from
+// mpicore/p2p.go, which is the legal shape of SendOwned usage.
+package sendowned
+
+import "repro/internal/fabric"
+
+type pendingSend struct {
+	payload []byte
+	owned   bool
+}
+
+// legalHandoff mirrors the CTS handler: the payload moves to a fresh
+// envelope, the transfer happens on one arm only, and the source field
+// is re-bound to nil afterwards (a rebinding, not a use).
+func legalHandoff(ep *fabric.Endpoint, s *pendingSend) {
+	d := fabric.GetEnvelope()
+	d.Payload = s.payload
+	if s.owned {
+		ep.SendOwned(d)
+	} else {
+		ep.Send(d)
+	}
+	s.payload = nil
+}
+
+// rebindAfterTransfer: re-binding an alias variable after the transfer
+// releases it; only reads and writes through it are violations.
+func rebindAfterTransfer(ep *fabric.Endpoint, s *pendingSend) {
+	d := fabric.GetEnvelope()
+	d.Payload = s.payload
+	ep.SendOwned(d)
+	s.payload = nil
+}
+
+// plainSendKeepsOwnership: Send copies the payload, so the sender may
+// keep using its buffer — the accumulator pattern the collectives rely
+// on.
+func plainSendKeepsOwnership(ep *fabric.Endpoint, acc []byte, chunk []byte) {
+	e := fabric.GetEnvelope()
+	e.Payload = acc
+	ep.Send(e)
+	for i := range chunk {
+		acc[i] += chunk[i]
+	}
+}

@@ -1,0 +1,92 @@
+// Seeded determinism violations. The directory name makes this
+// package's import path end in internal/mpicore, putting it in the
+// deterministic core exactly like the real runtime package.
+package mpicore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallRead() int64 {
+	return time.Now().UnixNano() // want `wall-clock time\.Now in the deterministic core`
+}
+
+func wallElapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `wall-clock time\.Since in the deterministic core`
+}
+
+func wallTimer(d time.Duration) <-chan time.Time {
+	return time.After(d) // want `wall-clock time\.After in the deterministic core`
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `global math/rand\.Intn draws from the process-wide source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle draws from the process-wide source`
+}
+
+// seededRand draws from an explicit source: replayable, fine.
+func seededRand(r *rand.Rand) int {
+	return r.Intn(8)
+}
+
+// newSeeded constructs a source — the sanctioned way.
+func newSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func unsortedDump(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `map iteration appends to a slice that is never sorted`
+		out = append(out, v)
+	}
+	return out
+}
+
+func printedDump(m map[int]int) {
+	for k, v := range m { // want `map iteration writes output in map order`
+		fmt.Printf("%d=%d\n", k, v)
+	}
+}
+
+func concatDump(m map[int]string) string {
+	s := ""
+	for _, v := range m { // want `map iteration concatenates strings in map order`
+		s += v
+	}
+	return s
+}
+
+// sortedDump collects then sorts: order-insensitive, fine.
+func sortedDump(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// commutativeFold and mapWrite iterate in any order to the same result.
+func commutativeFold(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func mapWrite(src map[int]int, dst map[int]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func suppressed() int64 {
+	return time.Now().UnixNano() //mpivet:allow walltime -- seeded: proves a justified directive suppresses this line
+}

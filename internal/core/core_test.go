@@ -57,7 +57,7 @@ func (p *ringProg) Step(env *abi.Env) (bool, error) {
 	}
 	p.Sum += abi.Int64sOf(out)[0]
 	if p.StepDelay > 0 {
-		time.Sleep(p.StepDelay)
+		time.Sleep(p.StepDelay) //mpivet:allow parksafe -- deliberate slow-rank simulation, opt-in via StepDelay (default 0)
 	}
 	p.Iter++
 	return p.Iter > p.Total, nil
@@ -120,7 +120,7 @@ func (p *splitProg) Step(env *abi.Env) (bool, error) {
 	if err := env.T.Wait(rreq, nil); err != nil {
 		return false, err
 	}
-	time.Sleep(500 * time.Microsecond)
+	time.Sleep(500 * time.Microsecond) //mpivet:allow parksafe -- deliberate pacing so the overlap window under test stays open
 	p.Iter++
 	return p.Iter >= p.Total, nil
 }

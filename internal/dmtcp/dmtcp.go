@@ -188,7 +188,7 @@ func (c *Coordinator) AbortPending(err error) {
 	c.closed = true
 	c.mu.Unlock()
 	if req != nil {
-		req.errs <- err
+		req.errs <- err //mpivet:allow parksafe -- errs has capacity 1 and req is claimed under c.mu, so exactly one resolver ever sends
 	}
 }
 
@@ -199,7 +199,7 @@ func (c *Coordinator) finish(err error) {
 	c.req = nil
 	c.mu.Unlock()
 	if req != nil {
-		req.errs <- err
+		req.errs <- err //mpivet:allow parksafe -- errs has capacity 1 and req is claimed under c.mu, so exactly one resolver ever sends
 	}
 }
 

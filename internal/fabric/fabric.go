@@ -118,7 +118,7 @@ func (m *mailbox) pop() *Envelope {
 			m.sched.park(m.owner)
 			m.mu.Lock()
 		} else {
-			m.cond.Wait()
+			m.cond.Wait() //mpivet:allow parksafe -- goroutine-mode branch (m.sched == nil); the event-mode path parks via the scheduler above
 		}
 	}
 	var e *Envelope
@@ -155,7 +155,7 @@ func (m *mailbox) popBatch(buf []*Envelope) []*Envelope {
 			m.sched.park(m.owner)
 			m.mu.Lock()
 		} else {
-			m.cond.Wait()
+			m.cond.Wait() //mpivet:allow parksafe -- goroutine-mode branch (m.sched == nil); the event-mode path parks via the scheduler above
 		}
 	}
 	buf = append(buf, m.queue...)

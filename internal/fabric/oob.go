@@ -179,7 +179,7 @@ func (o *OOB) Exchange(rank int, data []byte) [][]byte {
 			o.sched.park(rank)
 			o.mu.Lock()
 		} else {
-			o.cond.Wait()
+			o.cond.Wait() //mpivet:allow parksafe -- goroutine-mode branch (o.sched == nil); the event-mode path parks via the scheduler above
 		}
 	}
 	// A published generation outranks closure: if the last depositor

@@ -201,7 +201,7 @@ func (s *sched) dispatchLocked() {
 	s.runq = s.runq[:len(s.runq)-1]
 	s.state[r] = fiberRunning
 	s.running = r
-	s.gates[r] <- struct{}{}
+	s.gates[r] <- struct{}{} //mpivet:allow parksafe -- cap-1 gate owned by the token state machine: a fiber is dispatched at most once per park, so the send never blocks
 }
 
 // Spawn starts fn as rank r's execution context: `go fn()` on a

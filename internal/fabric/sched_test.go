@@ -200,7 +200,7 @@ func TestEventModeGoexitReleasesToken(t *testing.T) {
 				return
 			}
 			e := ep.Recv()
-			got <- e.Payload[0]
+			got <- e.Payload[0] //mpivet:allow parksafe -- capacity-1 channel with a single sender; the send never blocks
 			PutEnvelope(e)
 		})
 	}

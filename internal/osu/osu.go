@@ -159,7 +159,7 @@ func (b *LatencyBench) Step(env *abi.Env) (bool, error) {
 		// checkpoint is taken in this window.
 		env.Compute(b.SleepVirtual)
 		if b.SleepReal > 0 {
-			time.Sleep(b.SleepReal)
+			time.Sleep(b.SleepReal) //mpivet:allow parksafe -- the paper's modified benchmark really sleeps here; opt-in via SleepReal (default 0)
 		}
 		b.Phase = phaseMeasure
 		return false, nil

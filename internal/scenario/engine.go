@@ -244,25 +244,25 @@ func Run(specs []Spec, o Options) *Report {
 			}
 		}()
 	}
-	start := time.Now()
+	start := time.Now() //mpivet:allow walltime -- wall_ms report metadata; never feeds event order or scenario hashes
 	for i := range specs {
 		work <- i
 	}
 	close(work)
 	wg.Wait()
-	return newReport(o, results, time.Since(start))
+	return newReport(o, results, time.Since(start)) //mpivet:allow walltime -- wall_ms report metadata; never feeds event order or scenario hashes
 }
 
 // runOne executes one scenario's repetitions and aggregates them.
 func runOne(s Spec, o Options) (res Result) {
-	start := time.Now()
+	start := time.Now() //mpivet:allow walltime -- wall_ms report metadata; never feeds event order or scenario hashes
 	res = Result{ID: s.ID(), Spec: s, Status: StatusPass, Reps: o.Reps}
 	defer func() {
 		if r := recover(); r != nil {
 			res.Status = StatusFail
 			res.Error = fmt.Sprintf("panic: %v", r)
 		}
-		res.WallMS = time.Since(start).Milliseconds()
+		res.WallMS = time.Since(start).Milliseconds() //mpivet:allow walltime -- wall_ms report metadata; never feeds event order or scenario hashes
 	}()
 	if err := s.Validate(); err != nil {
 		res.Status = StatusFail

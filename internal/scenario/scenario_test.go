@@ -545,7 +545,7 @@ type glacialProg struct{ Iter int }
 
 func (g *glacialProg) Setup(env *abi.Env) error { return nil }
 func (g *glacialProg) Step(env *abi.Env) (bool, error) {
-	time.Sleep(2 * time.Millisecond)
+	time.Sleep(2 * time.Millisecond) //mpivet:allow parksafe -- glacialProg exists to stall the world and trip the engine's timeout path
 	g.Iter++
 	return g.Iter >= 100000, nil
 }
