@@ -298,6 +298,43 @@ func BenchmarkShrinkRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkReplicatedFailover measures the THIRD fault-tolerance cycle
+// — replication, the pay-up-front path: launch with a warm shadow
+// behind every logical rank, crash a primary non-fatally mid-run, and
+// finish on the promoted shadow with no rollback and no recomputation.
+// cycle-us is the whole cycle; virt-ms/run is the virtual
+// time-to-solution over logical clocks, which carries the steady-state
+// duplicate-message overhead instead of a recovery window — contrast
+// BenchmarkShrinkRecovery and BenchmarkFaultRecovery on the same
+// workload shape.
+func BenchmarkReplicatedFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stack := benchStack(ImplOpenMPI, ABIMukautuva, CkptNone)
+		inj, err := NewFaultInjector(FaultPlan{Faults: []FaultSpec{
+			{Kind: FaultRankCrash, Rank: 3, Step: 6, NonFatal: true},
+		}}, 1, stack.Net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		res, err := RunWithReplication(stack, "test.bench.ring", inj, ReplicaPolicy{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed || res.Promotions != 1 {
+			b.Fatalf("completed=%v promotions=%d", res.Completed, res.Promotions)
+		}
+		b.ReportMetric(float64(time.Since(start).Microseconds()), "cycle-us")
+		var virt float64
+		for r := 0; r < stack.Net.Size(); r++ {
+			if t := res.Job.LogicalClock(r).Duration().Seconds(); t > virt {
+				virt = t
+			}
+		}
+		b.ReportMetric(virt*1e3, "virt-ms/run")
+	}
+}
+
 // benchRing is a small lockstep workload for the recovery benchmark:
 // one allreduce per step, quiescent at every safe point.
 type benchRing struct {

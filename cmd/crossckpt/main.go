@@ -13,6 +13,7 @@
 //	          [-faults] [-nodes 4] [-rpn 12] [-max-size 16384] [-parallel N]
 //	          [-dir images/] [-out report.json]
 //	crossckpt -shrink [-program app.wave] [-from impl] [-nodes 2] [-rpn 2] [-out report.json]
+//	crossckpt -replicate [-program app.wave] [-from impl] [-nodes 2] [-rpn 2] [-out report.json]
 //
 // With -shrink the tool runs the OTHER half of fault-tolerant MPI
 // instead: ULFM in-place recovery legs, one per implementation in both
@@ -21,6 +22,13 @@
 // implementation's own MPIX proc-failed code, and the application
 // revokes, shrinks and recomputes on the survivors-only communicator.
 // No checkpoints are written and nothing restarts.
+//
+// With -replicate the tool runs the THIRD recovery mode: replication
+// failover legs, again one per implementation in both bindings. Every
+// logical rank runs as a primary + warm-shadow pair, a non-fatal rank
+// crash kills one primary mid-run, and its shadow is promoted in place
+// — no checkpoints, no restart, no shrink, and the job completes at
+// full size with the same results as a fault-free run.
 //
 // Images live in a throwaway temp directory unless -dir is given; pass
 // -dir to keep them for inspection with manactl (the report's lineage
@@ -60,6 +68,7 @@ func main() {
 		crossOnly = flag.Bool("cross-only", false, "only cross-implementation pairings")
 		withFlt   = flag.Bool("faults", false, "inject a crash into every pairing and drive automated recovery (node crash on cross-implementation pairings, rank crash otherwise)")
 		shrink    = flag.Bool("shrink", false, "run ULFM shrink-recovery legs instead of restart pairings: one non-fatal rank crash per implementation (native and Mukautuva-shimmed), survived in place by revoke/shrink/recompute")
+		replicate = flag.Bool("replicate", false, "run replication-failover legs instead of restart pairings: one non-fatal primary crash per implementation (native and Mukautuva-shimmed), absorbed by promoting the warm shadow in place")
 		nodes     = flag.Int("nodes", 4, "compute nodes")
 		rpn       = flag.Int("rpn", 12, "ranks per node")
 		maxSz     = flag.Int("max-size", 1<<14, "largest message size in bytes")
@@ -74,17 +83,25 @@ func main() {
 	m.Programs = []string{*program}
 	m.Faults = nil // pristine pairings; -faults arms its own crash per pairing
 	var specs []scenario.Spec
-	if *shrink {
-		// Shrink legs have no restart side, no pairing filter beyond the
-		// launch implementation, and arm their own non-fatal fault:
-		// refuse the restart-mode flags instead of silently ignoring
-		// them.
+	if *shrink || *replicate {
+		// In-place recovery legs have no restart side, no pairing filter
+		// beyond the launch implementation, and arm their own non-fatal
+		// fault: refuse the restart-mode flags instead of silently
+		// ignoring them.
 		if *to != "" || *crossOnly || *withFlt {
-			fatal(fmt.Errorf("-shrink runs in-place recovery legs; it conflicts with -to, -cross-only and -faults"))
+			fatal(fmt.Errorf("-shrink/-replicate run in-place recovery legs; they conflict with -to, -cross-only and -faults"))
 		}
-		// The ULFM demo legs: every implementation survives the same
+		if *shrink && *replicate {
+			fatal(fmt.Errorf("-shrink and -replicate are separate demo modes; pick one"))
+		}
+		recovery := scenario.RecoveryShrink
+		if *replicate {
+			recovery = scenario.RecoveryReplicate
+		}
+		// The in-place demo legs: every implementation survives the same
 		// seeded rank crash in place — natively and through the shim, so
-		// the MPIX error classes cross the translation layer both ways.
+		// the MPIX error classes (shrink) and the promotion machinery
+		// (replicate) cross the translation layer both ways.
 		for _, impl := range []core.Impl{core.ImplMPICH, core.ImplOpenMPI, core.ImplStdABI} {
 			for _, mode := range []core.ABIMode{core.ABINative, core.ABIMukautuva} {
 				if *from != "" && impl != core.Impl(*from) {
@@ -92,7 +109,7 @@ func main() {
 				}
 				specs = append(specs, scenario.Spec{
 					Program: *program, Impl: impl, ABI: mode, Ckpt: core.CkptNone,
-					Fault: faults.KindRankCrash, Recovery: scenario.RecoveryShrink,
+					Fault: faults.KindRankCrash, Recovery: recovery,
 				})
 			}
 		}
@@ -176,11 +193,13 @@ func main() {
 	}
 }
 
-// runSpecs executes the shrink-recovery demo legs and reports them in
-// ULFM terms (victims, survivors, in-place recoveries).
+// runSpecs executes the in-place recovery demo legs (shrink or
+// replicate) and reports each in its mode's own terms: victims,
+// survivors and in-place recoveries for shrink; killed primaries and
+// promoted shadows for replicate.
 func runSpecs(specs []scenario.Spec, program string, nodes, rpn, maxSz, reps, parallel int, dir, out string) {
 	if len(specs) == 0 {
-		fatal(fmt.Errorf("no shrink legs selected for program=%s", program))
+		fatal(fmt.Errorf("no in-place recovery legs selected for program=%s", program))
 	}
 	o := scenario.Quick()
 	o.Nodes = nodes
@@ -191,13 +210,21 @@ func runSpecs(specs []scenario.Spec, program string, nodes, rpn, maxSz, reps, pa
 	o.Timeout = 10 * time.Minute
 	o.Scratch = dir
 
-	fmt.Printf("running %d ULFM shrink-recovery legs of %s over %dx%d ranks ...\n\n",
-		len(specs), program, nodes, rpn)
+	label := "ULFM shrink-recovery"
+	if specs[0].Recovery == scenario.RecoveryReplicate {
+		label = "replication-failover"
+	}
+	fmt.Printf("running %d %s legs of %s over %dx%d ranks ...\n\n",
+		len(specs), label, program, nodes, rpn)
 	rep := scenario.Run(specs, o)
 	for _, res := range rep.Results {
 		switch {
 		case res.Status != scenario.StatusPass:
 			fmt.Printf("FAIL %-70s %s\n", res.ID, res.Error)
+		case len(res.Faults) > 0 && res.Faults[0].Promotions > 0:
+			f := res.Faults[0]
+			fmt.Printf("OK   %-70s primary %v died at step %d; shadow %v promoted in place, job completed at full size\n",
+				res.ID, f.Ranks, f.Step, f.Promoted)
 		case len(res.Faults) > 0:
 			f := res.Faults[0]
 			fmt.Printf("OK   %-70s rank %v died at step %d; %d survivors shrank and completed in place (%d shrink(s))\n",
@@ -206,8 +233,8 @@ func runSpecs(specs []scenario.Spec, program string, nodes, rpn, maxSz, reps, pa
 			fmt.Printf("OK   %-70s\n", res.ID)
 		}
 	}
-	fmt.Printf("\n%d/%d shrink legs passed (no checkpoints written, no restarts).\n",
-		rep.Passed, rep.Scenarios)
+	fmt.Printf("\n%d/%d %s legs passed (no checkpoints written, no restarts).\n",
+		rep.Passed, rep.Scenarios, label)
 	if out != "" {
 		if err := rep.WriteJSON(out); err != nil {
 			fatal(err)

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	paperfigs [-fig 2,3,4,5,6|all|fsgsbase|recovery|shrinkrecovery] [-quick] [-out results/] [-reps N] [-parallel N]
+//	paperfigs [-fig 2,3,4,5,6|all|fsgsbase|recovery|shrinkrecovery|recoveryfrontier] [-quick] [-out results/] [-reps N] [-parallel N]
 //	paperfigs -matrix [-full] [-faults=false] [-parallel N] [-out results.json] [-apps app.comd,app.wave]
 //	paperfigs -matrix -shard 0/4 -cache .scenario-cache -out shard-0.json
 //	paperfigs -merge shard-0.json,shard-1.json,shard-2.json,shard-3.json -out results.json
@@ -20,7 +20,10 @@
 // The "shrinkrecovery" figure compares the two recovery halves of
 // fault-tolerant MPI on the same seeded rank crash: ULFM in-place
 // recovery (revoke/shrink/recompute, no checkpointer) versus automated
-// checkpoint/restart, per implementation.
+// checkpoint/restart, per implementation. "recoveryfrontier" widens the
+// comparison to all three recovery modes: replication failover (warm
+// shadow replicas, ~2x steady-state message overhead, free recovery),
+// ULFM shrink, and checkpoint/restart, against a fault-free anchor.
 //
 // Figure mode writes one CSV per figure into -out (a directory). Matrix
 // mode writes one JSON report to -out (a file; ".json" is appended to the
@@ -57,7 +60,7 @@ import (
 
 func main() {
 	var (
-		figs     = flag.String("fig", "all", "comma-separated figure list: 2,3,4,5,6,fsgsbase,recovery,shrinkrecovery or 'all'")
+		figs     = flag.String("fig", "all", "comma-separated figure list: 2,3,4,5,6,fsgsbase,recovery,shrinkrecovery,recoveryfrontier or 'all'")
 		quick    = flag.Bool("quick", false, "run figures at the small smoke configuration instead of paper scale")
 		out      = flag.String("out", "results", "output directory for CSV files; JSON file path in -matrix mode")
 		reps     = flag.Int("reps", 0, "override repetition count")

@@ -7,6 +7,10 @@
 // application binds to this package once ("compiled once") and can then run
 // over any implementation stack — a native binding, the Mukautuva shim, or
 // the MANA checkpointing wrapper — without change ("runs everywhere").
+//
+// In the README's layer diagram this package is the surface the
+// applications row compiles against and the top edge of the
+// bindings-and-shims row: the standardized ABI of Section 4.1.
 package abi
 
 import "fmt"

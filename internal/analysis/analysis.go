@@ -12,6 +12,10 @@
 // documented in comments and enforced by differential tests; mpivet
 // makes violating one a vet-time failure instead of a 4096-rank debug
 // session.
+//
+// The analyzers sit beside the README's layer diagram rather than in
+// it: they audit the fabric, mpicore and scenario rows from outside,
+// guarding the determinism and overhead-attribution claims of Section 5.
 package analysis
 
 import (

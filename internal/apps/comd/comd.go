@@ -9,6 +9,9 @@
 // 48 ranks on a modest problem, where the halo pattern, message sizes in
 // the tens of kilobytes, and one allreduce per step are what the MPI stack
 // sees).
+//
+// In the README's layer diagram CoMD is the applications row: compiled
+// once against internal/abi, oblivious to every layer below.
 package comd
 
 import (

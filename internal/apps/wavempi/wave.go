@@ -7,6 +7,9 @@
 // The communication signature is what matters for the reproduction: two
 // tiny point-to-point messages per rank per step, which is why the paper
 // sees essentially zero Mukautuva+MANA overhead on it.
+//
+// In the README's layer diagram wave_mpi is the applications row,
+// compiled once against internal/abi like its CoMD sibling.
 package wavempi
 
 import (

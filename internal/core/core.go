@@ -5,6 +5,13 @@
 // Launch runs an SPMD Program over it; Restart resumes a checkpoint image
 // under a possibly different Stack — different MPI implementation included,
 // provided the image was taken through the standard ABI.
+//
+// In the README's layer diagram core sits above the applications row,
+// composing the whole column: it validates the stack legs (Sections
+// 4-5), owns Launch/Checkpoint/Restart, and drives all three recovery
+// modes — RunWithRecovery (checkpoint/restart), RunWithShrinkRecovery
+// (ULFM shrink) and RunWithReplication (warm-shadow failover); see
+// docs/recovery.md for the side-by-side comparison.
 package core
 
 import (
@@ -280,6 +287,10 @@ type Job struct {
 	// shrink is non-nil for shrink-mode jobs (see RunWithShrinkRecovery):
 	// survivors recover in place instead of failing the job.
 	shrink *ShrinkPolicy
+	// replica is non-nil for replica-mode jobs (see RunWithReplication):
+	// the world carries a shadow behind every logical rank, and a
+	// primary's death promotes its shadow instead of failing the job.
+	replica *ReplicaPolicy
 
 	wg        sync.WaitGroup
 	live      atomic.Int32 // ranks still running; 0 resolves stray checkpoints
@@ -295,6 +306,9 @@ type Job struct {
 	// in-place recoveries they triggered (shrink-mode jobs only).
 	shrinkFailures []*RankFailure
 	shrinkEvents   []ShrinkEvent
+	// replicaFailures records non-fatal failures absorbed by shadow
+	// promotion (replica-mode jobs only).
+	replicaFailures []*RankFailure
 }
 
 // buildTable assembles one rank's binding stack, returning the table the
@@ -360,6 +374,7 @@ type launchOpts struct {
 	inj       *faults.Injector
 	periodic  dmtcp.Periodic
 	shrink    *ShrinkPolicy
+	replica   *ReplicaPolicy
 }
 
 // WithConfigure runs fn on each rank's fresh program instance before the
@@ -414,7 +429,14 @@ func Launch(stack Stack, progName string, opts ...LaunchOption) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := fabric.NewWorldMode(stack.Net, stack.Progress)
+	var w *fabric.World
+	if lo.replica != nil {
+		// stack.Net names the LOGICAL cluster; the replicated world adds
+		// a disjoint set of nodes carrying one shadow per logical rank.
+		w, err = fabric.NewReplicatedWorld(stack.Net, stack.Progress)
+	} else {
+		w, err = fabric.NewWorldMode(stack.Net, stack.Progress)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -439,7 +461,10 @@ func Launch(stack Stack, progName string, opts ...LaunchOption) (*Job, error) {
 	for r := 0; r < n; r++ {
 		job.progs[r] = factory()
 		if lo.configure != nil {
-			lo.configure(r, job.progs[r])
+			// On a replicated world both replicas of a logical rank get
+			// the identical configuration — the replicas must execute the
+			// same deterministic program (r%LogicalSize == r otherwise).
+			lo.configure(r%w.LogicalSize(), job.progs[r])
 		}
 	}
 	if err := applyRunOpts(job, lo); err != nil {
@@ -462,29 +487,34 @@ func applyRunOpts(job *Job, lo launchOpts) error {
 		job.coord.SetPeriodic(lo.periodic)
 	}
 	job.shrink = lo.shrink
-	if lo.shrink != nil {
+	job.replica = lo.replica
+	if lo.shrink != nil && lo.replica != nil {
+		return fmt.Errorf("core: shrink-mode and replica-mode recovery are mutually exclusive")
+	}
+	inPlace := lo.shrink != nil || lo.replica != nil
+	if inPlace {
 		if job.stack.Ckpt != CkptNone {
-			return fmt.Errorf("core: shrink-mode recovery is the checkpoint-free path; stack %s loads %s",
+			return fmt.Errorf("core: in-place (shrink/replica) recovery is the checkpoint-free path; stack %s loads %s",
 				job.stack.Label(), job.stack.Ckpt)
 		}
 		if lo.periodic.Every > 0 {
-			return fmt.Errorf("core: shrink-mode recovery does not compose with periodic checkpointing")
+			return fmt.Errorf("core: in-place (shrink/replica) recovery does not compose with periodic checkpointing")
 		}
 	}
 	if lo.inj != nil {
 		job.inj = lo.inj
 		lo.inj.BeginLeg()
 		lo.inj.ArmNetwork(job.w.Network())
-		// A fatal crash under a shrink-mode job would close the world out
-		// from under the recovering survivors; a non-fatal crash under a
+		// A fatal crash under an in-place-recovery job would close the
+		// world out from under the survivors; a non-fatal crash under a
 		// restart-mode job would strand survivors at the next checkpoint
 		// barrier waiting for deposits the dead will never make.
 		fatal, nonFatal := lo.inj.CrashModes()
-		if lo.shrink != nil && fatal {
-			return fmt.Errorf("core: shrink-mode job armed with fatal crash faults; mark them NonFatal")
+		if inPlace && fatal {
+			return fmt.Errorf("core: in-place-recovery job armed with fatal crash faults; mark them NonFatal")
 		}
-		if lo.shrink == nil && nonFatal {
-			return fmt.Errorf("core: non-fatal crash faults require shrink-mode recovery (RunWithShrinkRecovery)")
+		if !inPlace && nonFatal {
+			return fmt.Errorf("core: non-fatal crash faults require in-place recovery (RunWithShrinkRecovery or RunWithReplication)")
 		}
 	}
 	return nil
@@ -604,11 +634,18 @@ func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
 			// victims' endpoints and broadcasts the failure notice, and
 			// the survivors keep running. Co-victims of an already-fired
 			// fault just die.
+			// On a replicated job the injector was armed against the
+			// LOGICAL cluster shape, so resolved victims are always
+			// primaries — a shadow's physical rank is past the logical
+			// range and never matches.
 			if f, dead, first := j.inj.CrashAt(rank, agent.Step()+1, j.w.Endpoint(rank).Clock().Now()); dead {
 				if first {
-					if f.NonFatal {
+					switch {
+					case j.replica != nil:
+						j.recordReplicaFailure(f, agent.Step()+1, j.w.Endpoint(rank).Clock().Now())
+					case f.NonFatal:
 						j.recordShrinkFailure(f, agent.Step()+1, j.w.Endpoint(rank).Clock().Now())
-					} else {
+					default:
 						j.recordFailure(f, agent.Step()+1, j.w.Endpoint(rank).Clock().Now())
 					}
 				}
@@ -637,11 +674,11 @@ func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
 			fail(fmt.Errorf("step %d: %w", agent.Step(), err))
 			return
 		}
-		if j.shrink != nil {
-			// Shrink-mode jobs are checkpoint-free by construction, and
-			// the safe-point vote is a barrier over ALL ranks — the dead
-			// included, who will never vote again. Keep the step count
-			// (the injector's trigger clock) without the barrier.
+		if j.shrink != nil || j.replica != nil {
+			// In-place-recovery jobs are checkpoint-free by construction,
+			// and the safe-point vote is a barrier over ALL ranks — the
+			// dead included, who will never vote again. Keep the step
+			// count (the injector's trigger clock) without the barrier.
 			agent.SetStep(agent.Step() + 1)
 			if done {
 				return
@@ -863,6 +900,9 @@ func Restart(dir string, stack Stack, opts ...LaunchOption) (*Job, error) {
 	}
 	if lo.shrink != nil {
 		return nil, fmt.Errorf("core: shrink-mode recovery applies to launches, not restarts")
+	}
+	if lo.replica != nil {
+		return nil, fmt.Errorf("core: replica-mode recovery applies to launches, not restarts")
 	}
 	if stack.Net.Size() != meta.NumRanks {
 		return nil, fmt.Errorf("core: stack has %d ranks, image has %d", stack.Net.Size(), meta.NumRanks)

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/simnet"
+)
+
+// ReplicaPolicy configures replication-based recovery — the third leg of
+// the recovery axis, next to RunWithRecovery's checkpoint/restart and
+// RunWithShrinkRecovery's ULFM shrink. Where restart pays a lost-work
+// window and shrink pays recomputation, replication pays up front: every
+// logical rank runs as a primary + warm-shadow pair (FTHP-MPI style,
+// arXiv:2504.09989), every message is shipped and received twice, and a
+// primary's death costs nothing beyond what was already being paid —
+// the shadow is promoted in place with no rollback, no image I/O, no
+// shrink, no recomputation. The job's communicators never change shape.
+type ReplicaPolicy struct {
+	// LegTimeout cancels the whole job when it exceeds it (0 = none).
+	LegTimeout time.Duration
+}
+
+// PromotionEvent records one failover: a fault killed primaries whose
+// shadows took over in place. Times are virtual; clocks never rewind,
+// so the job's completion time already includes the (steady-state)
+// replication overhead — there is no separate recovery window to add.
+type PromotionEvent struct {
+	// Failure is the fault that killed the primaries.
+	Failure *RankFailure
+	// Logical lists the logical ranks now running on their shadows.
+	Logical []int
+	// Detected is the trigger rank's virtual clock at the death.
+	Detected simnet.Time
+}
+
+// ReplicaResult summarizes a run driven by RunWithReplication.
+type ReplicaResult struct {
+	// Job is the one and only leg (failover never relaunches).
+	Job *Job
+	// Completed reports whether the job ran to completion.
+	Completed bool
+	// Promotions counts logical ranks that failed over to their shadow.
+	Promotions int
+	// Events records each failure/promotion, in order.
+	Events []PromotionEvent
+}
+
+// WithReplication arms replica-pair execution on a launch: the world is
+// built with a shadow endpoint behind every logical rank (on a disjoint
+// set of nodes), both replicas execute the full program, and non-fatal
+// crash faults kill primaries without aborting the job — the runtime's
+// replica layer (internal/mpicore) keeps the survivors oblivious. It
+// requires a checkpointer-free stack (CkptNone): replication is an
+// alternative to checkpoint/restart, not a layer over it. Normally
+// applied through RunWithReplication.
+func WithReplication(pol ReplicaPolicy) LaunchOption {
+	return func(o *launchOpts) { o.replica = &pol }
+}
+
+// recordReplicaFailure registers a non-fatal fault's kill set on a
+// replicated job: the victims' endpoints die and the fabric broadcasts
+// the failure notice — which the replica layer translates into shadow
+// promotions — but the world stays open and every surviving replica
+// keeps running, typically without ever observing an error.
+func (j *Job) recordReplicaFailure(f *faults.Fault, step uint64, now simnet.Time) {
+	j.mu.Lock()
+	j.replicaFailures = append(j.replicaFailures, newRankFailure(f, step, now))
+	j.mu.Unlock()
+	j.w.Kill(f.Ranks...)
+	j.w.NotifyFailure(f.Ranks...)
+}
+
+// ReplicaOutcome returns the job's recorded replica failures (stable
+// after Wait).
+func (j *Job) ReplicaOutcome() []*RankFailure {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]*RankFailure(nil), j.replicaFailures...)
+}
+
+// LogicalClock returns logical rank r's completion clock on a
+// replicated job: the primary's when it survived, the promoted shadow's
+// otherwise (a dead primary's clock froze at its death and would
+// under-report the run).
+func (j *Job) LogicalClock(r int) simnet.Time {
+	if j.w.Replicated() && !j.w.Alive(r) {
+		_, shadow := j.w.Replicas(r)
+		return j.Clock(shadow)
+	}
+	return j.Clock(r)
+}
+
+// LogicalProgram returns logical rank r's completed program instance on
+// a replicated job: the primary's, or the promoted shadow's when the
+// primary died (stable after Wait).
+func (j *Job) LogicalProgram(r int) Program {
+	if j.w.Replicated() && !j.w.Alive(r) {
+		_, shadow := j.w.Replicas(r)
+		return j.progs[shadow]
+	}
+	return j.progs[r]
+}
+
+// RunWithReplication is the replication counterpart of RunWithRecovery
+// and RunWithShrinkRecovery: it launches prog under stack with every
+// logical rank backed by a primary + shadow replica pair, optionally
+// with non-fatal crash faults armed against the LOGICAL cluster shape
+// (stack.Net — resolved targets are always primaries). When a fault
+// kills a primary, its warm shadow is promoted in place: no rollback,
+// no shrink, no restart, and — because the shadow was already executing
+// and already receiving every (duplicated) message — no survivor
+// observes an error at all. The job completes with the same program
+// results as an unreplicated fault-free run; what replication costs is
+// the ~2x steady-state message overhead the recoveryfrontier figure
+// measures.
+//
+// stack must be checkpointer-free (CkptNone — any implementation, any
+// binding: native, Mukautuva or Wi4MPI, since the replica layer lives
+// in the shared runtime below every ABI surface). Every crash fault in
+// the injector must be marked NonFatal; fatal faults are refused up
+// front. A nil injector runs fault-free, measuring the steady-state
+// overhead alone.
+func RunWithReplication(stack Stack, prog string, inj *faults.Injector, pol ReplicaPolicy, opts ...LaunchOption) (*ReplicaResult, error) {
+	if stack.Ckpt != CkptNone {
+		return nil, fmt.Errorf("core: replication is the checkpoint-free path; stack %s loads %s (use RunWithRecovery for restart-based recovery)",
+			stack.Label(), stack.Ckpt)
+	}
+	legOpts := append(append([]LaunchOption(nil), opts...), WithReplication(pol))
+	if inj != nil {
+		legOpts = append(legOpts, WithFaults(inj))
+	}
+	job, err := Launch(stack, prog, legOpts...)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReplicaResult{Job: job}
+	werr := WaitTimeout(job, pol.LegTimeout)
+	n := job.w.LogicalSize()
+	for _, f := range job.ReplicaOutcome() {
+		ev := PromotionEvent{Failure: f, Detected: f.Detected}
+		for _, r := range f.Ranks {
+			if r >= n {
+				continue // a shadow died: its primary covers, no promotion
+			}
+			if _, shadow := job.w.Replicas(r); job.w.Alive(shadow) {
+				ev.Logical = append(ev.Logical, r)
+			}
+		}
+		res.Promotions += len(ev.Logical)
+		res.Events = append(res.Events, ev)
+	}
+	if werr != nil {
+		return res, werr
+	}
+	res.Completed = true
+	return res, nil
+}

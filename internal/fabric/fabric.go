@@ -213,13 +213,14 @@ func (m *mailbox) len() int {
 // World is one simulated cluster run: n rank endpoints over a shared
 // network, plus the out-of-band plane.
 type World struct {
-	cfg   simnet.Config
-	net   *simnet.Network
-	eps   []*Endpoint
-	dead  []atomic.Bool // per-rank fail-stop flag (see Kill)
-	oob   *OOB
-	sched *sched // non-nil iff the world runs in ProgressEvent mode
-	once  sync.Once
+	cfg     simnet.Config
+	net     *simnet.Network
+	eps     []*Endpoint
+	dead    []atomic.Bool // per-rank fail-stop flag (see Kill)
+	oob     *OOB
+	sched   *sched // non-nil iff the world runs in ProgressEvent mode
+	logical int    // logical rank count on a replicated world (0 = unreplicated)
+	once    sync.Once
 }
 
 // NewWorld builds a goroutine-mode world for cfg.Size() ranks.
@@ -252,8 +253,54 @@ func NewWorldMode(cfg simnet.Config, mode ProgressMode) (*World, error) {
 	return w, nil
 }
 
+// NewReplicatedWorld builds a world for cfg.Size() LOGICAL ranks, each
+// backed by a primary + shadow pair of physical endpoints — the
+// FTHP-MPI-style active-replication substrate. cfg describes the
+// logical cluster; the world doubles the node count so every shadow
+// lives on a different node than its primary (a node crash never takes
+// both replicas of a pair), giving Size() == 2×cfg.Size() physical
+// endpoints. Logical rank r is backed by physical primary r and
+// physical shadow r+n; the mapping is fixed for the world's lifetime —
+// promotion after a primary death is pure bookkeeping in the layers
+// above, never a renumbering here.
+//
+// The fabric stays replication-agnostic on the data path: endpoints
+// send and receive by physical rank exactly as on any other world, and
+// the duplicate-send / receive-dedup protocol belongs to the MPI
+// runtime built on top (internal/mpicore). The world only records the
+// logical shape so that runtime can recover it.
+func NewReplicatedWorld(cfg simnet.Config, mode ProgressMode) (*World, error) {
+	phys := cfg
+	phys.Nodes *= 2
+	w, err := NewWorldMode(phys, mode)
+	if err != nil {
+		return nil, err
+	}
+	w.logical = cfg.Size()
+	return w, nil
+}
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.eps) }
+
+// Replicated reports whether the world was built by NewReplicatedWorld
+// (every logical rank backed by a primary + shadow physical pair).
+func (w *World) Replicated() bool { return w.logical > 0 }
+
+// LogicalSize returns the number of logical ranks: Size() on an
+// unreplicated world, Size()/2 on a replicated one.
+func (w *World) LogicalSize() int {
+	if w.logical > 0 {
+		return w.logical
+	}
+	return len(w.eps)
+}
+
+// Replicas returns the physical ranks backing logical rank lr on a
+// replicated world: the primary (lr) and its shadow (lr + LogicalSize).
+func (w *World) Replicas(lr int) (primary, shadow int) {
+	return lr, lr + w.logical
+}
 
 // Config returns the simnet configuration.
 func (w *World) Config() simnet.Config { return w.cfg }

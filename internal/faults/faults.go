@@ -18,6 +18,12 @@
 // restart legs: the recovery driver carries one Injector through launch,
 // detection and restart, so a crash consumed on the first leg does not
 // re-kill the recovered job when it replays the trigger step.
+//
+// In the README's layer diagram the fault axis is orthogonal to the
+// stack column: plans arm fail-stop kills, failure notices and NIC
+// degradation in the fabric+simnet row, and the three recovery drivers
+// in internal/core — restart, shrink, replicate (docs/recovery.md) —
+// consume the resulting failures.
 package faults
 
 import (

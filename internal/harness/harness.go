@@ -9,6 +9,10 @@
 // scenarios it needs, hands them to the internal/scenario matrix engine,
 // and renders the figure as a query over the engine's results. Running a
 // figure and running the full matrix therefore measure the same way.
+//
+// In the README's layer diagram the harness sits above the stack
+// column next to internal/scenario, driving every row below it —
+// Section 5's evaluation protocol made executable.
 package harness
 
 import (
@@ -467,6 +471,83 @@ func ShrinkRecovery(o Options, scratch string) (*Figure, error) {
 	return fig, nil
 }
 
+// RecoveryFrontier puts all three legs of the recovery axis on one
+// figure, per implementation, against the same seeded rank crash:
+// replication failover (warm shadow pairs — pays a steady-state ~2x
+// message overhead up front and recovers for free), ULFM shrink
+// (pays nothing up front, recomputes the lost prefix on the
+// survivors), and checkpoint/restart (pays periodic image I/O and the
+// lost-work window behind the latest image), with the fault-free run
+// as the anchor. All stacks bind through Mukautuva so the contrast is
+// between recovery cost models, not binding overheads. This is the
+// trade FTHP-MPI (arXiv:2504.09989) argues qualitatively; here each
+// point is a measured virtual time-to-solution from the matrix engine.
+func RecoveryFrontier(o Options, scratch string) (*Figure, error) {
+	fig := &Figure{
+		ID:     "recoveryfrontier",
+		Title:  "Recovery frontier: replication vs ULFM shrink vs checkpoint/restart (seeded rank crash)",
+		XLabel: "Implementation (0=MPICH, 1=Open MPI, 2=StdABI)",
+		YLabel: "Virtual time-to-solution (secs)",
+	}
+	impls := []core.Impl{core.ImplMPICH, core.ImplOpenMPI, core.ImplStdABI}
+	var specs []scenario.Spec
+	for _, impl := range impls {
+		baseline := scenario.Spec{
+			Program: "app.wave", Impl: impl, ABI: core.ABIMukautuva, Ckpt: core.CkptNone,
+		}
+		replicate := baseline
+		replicate.Fault = faults.KindRankCrash
+		replicate.Recovery = scenario.RecoveryReplicate
+		shrink := baseline
+		shrink.Fault = faults.KindRankCrash
+		shrink.Recovery = scenario.RecoveryShrink
+		restart := scenario.Spec{
+			Program: "app.wave", Impl: impl, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			RestartImpl: impl, RestartABI: core.ABIMukautuva,
+			Fault: faults.KindRankCrash,
+		}
+		specs = append(specs, baseline, replicate, shrink, restart)
+	}
+	rep, err := runMatrix(specs, o, scratch)
+	if err != nil {
+		return nil, err
+	}
+	series := []Series{
+		{Label: "fault-free"},
+		{Label: "replication failover (warm shadows)"},
+		{Label: "ULFM shrink (in place)"},
+		{Label: "checkpoint/restart"},
+	}
+	for ii := range impls {
+		for si := range series {
+			res, err := findResult(rep, specs[ii*4+si].ID())
+			if err != nil {
+				return nil, err
+			}
+			series[si].X = append(series[si].X, float64(ii))
+			series[si].Y = append(series[si].Y, res.Time.Median)
+			series[si].Err = append(series[si].Err, res.Time.StdDev)
+		}
+		base := series[0].Y[ii]
+		replRes, err := findResult(rep, specs[ii*4+1].ID())
+		if err != nil {
+			return nil, err
+		}
+		promotions := 0
+		if len(replRes.Faults) > 0 {
+			promotions = replRes.Faults[0].Promotions
+		}
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"%s: replication overhead %s (steady-state, %d promotion), shrink overhead %s, restart overhead %s vs fault-free",
+			impls[ii],
+			stats.FormatPct(stats.OverheadPct(base, series[1].Y[ii])), promotions,
+			stats.FormatPct(stats.OverheadPct(base, series[2].Y[ii])),
+			stats.FormatPct(stats.OverheadPct(base, series[3].Y[ii]))))
+	}
+	fig.Series = series
+	return fig, nil
+}
+
 // FSGSBase is the ablation the paper's overhead analysis implies: the same
 // Muk+MANA alltoall sweep under the old-kernel (syscall) and new-kernel
 // (userspace FSGSBASE) cost models — the scenario matrix's kernel axis.
@@ -603,14 +684,15 @@ func All(o Options, scratch string) ([]*Figure, error) {
 
 // names for figure selection in cmd/paperfigs.
 var byName = map[string]func(Options, string) (*Figure, error){
-	"2":              func(o Options, _ string) (*Figure, error) { return Fig2(o) },
-	"3":              func(o Options, _ string) (*Figure, error) { return Fig3(o) },
-	"4":              func(o Options, _ string) (*Figure, error) { return Fig4(o) },
-	"5":              func(o Options, _ string) (*Figure, error) { return Fig5(o) },
-	"6":              Fig6,
-	"fsgsbase":       func(o Options, _ string) (*Figure, error) { return FSGSBase(o) },
-	"recovery":       RecoveryOverhead,
-	"shrinkrecovery": ShrinkRecovery,
+	"2":                func(o Options, _ string) (*Figure, error) { return Fig2(o) },
+	"3":                func(o Options, _ string) (*Figure, error) { return Fig3(o) },
+	"4":                func(o Options, _ string) (*Figure, error) { return Fig4(o) },
+	"5":                func(o Options, _ string) (*Figure, error) { return Fig5(o) },
+	"6":                Fig6,
+	"fsgsbase":         func(o Options, _ string) (*Figure, error) { return FSGSBase(o) },
+	"recovery":         RecoveryOverhead,
+	"shrinkrecovery":   ShrinkRecovery,
+	"recoveryfrontier": RecoveryFrontier,
 }
 
 // ByName runs one figure by its paper number ("2".."6") or ablation name.

@@ -310,3 +310,41 @@ func TestShrinkRecoveryFigure(t *testing.T) {
 		t.Fatalf("notes = %v", fig.Notes)
 	}
 }
+
+// TestRecoveryFrontierFigure runs the three-way recovery comparison at
+// tiny scale: four series (fault-free, replication, shrink, restart)
+// over three implementations. Replication's point must sit above the
+// fault-free anchor — the steady-state duplicate-traffic overhead is
+// ~2x, far outside the engine's virtual-time noise. The two recomputing
+// modes are NOT ordered against the anchor here: at tiny scale a crash
+// near the first safe point costs less than the cross-cell jitter
+// (each cell derives its own seeds), so their relation to the baseline
+// is the figure's finding, not a test invariant.
+func TestRecoveryFrontierFigure(t *testing.T) {
+	fig, err := RecoveryFrontier(tiny(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "recoveryfrontier" || len(fig.Series) != 4 {
+		t.Fatalf("figure shape: id=%s series=%d", fig.ID, len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 3 {
+			t.Fatalf("series %q has %d points, want 3 (one per implementation)", s.Label, len(s.Y))
+		}
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("series %q impl %d: non-positive time %v", s.Label, i, y)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if repl, base := fig.Series[1].Y[i], fig.Series[0].Y[i]; repl < base {
+			t.Errorf("impl %d: %q beat the fault-free run (%v vs %v)",
+				i, fig.Series[1].Label, repl, base)
+		}
+	}
+	if len(fig.Notes) != 3 {
+		t.Fatalf("notes = %v", fig.Notes)
+	}
+}

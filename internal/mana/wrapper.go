@@ -19,6 +19,10 @@
 // wrapper also runs directly over a native binding — the paper's older
 // "virtual id" configuration — in which case restart is only legal under
 // the same implementation.
+//
+// In the README's layer diagram MANA is the checkpointer-interposition
+// entry of the bindings-and-shims row (Sections 3 and 5.3): it wraps
+// whatever function table it is given, native or shimmed.
 package mana
 
 import (

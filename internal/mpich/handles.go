@@ -24,6 +24,10 @@
 // standardization (Sections 2 and 4.1): the "MPICH" legs of every stack
 // in the Section 5 evaluation, and the restart-side implementation of the
 // Figure 6 cross-implementation experiment, bind here.
+//
+// In the README's layer diagram this is the first entry of the
+// implementation-packages row: a thin ABI + policy layer over the shared
+// runtime, nothing more.
 package mpich
 
 import "fmt"

@@ -29,6 +29,13 @@
 // few hundred lines of such glue is the repository's executable form of
 // the paper's "a standard ABI makes new interoperable implementations
 // cheap" claim.
+//
+// In the README's layer diagram mpicore is the shared-runtime row —
+// everything between the implementation packages and the fabric,
+// including the replica layer behind Recovery="replicate"
+// (docs/recovery.md): send duplication, receive dedup by replication
+// sequence, and in-place shadow promotion, all beneath the communicator
+// abstraction so no layer above can tell a replicated world apart.
 package mpicore
 
 import (
@@ -250,12 +257,19 @@ type Proc struct {
 	// ids, per-communicator failure acknowledgements (see ulfm.go).
 	ft *ulfm.Tracker
 
+	// repl is the active-replication state on a replicated world, nil
+	// otherwise. When set, rank/size and every communicator speak
+	// logical ranks; see replica.go.
+	repl *replState
+
 	finalized bool
 }
 
 // NewProc attaches a runtime instance to one rank of a world — the common
 // half of every implementation's MPI_Init. The predefined communicators
-// use the shared context ids 1 (world) and 2 (self).
+// use the shared context ids 1 (world) and 2 (self). On a replicated
+// world rank is the PHYSICAL endpoint rank; the instance rewires itself
+// to speak logical ranks everywhere above the wire (see replica.go).
 func NewProc(w *fabric.World, rank int, k Consts, e Codes, pol Policy) *Proc {
 	p := &Proc{
 		ep:           w.Endpoint(rank),
@@ -272,12 +286,15 @@ func NewProc(w *fabric.World, rank int, k Consts, e Codes, pol Policy) *Proc {
 		awaitingData: make(map[seqKey]*Request),
 		ft:           ulfm.NewTracker(),
 	}
+	if w.Replicated() {
+		p.initReplication(w)
+	}
 	worldRanks := make([]int, p.size)
 	for i := range worldRanks {
 		worldRanks[i] = i
 	}
-	p.CommWorld = &Comm{CID: 1, Ranks: worldRanks, MyPos: rank}
-	p.CommSelf = &Comm{CID: 2, Ranks: []int{rank}, MyPos: 0}
+	p.CommWorld = &Comm{CID: 1, Ranks: worldRanks, MyPos: p.rank}
+	p.CommSelf = &Comm{CID: 2, Ranks: []int{p.rank}, MyPos: 0}
 	p.cidIndex[1] = p.CommWorld
 	p.cidIndex[2] = p.CommSelf
 	for _, kind := range types.Kinds() {

@@ -46,6 +46,9 @@ func (p *Proc) Progress(block bool) int {
 // queue, until a matching receive consumes it in postRecv). Payload
 // slices may outlive their envelope — the pool recycles structs only.
 func (p *Proc) dispatch(e *fabric.Envelope) {
+	if p.repl != nil && !p.replAdmit(e) {
+		return // duplicate replica delivery, already recycled
+	}
 	switch e.Proto {
 	case fabric.ProtoEager:
 		if r := p.matchPosted(e); r != nil {
@@ -207,6 +210,10 @@ func (p *Proc) postRecv(r *Request) {
 // to the receiver without a defensive copy — legal only when the caller
 // never touches packed again (see Request.owned).
 func (p *Proc) sendInternal(packed []byte, destWorld int, tag int32, cid uint32, owned bool) *Request {
+	if p.repl != nil {
+		p.replSend(packed, destWorld, tag, cid, owned)
+		return nil
+	}
 	if len(packed) <= p.pol.EagerMax || destWorld == p.rank {
 		e := fabric.GetEnvelope()
 		e.Dst = destWorld

@@ -36,6 +36,13 @@ func (p *Proc) nextFtTag(c *Comm) int32 {
 func (p *Proc) handleCtrl(e *fabric.Envelope) {
 	switch e.Tag {
 	case ulfm.CtrlFailure:
+		// The fabric names PHYSICAL dead ranks; on a replicated world the
+		// replica layer decides whether a logical rank actually failed
+		// (both replicas down) or merely promoted its shadow.
+		if p.repl != nil {
+			p.replNoteFailure(ulfm.DecodeRanks(e.Payload))
+			return
+		}
 		if p.ft.NoteFailed(ulfm.DecodeRanks(e.Payload)...) {
 			p.sweepFailed()
 		}
@@ -143,6 +150,10 @@ func (p *Proc) revokeLocal(cid uint32) {
 // notice normally does this through dispatch; the entry point exists for
 // implementation layers and tests.
 func (p *Proc) NoteFailed(ranks ...int) {
+	if p.repl != nil {
+		p.replNoteFailure(ranks)
+		return
+	}
 	if p.ft.NoteFailed(ranks...) {
 		p.sweepFailed()
 	}
@@ -169,7 +180,14 @@ func (p *Proc) CommRevoke(c *Comm) int {
 	}
 	p.revokeLocal(c.CID)
 	for _, w := range c.Ranks {
-		if w == p.rank || p.ft.Failed(w) {
+		if p.ft.Failed(w) {
+			continue
+		}
+		if p.repl != nil {
+			p.replRevokeSend(c.CID, w)
+			continue
+		}
+		if w == p.rank {
 			continue
 		}
 		p.ep.Send(&fabric.Envelope{

@@ -10,6 +10,9 @@
 // serialized handles in a checkpoint image — remains meaningful when the
 // underlying implementation is swapped, which is exactly the property the
 // paper's cross-implementation restart experiment (Figure 6) relies on.
+//
+// In the README's layer diagram the shim is the standard-ABI entry of
+// the bindings-and-shims row (Section 4.2.1).
 package mukautuva
 
 import (

@@ -27,6 +27,10 @@
 // the Section 5 evaluation this package is the "Open MPI" leg of every
 // stack, and the launch-side implementation of Figure 6's
 // checkpoint-under-Open-MPI, restart-under-MPICH experiment.
+//
+// In the README's layer diagram this is the second entry of the
+// implementation-packages row, a thin ABI + policy layer like its MPICH
+// sibling.
 package openmpi
 
 import (

@@ -5,6 +5,9 @@
 // — the handle-vs-semantics split that the paper's standard ABI (Section
 // 4.1) formalizes. The MPI_Allreduce sweeps of Figure 4 and the Figure 5
 // applications' energy reductions execute through these operators.
+//
+// In the README's layer diagram ops is part of the shared-runtime row:
+// "the math" mpicore's reduction collectives call into.
 package ops
 
 import (

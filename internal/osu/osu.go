@@ -8,6 +8,9 @@
 // checkpointable state; the Figure 6 experiment checkpoints the benchmark
 // mid-run and restarts it under another MPI implementation, so the sweep
 // position, accumulated timings and phase all live in serialized state.
+//
+// In the README's layer diagram the OSU kernels are the applications
+// row: programs compiled once against internal/abi like any user code.
 package osu
 
 import (

@@ -32,7 +32,13 @@ import (
 //	   cell). Every cell's progress engine gained failure sweeps,
 //	   revocation checks and the control-plane dispatch path, so all v2
 //	   results execute over changed runtime semantics and must re-run.
-const EngineVersion = 3
+//	4: the replication subsystem (234 -> 252 cells: a replicate-recovery
+//	   rank-crash cell beside every shrink one). The shared runtime's
+//	   send, dispatch and failure-notice paths gained the replica-layer
+//	   interception hooks; the hooks are no-ops on unreplicated worlds,
+//	   but the paths' semantics are owned by new code, so v3 results
+//	   must re-run rather than be trusted across the boundary.
+const EngineVersion = 4
 
 // CellHash is the content address of one matrix cell: a stable SHA-256
 // over everything that determines the cell's Result.

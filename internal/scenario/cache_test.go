@@ -74,9 +74,10 @@ func TestCellHashStableAndComplete(t *testing.T) {
 func TestCellHashPinned(t *testing.T) {
 	s := hashSpec()
 	o := Options{Nodes: 2, RanksPerNode: 4, Reps: 2, MaxSize: 64, Iters: 2, Warmup: 1, BaseSeed: 42}
-	// Re-pinned for EngineVersion 3 (the ULFM subsystem and the
-	// recovery-mode axis; every v2 result deliberately invalidated).
-	const want = "6fc2363cfea7d7120c6eec8db4f3021f1f866624848db9b7bb6742e4c40a195b"
+	// Re-pinned for EngineVersion 4 (the replication subsystem's
+	// interception hooks in the shared runtime; every v3 result
+	// deliberately invalidated).
+	const want = "9d4a3597cb342a7cd9930ea731e305ca71225f25ea74a5a46d0b1507ae78e45a"
 	if got := CellHash(s, o); got != want {
 		t.Fatalf("pinned cell hash drifted (engine version %d):\n got %s\nwant %s",
 			EngineVersion, got, want)

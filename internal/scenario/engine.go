@@ -343,6 +343,9 @@ func runFaultRep(s Spec, o Options, rep int, seed int64) (measurement, FaultReco
 	if s.Recovery == RecoveryShrink {
 		return runShrinkRep(s, o, fr, stack, seed)
 	}
+	if s.Recovery == RecoveryReplicate {
+		return runReplicateRep(s, o, fr, stack, seed)
+	}
 
 	if o.Scratch == "" {
 		return m, fr, fmt.Errorf("no scratch directory for checkpoint images (temp dir creation failed)")
@@ -436,6 +439,52 @@ func runShrinkRep(s Spec, o Options, fr FaultRecord, stack core.Stack, seed int6
 		return m, fr, err
 	}
 	return measureJob(rr.Job, stack.Net.Size()), fr, nil
+}
+
+// runReplicateRep runs one replication-failover repetition: the same
+// seeded rank crash, injected non-fatally against the LOGICAL cluster
+// shape (so the victim is always a primary), absorbed by promoting the
+// victim's warm shadow in place. The world is physically doubled but
+// the scenario's identity — and its measurement — stays logical: the
+// completion time is the max over logical clocks (a promoted logical
+// rank reads its shadow's clock; the dead primary's froze at the
+// crash), and like shrink there is no lost-work folding, because
+// nothing rewinds and nothing recomputes. What the cell pays instead
+// is the steady-state duplicate-message overhead, which is exactly the
+// contrast the recoveryfrontier figure draws.
+func runReplicateRep(s Spec, o Options, fr FaultRecord, stack core.Stack, seed int64) (measurement, FaultRecord, error) {
+	var m measurement
+	fr.Recovery = RecoveryReplicate
+	inj, err := faults.NewInjector(faults.Plan{Faults: []faults.Spec{{
+		Kind: s.Fault, Rank: faults.Anywhere, Step: s.FaultStep, NonFatal: true,
+	}}}, seed, stack.Net)
+	if err != nil {
+		return m, fr, err
+	}
+	rr, err := core.RunWithReplication(stack, s.Program, inj,
+		core.ReplicaPolicy{LegTimeout: o.Timeout},
+		core.WithConfigure(o.configure(seed)))
+	if rr != nil {
+		fr.Promotions = rr.Promotions
+		if len(rr.Events) > 0 {
+			ev := rr.Events[0]
+			if ev.Failure != nil {
+				fr.Ranks = ev.Failure.Ranks
+				fr.Step = ev.Failure.Step
+				fr.DetectVirtMS = float64(ev.Detected) / 1e6
+			}
+			fr.Promoted = ev.Logical
+		}
+	}
+	if err != nil {
+		return m, fr, err
+	}
+	for r := 0; r < stack.Net.Size(); r++ {
+		if t := rr.Job.LogicalClock(r).Duration().Seconds(); t > m.timeSecs {
+			m.timeSecs = t
+		}
+	}
+	return m, fr, nil
 }
 
 // runRep runs one repetition: launch (with the checkpoint/restart dance

@@ -27,7 +27,11 @@ import (
 // v4 added the recovery-mode axis: Spec.Recovery ("shrink" selects ULFM
 // in-place recovery for rank-crash cells) and the shrink half of
 // FaultRecord (Recovery/Shrinks/Survivors).
-const SchemaVersion = 4
+//
+// v5 added the third recovery mode: Spec.Recovery "replicate" (warm
+// shadow replicas, promotion in place of a dead primary) and the
+// promotion half of FaultRecord (Promotions/Promoted).
+const SchemaVersion = 5
 
 // Status is a scenario outcome.
 type Status string
@@ -93,6 +97,12 @@ type FaultRecord struct {
 	Recovery  string `json:"recovery,omitempty"`
 	Shrinks   int    `json:"shrinks,omitempty"`
 	Survivors int    `json:"survivors,omitempty"`
+	// Replicate cells ("replicate") never restart or shrink either:
+	// Promotions counts the logical ranks that failed over to their warm
+	// shadow, and Promoted lists them. The world keeps its full logical
+	// size throughout — promotion is membership-preserving by design.
+	Promotions int   `json:"promotions,omitempty"`
+	Promoted   []int `json:"promoted,omitempty"`
 }
 
 // Result is one scenario's aggregated outcome.
@@ -317,6 +327,9 @@ func (r *Report) Render() string {
 				}
 				if f.Shrinks > 0 {
 					line += fmt.Sprintf(" shrunk(x%d, %d survive)", f.Shrinks, f.Survivors)
+				}
+				if f.Promotions > 0 {
+					line += fmt.Sprintf(" failover(x%d promoted)", f.Promotions)
 				}
 			}
 		}

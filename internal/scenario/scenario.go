@@ -86,9 +86,13 @@ type Spec struct {
 	// RecoveryShrink runs ULFM in-place recovery instead — the fault is
 	// non-fatal, survivors revoke and shrink the world communicator and
 	// recompute on it, and no checkpoint is ever written (the cell must
-	// be checkpointer-free). The axis exists so the harness can compare
-	// the two halves of fault-tolerant MPI — restart a bigger job from
-	// images, or shrink and recompute in place — on the same crashes.
+	// be checkpointer-free); RecoveryReplicate runs every logical rank
+	// as a primary + warm-shadow pair and promotes the shadow when the
+	// primary dies — no rollback, no shrink, same membership (also
+	// checkpointer-free). The axis exists so the harness can compare
+	// the three legs of fault-tolerant MPI — restart a bigger job from
+	// images, shrink and recompute in place, or pay for replication up
+	// front — on the same crashes.
 	Recovery string `json:"recovery,omitempty"`
 	// FaultStep pins the fault's trigger step (0 = drawn from the
 	// repetition seed; see faults.Spec).
@@ -101,6 +105,10 @@ type Spec struct {
 
 // RecoveryShrink selects ULFM in-place recovery for a rank-crash cell.
 const RecoveryShrink = "shrink"
+
+// RecoveryReplicate selects replication-based recovery for a rank-crash
+// cell: primary + shadow replica pairs with in-place shadow promotion.
+const RecoveryReplicate = "replicate"
 
 // HasRestart reports whether the scenario includes a restart leg.
 func (s Spec) HasRestart() bool { return s.RestartImpl != "" }
@@ -201,6 +209,24 @@ func (s Spec) Validate() error {
 			}
 			break
 		}
+		if s.Recovery == RecoveryReplicate {
+			// Replication is the other checkpoint-free leg: shadows absorb
+			// the crash in place, nothing is written or restarted — the
+			// same four rules as shrink, for the same reasons.
+			if s.Fault != faults.KindRankCrash {
+				return fmt.Errorf("scenario %s: replication recovery applies to rank crashes (the seeded victim must be one primary)", s.ID())
+			}
+			if s.Ckpt != core.CkptNone {
+				return fmt.Errorf("scenario %s: replication recovery is checkpoint-free; drop the checkpointer", s.ID())
+			}
+			if s.HasRestart() {
+				return fmt.Errorf("scenario %s: replication recovery never restarts; drop the restart pairing", s.ID())
+			}
+			if s.CkptEvery != 0 {
+				return fmt.Errorf("scenario %s: replication recovery has no checkpoint interval", s.ID())
+			}
+			break
+		}
 		if s.Recovery != "" {
 			return fmt.Errorf("scenario %s: unknown recovery mode %q", s.ID(), s.Recovery)
 		}
@@ -267,9 +293,10 @@ type MatrixSpec struct {
 	CrossRestart bool
 	// Faults is the fault axis. KindRankCrash adds a crash-recovery
 	// scenario to every restart pairing AND a ULFM shrink-recovery
-	// scenario to every checkpointer-free straight cell (the
-	// recovery-mode axis: the same class of crash, survived by restart
-	// or in place); KindNodeCrash adds one to every
+	// scenario AND a replication-failover scenario to every
+	// checkpointer-free straight cell (the recovery-mode axis: the same
+	// class of crash, survived by restart, in place by shrinking, or in
+	// place by shadow promotion); KindNodeCrash adds one to every
 	// cross-implementation pairing (the paper's headline failure: lose a
 	// node under one implementation, finish under the other);
 	// KindNICDegrade adds a degraded-completion scenario to every
@@ -283,8 +310,8 @@ type MatrixSpec struct {
 // every checkpointing package, every valid restart pairing (including
 // stdabi<->{mpich,openmpi} cross-restarts in both directions), and the
 // fault axis — crash recovery over every pairing, ULFM shrink recovery
-// over every plain cell, node loss over every cross-implementation
-// pairing, link degradation over every plain cell.
+// and replication failover over every plain cell, node loss over every
+// cross-implementation pairing, link degradation over every plain cell.
 func DefaultMatrix() MatrixSpec {
 	return MatrixSpec{
 		Programs:     []string{"app.comd", "app.wave"},
@@ -335,6 +362,13 @@ func (m MatrixSpec) Enumerate() []Spec {
 						s.Fault = faults.KindRankCrash
 						s.Recovery = RecoveryShrink
 						out = append(out, s)
+						// ...and a replication-failover sibling: the same
+						// seeded crash, absorbed by a warm shadow instead
+						// of a shrink.
+						r := base
+						r.Fault = faults.KindRankCrash
+						r.Recovery = RecoveryReplicate
+						out = append(out, r)
 					}
 					if !m.CrossRestart || ckpt == core.CkptNone {
 						continue

@@ -32,10 +32,14 @@ func TestEnumerateExcludesInvalidStacks(t *testing.T) {
 	// The matrix must cover every base cell: 2 apps x 3 impls x 3 ABIs x
 	// 3 checkpointers = 54 straight runs.
 	var straight, cross, same int
-	var rankCrash, nodeCrash, nicDegrade, shrink int
+	var rankCrash, nodeCrash, nicDegrade, shrink, replicate int
 	for _, s := range specs {
 		switch s.Fault {
 		case faults.KindRankCrash:
+			if s.Recovery == RecoveryReplicate {
+				replicate++
+				continue
+			}
 			if s.Recovery == RecoveryShrink {
 				shrink++
 				continue
@@ -73,9 +77,9 @@ func TestEnumerateExcludesInvalidStacks(t *testing.T) {
 	}
 	// The fault axis: a rank-crash recovery per restart pairing (24 cross
 	// + 36 same = 60), a node-crash per cross pairing (24), and — per
-	// checkpointer-free straight cell (18 of them) — one nic-degrade and
-	// one ULFM shrink-recovery rank-crash (the recovery-mode axis) —
-	// 234 scenarios total.
+	// checkpointer-free straight cell (18 of them) — one nic-degrade,
+	// one ULFM shrink-recovery rank-crash and one replication-failover
+	// rank-crash (the recovery-mode axis) — 252 scenarios total.
 	if rankCrash != 60 {
 		t.Errorf("rank-crash scenarios = %d, want 60", rankCrash)
 	}
@@ -88,28 +92,36 @@ func TestEnumerateExcludesInvalidStacks(t *testing.T) {
 	if shrink != 18 {
 		t.Errorf("shrink-recovery scenarios = %d, want 18", shrink)
 	}
-	if len(specs) != 234 {
-		t.Errorf("matrix has %d scenarios, want 234", len(specs))
+	if replicate != 18 {
+		t.Errorf("replicate-recovery scenarios = %d, want 18", replicate)
 	}
-	// The recovery-mode axis must cover all three implementations, both
-	// native and shimmed.
-	shrinkBy := make(map[core.Impl]map[core.ABIMode]bool)
+	if len(specs) != 252 {
+		t.Errorf("matrix has %d scenarios, want 252", len(specs))
+	}
+	// Both in-place recovery modes must cover all three implementations,
+	// both native and shimmed.
+	recBy := map[string]map[core.Impl]map[core.ABIMode]bool{
+		RecoveryShrink: {}, RecoveryReplicate: {},
+	}
 	for _, s := range specs {
-		if s.Recovery != RecoveryShrink {
+		by, ok := recBy[s.Recovery]
+		if !ok {
 			continue
 		}
 		if s.Ckpt != core.CkptNone || s.HasRestart() {
-			t.Errorf("shrink cell %s advertises a checkpoint or restart leg", s.ID())
+			t.Errorf("%s cell %s advertises a checkpoint or restart leg", s.Recovery, s.ID())
 		}
-		if shrinkBy[s.Impl] == nil {
-			shrinkBy[s.Impl] = make(map[core.ABIMode]bool)
+		if by[s.Impl] == nil {
+			by[s.Impl] = make(map[core.ABIMode]bool)
 		}
-		shrinkBy[s.Impl][s.ABI] = true
+		by[s.Impl][s.ABI] = true
 	}
-	for _, impl := range []core.Impl{core.ImplMPICH, core.ImplOpenMPI, core.ImplStdABI} {
-		for _, mode := range []core.ABIMode{core.ABINative, core.ABIMukautuva, core.ABIWi4MPI} {
-			if !shrinkBy[impl][mode] {
-				t.Errorf("no shrink-recovery cell for %s+%s", impl, mode)
+	for mode, by := range recBy {
+		for _, impl := range []core.Impl{core.ImplMPICH, core.ImplOpenMPI, core.ImplStdABI} {
+			for _, abiMode := range []core.ABIMode{core.ABINative, core.ABIMukautuva, core.ABIWi4MPI} {
+				if !by[impl][abiMode] {
+					t.Errorf("no %s-recovery cell for %s+%s", mode, impl, abiMode)
+				}
 			}
 		}
 	}
@@ -174,6 +186,20 @@ func TestFaultSpecValidation(t *testing.T) {
 		// Shrink under a node crash would drop whole nodes of ranks.
 		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
 			Fault: faults.KindNodeCrash, Recovery: RecoveryShrink},
+		// Replication is checkpoint-free too...
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptMANA,
+			Fault: faults.KindRankCrash, Recovery: RecoveryReplicate},
+		// ... never restarts ...
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABIMukautuva, Ckpt: core.CkptNone,
+			RestartImpl: core.ImplOpenMPI, RestartABI: core.ABIMukautuva,
+			Fault: faults.KindRankCrash, Recovery: RecoveryReplicate},
+		// ... takes no checkpoint interval ...
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindRankCrash, Recovery: RecoveryReplicate, CkptEvery: 2},
+		// ... and only absorbs rank crashes (a node crash could land on a
+		// replica pair's disjoint nodes in one blow).
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindNodeCrash, Recovery: RecoveryReplicate},
 		// Recovery mode on a nic-degrade cell is meaningless.
 		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
 			Fault: faults.KindNICDegrade, Recovery: RecoveryShrink},
@@ -196,6 +222,9 @@ func TestFaultSpecValidation(t *testing.T) {
 		// ULFM shrink recovery: checkpointer-free, any binding.
 		{Program: "app.wave", Impl: core.ImplStdABI, ABI: core.ABIWi4MPI, Ckpt: core.CkptNone,
 			Fault: faults.KindRankCrash, FaultStep: 3, Recovery: RecoveryShrink},
+		// Replication failover: checkpointer-free, any binding.
+		{Program: "app.wave", Impl: core.ImplOpenMPI, ABI: core.ABIMukautuva, Ckpt: core.CkptNone,
+			Fault: faults.KindRankCrash, FaultStep: 3, Recovery: RecoveryReplicate},
 	}
 	for _, s := range good {
 		if err := s.Validate(); err != nil {
@@ -661,6 +690,66 @@ func TestShrinkScenariosEndToEnd(t *testing.T) {
 	// exact; virtual times (DetectVirtMS, completion) carry the engine's
 	// documented near-determinism under simulated NIC contention and are
 	// deliberately not compared — same bar as the restart fault cells.
+	rep2 := Run(specs, faultOptions(t))
+	for _, s := range specs {
+		a, b := rep.Find(s.ID()), rep2.Find(s.ID())
+		for i := range a.Faults {
+			fa, fb := a.Faults[i], b.Faults[i]
+			fa.DetectVirtMS, fb.DetectVirtMS = 0, 0
+			if !reflect.DeepEqual(fa, fb) {
+				t.Errorf("%s rep %d: fault records differ across identical runs:\n%+v\n%+v",
+					s.ID(), i, a.Faults[i], b.Faults[i])
+			}
+		}
+	}
+}
+
+func TestReplicateScenariosEndToEnd(t *testing.T) {
+	specs := []Spec{
+		{Program: "app.wave", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindRankCrash, Recovery: RecoveryReplicate},
+		{Program: "app.wave", Impl: core.ImplOpenMPI, ABI: core.ABIMukautuva, Ckpt: core.CkptNone,
+			Fault: faults.KindRankCrash, Recovery: RecoveryReplicate},
+		{Program: "app.wave", Impl: core.ImplStdABI, ABI: core.ABINative, Ckpt: core.CkptNone,
+			Fault: faults.KindRankCrash, Recovery: RecoveryReplicate},
+	}
+	rep := Run(specs, faultOptions(t))
+	if rep.Failed != 0 {
+		t.Fatalf("failures:\n%s", rep.Render())
+	}
+	for _, s := range specs {
+		res := rep.Find(s.ID())
+		if res == nil {
+			t.Fatalf("scenario %s missing", s.ID())
+		}
+		if len(res.Faults) != 2 {
+			t.Fatalf("%s: fault records for %d reps, want 2", s.ID(), len(res.Faults))
+		}
+		for _, fr := range res.Faults {
+			if fr.Recovery != RecoveryReplicate {
+				t.Errorf("%s rep %d: recovery mode %q", s.ID(), fr.Rep, fr.Recovery)
+			}
+			if fr.Promotions != 1 || fr.Shrinks != 0 || fr.Restarts != 0 {
+				t.Errorf("%s rep %d: promotions=%d shrinks=%d restarts=%d, want 1/0/0",
+					s.ID(), fr.Rep, fr.Promotions, fr.Shrinks, fr.Restarts)
+			}
+			if len(fr.Ranks) != 1 || !reflect.DeepEqual(fr.Promoted, fr.Ranks) {
+				t.Errorf("%s rep %d: promoted %v != killed primaries %v", s.ID(), fr.Rep, fr.Promoted, fr.Ranks)
+			}
+			if fr.Step == 0 {
+				t.Errorf("%s rep %d: fault record incomplete: %+v", s.ID(), fr.Rep, fr)
+			}
+			if fr.Survivors != 0 || fr.ImageDir != "" || fr.ImageStep != 0 {
+				t.Errorf("%s rep %d: replicate cell leaked shrink/restart fields: %+v", s.ID(), fr.Rep, fr)
+			}
+		}
+		if res.Time == nil || res.Time.Median <= 0 {
+			t.Errorf("%s: no completion time", s.ID())
+		}
+	}
+
+	// Determinism: same bar as the shrink cells — structural fields
+	// exact, virtual times deliberately not compared.
 	rep2 := Run(specs, faultOptions(t))
 	for _, s := range specs {
 		a, b := rep.Find(s.ID()), rep2.Find(s.ID())

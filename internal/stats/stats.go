@@ -4,6 +4,10 @@
 // for Figure 5's error bars, and quotes relative overheads in its in-text
 // claims (OverheadPct). Both internal/harness and the internal/scenario
 // matrix engine aggregate repetitions through Summarize.
+//
+// Stats sits beside the README's layer diagram, not in it: the figure
+// harness and the scenario engine aggregate repetitions through it, and
+// the stack column itself never calls it.
 package stats
 
 import (

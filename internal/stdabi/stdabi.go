@@ -29,6 +29,10 @@
 // applications bind to it natively, through Mukautuva, or through Wi4MPI,
 // and MANA images taken through the standard ABI restart across
 // stdabi <-> {mpich, openmpi} in both directions.
+//
+// In the README's layer diagram this is the third entry of the
+// implementation-packages row — the one whose native surface IS the
+// standard ABI of Section 4.1.
 package stdabi
 
 import (

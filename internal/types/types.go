@@ -10,6 +10,9 @@
 // split mirrors Section 4.1 of the paper: datatype *semantics* are common
 // to every implementation, while datatype *handles* are part of the
 // incompatible ABIs the standard ABI papers over.
+//
+// In the README's layer diagram the datatype engine is part of the
+// shared-runtime row, next to internal/ops.
 package types
 
 import (

@@ -33,6 +33,11 @@
 // MPIX calls in their own constant vocabularies, and the shims
 // (internal/mukautuva, internal/wi4mpi) translate the error classes in
 // both directions.
+//
+// In the README's layer diagram ulfm is its own box beside the shared
+// runtime: state only, embedded per rank by mpicore. It is the in-place
+// counterpart to the checkpoint/restart recovery of Sections 3 and 5.3;
+// docs/recovery.md compares both with the replication mode side by side.
 package ulfm
 
 import "hash/fnv"

@@ -12,6 +12,9 @@
 // makes the paper's taxonomy executable — and the MANA wrapper stacks on
 // either, since it resolves its constants through whatever table it is
 // given.
+//
+// In the README's layer diagram Wi4MPI is the preload-translation entry
+// of the bindings-and-shims row (Section 4.2.2).
 package wi4mpi
 
 import (

@@ -151,6 +151,13 @@ type (
 	ShrinkPolicy = core.ShrinkPolicy
 	// ShrinkResult summarizes a shrink-recovered run.
 	ShrinkResult = core.ShrinkResult
+	// ReplicaPolicy configures RunWithReplication (warm shadow replicas
+	// behind every logical rank; failover by in-place promotion).
+	ReplicaPolicy = core.ReplicaPolicy
+	// ReplicaResult summarizes a replicated run.
+	ReplicaResult = core.ReplicaResult
+	// PromotionEvent records one replica failover inside a ReplicaResult.
+	PromotionEvent = core.PromotionEvent
 )
 
 // Fault classes and the seeded-target sentinel.
@@ -197,6 +204,17 @@ func RunWithRecovery(stack Stack, program string, inj *FaultInjector, pol Recove
 // recompute on the smaller world. Checkpoint-free stacks only.
 func RunWithShrinkRecovery(stack Stack, program string, inj *FaultInjector, pol ShrinkPolicy, opts ...LaunchOption) (*ShrinkResult, error) {
 	return core.RunWithShrinkRecovery(stack, program, inj, pol, opts...)
+}
+
+// RunWithReplication is the third leg of the recovery axis: every
+// logical rank runs as a primary + warm-shadow pair, every message is
+// duplicated to both replicas, and a non-fatal crash of a primary is
+// absorbed by promoting its shadow in place — no checkpoints, no
+// restart, no shrink, and no survivor ever observes an error. A nil
+// injector runs fault-free, measuring the steady-state duplication
+// overhead. Checkpoint-free stacks only.
+func RunWithReplication(stack Stack, program string, inj *FaultInjector, pol ReplicaPolicy, opts ...LaunchOption) (*ReplicaResult, error) {
+	return core.RunWithReplication(stack, program, inj, pol, opts...)
 }
 
 // RegisterProgram installs an application under a stable name so it can be
