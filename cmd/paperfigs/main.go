@@ -13,6 +13,8 @@
 //	paperfigs [-fig 2,3,4,5,6|all|fsgsbase|recovery|shrinkrecovery|recoveryfrontier] [-quick] [-out results/] [-reps N] [-parallel N]
 //	paperfigs -matrix [-full] [-faults=false] [-parallel N] [-out results.json] [-apps app.comd,app.wave]
 //	paperfigs -matrix -shard 0/4 -cache .scenario-cache -out shard-0.json
+//	paperfigs -matrix -remote http://host:8341 [-worker NAME] [-cache DIR]
+//	paperfigs -fetch-report -remote http://host:8341 -out results.json
 //	paperfigs -merge shard-0.json,shard-1.json,shard-2.json,shard-3.json -out results.json
 //	paperfigs -list [-faults=false] [-apps ...]   # print the cell set, run nothing
 //	paperfigs -cache-prune -cache .scenario-cache # delete stale-engine cache entries, run nothing
@@ -40,45 +42,62 @@
 // are unchanged from a persistent content-addressed result cache (both
 // modes), and -merge recombines shard/partial reports into one report —
 // with provenance recording live-vs-cached cells and per-shard wall
-// times — without running any scenarios. CI runs the matrix as a 4-shard
-// job matrix over a shared cache and merges the artifacts.
+// times — without running any scenarios.
 // -cache-prune deletes entries stamped with a stale EngineVersion (each
 // engine bump otherwise leaves its predecessors' whole generation of
 // results dead on disk forever) plus undecodable ones, and exits.
+//
+// The service layer: -matrix -remote URL turns this process into a
+// work-stealing worker against a matrixd server (cmd/matrixd) — it
+// leases cells one at a time, executes them, and uploads the results to
+// the server's content-addressed store; the server decides the cell
+// set, scale and seeds, so the worker takes no matrix knobs. A -cache
+// directory composes as a local read-through tier: locally warm cells
+// are published without re-executing. -fetch-report -remote URL polls
+// the server for the assembled report and writes it to -out, exiting
+// nonzero on failed cells exactly like a local matrix run. CI runs the
+// matrix as one matrixd plus a worker fleet; -shard/-merge keep working
+// for offline, serverless runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/scenario"
+	"repro/internal/scenario/remote"
 )
 
 func main() {
 	var (
-		figs     = flag.String("fig", "all", "comma-separated figure list: 2,3,4,5,6,fsgsbase,recovery,shrinkrecovery,recoveryfrontier or 'all'")
-		quick    = flag.Bool("quick", false, "run figures at the small smoke configuration instead of paper scale")
-		out      = flag.String("out", "results", "output directory for CSV files; JSON file path in -matrix mode")
-		reps     = flag.Int("reps", 0, "override repetition count")
-		nodes    = flag.Int("nodes", 0, "override node count")
-		rpn      = flag.Int("rpn", 0, "override ranks per node")
-		parallel = flag.Int("parallel", 0, "bound on concurrently running scenarios (0 = one per CPU)")
-		matrix   = flag.Bool("matrix", false, "run the full scenario matrix instead of figures")
-		full     = flag.Bool("full", false, "run the matrix at paper scale (default: quick smoke scale)")
-		apps     = flag.String("apps", "", "override the matrix program axis (comma-separated registered programs; -matrix only)")
-		seed     = flag.Int64("seed", 0, "base seed perturbing every scenario's deterministic jitter seeds")
-		scratch  = flag.String("scratch", "", "keep checkpoint images under this directory instead of a deleted temp dir (-matrix only)")
-		withFlt  = flag.Bool("faults", true, "include the fault-injection axis in the matrix (-matrix only)")
-		shardSel = flag.String("shard", "", "run only one deterministic slice of the matrix, format i/n with 0 <= i < n (-matrix only)")
-		cacheDir = flag.String("cache", "", "content-addressed result cache directory; unchanged cells are served from it instead of re-executing")
-		mergeIn  = flag.String("merge", "", "comma-separated shard/partial report JSONs to merge into one report at -out (runs nothing)")
-		list     = flag.Bool("list", false, "print the enumerated matrix cells (id, program, impl, ABI path, ckpt, restart pairing, fault) without executing anything")
-		prune    = flag.Bool("cache-prune", false, "delete cached cell results whose stamped engine version is stale (requires -cache), then exit without running anything")
-		progress = flag.String("progress", "", "rank execution engine for every scenario world: goroutine (default) or event (the large-rank scheduler; results are mode-invariant)")
+		figs      = flag.String("fig", "all", "comma-separated figure list: 2,3,4,5,6,fsgsbase,recovery,shrinkrecovery,recoveryfrontier or 'all'")
+		quick     = flag.Bool("quick", false, "run figures at the small smoke configuration instead of paper scale")
+		out       = flag.String("out", "results", "output directory for CSV files; JSON file path in -matrix mode")
+		reps      = flag.Int("reps", 0, "override repetition count")
+		nodes     = flag.Int("nodes", 0, "override node count")
+		rpn       = flag.Int("rpn", 0, "override ranks per node")
+		parallel  = flag.Int("parallel", 0, "bound on concurrently running scenarios (0 = one per CPU)")
+		matrix    = flag.Bool("matrix", false, "run the full scenario matrix instead of figures")
+		full      = flag.Bool("full", false, "run the matrix at paper scale (default: quick smoke scale)")
+		apps      = flag.String("apps", "", "override the matrix program axis (comma-separated registered programs; -matrix only)")
+		seed      = flag.Int64("seed", 0, "base seed perturbing every scenario's deterministic jitter seeds")
+		scratch   = flag.String("scratch", "", "keep checkpoint images under this directory instead of a deleted temp dir (-matrix only)")
+		withFlt   = flag.Bool("faults", true, "include the fault-injection axis in the matrix (-matrix only)")
+		shardSel  = flag.String("shard", "", "run only one deterministic slice of the matrix, format i/n with 0 <= i < n (-matrix only)")
+		cacheDir  = flag.String("cache", "", "content-addressed result cache directory; unchanged cells are served from it instead of re-executing")
+		mergeIn   = flag.String("merge", "", "comma-separated shard/partial report JSONs to merge into one report at -out (runs nothing)")
+		list      = flag.Bool("list", false, "print the enumerated matrix cells (id, program, impl, ABI path, ckpt, restart pairing, fault) without executing anything")
+		prune     = flag.Bool("cache-prune", false, "delete cached cell results whose stamped engine version is stale (requires -cache), then exit without running anything")
+		progress  = flag.String("progress", "", "rank execution engine for every scenario world: goroutine (default) or event (the large-rank scheduler; results are mode-invariant)")
+		remoteURL = flag.String("remote", "", "matrixd server URL; with -matrix this process becomes a work-stealing worker, with -fetch-report it downloads the assembled report")
+		workerNm  = flag.String("worker", "", "worker name for matrixd provenance (-remote only; default host.pid)")
+		fetchRep  = flag.Bool("fetch-report", false, "poll the -remote server for the assembled matrix report, write it to -out and exit")
 	)
 	flag.Parse()
 
@@ -121,6 +140,29 @@ func main() {
 
 	if *full && *quick {
 		fatal(fmt.Errorf("-full and -quick conflict; pick one"))
+	}
+	if *fetchRep {
+		if *remoteURL == "" {
+			fatal(fmt.Errorf("-fetch-report requires -remote"))
+		}
+		if *matrix || *mergeIn != "" || *shardSel != "" {
+			fatal(fmt.Errorf("-fetch-report runs nothing; it conflicts with -matrix, -merge and -shard"))
+		}
+		runFetchReport(*remoteURL, *out)
+		return
+	}
+	if *remoteURL != "" {
+		if !*matrix {
+			fatal(fmt.Errorf("-remote requires -matrix (worker mode) or -fetch-report"))
+		}
+		if *shardSel != "" || *mergeIn != "" {
+			fatal(fmt.Errorf("-remote workers steal work from the server's lease queue; -shard and -merge do not apply"))
+		}
+		if *full || *apps != "" || *reps > 0 || *nodes > 0 || *rpn > 0 || *seed != 0 || !*withFlt || *progress != "" {
+			fatal(fmt.Errorf("the matrixd server owns the cell set, scale, seeds and progress mode; -full, -apps, -faults, -reps, -nodes, -rpn, -seed and -progress do not apply to -remote workers"))
+		}
+		runWorker(*remoteURL, *workerNm, *parallel, *scratch, *cacheDir)
+		return
 	}
 	if *mergeIn != "" {
 		if *matrix || *shardSel != "" || *cacheDir != "" {
@@ -289,6 +331,62 @@ func printProvenance(rep *scenario.Report) {
 				sh.Index, sh.Scenarios, sh.Live, sh.Cached, float64(sh.WallMS)/1000)
 		}
 	}
+}
+
+// runWorker drains a matrixd server's lease queue: the work-stealing
+// replacement for a -shard slice. The server owns the cell set and
+// every result-determining option; this process contributes hands (and,
+// via -cache, a warm local tier whose hits are published instead of
+// re-executed).
+func runWorker(url, name string, parallel int, scratch, cacheDir string) {
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s.%d", host, os.Getpid())
+	}
+	client, err := remote.Dial(url)
+	if err != nil {
+		fatal(err)
+	}
+	var local scenario.Store
+	if cacheDir != "" {
+		cache, err := scenario.OpenCache(cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		local = cache
+	}
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	man := client.Manifest()
+	fmt.Printf("worker %s: draining %d-cell matrix from %s (%d procs, engine v%d) ...\n",
+		name, man.Cells, url, parallel, man.EngineVersion)
+	stats, err := client.Drain(remote.WorkerConfig{
+		Name: name, Procs: parallel, Local: local, Scratch: scratch,
+	})
+	fmt.Printf("worker %s: %d executed (%d failed, %.1fs wall), %d local cache hits published\n",
+		name, stats.Executed, stats.Failed, float64(stats.WallMS)/1000, stats.LocalHits)
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// runFetchReport polls the server until every cell is complete and
+// writes the assembled report through the same epilogue as a local
+// matrix run — same rendering, same nonzero exit on failed cells.
+func runFetchReport(url, out string) {
+	client, err := remote.Dial(url)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := client.Report(2 * time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	writeReport(rep, out, fmt.Sprintf("assembled by %s", url))
 }
 
 // runMatrix executes the scenario matrix and writes the JSON report.

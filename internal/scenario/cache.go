@@ -98,10 +98,15 @@ func OpenCache(dir string) (*Cache, error) {
 	return &Cache{dir: dir}, nil
 }
 
-// cacheEntry is the on-disk shape of one cached cell.
+// cacheEntry is the on-disk shape of one cached cell. WallMS duplicates
+// the result's wall-clock cost at the top level so schedulers can read
+// expected durations (WallHints) without decoding — or trusting — the
+// whole Result: a wall time is a scheduling hint, useful even from an
+// entry whose result a newer engine version must not serve.
 type cacheEntry struct {
 	Engine int    `json:"engine_version"`
 	Hash   string `json:"hash"`
+	WallMS int64  `json:"wall_ms,omitempty"`
 	Result Result `json:"result"`
 }
 
@@ -178,6 +183,65 @@ func (c *Cache) Prune() (int, error) {
 	return removed, nil
 }
 
+// WallHints scans the cache for recorded per-cell wall-clock costs,
+// keyed by scenario ID. The key is deliberately the ID and not the
+// content address: IDs are stable across engine versions, option
+// changes and seed changes, which is exactly when a scheduler needs a
+// warm-start duration estimate — the cell is about to re-run under a
+// new address, and its old cost is still the best predictor of its new
+// one. Every decodable entry contributes, stale-engine ones included
+// (a wall time is a hint, never a correctness input); entries written
+// before the top-level wall_ms field existed backfill from the
+// embedded result's WallMS; undecodable files contribute nothing.
+// When one ID appears under several addresses, the largest cost wins —
+// schedulers order pessimistically.
+func (c *Cache) WallHints() map[string]int64 {
+	hints := make(map[string]int64)
+	fanouts, err := os.ReadDir(c.dir)
+	if err != nil {
+		return hints
+	}
+	for _, fan := range fanouts {
+		if !fan.IsDir() {
+			continue
+		}
+		dir := filepath.Join(c.dir, fan.Name())
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, ent := range entries {
+			if ent.IsDir() || filepath.Ext(ent.Name()) != ".json" {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+			if err != nil {
+				continue
+			}
+			// Decode only the hint surface: the result may be from any
+			// engine generation and is never served from here.
+			var e struct {
+				WallMS int64 `json:"wall_ms"`
+				Result struct {
+					ID     string `json:"id"`
+					WallMS int64  `json:"wall_ms"`
+				} `json:"result"`
+			}
+			if json.Unmarshal(raw, &e) != nil || e.Result.ID == "" {
+				continue
+			}
+			wall := e.WallMS
+			if wall == 0 {
+				wall = e.Result.WallMS
+			}
+			if wall > hints[e.Result.ID] {
+				hints[e.Result.ID] = wall
+			}
+		}
+	}
+	return hints
+}
+
 // Put stores res under hash. Best-effort by design: a failed Put only
 // means the cell re-runs next time, so Run ignores the error; callers
 // that care (tests) can check it.
@@ -186,7 +250,7 @@ func (c *Cache) Put(hash string, res Result) error {
 		return fmt.Errorf("scenario: cache put with malformed hash %q", hash)
 	}
 	res.Cached = false // stored results are canonical, not themselves hits
-	raw, err := json.MarshalIndent(cacheEntry{Engine: EngineVersion, Hash: hash, Result: res}, "", "  ")
+	raw, err := json.MarshalIndent(cacheEntry{Engine: EngineVersion, Hash: hash, WallMS: res.WallMS, Result: res}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("scenario: encoding cache entry: %w", err)
 	}

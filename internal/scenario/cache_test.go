@@ -227,6 +227,81 @@ func TestCacheConcurrentPutGet(t *testing.T) {
 	wg.Wait()
 }
 
+// WallHints is the scheduler's warm start: recorded per-cell costs,
+// keyed by ID so they survive engine bumps and seed changes, with
+// graceful backfill for entries written before the top-level wall_ms
+// field existed.
+func TestCacheWallHints(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Quick()
+	s := hashSpec()
+	h := CellHash(s, o)
+	if err := c.Put(h, Result{ID: s.ID(), Spec: s, Status: StatusPass, WallMS: 120}); err != nil {
+		t.Fatal(err)
+	}
+	if hints := c.WallHints(); hints[s.ID()] != 120 {
+		t.Fatalf("hints = %v, want %s -> 120", hints, s.ID())
+	}
+
+	// A stale-engine entry still contributes: wall time is a hint, not a
+	// result, and the stale cost is exactly the warm-start estimate for
+	// the re-run the engine bump forces. Plant it under a different
+	// address for the same ID with a LARGER cost — the pessimistic
+	// maximum must win.
+	raw, err := os.ReadFile(filepath.Join(dir, h[:2], h+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := strings.Replace(string(raw),
+		`"engine_version": `+fmt.Sprint(EngineVersion),
+		`"engine_version": `+fmt.Sprint(EngineVersion-1), 1)
+	stale = strings.Replace(stale, `"wall_ms": 120`, `"wall_ms": 900`, -1)
+	h2 := strings.Repeat("ef", 32)
+	stale = strings.Replace(stale, h, h2, -1)
+	if err := os.MkdirAll(filepath.Join(dir, h2[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, h2[:2], h2+".json"), []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if hints := c.WallHints(); hints[s.ID()] != 900 {
+		t.Fatalf("stale-engine hint lost or maximum not taken: %v", hints)
+	}
+
+	// An entry written before the top-level wall_ms existed backfills
+	// from the embedded result's own wall time.
+	s3 := hashSpec()
+	s3.Program = "app.comd"
+	h3 := CellHash(s3, o)
+	legacy := fmt.Sprintf(`{"engine_version": %d, "hash": %q, "result": {"id": %q, "status": "pass", "wall_ms": 55}}`,
+		EngineVersion, h3, s3.ID())
+	if err := os.MkdirAll(filepath.Join(dir, h3[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, h3[:2], h3+".json"), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And corruption contributes nothing (no panic, no phantom key).
+	h4 := strings.Repeat("09", 32)
+	if err := os.MkdirAll(filepath.Join(dir, h4[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, h4[:2], h4+".json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hints := c.WallHints()
+	if hints[s3.ID()] != 55 {
+		t.Fatalf("legacy entry did not backfill from result wall_ms: %v", hints)
+	}
+	if len(hints) != 2 {
+		t.Fatalf("hints = %v, want exactly 2 IDs", hints)
+	}
+}
+
 func TestShardPartitionDisjointAndExhaustive(t *testing.T) {
 	specs := DefaultMatrix().Enumerate()
 	const n = 4

@@ -65,6 +65,13 @@ type Options struct {
 	// are stored back. Safe to share between concurrent shard processes.
 	// Excluded from reports: the cache location never affects results.
 	CacheDir string `json:"-"`
+	// Store, when set, is the content-addressed result store the run
+	// reads and writes — a remote matrixd client, a Tiered composition,
+	// or any other Store implementation. It takes precedence over
+	// CacheDir (which is the convenience spelling for "open the local
+	// directory implementation"). Excluded from reports for the same
+	// reason CacheDir is: where results are stored never affects them.
+	Store Store `json:"-"`
 	// Shard selects a deterministic 1/Count slice of the (deduplicated)
 	// spec list; the zero value runs everything. Excluded from reports'
 	// options: shard membership is provenance (see Report.Provenance),
@@ -195,13 +202,13 @@ func Run(specs []Spec, o Options) *Report {
 		}
 	}
 	specs = o.Shard.Select(uniq)
-	var cache *Cache
-	if o.CacheDir != "" {
+	store := o.Store
+	if store == nil && o.CacheDir != "" {
 		// An unopenable cache degrades to a live run, mirroring the
 		// scratch fallback below: caching is an accelerator, never a
 		// correctness dependency.
 		if c, err := OpenCache(o.CacheDir); err == nil {
-			cache = c
+			store = c
 		}
 	}
 	if o.Scratch == "" {
@@ -226,8 +233,8 @@ func Run(specs []Spec, o Options) *Report {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				if cache != nil {
-					if res, ok := cache.Get(hashes[i]); ok && res.ID == specs[i].ID() {
+				if store != nil {
+					if res, ok := store.Get(hashes[i]); ok && res.ID == specs[i].ID() {
 						res.Cached = true
 						results[i] = res
 						continue
@@ -236,10 +243,10 @@ func Run(specs []Spec, o Options) *Report {
 				res := runScenario(specs[i], o)
 				res.CellHash = hashes[i]
 				results[i] = res
-				if cache != nil && res.Status == StatusPass {
+				if store != nil && res.Status == StatusPass {
 					// Best-effort: a failed Put only means this cell runs
 					// live again next time.
-					_ = cache.Put(hashes[i], res)
+					_ = store.Put(hashes[i], res)
 				}
 			}
 		}()
@@ -251,6 +258,26 @@ func Run(specs []Spec, o Options) *Report {
 	close(work)
 	wg.Wait()
 	return newReport(o, results, time.Since(start)) //mpivet:allow walltime -- wall_ms report metadata; never feeds event order or scenario hashes
+}
+
+// RunCell executes one cell live — no store consult, no shard
+// selection — and returns its Result with the content address stamped.
+// It is the unit of work a matrixd lease names: the scheduler only
+// hands out cells the shared store does not already hold, so the worker
+// goes straight to execution. A missing Options.Scratch gets a private
+// temp directory for the cell's checkpoint images, removed on return.
+func RunCell(s Spec, o Options) Result {
+	o = o.withDefaults()
+	o.Shard = Shard{}
+	if o.Scratch == "" {
+		if dir, err := os.MkdirTemp("", "scenario-cell-*"); err == nil {
+			o.Scratch = dir
+			defer os.RemoveAll(dir)
+		}
+	}
+	res := runScenario(s, o)
+	res.CellHash = CellHash(s, o)
+	return res
 }
 
 // runOne executes one scenario's repetitions and aggregates them.

@@ -131,17 +131,39 @@ func MergeReports(reports ...*Report) (*Report, error) {
 
 	opts := reports[0].Options
 	// The non-serialized fields are run-local (pool width, scratch and
-	// cache paths, shard membership); zero them so an in-memory merge
-	// carries none of one input's locals.
+	// cache paths, result store, shard membership); zero them so an
+	// in-memory merge carries none of one input's locals.
 	opts.Parallel = 0
 	opts.Scratch = ""
 	opts.CacheDir = ""
+	opts.Store = nil
 	opts.Shard = Shard{}
 
 	merged := newReport(opts, results, 0)
 	merged.WallMS = wall
-	merged.Provenance.Shards = shards
+	merged.Provenance.Shards = renumberPartials(shards)
 	return merged, nil
+}
+
+// renumberPartials gives every Count-0 slice (hand-merged partials,
+// matrixd workers) a distinct index in the merged provenance. Without
+// this, merging two reports that are THEMSELVES merges collides their
+// partials' indices — merge(merge(w0,w1), merge(w2,w3)) used to carry
+// two "partial 0" and two "partial 1" entries, flattening the lineage
+// even though each entry's wall time survived. Deterministic -shard
+// entries (Count > 0) keep their index/count identity untouched: i/n is
+// their name. Labels are never rewritten — they are the durable name a
+// renumbered partial keeps.
+func renumberPartials(shards []ShardInfo) []ShardInfo {
+	out := append([]ShardInfo(nil), shards...)
+	next := 0
+	for i := range out {
+		if out[i].Count == 0 {
+			out[i].Index = next
+			next++
+		}
+	}
+	return out
 }
 
 // shardInfos extracts report i's per-shard provenance: its own shard

@@ -219,6 +219,102 @@ func TestMergeSynthesizesProvenanceForUnshardedInputs(t *testing.T) {
 	}
 }
 
+// A merge of merges must keep every partial's lineage distinct: wall
+// times carry through, and the synthesized Count-0 indices are
+// renumbered instead of colliding (two "partial 0" and two "partial 1"
+// entries, which is what merge(merge(w0,w1), merge(w2,w3)) used to
+// produce).
+func TestMergeOfMergesKeepsPartialLineage(t *testing.T) {
+	withStubRunner(t, richStubRunner)
+	specs := DefaultMatrix().Enumerate()[:8]
+	o := Options{Reps: 1}
+	quarters := make([]*Report, 4)
+	for i := range quarters {
+		quarters[i] = Run(specs[2*i:2*i+2], o)
+		quarters[i].WallMS = int64(100 * (i + 1)) // distinct, recognizable
+	}
+	left, err := MergeReports(quarters[0], quarters[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := MergeReports(quarters[2], quarters[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeReports(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := merged.Provenance.Shards
+	if len(shards) != 4 {
+		t.Fatalf("merge-of-merges lists %d partials, want 4: %+v", len(shards), shards)
+	}
+	seen := make(map[int]int64)
+	for _, sh := range shards {
+		if sh.Count != 0 {
+			t.Fatalf("partial carries shard identity: %+v", sh)
+		}
+		if prev, dup := seen[sh.Index]; dup {
+			t.Fatalf("index %d appears twice (wall %d and %d): lineage flattened", sh.Index, prev, sh.WallMS)
+		}
+		seen[sh.Index] = sh.WallMS
+	}
+	// Each input's wall time survives both merge levels, and the total is
+	// their sum (compute spent, not elapsed).
+	for i, want := range []int64{100, 200, 300, 400} {
+		if seen[i] != want {
+			t.Fatalf("partial %d wall = %d, want %d (indices renumbered in input order)", i, seen[i], want)
+		}
+	}
+	if merged.WallMS != 1000 {
+		t.Fatalf("merged wall = %d, want 1000", merged.WallMS)
+	}
+
+	// Deterministic -shard entries are never renumbered: i/n IS their
+	// identity, and a merge-of-merges that includes real shards keeps
+	// them verbatim beside renumbered partials.
+	s0, s1 := o, o
+	s0.Shard, s1.Shard = Shard{Index: 0, Count: 2}, Shard{Index: 1, Count: 2}
+	sharded, err := MergeReports(Run(specs[:4], s0), Run(specs[:4], s1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := Run(specs[4:6], o)
+	combined, err := MergeReports(sharded, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shardEntries, partials int
+	for _, sh := range combined.Provenance.Shards {
+		if sh.Count == 2 {
+			shardEntries++
+		} else if sh.Count == 0 {
+			partials++
+		}
+	}
+	if shardEntries != 2 || partials != 1 {
+		t.Fatalf("combined provenance = %+v, want 2 shard entries + 1 partial", combined.Provenance.Shards)
+	}
+
+	// Worker labels survive merging untouched: they are the durable name
+	// a renumbered partial keeps.
+	la := Run(specs[6:7], o)
+	la.Provenance.Shards = []ShardInfo{{Label: "worker-a", Scenarios: 1, Live: 1}}
+	lb := Run(specs[7:8], o)
+	lb.Provenance.Shards = []ShardInfo{{Label: "worker-b", Scenarios: 1, Live: 1}}
+	labeled, err := MergeReports(la, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []string
+	for _, sh := range labeled.Provenance.Shards {
+		labels = append(labels, sh.Label)
+	}
+	if len(labels) != 2 || labels[0] != "worker-a" || labels[1] != "worker-b" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
 func TestFindToleratesUnsortedReports(t *testing.T) {
 	// A hand-assembled report (results not ID-sorted) must still answer
 	// Find correctly via the linear fallback.

@@ -152,15 +152,20 @@ func (r Result) Cross() bool {
 
 // ShardInfo is the provenance of one merged slice: which shard of how
 // many it was, how many cells it carried (split live vs cached), and
-// its own elapsed wall time. Count 0 marks a slice that was itself
-// unsharded (a partial report merged by hand rather than a -shard run).
+// its own elapsed wall time. Count 0 marks a slice that was not a
+// deterministic -shard partition: a partial report merged by hand, or
+// one worker's share of a matrixd work-stealing run (Label then names
+// the worker). Count-0 indices are renumbered at every merge so each
+// slice keeps a distinct identity through merges of merges; Label, the
+// durable name, is never rewritten.
 type ShardInfo struct {
-	Index     int   `json:"index"`
-	Count     int   `json:"count"`
-	Scenarios int   `json:"scenarios"`
-	Live      int   `json:"live"`
-	Cached    int   `json:"cached"`
-	WallMS    int64 `json:"wall_ms"`
+	Index     int    `json:"index"`
+	Count     int    `json:"count"`
+	Label     string `json:"label,omitempty"`
+	Scenarios int    `json:"scenarios"`
+	Live      int    `json:"live"`
+	Cached    int    `json:"cached"`
+	WallMS    int64  `json:"wall_ms"`
 }
 
 // Provenance records how the report's results were obtained: how many
@@ -223,6 +228,26 @@ func newReport(o Options, results []Result, wall time.Duration) *Report {
 		}}
 	}
 	return rep
+}
+
+// AssembleReport builds a Report from out-of-band results exactly as
+// Run builds one from its own executions: ID-sorted, pass/fail counted,
+// provenance split live-vs-cached from each Result's Cached mark. It
+// exists for assemblers that obtain results through the Store protocol
+// rather than by executing — the matrixd server assembling a
+// work-stealing fleet's run streams results in as workers upload them
+// and reports through this. wall is the total compute cost to record
+// (matrixd sums its workers' per-cell wall times, mirroring
+// MergeReports' sum-not-elapsed semantics). Run-local Options fields
+// are zeroed so the report carries no assembler-machine locals.
+func AssembleReport(o Options, results []Result, wall time.Duration) *Report {
+	o = o.withDefaults()
+	o.Parallel = 0
+	o.Scratch = ""
+	o.CacheDir = ""
+	o.Store = nil
+	o.Shard = Shard{}
+	return newReport(o, results, wall)
 }
 
 // Find returns the result with the given scenario ID, or nil. Reports
