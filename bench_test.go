@@ -19,6 +19,7 @@ import (
 	"repro/internal/scenario/remote"
 	"repro/internal/simnet"
 	"repro/internal/stdabi"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -626,6 +627,45 @@ func BenchmarkEngineComparison(b *testing.B) {
 			benchLargeWorld(b, mode, "allreduce", 8, 8)
 		})
 	}
+}
+
+// BenchmarkTraceOverhead measures what the tracing instrumentation
+// costs on the 8-rank gate workload. "disabled" is the shipping
+// default — every emission site pays one nil pointer compare — and
+// must stay within noise of the pre-instrumentation wall numbers;
+// "enabled" buys the full per-rank event record. The virtual-time
+// metric is identical in both (and to the committed baseline):
+// tracing reads rank clocks, never advances them, so the 25% virt
+// gate sees bit-exact values with the sink on or off.
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, opts ...LaunchOption) {
+		b.Helper()
+		stack := benchStack(ImplMPICH, ABINative, CkptNone)
+		all := append([]LaunchOption{WithConfigure(func(rank int, p Program) {
+			lb := p.(*osu.LatencyBench)
+			lb.Sizes = []int{1024}
+			lb.Warmup = 2
+			lb.Iters = b.N
+		})}, opts...)
+		job, err := Launch(stack, "osu.allreduce", all...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if err := job.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		_, means := job.Program(0).(*osu.LatencyBench).Results()
+		if len(means) == 1 {
+			b.ReportMetric(means[0], "virt-us/op")
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b) })
+	b.Run("enabled", func(b *testing.B) {
+		sink := trace.NewSink()
+		run(b, WithTrace(sink))
+	})
 }
 
 // matrixBenchWorkload builds the straggler-heavy subset the scheduling

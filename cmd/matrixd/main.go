@@ -11,6 +11,12 @@
 //	matrixd -store .scenario-cache [-addr :8341] [-full] [-faults=false]
 //	        [-apps app.comd,app.wave] [-reps N] [-seed N]
 //	        [-lease-ttl 10m] [-once -out results.json]
+//	        [-metrics-out metrics.prom]
+//
+// While serving, GET /metrics exposes the scheduler's operational
+// counters in Prometheus text format and GET /status a human summary;
+// with -once, -metrics-out writes the final /metrics snapshot to a
+// file on exit so CI artifacts never race the shutdown.
 //
 // The store directory is the same content-addressed cache paperfigs
 // -cache uses, holding the same bytes: a warm local cache seeds the
@@ -56,6 +62,7 @@ func main() {
 		ttl      = flag.Duration("lease-ttl", remote.DefaultLeaseTTL, "lease duration; an expired lease requeues its cell")
 		once     = flag.Bool("once", false, "serve until the run completes, write the report, then exit")
 		out      = flag.String("out", "results.json", "report path (-once only)")
+		metrics  = flag.String("metrics-out", "", "write a final /metrics snapshot to this file before exiting (-once only); avoids racing a scrape against shutdown")
 	)
 	flag.Parse()
 
@@ -143,6 +150,12 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (schema v%d)\n", *out, scenario.SchemaVersion)
+	if *metrics != "" {
+		if err := os.WriteFile(*metrics, []byte(srv.Metrics()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metrics)
+	}
 	if rep.Failed > 0 {
 		fatal(fmt.Errorf("%d of %d scenarios failed", rep.Failed, rep.Scenarios))
 	}

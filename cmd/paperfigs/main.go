@@ -16,6 +16,8 @@
 //	paperfigs -matrix -remote http://host:8341 [-worker NAME] [-cache DIR]
 //	paperfigs -fetch-report -remote http://host:8341 -out results.json
 //	paperfigs -merge shard-0.json,shard-1.json,shard-2.json,shard-3.json -out results.json
+//	paperfigs -matrix -trace traces/              # one Perfetto trace JSON per executed cell
+//	paperfigs -trace-cell ID [-trace traces/]     # run one cell traced, print the trace path
 //	paperfigs -list [-faults=false] [-apps ...]   # print the cell set, run nothing
 //	paperfigs -cache-prune -cache .scenario-cache # delete stale-engine cache entries, run nothing
 //
@@ -64,8 +66,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -98,6 +102,8 @@ func main() {
 		remoteURL = flag.String("remote", "", "matrixd server URL; with -matrix this process becomes a work-stealing worker, with -fetch-report it downloads the assembled report")
 		workerNm  = flag.String("worker", "", "worker name for matrixd provenance (-remote only; default host.pid)")
 		fetchRep  = flag.Bool("fetch-report", false, "poll the -remote server for the assembled matrix report, write it to -out and exit")
+		traceDir  = flag.String("trace", "", "write one Chrome trace-event JSON (Perfetto-loadable, virtual-time) per executed cell into this directory (-matrix, -remote worker and -trace-cell modes)")
+		traceCell = flag.String("trace-cell", "", "run exactly one matrix cell by ID with tracing on, write its trace under -trace (default traces/), and exit")
 	)
 	flag.Parse()
 
@@ -141,6 +147,13 @@ func main() {
 	if *full && *quick {
 		fatal(fmt.Errorf("-full and -quick conflict; pick one"))
 	}
+	if *traceCell != "" {
+		if *matrix || *mergeIn != "" || *shardSel != "" || *remoteURL != "" || *fetchRep {
+			fatal(fmt.Errorf("-trace-cell runs one cell; it conflicts with -matrix, -merge, -shard, -remote and -fetch-report"))
+		}
+		runTraceCell(*traceCell, *traceDir, *full, *withFlt, *apps, *reps, *nodes, *rpn, *seed, *scratch, progressMode)
+		return
+	}
 	if *fetchRep {
 		if *remoteURL == "" {
 			fatal(fmt.Errorf("-fetch-report requires -remote"))
@@ -161,7 +174,7 @@ func main() {
 		if *full || *apps != "" || *reps > 0 || *nodes > 0 || *rpn > 0 || *seed != 0 || !*withFlt || *progress != "" {
 			fatal(fmt.Errorf("the matrixd server owns the cell set, scale, seeds and progress mode; -full, -apps, -faults, -reps, -nodes, -rpn, -seed and -progress do not apply to -remote workers"))
 		}
-		runWorker(*remoteURL, *workerNm, *parallel, *scratch, *cacheDir)
+		runWorker(*remoteURL, *workerNm, *parallel, *scratch, *cacheDir, *traceDir)
 		return
 	}
 	if *mergeIn != "" {
@@ -179,11 +192,11 @@ func main() {
 		}
 	}
 	if *matrix {
-		runMatrix(*full, *withFlt, *parallel, *reps, *nodes, *rpn, *seed, *apps, *scratch, *cacheDir, shard, progressMode, *out)
+		runMatrix(*full, *withFlt, *parallel, *reps, *nodes, *rpn, *seed, *apps, *scratch, *cacheDir, *traceDir, shard, progressMode, *out)
 		return
 	}
-	if *full || *apps != "" || *scratch != "" || *shardSel != "" {
-		fatal(fmt.Errorf("-full, -apps, -scratch and -shard require -matrix"))
+	if *full || *apps != "" || *scratch != "" || *shardSel != "" || *traceDir != "" {
+		fatal(fmt.Errorf("-full, -apps, -scratch, -shard and -trace require -matrix"))
 	}
 
 	opts := harness.Full()
@@ -338,7 +351,7 @@ func printProvenance(rep *scenario.Report) {
 // every result-determining option; this process contributes hands (and,
 // via -cache, a warm local tier whose hits are published instead of
 // re-executed).
-func runWorker(url, name string, parallel int, scratch, cacheDir string) {
+func runWorker(url, name string, parallel int, scratch, cacheDir, traceDir string) {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil || host == "" {
@@ -365,7 +378,7 @@ func runWorker(url, name string, parallel int, scratch, cacheDir string) {
 	fmt.Printf("worker %s: draining %d-cell matrix from %s (%d procs, engine v%d) ...\n",
 		name, man.Cells, url, parallel, man.EngineVersion)
 	stats, err := client.Drain(remote.WorkerConfig{
-		Name: name, Procs: parallel, Local: local, Scratch: scratch,
+		Name: name, Procs: parallel, Local: local, Scratch: scratch, TraceDir: traceDir,
 	})
 	fmt.Printf("worker %s: %d executed (%d failed, %.1fs wall), %d local cache hits published\n",
 		name, stats.Executed, stats.Failed, float64(stats.WallMS)/1000, stats.LocalHits)
@@ -390,7 +403,7 @@ func runFetchReport(url, out string) {
 }
 
 // runMatrix executes the scenario matrix and writes the JSON report.
-func runMatrix(full, withFaults bool, parallel, reps, nodes, rpn int, seed int64, apps, scratch, cache string, shard scenario.Shard, progress core.ProgressMode, out string) {
+func runMatrix(full, withFaults bool, parallel, reps, nodes, rpn int, seed int64, apps, scratch, cache, traceDir string, shard scenario.Shard, progress core.ProgressMode, out string) {
 	o := scenario.Quick()
 	if full {
 		o = scenario.Full()
@@ -399,6 +412,7 @@ func runMatrix(full, withFaults bool, parallel, reps, nodes, rpn int, seed int64
 	o.CacheDir = cache
 	o.Shard = shard
 	o.Progress = progress
+	o.TraceDir = traceDir
 	if parallel > 0 {
 		o.Parallel = parallel
 	}
@@ -421,9 +435,113 @@ func runMatrix(full, withFaults bool, parallel, reps, nodes, rpn int, seed int64
 	} else {
 		fmt.Printf("running %d scenarios (%d workers, %d reps each) ...\n", len(specs), o.Parallel, o.Reps)
 	}
+	o.OnCell = matrixProgress(shard.Select(specs), o)
 
 	rep := scenario.Run(specs, o)
 	writeReport(rep, out, "")
+}
+
+// matrixProgress builds the Options.OnCell hook that keeps a cold
+// matrix run from sitting silent for half a minute: a rate-limited
+// one-line status to stderr with done/live/cached counts and an ETA.
+// The ETA charges each remaining cell its recorded wall time from the
+// cache's hints when one exists, and the running live average
+// otherwise, divided by the worker pool width — a schedule estimate,
+// not a promise, so it rounds to the second.
+func matrixProgress(specs []scenario.Spec, o scenario.Options) func(scenario.CellEvent) {
+	hints := map[string]int64{}
+	if o.CacheDir != "" {
+		if cache, err := scenario.OpenCache(o.CacheDir); err == nil {
+			hints = cache.WallHints()
+		}
+	}
+	pool := o.Parallel
+	if pool <= 0 {
+		pool = runtime.NumCPU()
+	}
+	remaining := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		remaining[s.ID()] = true
+	}
+	var (
+		mu                 sync.Mutex
+		done, live, cached int
+		liveWall           int64
+		lastLine           time.Time
+	)
+	return func(ev scenario.CellEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		delete(remaining, ev.ID)
+		done++
+		if ev.Cached {
+			cached++
+		} else {
+			live++
+			liveWall += ev.WallMS
+		}
+		now := time.Now()
+		if done < ev.Total && now.Sub(lastLine) < 2*time.Second {
+			return
+		}
+		lastLine = now
+		var avg int64
+		if live > 0 {
+			avg = liveWall / int64(live)
+		}
+		var leftMS int64
+		for id := range remaining {
+			if h := hints[id]; h > 0 {
+				leftMS += h
+			} else {
+				leftMS += avg
+			}
+		}
+		eta := (time.Duration(leftMS/int64(pool)) * time.Millisecond).Round(time.Second)
+		fmt.Fprintf(os.Stderr, "matrix: %d/%d done (%d live, %d cached), ~%s left\n",
+			done, ev.Total, live, cached, eta)
+	}
+}
+
+// runTraceCell executes one named matrix cell with tracing on and
+// reports where the Perfetto-loadable trace landed — the one-command
+// way to look at a specific cell's virtual-time execution (e.g. a
+// rank-crash shrink-recovery cell's revoke/agree rounds).
+func runTraceCell(id, traceDir string, full, withFaults bool, apps string, reps, nodes, rpn int, seed int64, scratch string, progress core.ProgressMode) {
+	if traceDir == "" {
+		traceDir = "traces"
+	}
+	o := scenario.Quick()
+	if full {
+		o = scenario.Full()
+	}
+	o.Scratch = scratch
+	o.Progress = progress
+	o.TraceDir = traceDir
+	if reps > 0 {
+		o.Reps = reps
+	}
+	if nodes > 0 {
+		o.Nodes = nodes
+	}
+	if rpn > 0 {
+		o.RanksPerNode = rpn
+	}
+	o.BaseSeed = seed
+	for _, s := range buildMatrix(apps, withFaults).Enumerate() {
+		if s.ID() != id {
+			continue
+		}
+		res := scenario.RunCell(s, o)
+		fmt.Printf("cell %s: %s (%.1fs wall)\n", id, res.Status, float64(res.WallMS)/1000)
+		fmt.Printf("trace: %s (load in https://ui.perfetto.dev)\n",
+			filepath.Join(traceDir, scenario.TraceFileName(id)))
+		if res.Status != scenario.StatusPass {
+			fatal(fmt.Errorf("cell failed: %s", res.Error))
+		}
+		return
+	}
+	fatal(fmt.Errorf("no matrix cell with ID %q (use -list to enumerate the cell set)", id))
 }
 
 func fatal(err error) {

@@ -26,7 +26,7 @@ import (
 // Analyzer is the envlifetime checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "envlifetime",
-	Doc:  "check pooled fabric.Envelope lifecycle: use-after-Put, double-Put, Put-after-send, leaks",
+	Doc:  "check pooled fabric.Envelope lifecycle: use-after-Put, double-Put, Put-after-send, leaks, retention by trace emission",
 	Run:  run,
 }
 
@@ -144,6 +144,7 @@ func (f *envFlow) Leaf(s ast.Stmt) {
 	case *ast.ReturnStmt:
 		f.leafReturn(s)
 	case *ast.DeferStmt:
+		f.checkDeferredTrace(s.Call)
 		// Defers run at an unknowable point in this model; anything a
 		// deferred call references leaves leak tracking (a deferred
 		// PutEnvelope counts as a release), and reuse state is frozen.
@@ -263,6 +264,18 @@ func (f *envFlow) leafExpr(e ast.Expr) {
 		f.useCheck(call.Args[0])
 	default:
 		f.useCheck(e)
+		// Trace emission buffers its arguments in a per-rank track until
+		// export — long past the PutEnvelope that recycles the struct — so
+		// handing an envelope pointer to internal/trace is a retention bug
+		// even when the call site looks innocent. Emission sites must pass
+		// extracted scalars (src/tag/bytes), never the envelope.
+		if callee != nil && analysis.PkgPathIs(callee.Pkg(), "internal/trace") {
+			for _, a := range call.Args {
+				if t := f.info.TypeOf(a); t != nil && isEnvelopePtr(t) {
+					f.pass.Reportf(a.Pos(), "*fabric.Envelope passed to trace %s: trace tracks retain event args past PutEnvelope; pass extracted scalars instead", callee.Name())
+				}
+			}
+		}
 		// The callee may retain or recycle envelope arguments.
 		for _, a := range call.Args {
 			f.escapeAliases(a)
@@ -284,6 +297,40 @@ func (f *envFlow) leafReturn(s *ast.ReturnStmt) {
 			f.pass.Reportf(s.Pos(), "envelope %s from GetEnvelope is neither recycled nor handed to the fabric on this return path", v.name)
 		}
 	}
+}
+
+// checkDeferredTrace flags deferred closures that emit trace events
+// from a tracked envelope: the defer runs at function exit, after the
+// body's PutEnvelope (or Send) released the struct, so the emission
+// reads a recycled — possibly re-leased — envelope. Direct
+// `defer tr.X(args...)` is safe (Go evaluates the arguments at defer
+// time), so only function literals are inspected.
+func (f *envFlow) checkDeferredTrace(call *ast.CallExpr) {
+	fl, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	tracing := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if callee := analysis.Callee(f.info, c); callee != nil && analysis.PkgPathIs(callee.Pkg(), "internal/trace") {
+				tracing = true
+				return false
+			}
+		}
+		return true
+	})
+	if !tracing {
+		return
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := f.st[analysis.ExprKey(f.info, id)]; ok {
+				f.pass.Reportf(id.Pos(), "deferred trace emission reads envelope %s after this function releases it; capture the scalars before the defer", v.name)
+			}
+		}
+		return true
+	})
 }
 
 func (f *envFlow) isGetEnvelope(e ast.Expr) bool {

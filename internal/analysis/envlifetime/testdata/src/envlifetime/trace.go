@@ -1,0 +1,47 @@
+// Trace emission sites must not retain pooled envelopes past their
+// release: a deferred closure runs at function exit, after PutEnvelope
+// recycled the struct, so reading the envelope from one emits fields
+// of whatever the pool leased the struct to next.
+package envlifetime
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/trace"
+)
+
+func deferredTraceRead(tr *trace.Track) {
+	e := fabric.GetEnvelope()
+	defer func() {
+		tr.Instant(trace.CatFabric, "late", 0,
+			trace.Arg{Key: "src", Val: trace.Itoa(e.Src)}) // want `deferred trace emission reads envelope e after this function releases it`
+	}()
+	fabric.PutEnvelope(e)
+}
+
+func deferredTraceParam(tr *trace.Track, e *fabric.Envelope) {
+	defer func() {
+		tr.Instant(trace.CatFabric, "late", 0,
+			trace.Arg{Key: "dst", Val: trace.Itoa(e.Dst)}) // want `deferred trace emission reads envelope e after this function releases it`
+	}()
+	fabric.PutEnvelope(e)
+}
+
+func deferredTraceScalars(tr *trace.Track) {
+	e := fabric.GetEnvelope()
+	src := e.Src
+	defer func() {
+		// Legal: the scalar was captured before the defer.
+		tr.Instant(trace.CatFabric, "late", 0,
+			trace.Arg{Key: "src", Val: trace.Itoa(src)})
+	}()
+	fabric.PutEnvelope(e)
+}
+
+func directDeferTrace(tr *trace.Track) {
+	e := fabric.GetEnvelope()
+	// Legal: a direct defer evaluates its arguments now, while the
+	// envelope is still owned here.
+	defer tr.Instant(trace.CatFabric, "late", 0,
+		trace.Arg{Key: "src", Val: trace.Itoa(e.Src)})
+	fabric.PutEnvelope(e)
+}

@@ -5,7 +5,8 @@
 // wall-clock reads, the process-global math/rand source, and Go's
 // randomized map iteration order feeding anything serialized. The
 // checker forbids all three in the deterministic core (mpicore, fabric,
-// ulfm, simnet, scenario).
+// ulfm, simnet, scenario, trace — traces are byte-deterministic under
+// the event engine, so the trace writer is held to the same bar).
 //
 // Map iteration is only flagged when the loop body is order-sensitive:
 // appending to a slice that is not sorted afterwards in the same
@@ -42,6 +43,7 @@ var deterministicPkgs = []string{
 	"internal/ulfm",
 	"internal/simnet",
 	"internal/scenario",
+	"internal/trace",
 }
 
 // wallFuncs are the time package functions that read or depend on the

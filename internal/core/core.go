@@ -33,6 +33,7 @@ import (
 	"repro/internal/openmpi"
 	"repro/internal/simnet"
 	"repro/internal/stdabi"
+	"repro/internal/trace"
 	"repro/internal/wi4mpi"
 )
 
@@ -375,6 +376,7 @@ type launchOpts struct {
 	periodic  dmtcp.Periodic
 	shrink    *ShrinkPolicy
 	replica   *ReplicaPolicy
+	sink      *trace.Sink
 }
 
 // WithConfigure runs fn on each rank's fresh program instance before the
@@ -412,6 +414,16 @@ func WithFaults(inj *faults.Injector) LaunchOption {
 // recovery legs keep extending the lineage.
 func WithPeriodicCheckpoint(root string, every uint64) LaunchOption {
 	return func(o *launchOpts) { o.periodic = dmtcp.Periodic{Dir: root, Every: every} }
+}
+
+// WithTrace attaches a virtual-time trace sink to the launch: the leg
+// gets one per-rank track set in the sink and the whole stack's
+// instrumentation lights up (see internal/trace). A nil sink is the
+// disabled state and costs a pointer compare per emission site. Pass
+// the same sink to Restart legs so one recovery cycle exports as one
+// multi-process trace.
+func WithTrace(sink *trace.Sink) LaunchOption {
+	return func(o *launchOpts) { o.sink = sink }
 }
 
 // Launch starts progName (a registered Program) on a fresh world under the
@@ -456,6 +468,9 @@ func Launch(stack Stack, progName string, opts ...LaunchOption) (*Job, error) {
 			NetSeed:     stack.Net.Seed,
 		}),
 	}
+	// The leg must exist before Start spawns the rank goroutines:
+	// SetTrace writes the per-endpoint track pointers unsynchronized.
+	w.SetTrace(lo.sink.NewLeg("launch "+progName, n))
 	job.factory = factory
 	job.configure = lo.configure
 	for r := 0; r < n; r++ {
@@ -610,6 +625,10 @@ func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
 		j.w.Endpoint(rank).Clock().Set(simnet.Time(img.Clock))
 		agent.SetStep(img.Step)
 		startStep = img.Step
+		if tr := j.w.Endpoint(rank).Trace(); tr != nil {
+			tr.Instant(trace.CatCkpt, "restore", simnet.Time(img.Clock),
+				trace.Arg{Key: "step", Val: trace.Itoa(int(img.Step))})
+		}
 	}
 	env, err := abi.NewEnv(table, j.w.Endpoint(rank).Clock())
 	if err != nil {
@@ -618,9 +637,17 @@ func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
 	}
 	j.envs[rank] = env
 	if !resumed {
+		var t0 simnet.Time
+		tr := j.w.Endpoint(rank).Trace()
+		if tr != nil {
+			t0 = j.w.Endpoint(rank).Clock().Now()
+		}
 		if err := prog.Setup(env); err != nil {
 			fail(fmt.Errorf("setup: %w", err))
 			return
+		}
+		if tr != nil {
+			tr.Span(trace.CatCkpt, "setup", t0, j.w.Endpoint(rank).Clock().Now())
 		}
 	}
 	shrinks := 0
@@ -696,6 +723,12 @@ func (j *Job) runRank(rank int, resumed bool, startStep uint64) {
 			fail(fmt.Errorf("safe point: %w", err))
 			return
 		}
+		if decision != dmtcp.DecisionContinue {
+			if tr := j.w.Endpoint(rank).Trace(); tr != nil {
+				tr.Instant(trace.CatCkpt, "checkpoint", j.w.Endpoint(rank).Clock().Now(),
+					trace.Arg{Key: "step", Val: trace.Itoa(int(agent.Step()))})
+			}
+		}
 		if decision == dmtcp.DecisionExit || done {
 			return
 		}
@@ -727,6 +760,7 @@ func (j *Job) recordFailure(f *faults.Fault, step uint64, now simnet.Time) {
 	j.mu.Lock()
 	if j.failure == nil && len(j.errs) == 0 {
 		j.failure = newRankFailure(f, step, now)
+		j.traceFailure("failure", j.failure)
 	}
 	j.mu.Unlock()
 	j.w.Kill(f.Ranks...)
@@ -824,6 +858,20 @@ func (j *Job) Clock(r int) simnet.Time { return j.w.Endpoint(r).Clock().Now() }
 
 // Stack returns the job's stack.
 func (j *Job) Stack() Stack { return j.stack }
+
+// TraceLeg returns the job's trace leg (nil when launched without
+// WithTrace); recovery drivers use its driver track for out-of-rank
+// events.
+func (j *Job) TraceLeg() *trace.Leg { return j.w.TraceLeg() }
+
+// traceFailure records an injected failure on the leg's driver track —
+// shared by all three recovery modes so a traced cell always shows the
+// kill as an instant at the detection clock.
+func (j *Job) traceFailure(name string, f *RankFailure) {
+	j.w.TraceLeg().Driver(trace.CatCkpt, name, f.Detected,
+		trace.Arg{Key: "ranks", Val: fmt.Sprint(f.Ranks)},
+		trace.Arg{Key: "step", Val: trace.Itoa(int(f.Step))})
+}
 
 // restartCompatErr reports why an image with the given lineage — the MPI
 // implementation, binding mode and checkpointer it was taken under, and
@@ -935,6 +983,7 @@ func Restart(dir string, stack Stack, opts ...LaunchOption) (*Job, error) {
 			NetSeed:     stack.Net.Seed,
 		}),
 	}
+	w.SetTrace(lo.sink.NewLeg("restart "+meta.Program, n))
 	job.factory = factory
 	for r := 0; r < n; r++ {
 		job.progs[r] = factory()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dmtcp"
 	"repro/internal/faults"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // RecoveryPolicy configures the automated fault-recovery driver.
@@ -145,7 +146,10 @@ func RunWithRecovery(stack Stack, prog string, inj *faults.Injector, pol Recover
 			if ev.LostVirt = ev.Detected.Sub(ev.ImageVirt); ev.LostVirt < 0 {
 				ev.LostVirt = 0
 			}
-			job, err = Restart(dir, rstack, common...)
+			// legOpts, not common: caller options like WithTrace must
+			// follow the job onto every leg (Restart ignores the
+			// launch-only ones).
+			job, err = Restart(dir, rstack, legOpts...)
 		} else {
 			// The failure beat the first complete checkpoint: all work is
 			// lost, but the job is not — relaunch from scratch under the
@@ -154,6 +158,11 @@ func RunWithRecovery(stack Stack, prog string, inj *faults.Injector, pol Recover
 			ev.LostVirt = ev.Detected.Sub(0)
 			job, err = Launch(rstack, prog, legOpts...)
 		}
+		// The recovery decision belongs to the FAILED leg's timeline: the
+		// new leg's clocks rewind to the image.
+		res.Job.TraceLeg().Driver(trace.CatCkpt, "recovery-restart", ev.Detected,
+			trace.Arg{Key: "imageStep", Val: trace.Itoa(int(ev.ImageStep))},
+			trace.Arg{Key: "lostVirtNs", Val: trace.Itoa(int(ev.LostVirt))})
 		res.Events = append(res.Events, ev)
 		if err != nil {
 			return res, fmt.Errorf("core: recovery restart: %w", err)

@@ -66,7 +66,9 @@ func WithReplication(pol ReplicaPolicy) LaunchOption {
 // keeps running, typically without ever observing an error.
 func (j *Job) recordReplicaFailure(f *faults.Fault, step uint64, now simnet.Time) {
 	j.mu.Lock()
-	j.replicaFailures = append(j.replicaFailures, newRankFailure(f, step, now))
+	rf := newRankFailure(f, step, now)
+	j.replicaFailures = append(j.replicaFailures, rf)
+	j.traceFailure("failure", rf)
 	j.mu.Unlock()
 	j.w.Kill(f.Ranks...)
 	j.w.NotifyFailure(f.Ranks...)

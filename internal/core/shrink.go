@@ -7,6 +7,7 @@ import (
 	"repro/internal/abi"
 	"repro/internal/faults"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // ShrinkPolicy configures ULFM-style in-place recovery: the other half
@@ -92,7 +93,9 @@ func ulfmRecoverable(err error) bool {
 // running; the survivors recover in place.
 func (j *Job) recordShrinkFailure(f *faults.Fault, step uint64, now simnet.Time) {
 	j.mu.Lock()
-	j.shrinkFailures = append(j.shrinkFailures, newRankFailure(f, step, now))
+	rf := newRankFailure(f, step, now)
+	j.shrinkFailures = append(j.shrinkFailures, rf)
+	j.traceFailure("failure", rf)
 	j.mu.Unlock()
 	j.w.Kill(f.Ranks...)
 	j.w.NotifyFailure(f.Ranks...)
@@ -105,6 +108,13 @@ func (j *Job) recordShrinkFailure(f *faults.Fault, step uint64, now simnet.Time)
 // failure), rebind the environment, and rebuild the program from
 // scratch on the smaller world. Returns the fresh program instance.
 func (j *Job) shrinkRecover(rank int, env *abi.Env) (Program, error) {
+	tr := j.w.Endpoint(rank).Trace()
+	if tr != nil {
+		tr.Begin(trace.CatCkpt, "shrink-recover", j.w.Endpoint(rank).Clock().Now())
+		defer func() {
+			tr.End(trace.CatCkpt, "shrink-recover", j.w.Endpoint(rank).Clock().Now())
+		}()
+	}
 	// Unilateral and idempotent: whichever survivor arrives first
 	// poisons the communicator for all of them, which is what unblocks
 	// survivors whose own operations were still succeeding.

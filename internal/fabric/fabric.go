@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/ulfm"
 )
 
@@ -38,6 +39,17 @@ const (
 	ProtoColl               // internal collective traffic
 	ProtoCtrl               // implementation-internal control
 )
+
+// protoNames are the trace-event labels for the wire protocol steps.
+var protoNames = [...]string{"eager", "rts", "cts", "data", "coll", "ctrl"}
+
+// String names the protocol step (trace args, diagnostics).
+func (p Proto) String() string {
+	if int(p) < len(protoNames) {
+		return protoNames[p]
+	}
+	return "proto" + trace.Itoa(int(p))
+}
 
 // Envelope is one message on the wire. Payload is owned by the receiver
 // after delivery; senders must not retain it. Hot-path senders obtain
@@ -87,6 +99,13 @@ type mailbox struct {
 	closed bool
 	sched  *sched // nil on goroutine-mode worlds
 	owner  int    // owning rank, for sched wakes
+
+	// tr and clk instrument event-mode park/wake (trace.CatSched).
+	// Written only before the world starts (SetTrace); park events are
+	// emitted by the parking fiber itself, preserving the track's
+	// single-writer discipline.
+	tr  *trace.Track
+	clk *simnet.Clock
 }
 
 func newMailbox(s *sched, owner int) *mailbox {
@@ -115,7 +134,13 @@ func (m *mailbox) pop() *Envelope {
 			// park must not hold m.mu (the successor fiber may need it);
 			// the scheduler's pending bit closes the unlock→park window.
 			m.mu.Unlock()
+			if tr := m.tr; tr != nil {
+				tr.Instant(trace.CatSched, "park", m.clk.Now())
+			}
 			m.sched.park(m.owner)
+			if tr := m.tr; tr != nil {
+				tr.Instant(trace.CatSched, "wake", m.clk.Now())
+			}
 			m.mu.Lock()
 		} else {
 			m.cond.Wait() //mpivet:allow parksafe -- goroutine-mode branch (m.sched == nil); the event-mode path parks via the scheduler above
@@ -152,7 +177,13 @@ func (m *mailbox) popBatch(buf []*Envelope) []*Envelope {
 	for len(m.queue) == 0 && !m.closed {
 		if m.sched != nil {
 			m.mu.Unlock()
+			if tr := m.tr; tr != nil {
+				tr.Instant(trace.CatSched, "park", m.clk.Now())
+			}
 			m.sched.park(m.owner)
+			if tr := m.tr; tr != nil {
+				tr.Instant(trace.CatSched, "wake", m.clk.Now())
+			}
 			m.mu.Lock()
 		} else {
 			m.cond.Wait() //mpivet:allow parksafe -- goroutine-mode branch (m.sched == nil); the event-mode path parks via the scheduler above
@@ -218,8 +249,9 @@ type World struct {
 	eps     []*Endpoint
 	dead    []atomic.Bool // per-rank fail-stop flag (see Kill)
 	oob     *OOB
-	sched   *sched // non-nil iff the world runs in ProgressEvent mode
-	logical int    // logical rank count on a replicated world (0 = unreplicated)
+	sched   *sched     // non-nil iff the world runs in ProgressEvent mode
+	leg     *trace.Leg // non-nil iff the world is traced (see SetTrace)
+	logical int        // logical rank count on a replicated world (0 = unreplicated)
 	once    sync.Once
 }
 
@@ -320,6 +352,25 @@ func (w *World) Endpoint(r int) *Endpoint {
 // OOB returns the out-of-band control plane.
 func (w *World) OOB() *OOB { return w.oob }
 
+// SetTrace attaches a trace leg to the world: every endpoint caches its
+// per-rank track so emission is a field load plus a nil check. Must be
+// called before any rank goroutine starts (the fields are read without
+// synchronization on the hot path). A nil leg leaves the world untraced.
+func (w *World) SetTrace(l *trace.Leg) {
+	if l == nil {
+		return
+	}
+	w.leg = l
+	for i, ep := range w.eps {
+		ep.tr = l.Track(i)
+		ep.in.tr = ep.tr
+		ep.in.clk = &ep.clock
+	}
+}
+
+// TraceLeg returns the world's trace leg, or nil when untraced.
+func (w *World) TraceLeg() *trace.Leg { return w.leg }
+
 // Kill marks ranks dead (fail-stop): their inbound mailboxes close,
 // dropping queued envelopes, and subsequent Sends addressed to them
 // vanish on the wire, exactly as messages to a powered-off node do.
@@ -385,10 +436,16 @@ type Endpoint struct {
 	rank  int
 	clock simnet.Clock
 	in    *mailbox
+	tr    *trace.Track // non-nil iff the world is traced
 }
 
 // Rank returns the endpoint's rank in the world.
 func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Trace returns the rank's trace track, or nil when the world is
+// untraced. Layers above cache it (mpicore's Proc) so their emission
+// sites share the endpoint's nil-check fast path.
+func (ep *Endpoint) Trace() *trace.Track { return ep.tr }
 
 // Clock returns the rank's virtual clock.
 func (ep *Endpoint) Clock() *simnet.Clock { return &ep.clock }
@@ -417,6 +474,14 @@ func (ep *Endpoint) send(e *Envelope, copyPayload bool) {
 	e.Src = ep.rank
 	ep.clock.Advance(ep.world.cfg.SendOverhead)
 	e.Sent = ep.clock.Now()
+	if tr := ep.tr; tr != nil {
+		// Emitted before the push: once the envelope is handed to the
+		// destination mailbox its fields belong to the receiver.
+		tr.Instant(trace.CatFabric, "send", e.Sent,
+			trace.Arg{Key: "dst", Val: trace.Itoa(e.Dst)},
+			trace.Arg{Key: "proto", Val: e.Proto.String()},
+			trace.Arg{Key: "bytes", Val: trace.Itoa(len(e.Payload))})
+	}
 	if ep.world.dead[e.Dst].Load() {
 		// The sender pays its per-message overhead; the envelope is lost.
 		return
@@ -438,8 +503,7 @@ func (ep *Endpoint) Recv() *Envelope {
 	if e == nil {
 		return nil
 	}
-	ep.clock.AdvanceTo(e.Arrive)
-	ep.clock.Advance(ep.world.cfg.RecvOverhead)
+	ep.AccountRecv(e)
 	return e
 }
 
@@ -449,8 +513,7 @@ func (ep *Endpoint) TryRecv() (*Envelope, bool) {
 	if !ok {
 		return nil, false
 	}
-	ep.clock.AdvanceTo(e.Arrive)
-	ep.clock.Advance(ep.world.cfg.RecvOverhead)
+	ep.AccountRecv(e)
 	return e, true
 }
 
@@ -462,12 +525,22 @@ func (ep *Endpoint) TryRecv() (*Envelope, bool) {
 // advances per message, in the same order, by the same amounts).
 // Returns buf unchanged once the world is closed and the queue drained.
 func (ep *Endpoint) RecvBatch(buf []*Envelope) []*Envelope {
-	return ep.in.popBatch(buf)
+	out := ep.in.popBatch(buf)
+	if tr := ep.tr; tr != nil && len(out) > len(buf) {
+		tr.Instant(trace.CatSched, "drain", ep.clock.Now(),
+			trace.Arg{Key: "count", Val: trace.Itoa(len(out) - len(buf))})
+	}
+	return out
 }
 
 // TryRecvBatch is RecvBatch without blocking.
 func (ep *Endpoint) TryRecvBatch(buf []*Envelope) []*Envelope {
-	return ep.in.tryPopBatch(buf)
+	out := ep.in.tryPopBatch(buf)
+	if tr := ep.tr; tr != nil && len(out) > len(buf) {
+		tr.Instant(trace.CatSched, "drain", ep.clock.Now(),
+			trace.Arg{Key: "count", Val: trace.Itoa(len(out) - len(buf))})
+	}
+	return out
 }
 
 // AccountRecv applies one envelope's receive-side clock cost: advance to
@@ -476,6 +549,12 @@ func (ep *Endpoint) TryRecvBatch(buf []*Envelope) []*Envelope {
 func (ep *Endpoint) AccountRecv(e *Envelope) {
 	ep.clock.AdvanceTo(e.Arrive)
 	ep.clock.Advance(ep.world.cfg.RecvOverhead)
+	if tr := ep.tr; tr != nil {
+		tr.Instant(trace.CatFabric, "deliver", ep.clock.Now(),
+			trace.Arg{Key: "src", Val: trace.Itoa(e.Src)},
+			trace.Arg{Key: "proto", Val: e.Proto.String()},
+			trace.Arg{Key: "bytes", Val: trace.Itoa(len(e.Payload))})
+	}
 }
 
 // Pending reports the number of queued inbound envelopes (used by drain

@@ -2,8 +2,31 @@ package mpicore
 
 import (
 	"repro/internal/ops"
+	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
+
+// collNow reads the rank clock only when tracing is on; it pairs with
+// collRound to bracket one collective round. The untraced path is a
+// single pointer compare.
+func (p *Proc) collNow() simnet.Time {
+	if p.tr != nil {
+		return p.ep.Clock().Now()
+	}
+	return 0
+}
+
+// collRound emits one completed collective-round span — a nested slice
+// under the algorithm's Begin/End bracket — from the clock captured by
+// collNow to now.
+func (p *Proc) collRound(name string, t0 simnet.Time, peer int, tag int32) {
+	if tr := p.tr; tr != nil {
+		tr.Span(trace.CatColl, name, t0, p.ep.Clock().Now(),
+			trace.Arg{Key: "peer", Val: trace.Itoa(peer)},
+			trace.Arg{Key: "tag", Val: trace.Itoa(int(tag))})
+	}
+}
 
 // Policy is one implementation's algorithm personality: the protocol
 // switchover, its context-id derivation stream, and a selection function
@@ -54,6 +77,7 @@ func (p *Proc) CollSend(c *Comm, peer int, tag int32, data []byte) int {
 	if p.ft.Failed(c.Ranks[peer]) {
 		return p.E.ErrProcFailed
 	}
+	t0 := p.collNow()
 	// data is a caller-owned buffer the algorithm may keep folding into
 	// after this call returns, so the fabric's defensive copy stays
 	// (owned=false) — see Request.owned.
@@ -66,8 +90,12 @@ func (p *Proc) CollSend(c *Comm, peer int, tag int32, data []byte) int {
 	if r != nil {
 		code := r.code
 		p.putReq(r)
+		if code == p.E.Success {
+			p.collRound("coll-send", t0, peer, tag)
+		}
 		return code
 	}
+	p.collRound("coll-send", t0, peer, tag)
 	return p.E.Success
 }
 
@@ -88,6 +116,7 @@ func (p *Proc) CollRecvPost(c *Comm, peer int, tag int32) *Request {
 // CollRecv blocks for a packed message from a communicator rank on the
 // collective context.
 func (p *Proc) CollRecv(c *Comm, peer int, tag int32) ([]byte, int) {
+	t0 := p.collNow()
 	r := p.CollRecvPost(c, peer, tag)
 	for !r.done {
 		if code := p.Progress(true); code != p.E.Success {
@@ -96,12 +125,16 @@ func (p *Proc) CollRecv(c *Comm, peer int, tag int32) ([]byte, int) {
 	}
 	out, code := r.rawOut, r.code
 	p.putReq(r)
+	if code == p.E.Success {
+		p.collRound("coll-recv", t0, peer, tag)
+	}
 	return out, code
 }
 
 // CollExchange posts the receive before sending, making symmetric
 // pairwise exchanges deadlock-free even on the rendezvous path.
 func (p *Proc) CollExchange(c *Comm, sendTo, recvFrom int, tag int32, data []byte) ([]byte, int) {
+	t0 := p.collNow()
 	r := p.CollRecvPost(c, recvFrom, tag)
 	if code := p.CollSend(c, sendTo, tag, data); code != p.E.Success {
 		return nil, code
@@ -113,6 +146,9 @@ func (p *Proc) CollExchange(c *Comm, sendTo, recvFrom int, tag int32, data []byt
 	}
 	out, code := r.rawOut, r.code
 	p.putReq(r)
+	if code == p.E.Success {
+		p.collRound("coll-exchange", t0, sendTo, tag)
+	}
 	return out, code
 }
 
@@ -459,6 +495,8 @@ func (p *Proc) Alltoall(sendbuf []byte, scount int, stype *Type,
 // BarrierDissemination is MPICH's dissemination barrier: ceil(log2 n)
 // rounds of token exchanges at power-of-two distances.
 func (p *Proc) BarrierDissemination(c *Comm, tag int32) int {
+	p.collBegin("BarrierDissemination")
+	defer p.collEnd("BarrierDissemination")
 	n, me := c.Size(), c.MyPos
 	round := int32(0)
 	for mask := 1; mask < n; mask <<= 1 {
@@ -475,6 +513,8 @@ func (p *Proc) BarrierDissemination(c *Comm, tag int32) int {
 // BarrierRDFold is the tuned recursive-doubling barrier with a fold for
 // non-power-of-two sizes (Open MPI's default for mid-size communicators).
 func (p *Proc) BarrierRDFold(c *Comm, tag int32) int {
+	p.collBegin("BarrierRDFold")
+	defer p.collEnd("BarrierRDFold")
 	n, me := c.Size(), c.MyPos
 	pof2 := 1
 	for pof2*2 <= n {
@@ -522,6 +562,8 @@ func (p *Proc) BarrierRDFold(c *Comm, tag int32) int {
 
 // BcastBinomial is the binomial-tree broadcast over relative ranks.
 func (p *Proc) BcastBinomial(c *Comm, packed []byte, root int, tag int32) int {
+	p.collBegin("BcastBinomial")
+	defer p.collEnd("BcastBinomial")
 	n, me := c.Size(), c.MyPos
 	rel := (me - root + n) % n
 	abs := func(r int) int { return (r + root) % n }
@@ -565,6 +607,8 @@ func ChunkBounds(nbytes, n int) []int {
 // BcastScatterRing scatters the buffer binomially over relative ranks and
 // reassembles with a ring allgather, MPICH's long-message broadcast.
 func (p *Proc) BcastScatterRing(c *Comm, packed []byte, root int, tag int32) int {
+	p.collBegin("BcastScatterRing")
+	defer p.collEnd("BcastScatterRing")
 	n, me := c.Size(), c.MyPos
 	rel := (me - root + n) % n
 	abs := func(r int) int { return (r + root) % n }
@@ -614,6 +658,8 @@ func (p *Proc) BcastScatterRing(c *Comm, packed []byte, root int, tag int32) int
 // BcastBinaryTree broadcasts down an in-order binary tree over relative
 // ranks: children of relative node r are 2r+1 and 2r+2.
 func (p *Proc) BcastBinaryTree(c *Comm, packed []byte, root int, tag int32) int {
+	p.collBegin("BcastBinaryTree")
+	defer p.collEnd("BcastBinaryTree")
 	n, me := c.Size(), c.MyPos
 	rel := (me - root + n) % n
 	abs := func(r int) int { return (r + root) % n }
@@ -638,6 +684,8 @@ func (p *Proc) BcastBinaryTree(c *Comm, packed []byte, root int, tag int32) int 
 // BcastChain pipelines segSize segments down the rank chain
 // root -> root+1 -> ... -> root+n-1 (relative order).
 func (p *Proc) BcastChain(c *Comm, packed []byte, root int, tag int32, segSize int) int {
+	p.collBegin("BcastChain")
+	defer p.collEnd("BcastChain")
 	n, me := c.Size(), c.MyPos
 	rel := (me - root + n) % n
 	abs := func(r int) int { return (r + root) % n }
@@ -667,6 +715,8 @@ func (p *Proc) BcastChain(c *Comm, packed []byte, root int, tag int32, segSize i
 // ReduceBinomial folds up a binomial tree over relative ranks
 // (commutative operators), MPICH's selection.
 func (p *Proc) ReduceBinomial(c *Comm, acc []byte, o *Op, k types.Kind, root int, tag int32) int {
+	p.collBegin("ReduceBinomial")
+	defer p.collEnd("ReduceBinomial")
 	n, me := c.Size(), c.MyPos
 	rel := (me - root + n) % n
 	abs := func(r int) int { return (r + root) % n }
@@ -695,6 +745,8 @@ func (p *Proc) ReduceBinomial(c *Comm, acc []byte, o *Op, k types.Kind, root int
 // ReduceBinaryTree folds up an in-order binary tree over relative ranks,
 // Open MPI's selection.
 func (p *Proc) ReduceBinaryTree(c *Comm, acc []byte, o *Op, k types.Kind, root int, tag int32) int {
+	p.collBegin("ReduceBinaryTree")
+	defer p.collEnd("ReduceBinaryTree")
 	n, me := c.Size(), c.MyPos
 	rel := (me - root + n) % n
 	abs := func(r int) int { return (r + root) % n }
@@ -724,6 +776,8 @@ func (p *Proc) ReduceBinaryTree(c *Comm, acc []byte, o *Op, k types.Kind, root i
 // historical implementations use different rounds; the difference is
 // preserved so wire traces stay stable).
 func (p *Proc) AllreduceRecDoubling(c *Comm, acc []byte, o *Op, k types.Kind, tag int32, unfoldRound int32) int {
+	p.collBegin("AllreduceRecDoubling")
+	defer p.collEnd("AllreduceRecDoubling")
 	n, me := c.Size(), c.MyPos
 	pof2 := 1
 	for pof2*2 <= n {
@@ -783,6 +837,8 @@ func (p *Proc) AllreduceRecDoubling(c *Comm, acc []byte, o *Op, k types.Kind, ta
 // AllreduceRabenseifner is the long-message reduce-scatter plus allgather
 // algorithm for power-of-two communicators (MPICH's selection).
 func (p *Proc) AllreduceRabenseifner(c *Comm, acc []byte, o *Op, k types.Kind, tag int32) int {
+	p.collBegin("AllreduceRabenseifner")
+	defer p.collEnd("AllreduceRabenseifner")
 	n, me := c.Size(), c.MyPos
 	es := k.Size()
 	elems := len(acc) / es
@@ -836,6 +892,8 @@ func (p *Proc) AllreduceRabenseifner(c *Comm, acc []byte, o *Op, k types.Kind, t
 // followed by n-1 allgather steps over element chunks (Open MPI's
 // long-message selection).
 func (p *Proc) AllreduceRing(c *Comm, acc []byte, o *Op, k types.Kind, tag int32) int {
+	p.collBegin("AllreduceRing")
+	defer p.collEnd("AllreduceRing")
 	n, me := c.Size(), c.MyPos
 	es := k.Size()
 	elems := len(acc) / es
@@ -872,6 +930,8 @@ func (p *Proc) AllreduceRing(c *Comm, acc []byte, o *Op, k types.Kind, tag int32
 // relative ranks (MPICH's selection), rotating into absolute order at the
 // root.
 func (p *Proc) GatherBinomial(c *Comm, own, region []byte, blockSz, root int, tag int32) int {
+	p.collBegin("GatherBinomial")
+	defer p.collEnd("GatherBinomial")
 	n, me := c.Size(), c.MyPos
 	rel := (me - root + n) % n
 	abs := func(r int) int { return (r + root) % n }
@@ -910,6 +970,8 @@ func (p *Proc) GatherBinomial(c *Comm, own, region []byte, blockSz, root int, ta
 // GatherLinear is the basic linear gather with nonblocking overlap: the
 // root posts every receive, then drains (Open MPI's selection).
 func (p *Proc) GatherLinear(c *Comm, own, region []byte, blockSz, root int, tag int32) int {
+	p.collBegin("GatherLinear")
+	defer p.collEnd("GatherLinear")
 	n, me := c.Size(), c.MyPos
 	if me != root {
 		return p.CollSend(c, root, tag, own)
@@ -944,6 +1006,8 @@ func (p *Proc) GatherLinear(c *Comm, own, region []byte, blockSz, root int, tag 
 // ScatterBinomial distributes region down a binomial tree over relative
 // ranks (MPICH's selection), returning the caller's block.
 func (p *Proc) ScatterBinomial(c *Comm, region []byte, blockSz, root int, tag int32) ([]byte, int) {
+	p.collBegin("ScatterBinomial")
+	defer p.collEnd("ScatterBinomial")
 	n, me := c.Size(), c.MyPos
 	rel := (me - root + n) % n
 	abs := func(r int) int { return (r + root) % n }
@@ -989,6 +1053,8 @@ func (p *Proc) ScatterBinomial(c *Comm, region []byte, blockSz, root int, tag in
 // ScatterLinear is the basic linear scatter: the root sends each block
 // (Open MPI's selection).
 func (p *Proc) ScatterLinear(c *Comm, region []byte, blockSz, root int, tag int32) ([]byte, int) {
+	p.collBegin("ScatterLinear")
+	defer p.collEnd("ScatterLinear")
 	n, me := c.Size(), c.MyPos
 	if me == root {
 		for r := 0; r < n; r++ {
@@ -1014,6 +1080,8 @@ func (p *Proc) ScatterLinear(c *Comm, region []byte, blockSz, root int, tag int3
 // AllgatherRecDoubling doubles the known block range each round
 // (power-of-two communicators; MPICH's short-message selection).
 func (p *Proc) AllgatherRecDoubling(c *Comm, region []byte, blockSz int, tag int32) int {
+	p.collBegin("AllgatherRecDoubling")
+	defer p.collEnd("AllgatherRecDoubling")
 	n, me := c.Size(), c.MyPos
 	round := int32(0)
 	for dist := 1; dist < n; dist *= 2 {
@@ -1034,6 +1102,8 @@ func (p *Proc) AllgatherRecDoubling(c *Comm, region []byte, blockSz int, tag int
 // AllgatherRing rotates blocks around the ring for n-1 steps (the
 // long-message workhorse both historical implementations share).
 func (p *Proc) AllgatherRing(c *Comm, region []byte, blockSz int, tag int32) int {
+	p.collBegin("AllgatherRing")
+	defer p.collEnd("AllgatherRing")
 	n, me := c.Size(), c.MyPos
 	right := (me + 1) % n
 	left := (me - 1 + n) % n
@@ -1054,6 +1124,8 @@ func (p *Proc) AllgatherRing(c *Comm, region []byte, blockSz int, tag int32) int
 // working buffer holds rank (me+j)'s contribution until the final rotate
 // (Open MPI's small-block selection).
 func (p *Proc) AllgatherBruck(c *Comm, region []byte, blockSz int, tag int32) int {
+	p.collBegin("AllgatherBruck")
+	defer p.collEnd("AllgatherBruck")
 	n, me := c.Size(), c.MyPos
 	tmp := make([]byte, n*blockSz)
 	copy(tmp[:blockSz], region[me*blockSz:(me+1)*blockSz])
@@ -1084,6 +1156,8 @@ func (p *Proc) AllgatherBruck(c *Comm, region []byte, blockSz int, tag int32) in
 // AlltoallBruck runs in ceil(log2 n) rounds, each moving all blocks whose
 // (rotated) index has the round's bit set.
 func (p *Proc) AlltoallBruck(c *Comm, out, in []byte, blockSz int, tag int32) int {
+	p.collBegin("AlltoallBruck")
+	defer p.collEnd("AlltoallBruck")
 	n, me := c.Size(), c.MyPos
 	// Phase 1: local rotation; tmp[i] = block destined to (me+i) mod n.
 	tmp := make([]byte, n*blockSz)
@@ -1127,6 +1201,8 @@ func (p *Proc) AlltoallBruck(c *Comm, out, in []byte, blockSz int, tag int32) in
 // then drains — maximal overlap across peers (MPICH's medium-message and
 // Open MPI's basic-linear algorithm).
 func (p *Proc) AlltoallOverlap(c *Comm, out, in []byte, blockSz int, tag int32) int {
+	p.collBegin("AlltoallOverlap")
+	defer p.collEnd("AlltoallOverlap")
 	n, me := c.Size(), c.MyPos
 	copy(in[me*blockSz:(me+1)*blockSz], out[me*blockSz:(me+1)*blockSz])
 	recvs := make([]*Request, 0, n-1)
@@ -1167,6 +1243,8 @@ func (p *Proc) AlltoallOverlap(c *Comm, out, in []byte, blockSz int, tag int32) 
 // pairs rank r with r+k (send) and r-k (recv). MPICH's long-message
 // selection.
 func (p *Proc) AlltoallPairwise(c *Comm, out, in []byte, blockSz int, tag int32) int {
+	p.collBegin("AlltoallPairwise")
+	defer p.collEnd("AlltoallPairwise")
 	n, me := c.Size(), c.MyPos
 	copy(in[me*blockSz:(me+1)*blockSz], out[me*blockSz:(me+1)*blockSz])
 	for k := 1; k < n; k++ {

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/ops"
+	"repro/internal/trace"
 	"repro/internal/types"
 	"repro/internal/ulfm"
 )
@@ -262,6 +263,11 @@ type Proc struct {
 	// logical ranks; see replica.go.
 	repl *replState
 
+	// tr is the rank's trace track (nil on an untraced world); cached
+	// from the endpoint so every emission site is a field load plus a
+	// nil check.
+	tr *trace.Track
+
 	finalized bool
 }
 
@@ -285,6 +291,7 @@ func NewProc(w *fabric.World, rank int, k Consts, e Codes, pol Policy) *Proc {
 		pendingSend:  make(map[uint64]*Request),
 		awaitingData: make(map[seqKey]*Request),
 		ft:           ulfm.NewTracker(),
+		tr:           w.Endpoint(rank).Trace(),
 	}
 	if w.Replicated() {
 		p.initReplication(w)
@@ -418,4 +425,22 @@ func clampCID(cid uint32) uint32 {
 		cid += 3
 	}
 	return cid
+}
+
+// collBegin opens a named collective-algorithm slice on the rank's trace
+// track. Each algorithm method (BcastBinomial, AllreduceRabenseifner, …)
+// brackets itself, so the trace records which algorithm the policy
+// actually selected — the per-round spans nest inside it.
+func (p *Proc) collBegin(name string) {
+	if tr := p.tr; tr != nil {
+		tr.Begin(trace.CatColl, name, p.ep.Clock().Now())
+	}
+}
+
+// collEnd closes the slice collBegin opened; call via defer so error
+// returns close it too.
+func (p *Proc) collEnd(name string) {
+	if tr := p.tr; tr != nil {
+		tr.End(trace.CatColl, name, p.ep.Clock().Now())
+	}
 }

@@ -2,7 +2,22 @@ package mpicore
 
 import (
 	"repro/internal/fabric"
+	"repro/internal/trace"
 )
+
+// traceMatch records a p2p match on the rank's trace track. name is the
+// protocol ("match-eager", "match-rdv") — deliberately NOT the queue the
+// match came from: whether a message is matched posted or unexpected is
+// an engine-timing artifact, and the cross-engine multiset contract
+// compares names. The queue goes in the args instead.
+func (p *Proc) traceMatch(name string, src int, tag int32, path string) {
+	if tr := p.tr; tr != nil {
+		tr.Instant(trace.CatP2P, name, p.ep.Clock().Now(),
+			trace.Arg{Key: "src", Val: trace.Itoa(src)},
+			trace.Arg{Key: "tag", Val: trace.Itoa(int(tag))},
+			trace.Arg{Key: "path", Val: path})
+	}
+}
 
 // Progress dispatches one arrived envelope. With block=true it waits
 // for traffic; otherwise it returns immediately when nothing has
@@ -53,6 +68,7 @@ func (p *Proc) dispatch(e *fabric.Envelope) {
 	case fabric.ProtoEager:
 		if r := p.matchPosted(e); r != nil {
 			p.deliverPayload(r, e.Src, e.Tag, e.Payload)
+			p.traceMatch("match-eager", e.Src, e.Tag, "posted")
 			fabric.PutEnvelope(e)
 		} else {
 			p.unexpected = append(p.unexpected, e)
@@ -60,6 +76,7 @@ func (p *Proc) dispatch(e *fabric.Envelope) {
 	case fabric.ProtoRTS:
 		if r := p.matchPosted(e); r != nil {
 			p.acceptRTS(e, r)
+			p.traceMatch("match-rdv", e.Src, e.Tag, "posted")
 			fabric.PutEnvelope(e)
 		} else {
 			p.unexpected = append(p.unexpected, e)
@@ -189,8 +206,10 @@ func (p *Proc) postRecv(r *Request) {
 		switch e.Proto {
 		case fabric.ProtoEager:
 			p.deliverPayload(r, e.Src, e.Tag, e.Payload)
+			p.traceMatch("match-eager", e.Src, e.Tag, "unexpected")
 		case fabric.ProtoRTS:
 			p.acceptRTS(e, r)
+			p.traceMatch("match-rdv", e.Src, e.Tag, "unexpected")
 		}
 		fabric.PutEnvelope(e)
 		return

@@ -2,6 +2,7 @@ package mpicore
 
 import (
 	"repro/internal/fabric"
+	"repro/internal/trace"
 	"repro/internal/ulfm"
 )
 
@@ -109,6 +110,11 @@ func (p *Proc) Promoted(lr int) bool {
 func (p *Proc) replSend(packed []byte, destLogical int, tag int32, cid uint32, owned bool) {
 	p.repl.sendSeq++
 	seq := p.repl.sendSeq
+	if tr := p.tr; tr != nil {
+		tr.Instant(trace.CatRepl, "repl-dup", p.ep.Clock().Now(),
+			trace.Arg{Key: "dst", Val: trace.Itoa(destLogical)},
+			trace.Arg{Key: "seq", Val: trace.Itoa(int(seq))})
+	}
 	// Ownership transfers per receiver: when the caller hands the
 	// payload over, only one replica may take it, and the other gets its
 	// own copy here (an unowned payload is defensively copied by the
@@ -157,6 +163,11 @@ func (p *Proc) replAdmit(e *fabric.Envelope) bool {
 	key := seqKey{peer: e.Src, seq: e.Seq}
 	if p.repl.seen[key] {
 		delete(p.repl.seen, key) // both copies consumed; retire the entry
+		if tr := p.tr; tr != nil {
+			tr.Instant(trace.CatRepl, "repl-dedup", p.ep.Clock().Now(),
+				trace.Arg{Key: "src", Val: trace.Itoa(e.Src)},
+				trace.Arg{Key: "seq", Val: trace.Itoa(int(e.Seq))})
+		}
 		fabric.PutEnvelope(e)
 		return false
 	}
@@ -183,6 +194,10 @@ func (p *Proc) replNoteFailure(phys []int) {
 			logicalDead = append(logicalDead, lr)
 		} else if r == lr {
 			p.repl.promoted[lr] = true
+			if tr := p.tr; tr != nil {
+				tr.Instant(trace.CatRepl, "promote", p.ep.Clock().Now(),
+					trace.Arg{Key: "rank", Val: trace.Itoa(lr)})
+			}
 		}
 	}
 	if len(logicalDead) > 0 && p.ft.NoteFailed(logicalDead...) {

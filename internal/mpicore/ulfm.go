@@ -2,8 +2,35 @@ package mpicore
 
 import (
 	"repro/internal/fabric"
+	"repro/internal/trace"
 	"repro/internal/ulfm"
 )
+
+// ulfmBegin/ulfmEnd bracket a recovery collective on the rank's trace
+// track, like collBegin/collEnd for regular collectives.
+func (p *Proc) ulfmBegin(name string) {
+	if tr := p.tr; tr != nil {
+		tr.Begin(trace.CatUlfm, name, p.ep.Clock().Now())
+	}
+}
+
+func (p *Proc) ulfmEnd(name string) {
+	if tr := p.tr; tr != nil {
+		tr.End(trace.CatUlfm, name, p.ep.Clock().Now())
+	}
+}
+
+// fmtRanks renders a rank list as a compact trace arg value.
+func fmtRanks(ranks []int) string {
+	s := ""
+	for i, r := range ranks {
+		if i > 0 {
+			s += ","
+		}
+		s += trace.Itoa(r)
+	}
+	return s
+}
 
 // This file is the communicating half of the ULFM subsystem (see
 // internal/ulfm for the state half): failure propagation through the
@@ -39,11 +66,16 @@ func (p *Proc) handleCtrl(e *fabric.Envelope) {
 		// The fabric names PHYSICAL dead ranks; on a replicated world the
 		// replica layer decides whether a logical rank actually failed
 		// (both replicas down) or merely promoted its shadow.
+		dead := ulfm.DecodeRanks(e.Payload)
+		if tr := p.tr; tr != nil {
+			tr.Instant(trace.CatUlfm, "notice", p.ep.Clock().Now(),
+				trace.Arg{Key: "ranks", Val: fmtRanks(dead)})
+		}
 		if p.repl != nil {
-			p.replNoteFailure(ulfm.DecodeRanks(e.Payload))
+			p.replNoteFailure(dead)
 			return
 		}
-		if p.ft.NoteFailed(ulfm.DecodeRanks(e.Payload)...) {
+		if p.ft.NoteFailed(dead...) {
 			p.sweepFailed()
 		}
 	case ulfm.CtrlRevoke:
@@ -121,6 +153,10 @@ func (p *Proc) revokeLocal(cid uint32) {
 	if !p.ft.Revoke(cid) {
 		return
 	}
+	if tr := p.tr; tr != nil {
+		tr.Instant(trace.CatUlfm, "revoke", p.ep.Clock().Now(),
+			trace.Arg{Key: "cid", Val: trace.Itoa(int(cid))})
+	}
 	keep := p.posted[:0]
 	for _, r := range p.posted {
 		if !r.ft && r.cid&^collCIDBit == cid {
@@ -177,6 +213,10 @@ func (p *Proc) CommRevoke(c *Comm) int {
 	}
 	if p.ft.Revoked(c.CID) {
 		return p.E.Success
+	}
+	if tr := p.tr; tr != nil {
+		tr.Instant(trace.CatUlfm, "CommRevoke", p.ep.Clock().Now(),
+			trace.Arg{Key: "cid", Val: trace.Itoa(int(c.CID))})
 	}
 	p.revokeLocal(c.CID)
 	for _, w := range c.Ranks {
@@ -330,6 +370,7 @@ func (p *Proc) agreeRounds(c *Comm, flag uint64) (uint64, ulfm.Bitmap, int) {
 	bm := p.ft.FailedBitmap(p.size)
 	agreed := flag
 	for round := int32(0); round < 2; round++ {
+		t0 := p.collNow()
 		views, code := p.ftExchange(c, base|round, encodeAgree(agreed, bm))
 		if code != p.E.Success {
 			return 0, nil, code
@@ -344,6 +385,10 @@ func (p *Proc) agreeRounds(c *Comm, flag uint64) (uint64, ulfm.Bitmap, int) {
 			}
 			agreed &= f
 			bm.Or(vb)
+		}
+		if tr := p.tr; tr != nil {
+			tr.Span(trace.CatUlfm, "agree-round", t0, p.ep.Clock().Now(),
+				trace.Arg{Key: "round", Val: trace.Itoa(int(round))})
 		}
 	}
 	// Deaths learned after the last fold (a sweep completing one of this
@@ -362,6 +407,8 @@ func (p *Proc) CommAgree(c *Comm, flag uint64) (uint64, int) {
 	if c == nil {
 		return 0, p.E.ErrComm
 	}
+	p.ulfmBegin("CommAgree")
+	defer p.ulfmEnd("CommAgree")
 	agreed, _, code := p.agreeRounds(c, flag)
 	if code != p.E.Success {
 		return 0, code
@@ -384,6 +431,8 @@ func (p *Proc) CommShrink(c *Comm) (*Comm, int) {
 	if c == nil {
 		return nil, p.E.ErrComm
 	}
+	p.ulfmBegin("CommShrink")
+	defer p.ulfmEnd("CommShrink")
 	_, bm, code := p.agreeRounds(c, ^uint64(0))
 	if code != p.E.Success {
 		return nil, code

@@ -14,6 +14,7 @@ import (
 	"repro/internal/mana"
 	"repro/internal/osu"
 	"repro/internal/stats"
+	"repro/internal/trace"
 
 	// The engine runs the registered workloads.
 	_ "repro/internal/apps/comd"
@@ -85,6 +86,35 @@ type Options struct {
 	// existed; results are mode-invariant by the differential suites, so
 	// an "event" hash differing from the default one is conservative.
 	Progress core.ProgressMode `json:"progress_mode,omitempty"`
+	// TraceDir, when set, writes one Chrome trace-event JSON file per
+	// executed cell (Perfetto-loadable; see internal/trace and
+	// docs/observability.md) to <TraceDir>/<cell-id-path>.json.
+	// Excluded from reports and cell hashes: tracing observes a run, it
+	// never affects one — timestamps are virtual, so with the event
+	// engine the files are byte-deterministic per seed.
+	TraceDir string `json:"-"`
+	// OnCell, when set, is invoked once per scheduled cell as it
+	// completes (cached or live). Run calls it from its worker
+	// goroutines concurrently; the callback must synchronize. Excluded
+	// from reports and hashes like every other observer knob.
+	OnCell func(CellEvent) `json:"-"`
+
+	// sink is the per-cell trace sink, created by runOne when TraceDir
+	// is set and threaded to the rep runners (unexported: plumbing, not
+	// configuration).
+	sink *trace.Sink
+}
+
+// CellEvent is one Options.OnCell progress notification.
+type CellEvent struct {
+	// Index/Total locate the cell in this run's scheduled list.
+	Index, Total int
+	// ID is the scenario ID; Cached reports a store hit.
+	ID     string
+	Cached bool
+	// WallMS is the cell's wall-clock cost: measured for live cells,
+	// the original run's recorded cost for cached ones.
+	WallMS int64
 }
 
 // Full returns the paper-scale configuration (4x12 ranks, 5 repetitions).
@@ -237,6 +267,9 @@ func Run(specs []Spec, o Options) *Report {
 					if res, ok := store.Get(hashes[i]); ok && res.ID == specs[i].ID() {
 						res.Cached = true
 						results[i] = res
+						if o.OnCell != nil {
+							o.OnCell(CellEvent{Index: i, Total: len(specs), ID: res.ID, Cached: true, WallMS: res.WallMS})
+						}
 						continue
 					}
 				}
@@ -247,6 +280,9 @@ func Run(specs []Spec, o Options) *Report {
 					// Best-effort: a failed Put only means this cell runs
 					// live again next time.
 					_ = store.Put(hashes[i], res)
+				}
+				if o.OnCell != nil {
+					o.OnCell(CellEvent{Index: i, Total: len(specs), ID: res.ID, WallMS: res.WallMS})
 				}
 			}
 		}()
@@ -284,12 +320,29 @@ func RunCell(s Spec, o Options) Result {
 func runOne(s Spec, o Options) (res Result) {
 	start := time.Now() //mpivet:allow walltime -- wall_ms report metadata; never feeds event order or scenario hashes
 	res = Result{ID: s.ID(), Spec: s, Status: StatusPass, Reps: o.Reps}
+	var cellLeg *trace.Leg
+	if o.TraceDir != "" {
+		o.sink = trace.NewSink()
+		// A rank-less leg carrying the scenario layer's own lifecycle
+		// events; job legs follow it in pid order. Cell events carry no
+		// world clock, so they sit at virtual time zero.
+		cellLeg = o.sink.NewLeg("cell "+res.ID, 0)
+		cellLeg.Driver(trace.CatCell, "cell-start", 0,
+			trace.Arg{Key: "id", Val: res.ID})
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			res.Status = StatusFail
 			res.Error = fmt.Sprintf("panic: %v", r)
 		}
 		res.WallMS = time.Since(start).Milliseconds() //mpivet:allow walltime -- wall_ms report metadata; never feeds event order or scenario hashes
+		if o.sink != nil {
+			cellLeg.Driver(trace.CatCell, "cell-done", 0,
+				trace.Arg{Key: "status", Val: string(res.Status)})
+			// Best-effort, like the result cache: a failed trace write
+			// never fails the cell.
+			_ = o.sink.WriteChromeFile(filepath.Join(o.TraceDir, idPath(res.ID)+".json"))
+		}
 	}()
 	if err := s.Validate(); err != nil {
 		res.Status = StatusFail
@@ -298,6 +351,10 @@ func runOne(s Spec, o Options) (res Result) {
 	}
 	var launch, restart repSamples
 	for rep := 0; rep < o.Reps; rep++ {
+		if cellLeg != nil {
+			cellLeg.Driver(trace.CatCell, "rep", 0,
+				trace.Arg{Key: "rep", Val: trace.Itoa(rep)})
+		}
 		seed := seedFor(o.BaseSeed, s.Program, rep)
 		res.Seeds = append(res.Seeds, seed)
 		if s.Fault != "" {
@@ -357,7 +414,8 @@ func runFaultRep(s Spec, o Options, rep int, seed int64) (measurement, FaultReco
 		f := inj.Faults()[0]
 		fr.Node = f.Node
 		job, err := core.Launch(stack, s.Program,
-			core.WithConfigure(o.configure(seed)), core.WithFaults(inj))
+			core.WithConfigure(o.configure(seed)), core.WithFaults(inj),
+			core.WithTrace(o.sink))
 		if err != nil {
 			return m, fr, err
 		}
@@ -395,7 +453,8 @@ func runFaultRep(s Spec, o Options, rep int, seed int64) (measurement, FaultReco
 		pol.RestartStack = &r
 		fr.RestartStack = r.Label()
 	}
-	rr, err := core.RunWithRecovery(stack, s.Program, inj, pol, core.WithConfigure(o.configure(seed)))
+	rr, err := core.RunWithRecovery(stack, s.Program, inj, pol,
+		core.WithConfigure(o.configure(seed)), core.WithTrace(o.sink))
 	if rr != nil {
 		fr.Restarts = rr.Restarts
 		if len(rr.Events) > 0 {
@@ -449,7 +508,7 @@ func runShrinkRep(s Spec, o Options, fr FaultRecord, stack core.Stack, seed int6
 	}
 	rr, err := core.RunWithShrinkRecovery(stack, s.Program, inj,
 		core.ShrinkPolicy{MaxShrinks: o.MaxRestarts, LegTimeout: o.Timeout},
-		core.WithConfigure(o.configure(seed)))
+		core.WithConfigure(o.configure(seed)), core.WithTrace(o.sink))
 	if rr != nil {
 		fr.Shrinks = rr.Shrinks
 		if len(rr.Events) > 0 {
@@ -490,7 +549,7 @@ func runReplicateRep(s Spec, o Options, fr FaultRecord, stack core.Stack, seed i
 	}
 	rr, err := core.RunWithReplication(stack, s.Program, inj,
 		core.ReplicaPolicy{LegTimeout: o.Timeout},
-		core.WithConfigure(o.configure(seed)))
+		core.WithConfigure(o.configure(seed)), core.WithTrace(o.sink))
 	if rr != nil {
 		fr.Promotions = rr.Promotions
 		if len(rr.Events) > 0 {
@@ -523,7 +582,7 @@ func runRep(s Spec, o Options, rep int, seed int64) (launch, restarted measureme
 	stack.Net.Seed = seed
 	stack.Progress = o.Progress
 
-	opts := []core.LaunchOption{core.WithConfigure(o.configure(seed))}
+	opts := []core.LaunchOption{core.WithConfigure(o.configure(seed)), core.WithTrace(o.sink)}
 	if s.HasRestart() {
 		opts = append(opts, core.WithHold())
 	}
@@ -563,7 +622,7 @@ func runRep(s Spec, o Options, rep int, seed int64) (launch, restarted measureme
 	rstack.Net.RanksPerNode = o.RanksPerNode
 	rstack.Net.Seed = seed
 	rstack.Progress = o.Progress
-	rjob, err := core.Restart(filepath.Join(o.Scratch, imgDir), rstack)
+	rjob, err := core.Restart(filepath.Join(o.Scratch, imgDir), rstack, core.WithTrace(o.sink))
 	if err != nil {
 		return launch, restarted, lin, fmt.Errorf("restart: %w", err)
 	}

@@ -236,6 +236,10 @@ type WorkerConfig struct {
 	// Scratch keeps checkpoint images under this directory; empty uses
 	// a throwaway temp directory per cell.
 	Scratch string
+	// TraceDir writes one Chrome trace-event JSON per executed cell
+	// into this directory (a worker-local choice, like Scratch — the
+	// server's result-determining options are unaffected).
+	TraceDir string
 	// Execute overrides cell execution; nil means scenario.RunCell.
 	// Tests substitute stubs here.
 	Execute func(scenario.Spec, scenario.Options) scenario.Result
@@ -273,6 +277,7 @@ func (c *Client) Drain(w WorkerConfig) (WorkerStats, error) {
 	}
 	opts := c.Options()
 	opts.Scratch = w.Scratch
+	opts.TraceDir = w.TraceDir
 
 	var (
 		mu    sync.Mutex

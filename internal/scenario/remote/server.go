@@ -3,6 +3,7 @@ package remote
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -70,6 +71,27 @@ type Server struct {
 	byHash map[string]*cell
 	done   int
 	doneCh chan struct{}
+
+	// Operational counters for /metrics and /status (all under mu).
+	started       time.Time
+	leaseGrants   int64
+	leaseExpiries int64
+	storeHits     int64
+	storeMisses   int64
+	bytesServed   int64
+	bytesReceived int64
+	workers       map[string]*workerStatus
+}
+
+// workerStatus is the server's liveness/throughput view of one worker,
+// keyed by its X-Matrix-Worker name. Protected by Server.mu.
+type workerStatus struct {
+	leases    int64
+	cells     int64
+	failed    int64
+	wallMS    int64
+	firstSeen time.Time
+	lastSeen  time.Time
 }
 
 // NewServer enumerates the run (hashes every cell, scans the store for
@@ -80,12 +102,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("remote: server requires a backing store")
 	}
 	s := &Server{
-		opts:   cfg.Options,
-		store:  cfg.Store,
-		ttl:    cfg.LeaseTTL,
-		now:    cfg.Now,
-		byHash: make(map[string]*cell),
-		doneCh: make(chan struct{}),
+		opts:    cfg.Options,
+		store:   cfg.Store,
+		ttl:     cfg.LeaseTTL,
+		now:     cfg.Now,
+		byHash:  make(map[string]*cell),
+		doneCh:  make(chan struct{}),
+		workers: make(map[string]*workerStatus),
 	}
 	if s.ttl <= 0 {
 		s.ttl = DefaultLeaseTTL
@@ -93,6 +116,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if s.now == nil {
 		s.now = time.Now
 	}
+	s.started = s.now()
 	hints := cfg.Store.WallHints()
 	seen := make(map[string]bool, len(cfg.Specs))
 	for _, spec := range cfg.Specs {
@@ -264,6 +288,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleLease(w, r)
 	case r.URL.Path == "/report" && r.Method == http.MethodGet:
 		s.handleReport(w)
+	case r.URL.Path == "/metrics" && r.Method == http.MethodGet:
+		s.handleMetrics(w)
+	case r.URL.Path == "/status" && r.Method == http.MethodGet:
+		s.handleStatus(w)
 	case strings.HasPrefix(r.URL.Path, "/cells/"):
 		s.handleCell(w, r, strings.TrimPrefix(r.URL.Path, "/cells/"))
 	default:
@@ -292,9 +320,11 @@ func (s *Server) handleConfig(w http.ResponseWriter) {
 }
 
 func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	worker := workerName(r)
 	for attempt := 0; ; attempt++ {
 		s.mu.Lock()
 		now := s.now()
+		s.touchWorkerLocked(worker, now)
 		remaining := len(s.cells) - s.done
 		if remaining == 0 {
 			s.mu.Unlock()
@@ -316,6 +346,11 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			}
 			// Grantable: never leased, or the previous lease expired — the
 			// requeue that bounds a dead worker's cost to one TTL.
+			if !c.leaseUntil.IsZero() {
+				s.leaseExpiries++
+			}
+			s.leaseGrants++
+			s.workers[worker].leases++
 			c.leaseUntil = now.Add(s.ttl)
 			lease := Lease{
 				ID: c.id, Spec: c.spec, Hash: c.hash,
@@ -398,6 +433,13 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request, hash string)
 // the existence check.
 func (s *Server) serveCell(w http.ResponseWriter, r *http.Request, c *cell) {
 	res, ok := s.store.Get(c.hash)
+	s.mu.Lock()
+	if ok && res.ID == c.id {
+		s.storeHits++
+	} else {
+		s.storeMisses++
+	}
+	s.mu.Unlock()
 	if !ok || res.ID != c.id {
 		http.NotFound(w, r)
 		return
@@ -413,9 +455,19 @@ func (s *Server) serveCell(w http.ResponseWriter, r *http.Request, c *cell) {
 		w.WriteHeader(http.StatusOK)
 		return
 	}
-	writeJSON(w, http.StatusOK, wireEntry{
+	raw, err := json.MarshalIndent(wireEntry{
 		Engine: scenario.EngineVersion, Hash: c.hash, WallMS: res.WallMS, Result: res,
-	})
+	}, "", "  ")
+	if err != nil {
+		http.Error(w, "encoding entry: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	s.bytesServed += int64(len(raw))
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
 }
 
 // acceptCell validates and stores an uploaded result, policing the
@@ -426,8 +478,13 @@ func (s *Server) serveCell(w http.ResponseWriter, r *http.Request, c *cell) {
 // server run, exactly like the local cache's failures-never-pinned
 // rule. Duplicate uploads are idempotent.
 func (s *Server) acceptCell(w http.ResponseWriter, r *http.Request, c *cell) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, "reading entry: "+err.Error(), http.StatusBadRequest)
+		return
+	}
 	var e wireEntry
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&e); err != nil {
+	if err := json.Unmarshal(raw, &e); err != nil {
 		http.Error(w, "undecodable entry: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -448,13 +505,12 @@ func (s *Server) acceptCell(w http.ResponseWriter, r *http.Request, c *cell) {
 			http.StatusBadRequest)
 		return
 	}
-	worker := r.Header.Get(workerHeader)
-	if worker == "" {
-		worker = "anonymous"
-	}
+	worker := workerName(r)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.bytesReceived += int64(len(raw))
+	s.touchWorkerLocked(worker, s.now())
 	if c.done {
 		// A re-upload of a completed cell: a worker that outlived its
 		// lease, or a retry. The bytes are equal by determinism; accept
@@ -476,6 +532,12 @@ func (s *Server) acceptCell(w http.ResponseWriter, r *http.Request, c *cell) {
 	c.live = true
 	c.worker = worker
 	c.wallMS = e.Result.WallMS
+	ws := s.workers[worker]
+	ws.cells++
+	ws.wallMS += e.Result.WallMS
+	if e.Result.Status != scenario.StatusPass {
+		ws.failed++
+	}
 	s.done++
 	if s.done == len(s.cells) {
 		close(s.doneCh)

@@ -421,3 +421,8 @@ func idPath(id string) string {
 	r := strings.NewReplacer("/", "_", ">", "_to_", "+", "-", "@", "-", "!", "_", "#", "-", "%", "-", "~", "-")
 	return r.Replace(id)
 }
+
+// TraceFileName is the file a traced cell's Chrome trace lands under
+// inside Options.TraceDir: the cell ID sanitized exactly like its
+// checkpoint scratch directory, plus ".json".
+func TraceFileName(id string) string { return idPath(id) + ".json" }

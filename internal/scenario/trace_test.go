@@ -1,0 +1,250 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// traceSpec is the acceptance cell: a rank crash recovered in place by
+// ULFM shrink, whose trace must show the failure notice, the revoke,
+// the agree rounds and the survivors' continued collectives.
+func traceSpec() Spec {
+	return Spec{
+		Program: "app.comd", Impl: core.ImplMPICH, ABI: core.ABINative,
+		Ckpt: core.CkptNone, Fault: faults.KindRankCrash, Recovery: RecoveryShrink,
+	}
+}
+
+func traceOptions(t *testing.T, mode core.ProgressMode) Options {
+	t.Helper()
+	return Options{
+		Nodes: 2, RanksPerNode: 4, Reps: 2,
+		MaxSize: 64, Iters: 2, Warmup: 1,
+		AppScale: 0.01, Parallel: 1,
+		Timeout: time.Minute, Scratch: t.TempDir(),
+		Progress: mode, TraceDir: t.TempDir(),
+	}
+}
+
+func runTraced(t *testing.T, mode core.ProgressMode) []byte {
+	return runTracedSpec(t, traceSpec(), mode)
+}
+
+func runTracedSpec(t *testing.T, s Spec, mode core.ProgressMode) []byte {
+	t.Helper()
+	o := traceOptions(t, mode)
+	res := RunCell(s, o)
+	if res.Status != StatusPass {
+		t.Fatalf("traced cell %s under %q engine: %s: %s", s.ID(), mode, res.Status, res.Error)
+	}
+	raw, err := os.ReadFile(filepath.Join(o.TraceDir, TraceFileName(s.ID())))
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	return raw
+}
+
+// TestTraceByteDeterminism: two event-engine runs of the same seeded
+// cell must produce byte-identical trace files. Virtual timestamps and
+// the single-token fiber scheduler make the whole trace — ordering,
+// clocks, arguments — a pure function of the seed.
+func TestTraceByteDeterminism(t *testing.T) {
+	a := runTraced(t, core.ProgressEvent)
+	b := runTraced(t, core.ProgressEvent)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("event-engine traces differ between identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// traceEvent is the decoded Chrome trace-event shape the tests need.
+type traceEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	S    string          `json:"s"`
+	Args json.RawMessage `json:"args"`
+}
+
+func decodeTrace(t *testing.T, raw []byte) []traceEvent {
+	t.Helper()
+	var doc struct {
+		SchemaVersion int          `json:"schemaVersion"`
+		TraceEvents   []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.SchemaVersion != 1 {
+		t.Fatalf("schemaVersion = %d, want 1", doc.SchemaVersion)
+	}
+	return doc.TraceEvents
+}
+
+// multiset collapses a trace to its engine-invariant event multiset:
+// (pid, tid, ph, name, cat) counts for every category except "sched",
+// which records engine-internal scheduling (fiber park/wake, batch
+// drains) that legitimately exists only under one engine. Timestamps
+// and args are excluded: clocks and queue paths (posted vs unexpected
+// match) are timing, not semantics.
+func multiset(evs []traceEvent) map[string]int {
+	m := make(map[string]int)
+	for _, e := range evs {
+		if e.Ph == "M" || e.Cat == "sched" {
+			continue
+		}
+		m[fmt.Sprintf("%d/%d/%s/%s/%s", e.Pid, e.Tid, e.Ph, e.Cat, e.Name)]++
+	}
+	return m
+}
+
+// TestTraceCrossEngineMultiset: the goroutine engine must emit the
+// same events as the event engine — same ranks, same names, same
+// counts — even though its interleaving (and so its file ordering and
+// timestamps) may differ. The trace is a differential-testing surface
+// between the two progress engines.
+//
+// The comparison runs on a fault-free cell: under a fault, how far
+// each survivor gets before tripping over the failure (and therefore
+// how many partial collectives it traced before recomputing) is
+// engine-timing-dependent by nature, so only the fault-free multiset
+// is an invariant.
+func TestTraceCrossEngineMultiset(t *testing.T) {
+	s := Spec{Program: "app.comd", Impl: core.ImplMPICH, ABI: core.ABINative, Ckpt: core.CkptNone}
+	ev := multiset(decodeTrace(t, runTracedSpec(t, s, core.ProgressEvent)))
+	gr := multiset(decodeTrace(t, runTracedSpec(t, s, core.ProgressGoroutine)))
+	keys := make(map[string]bool, len(ev)+len(gr))
+	for k := range ev {
+		keys[k] = true
+	}
+	for k := range gr {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	bad := 0
+	for _, k := range sorted {
+		if ev[k] != gr[k] {
+			t.Errorf("event %s: event-engine count %d, goroutine-engine count %d", k, ev[k], gr[k])
+			if bad++; bad > 20 {
+				t.Fatalf("too many divergent events; stopping")
+			}
+		}
+	}
+}
+
+// TestTracePerfettoValidity checks the structural properties Perfetto
+// relies on: per-track B/E begin/end pairs balance in stack order, X
+// spans carry non-negative durations, instants carry their scope, and
+// every rank track's non-span timestamps are monotone (complete X
+// spans are back-dated to their start by design, and the driver track
+// aggregates foreign clocks, so both are exempt).
+func TestTracePerfettoValidity(t *testing.T) {
+	evs := decodeTrace(t, runTraced(t, core.ProgressEvent))
+
+	type trackKey struct{ pid, tid int }
+	tracks := make(map[trackKey][]traceEvent)
+	driver := make(map[trackKey]bool)
+	for _, e := range evs {
+		k := trackKey{e.Pid, e.Tid}
+		if e.Ph == "M" {
+			if e.Name == "thread_name" && bytes.Contains(e.Args, []byte(`"driver"`)) {
+				driver[k] = true
+			}
+			continue
+		}
+		tracks[k] = append(tracks[k], e)
+	}
+	if len(tracks) == 0 {
+		t.Fatalf("no event tracks in trace")
+	}
+	for k, evs := range tracks {
+		var stack []string
+		lastTs := -1.0
+		for _, e := range evs {
+			switch e.Ph {
+			case "B":
+				stack = append(stack, e.Name)
+			case "E":
+				if len(stack) == 0 {
+					t.Fatalf("track %v: E %q with no open B", k, e.Name)
+				}
+				top := stack[len(stack)-1]
+				if top != e.Name {
+					t.Fatalf("track %v: E %q closes open B %q", k, e.Name, top)
+				}
+				stack = stack[:len(stack)-1]
+			case "X":
+				if e.Dur < 0 {
+					t.Fatalf("track %v: X %q with negative dur %v", k, e.Name, e.Dur)
+				}
+			case "i":
+				if e.S != "t" {
+					t.Fatalf("track %v: instant %q without thread scope", k, e.Name)
+				}
+			default:
+				t.Fatalf("track %v: unknown phase %q", k, e.Ph)
+			}
+			if e.Ph != "X" && !driver[k] {
+				if e.Ts < lastTs {
+					t.Fatalf("track %v: timestamp regressed %v -> %v at %q", k, lastTs, e.Ts, e.Name)
+				}
+				lastTs = e.Ts
+			}
+		}
+		if len(stack) != 0 {
+			t.Fatalf("track %v: %d unclosed B slices (%v)", k, len(stack), stack)
+		}
+	}
+
+	// The acceptance shape: the ULFM story must actually be in there.
+	want := map[string]bool{"notice": false, "revoke": false, "agree-round": false, "shrink-recover": false}
+	coll := false
+	for _, e := range evs {
+		if _, ok := want[e.Name]; ok {
+			want[e.Name] = true
+		}
+		if e.Cat == "coll" {
+			coll = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("traced shrink cell has no %q event", name)
+		}
+	}
+	if !coll {
+		t.Errorf("traced shrink cell has no collective events")
+	}
+}
+
+// TestTraceDisabledByDefault: without TraceDir no trace plumbing runs
+// and no file appears.
+func TestTraceDisabledByDefault(t *testing.T) {
+	s := traceSpec()
+	o := traceOptions(t, core.ProgressEvent)
+	dir := o.TraceDir
+	o.TraceDir = ""
+	res := RunCell(s, o)
+	if res.Status != StatusPass {
+		t.Fatalf("untraced cell: %s: %s", res.Status, res.Error)
+	}
+	if _, err := os.Stat(filepath.Join(dir, TraceFileName(s.ID()))); !os.IsNotExist(err) {
+		t.Fatalf("trace file written with tracing disabled (err=%v)", err)
+	}
+}

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteChrome exports the sink as Chrome trace-event JSON, the format
+// Perfetto (ui.perfetto.dev) loads directly: one process per leg, one
+// thread per rank track plus the driver track, B/E pairs as nested
+// slices, X as complete slices, i as instants. Timestamps are virtual
+// microseconds with nanosecond precision.
+//
+// The encoding is hand-rolled rather than encoding/json for the
+// byte-determinism contract: field order is fixed, args are emitted in
+// recording order, numbers are formatted by integer arithmetic, and no
+// map is ever iterated — equal event streams produce equal bytes.
+func (s *Sink) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"schemaVersion\":")
+	writeInt(bw, SchemaVersion)
+	bw.WriteString(",\"traceEvents\":[\n")
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+	for _, leg := range s.Legs() {
+		sep()
+		writeMeta(bw, "process_name", leg.pid, -1, leg.name)
+		sep()
+		writeMetaInt(bw, "process_sort_index", leg.pid, -1, leg.pid)
+		for _, t := range append(append([]*Track(nil), leg.tracks...), leg.driver) {
+			sep()
+			writeMeta(bw, "thread_name", leg.pid, t.tid, t.name)
+			for i := range t.events {
+				sep()
+				writeEvent(bw, leg.pid, t.tid, &t.events[i])
+			}
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// WriteChromeFile writes the Chrome trace to path, creating parent
+// directories as needed.
+func (s *Sink) WriteChromeFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("trace: creating trace dir: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: creating trace file: %w", err)
+	}
+	if err := s.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeMeta emits a Chrome metadata record naming a process or thread.
+// tid < 0 omits the tid field (process-scoped metadata).
+func writeMeta(bw *bufio.Writer, kind string, pid, tid int, name string) {
+	bw.WriteString("{\"name\":\"")
+	bw.WriteString(kind)
+	bw.WriteString("\",\"ph\":\"M\",\"pid\":")
+	writeInt(bw, pid)
+	if tid >= 0 {
+		bw.WriteString(",\"tid\":")
+		writeInt(bw, tid)
+	}
+	bw.WriteString(",\"args\":{\"name\":")
+	writeString(bw, name)
+	bw.WriteString("}}")
+}
+
+func writeMetaInt(bw *bufio.Writer, kind string, pid, tid, v int) {
+	bw.WriteString("{\"name\":\"")
+	bw.WriteString(kind)
+	bw.WriteString("\",\"ph\":\"M\",\"pid\":")
+	writeInt(bw, pid)
+	if tid >= 0 {
+		bw.WriteString(",\"tid\":")
+		writeInt(bw, tid)
+	}
+	bw.WriteString(",\"args\":{\"sort_index\":")
+	writeInt(bw, v)
+	bw.WriteString("}}")
+}
+
+func writeEvent(bw *bufio.Writer, pid, tid int, e *Event) {
+	bw.WriteString("{\"name\":")
+	writeString(bw, e.Name)
+	bw.WriteString(",\"cat\":")
+	writeString(bw, e.Cat)
+	bw.WriteString(",\"ph\":\"")
+	bw.WriteByte(e.Ph)
+	bw.WriteString("\",\"pid\":")
+	writeInt(bw, pid)
+	bw.WriteString(",\"tid\":")
+	writeInt(bw, tid)
+	bw.WriteString(",\"ts\":")
+	writeMicros(bw, int64(e.Ts))
+	if e.Ph == PhaseSpan {
+		bw.WriteString(",\"dur\":")
+		writeMicros(bw, int64(e.Dur))
+	}
+	if e.Ph == PhaseInstant {
+		bw.WriteString(",\"s\":\"t\"")
+	}
+	if len(e.Args) > 0 {
+		bw.WriteString(",\"args\":{")
+		for i, a := range e.Args {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			writeString(bw, a.Key)
+			bw.WriteByte(':')
+			writeString(bw, a.Val)
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+}
+
+// writeMicros formats ns nanoseconds as microseconds with three decimal
+// places ("12.345"), by integer arithmetic only.
+func writeMicros(bw *bufio.Writer, ns int64) {
+	if ns < 0 {
+		bw.WriteByte('-')
+		ns = -ns
+	}
+	writeInt64(bw, ns/1000)
+	frac := ns % 1000
+	bw.WriteByte('.')
+	bw.WriteByte(byte('0' + frac/100))
+	bw.WriteByte(byte('0' + (frac/10)%10))
+	bw.WriteByte(byte('0' + frac%10))
+}
+
+func writeInt(bw *bufio.Writer, n int) { writeInt64(bw, int64(n)) }
+
+func writeInt64(bw *bufio.Writer, n int64) {
+	if n < 0 {
+		bw.WriteByte('-')
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	bw.Write(buf[i:])
+}
+
+// writeString emits s as a JSON string. Event names and args are ASCII
+// identifiers by convention; the escaper still handles the full JSON
+// mandatory set so a stray byte cannot corrupt the file.
+func writeString(bw *bufio.Writer, s string) {
+	bw.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			bw.WriteByte('\\')
+			bw.WriteByte(c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			bw.WriteString("\\u00")
+			bw.WriteByte(hex[c>>4])
+			bw.WriteByte(hex[c&0xf])
+		default:
+			bw.WriteByte(c)
+		}
+	}
+	bw.WriteByte('"')
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/mana"
 	"repro/internal/scenario"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 
 	// Register the built-in workloads.
 	_ "repro/internal/apps/comd"
@@ -113,6 +114,14 @@ func WithConfigure(fn func(rank int, p Program)) LaunchOption {
 // to pin it deterministically to the first safe point.
 func WithHold() LaunchOption {
 	return core.WithHold()
+}
+
+// WithTrace records per-rank virtual-time event traces into sink,
+// exportable as Perfetto-loadable Chrome trace-event JSON via
+// sink.WriteChromeFile. A nil sink is the disabled state and costs one
+// pointer compare per emission site. See docs/observability.md.
+func WithTrace(sink *trace.Sink) LaunchOption {
+	return core.WithTrace(sink)
 }
 
 // Restart resumes a checkpoint image set under a new stack. Images taken
